@@ -1,0 +1,131 @@
+"""Benchmark of the Section 6.2 application rows of Table 2 (Corollaries 35-41)
+and of the LOCC conversion (Corollary 21).
+
+Each benchmark instantiates the corresponding protocol factory on a small
+instance, measures its acceptance on a yes- and a no-instance, and times the
+exact computation; the printed table is the executable counterpart of the
+"extended results" of Section 6.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.l1_graphs import hypercube_embedding
+from repro.experiments.records import ExperimentRow
+from repro.protocols.applications import (
+    l1_graph_distance_protocol,
+    ltf_xor_protocol,
+    matrix_rank_protocol,
+    vector_l1_distance_protocol,
+)
+from repro.protocols.equality import EqualityTreeProtocol
+from repro.protocols.locc import corollary21_local_proof_bound, locc_conversion_cost
+from repro.network.topology import star_network
+from repro.quantum.fingerprint import ExactCodeFingerprint
+
+from conftest import emit_table
+
+
+def test_corollary35_l1_graph_distance(benchmark):
+    """Corollary 35: graph distances in an ℓ1-graph (hypercube instance)."""
+    protocol, encode = l1_graph_distance_protocol(hypercube_embedding(3), 1, 3)
+    close = encode([(0, 0, 0), (0, 0, 1), (0, 0, 0)])
+    far = encode([(0, 0, 0), (1, 1, 1), (0, 1, 1)])
+
+    def run():
+        return protocol.acceptance_probability(close), protocol.acceptance_probability(far)
+
+    accept_close, accept_far = benchmark(run)
+    emit_table(
+        "Corollary 35 — ℓ1-graph distance verification (hypercube Q3, d = 1)",
+        [
+            ExperimentRow("corollary35", "vertices within distance 1", {"acceptance": accept_close}),
+            ExperimentRow("corollary35", "vertices farther apart", {"acceptance": accept_far}),
+        ],
+    )
+    assert accept_close > 0.99
+    assert accept_far < 1.0 / 3.0
+
+
+def test_corollary37_vector_l1_distance(benchmark):
+    """Corollary 37: ℓ1 distance of real vectors under fixed-point encoding."""
+    protocol, encode = vector_l1_distance_protocol(2, 4, 0.5, 3)
+    close = encode([np.array([0.5, 0.5]), np.array([0.5, 0.75]), np.array([0.5, 0.5])])
+    far = encode([np.array([0.0, 0.0]), np.array([1.0, 1.0]), np.array([0.0, 0.0])])
+
+    def run():
+        return protocol.acceptance_probability(close), protocol.acceptance_probability(far)
+
+    accept_close, accept_far = benchmark(run)
+    assert accept_close > 0.99
+    assert accept_far < 1.0 / 3.0
+
+
+def test_corollary39_ltf_xor(benchmark):
+    """Corollary 39: linear-threshold XOR functions via weighted expansion."""
+    protocol, encode = ltf_xor_protocol([1, 2, 1], 2.5, 3)
+    yes_inputs = encode(["101", "100", "101"])
+    no_inputs = encode(["101", "010", "101"])
+
+    def run():
+        return (
+            protocol.acceptance_probability(yes_inputs),
+            protocol.acceptance_probability(no_inputs),
+        )
+
+    accept_yes, accept_no = benchmark(run)
+    assert accept_yes > 0.99
+    assert accept_no < 1.0 / 3.0
+
+
+def test_corollary41_matrix_rank(benchmark):
+    """Corollary 41: GF(2) rank of pairwise matrix sums."""
+    protocol = matrix_rank_protocol(2, 2, 3)
+
+    def run():
+        return (
+            protocol.acceptance_probability(("1001", "0110", "1001")),
+            protocol.acceptance_probability(("1001", "0000", "1001")),
+        )
+
+    accept_yes, accept_no = benchmark(run)
+    assert accept_yes > 0.99
+    assert accept_no < 1.0 / 3.0
+
+
+def test_corollary21_locc_conversion(benchmark):
+    """Corollary 21: LOCC dQMA conversion costs for the tree EQ protocol."""
+    fingerprints = ExactCodeFingerprint(4, rng=9)
+    protocol = EqualityTreeProtocol(star_network(4), fingerprints)
+
+    def run():
+        conversion = locc_conversion_cost(protocol)
+        bound = corollary21_local_proof_bound(
+            2**10, protocol.network.radius, protocol.network.num_nodes, protocol.network.max_degree
+        )
+        return conversion, bound
+
+    conversion, bound = benchmark(run)
+    emit_table(
+        "Corollary 21 — LOCC dQMA conversion (star, t = 4)",
+        [
+            ExperimentRow(
+                "corollary21",
+                "measured conversion of the implemented protocol",
+                {
+                    "original_local_proof": conversion.original.local_proof,
+                    "locc_local_proof": conversion.local_proof_qubits,
+                    "overhead_factor": conversion.proof_overhead_factor,
+                },
+            ),
+            ExperimentRow(
+                "corollary21",
+                "formula O(d_max |V| r^4 log^2 n) at n=2^10",
+                {"locc_local_proof": bound},
+            ),
+        ],
+    )
+    assert conversion.local_proof_qubits > conversion.original.local_proof
+    assert bound > 0

@@ -1,0 +1,91 @@
+"""Benchmark / regeneration of the Section 4 separation (Theorem 2, "figure").
+
+The paper has no plotted figures; the quantitative content of Theorem 2 is the
+comparison of total proof sizes:
+
+* Algorithm 3 (quantum, short-path regime)    ~ O(r^3 log n) total,
+* Algorithm 6 (quantum with relay points)     ~ O(r n^(2/3)) total,
+* any classical dMA protocol (Section 4.2)    >= Omega(r n) total.
+
+These benchmarks sweep the three curves, locate the crossover points, and
+additionally exhibit the constructive soundness failure of an undersized
+classical protocol (the content of Lemma 23).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.problems import EqualityProblem
+from repro.experiments.crossover import crossover_sweep, find_crossover, long_path_sweep
+from repro.network.topology import path_network
+from repro.protocols.dma import TruncationEqualityDMA
+from repro.protocols.relay import RelayEqualityProtocol
+from repro.quantum.fingerprint import ExactCodeFingerprint
+
+from conftest import emit_table
+
+
+def test_crossover_fixed_path_sweep(benchmark):
+    """Total proof sizes versus n at fixed path length r = 6."""
+    input_lengths = [2**k for k in range(8, 26, 2)]
+    rows = benchmark(crossover_sweep, input_lengths, 6)
+    emit_table("Theorem 2 — total proof size versus n (fixed r = 6)", rows)
+    assert rows[-1].value("plain_beats_classical_lower")
+
+
+def test_crossover_long_path_sweep(benchmark):
+    """Per-node costs in the long-path regime r ~ 4 n^(1/3) (the relay regime)."""
+    rows = benchmark(long_path_sweep, [2**12, 2**24, 2**36, 2**48])
+    emit_table("Theorem 2 — long-path regime (relay protocol)", rows)
+    assert rows[-1].value("relay_beats_classical_lower")
+
+
+def test_crossover_points(benchmark):
+    """Locate the smallest n at which each quantum strategy beats Omega(rn)."""
+    def locate():
+        return {
+            "plain_r6": find_crossover(path_length=6, strategy="plain"),
+            "relay_long_path": find_crossover(strategy="relay"),
+        }
+
+    points = benchmark(locate)
+    assert points["plain_r6"] is not None
+    assert points["relay_long_path"] is not None
+
+
+def test_measured_relay_protocol_instance(benchmark):
+    """Exact simulation of the relay protocol on a small instance (Algorithm 6)."""
+    fingerprints = ExactCodeFingerprint(4, rng=1)
+    protocol = RelayEqualityProtocol.on_path(
+        4, 6, relay_spacing=2, segment_repetitions=4, fingerprints=fingerprints
+    )
+
+    def run():
+        return (
+            protocol.acceptance_probability(("1011", "1011")),
+            protocol.acceptance_probability(("1011", "1010")),
+            protocol.total_proof_qubits(),
+        )
+
+    completeness, soundness, total = benchmark(run)
+    assert completeness == pytest.approx(1.0, abs=1e-9)
+    assert soundness < 0.5
+    assert total > 0
+
+
+def test_classical_fooling_pair(benchmark):
+    """Constructive content of Lemma 23: an undersized classical protocol is fooled."""
+    protocol = TruncationEqualityDMA(EqualityProblem(8, 2), path_network(5), proof_bits=3)
+
+    def run():
+        yes_instance, no_instance = protocol.fooling_pair()
+        proof = protocol.honest_proof(yes_instance)
+        return (
+            protocol.acceptance_probability(yes_instance, proof),
+            protocol.acceptance_probability(no_instance, proof),
+        )
+
+    accepted_yes, accepted_no = benchmark(run)
+    assert accepted_yes == 1.0
+    assert accepted_no == 1.0  # soundness broken below the Omega(rn) threshold

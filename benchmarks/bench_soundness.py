@@ -1,0 +1,63 @@
+"""Benchmark / regeneration of the soundness-scaling experiment (Lemma 17, "figure").
+
+For the single-shot chain of Algorithm 3, the paper proves that no proof —
+entangled or not — is accepted on a no-instance with probability above
+``1 - 4/(81 r^2)``.  These benchmarks compute the *exact* optimal cheating
+probability (largest eigenvalue of the acceptance operator) as a function of
+the path length, compare it with the bound, and trace the repetition curve
+that Algorithm 4 uses to reach soundness 1/3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.adversary import seesaw_separable_acceptance
+from repro.experiments.soundness_scaling import (
+    repetition_curve,
+    small_fingerprints,
+    soundness_scaling_sweep,
+)
+from repro.protocols.equality import EqualityPathProtocol
+
+from conftest import emit_table
+
+
+def test_soundness_scaling_sweep(benchmark):
+    """Optimal entangled cheating probability versus path length (r = 2, 3, 4)."""
+    rows = benchmark.pedantic(soundness_scaling_sweep, args=([2, 3, 4],), rounds=1, iterations=1)
+    emit_table("Lemma 17 — optimal cheating probability versus path length", rows)
+    for row in rows:
+        assert row.value("respects_bound")
+
+
+def test_soundness_repetition_curve(benchmark):
+    """Acceptance of the optimal single-shot cheat after k parallel repetitions."""
+    rows = benchmark(repetition_curve, 3, [1, 10, 50, 100, 200, 400])
+    emit_table("Algorithm 4 — repetition curve at r = 3", rows)
+    assert rows[-1].value("below_one_third")
+
+
+def test_entangled_adversary_diagonalisation(benchmark):
+    """Cost of building and diagonalising the exact acceptance operator (r = 4)."""
+    fingerprints = small_fingerprints()
+    protocol = EqualityPathProtocol.on_path(1, 4, fingerprints)
+
+    optimal = benchmark(protocol.optimal_cheating_probability, ("0", "1"))
+    assert optimal <= 1.0 - protocol.single_shot_soundness_gap() + 1e-9
+
+
+def test_separable_seesaw_adversary(benchmark):
+    """Cost of the seesaw optimisation over separable proofs (dQMA_sep,sep adversary)."""
+    fingerprints = small_fingerprints()
+    protocol = EqualityPathProtocol.on_path(1, 3, fingerprints)
+    operator = protocol.acceptance_operator(("0", "1"))
+    dims = [register.dim for register in protocol.proof_registers()]
+
+    def run():
+        value, _ = seesaw_separable_acceptance(operator, dims, iterations=15, restarts=3, rng=0)
+        return value
+
+    separable = benchmark(run)
+    entangled = protocol.optimal_cheating_probability(("0", "1"))
+    assert separable <= entangled + 1e-8

@@ -1,0 +1,48 @@
+"""Benchmark / regeneration of Table 1 (the FGNP21 baselines).
+
+Rows: local proof size of the FGNP21 dQMA protocol for EQ, the FGNP21
+conversion of one-way protocols, and the classical dMA lower bound — evaluated
+on a grid of (n, r, t), plus the measured cost of our implementation of the
+FGNP21 baseline protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import measured_fgnp21_costs, table1_rows
+from repro.protocols.fgnp21 import Fgnp21EqualityProtocol
+from repro.quantum.fingerprint import ExactCodeFingerprint
+
+from conftest import emit_table
+
+PARAMETER_GRID = [(64, 3, 2), (256, 3, 4), (1024, 5, 4), (4096, 5, 8), (2**16, 8, 8)]
+
+
+def test_table1_formula_rows(benchmark):
+    """Regenerate the three formula rows of Table 1 over the parameter grid."""
+    rows = benchmark(table1_rows, PARAMETER_GRID)
+    emit_table("Table 1 — FGNP21 baselines (formula rows)", rows)
+    assert len(rows) == 3 * len(PARAMETER_GRID)
+
+
+def test_table1_measured_implementation(benchmark):
+    """Measured register sizes of the implemented FGNP21 baseline protocol."""
+    row = benchmark(measured_fgnp21_costs, 4, 4)
+    emit_table("Table 1 — measured FGNP21 implementation costs", [row])
+    assert row.value("local_proof_qubits") > 0
+
+
+def test_table1_baseline_protocol_acceptance(benchmark):
+    """End-to-end acceptance computation of the FGNP21 baseline (yes + no instance)."""
+    fingerprints = ExactCodeFingerprint(4, rng=0)
+    protocol = Fgnp21EqualityProtocol.on_path(4, 4, fingerprints)
+
+    def run():
+        yes = protocol.acceptance_probability(("1011", "1011"))
+        no = protocol.acceptance_probability(("1011", "1010"))
+        return yes, no
+
+    yes, no = benchmark(run)
+    assert yes == pytest.approx(1.0, abs=1e-9)
+    assert no < 1.0

@@ -1,0 +1,42 @@
+"""Benchmark / regeneration of Table 3 (the paper's lower bounds).
+
+Rows: every lower bound of Table 3 evaluated on concrete parameters, the
+classical Section 4.2 bound, and the consistency sweep checking that the
+Table 2 upper bounds dominate the matching lower bounds (and that the quantum
+totals drop below the classical bound once n is large — the separation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table3 import table3_rows, upper_vs_lower_consistency
+
+from conftest import emit_table
+
+CONSISTENCY_GRID = [(256, 3), (1024, 4), (4096, 5), (2**16, 6), (2**21, 6), (2**24, 8)]
+
+
+def test_table3_formula_rows(benchmark):
+    """Regenerate the lower-bound rows of Table 3 at (n=1024, r=4)."""
+    rows = benchmark(table3_rows, 1024, 4)
+    emit_table("Table 3 — lower bounds (n=1024, r=4)", rows)
+    assert len(rows) == 7
+
+
+def test_table3_formula_rows_large_instance(benchmark):
+    """The same rows at (n=2^20, r=16)."""
+    rows = benchmark(table3_rows, 2**20, 16)
+    emit_table("Table 3 — lower bounds (n=2^20, r=16)", rows)
+    assert len(rows) == 7
+
+
+def test_table3_upper_vs_lower_consistency(benchmark):
+    """Check upper >= lower across the parameter grid and locate the separation."""
+    rows = benchmark(upper_vs_lower_consistency, CONSISTENCY_GRID)
+    emit_table("Table 3 — consistency of upper and lower bounds", rows)
+    for row in rows:
+        assert row.value("upper_respects_sepsep_lower")
+        assert row.value("upper_respects_entangled_lower")
+    # The quantum advantage must show up at the large-n end of the grid.
+    assert rows[-1].value("quantum_beats_classical")

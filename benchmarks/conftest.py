@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper: it
+computes the rows once, prints them (so that ``pytest benchmarks/
+--benchmark-only -s`` shows the regenerated table), and benchmarks the
+underlying computation.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence
+
+from repro.experiments.records import ExperimentRow, format_rows
+
+_printed_headers = set()
+
+
+def emit_table(title: str, rows: Sequence[ExperimentRow]) -> None:
+    """Print a regenerated table exactly once per session."""
+    if title in _printed_headers:
+        return
+    _printed_headers.add(title)
+    banner = "=" * len(title)
+    sys.stdout.write(f"\n{title}\n{banner}\n{format_rows(rows)}\n")
+    sys.stdout.flush()

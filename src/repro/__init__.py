@@ -1,0 +1,106 @@
+"""repro — a reproduction of "On the Power of Quantum Distributed Proofs" (PODC 2024).
+
+The library implements distributed quantum Merlin-Arthur (dQMA) protocols on
+an exact quantum network simulator, together with the classical baselines,
+communication-complexity substrates, adversarial soundness analysis and the
+upper/lower-bound calculators needed to regenerate every table of the paper.
+
+Quick start
+-----------
+>>> from repro import EqualityPathProtocol
+>>> protocol = EqualityPathProtocol.on_path(input_length=3, path_length=4)
+>>> protocol.acceptance_probability(("101", "101"))      # perfect completeness
+1.0
+>>> protocol.repeated(60).acceptance_probability(("101", "110")) < 1/3
+True
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the table
+regeneration harness.
+"""
+
+from repro.comm import (
+    DisjointnessProblem,
+    EqualityProblem,
+    ForAllPairsProblem,
+    GreaterThanProblem,
+    HammingDistanceProblem,
+    InnerProductProblem,
+    LinearSubspaceDistanceInstance,
+    LSDOneWayQMAProtocol,
+    PatternMatrixANDProblem,
+    RankingVerificationProblem,
+    random_lsd_instance,
+)
+from repro.network import (
+    Network,
+    build_verification_tree,
+    complete_network,
+    path_network,
+    random_tree_network,
+    star_network,
+)
+from repro.protocols import (
+    EqualityPathProtocol,
+    EqualityTreeProtocol,
+    Fgnp21EqualityProtocol,
+    GreaterThanPathProtocol,
+    LSDPathProtocol,
+    OneWayToTreeProtocol,
+    ProductProof,
+    QMAOneWayToPathProtocol,
+    RankingVerificationProtocol,
+    RelayEqualityProtocol,
+    RepeatedProtocol,
+    TrivialEqualityDMA,
+    TruncationEqualityDMA,
+    hamming_distance_protocol,
+)
+from repro.quantum import (
+    ExactCodeFingerprint,
+    HadamardCodeFingerprint,
+    SimulatedFingerprint,
+    fidelity,
+    trace_distance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DisjointnessProblem",
+    "EqualityProblem",
+    "ForAllPairsProblem",
+    "GreaterThanProblem",
+    "HammingDistanceProblem",
+    "InnerProductProblem",
+    "LinearSubspaceDistanceInstance",
+    "LSDOneWayQMAProtocol",
+    "PatternMatrixANDProblem",
+    "RankingVerificationProblem",
+    "random_lsd_instance",
+    "Network",
+    "build_verification_tree",
+    "complete_network",
+    "path_network",
+    "random_tree_network",
+    "star_network",
+    "EqualityPathProtocol",
+    "EqualityTreeProtocol",
+    "Fgnp21EqualityProtocol",
+    "GreaterThanPathProtocol",
+    "LSDPathProtocol",
+    "OneWayToTreeProtocol",
+    "ProductProof",
+    "QMAOneWayToPathProtocol",
+    "RankingVerificationProtocol",
+    "RelayEqualityProtocol",
+    "RepeatedProtocol",
+    "TrivialEqualityDMA",
+    "TruncationEqualityDMA",
+    "hamming_distance_protocol",
+    "ExactCodeFingerprint",
+    "HadamardCodeFingerprint",
+    "SimulatedFingerprint",
+    "fidelity",
+    "trace_distance",
+    "__version__",
+]

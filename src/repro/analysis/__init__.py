@@ -1,0 +1,33 @@
+"""Soundness and adversary analysis.
+
+The soundness condition of a dQMA protocol is a supremum over *all* proofs.
+This package provides three complementary ways of evaluating that supremum on
+concrete instances:
+
+* exact optimisation over entangled proofs via the acceptance operator's
+  largest eigenvalue (:func:`repro.protocols.chain.optimal_entangled_acceptance`),
+* seesaw (alternating eigenvector) optimisation over separable proofs —
+  the ``dQMA_sep,sep`` adversary (:mod:`repro.analysis.adversary`),
+* structured searches over fingerprint-valued product proofs, which capture
+  the natural cheating strategies (:mod:`repro.analysis.soundness`).
+"""
+
+from repro.analysis.adversary import (
+    random_product_search,
+    seesaw_separable_acceptance,
+)
+from repro.analysis.soundness import (
+    SoundnessReport,
+    entangled_soundness_report,
+    fingerprint_strategy_soundness,
+    repetition_soundness,
+)
+
+__all__ = [
+    "random_product_search",
+    "seesaw_separable_acceptance",
+    "SoundnessReport",
+    "entangled_soundness_report",
+    "fingerprint_strategy_soundness",
+    "repetition_soundness",
+]

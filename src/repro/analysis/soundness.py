@@ -1,0 +1,146 @@
+"""Soundness evaluation of dQMA protocols on concrete instances.
+
+The paper's soundness statements bound the acceptance probability of a
+no-instance over *all* proofs.  For the path protocols the library can compute
+that supremum exactly on small instances (via the acceptance operator); for
+the remaining protocols it searches over the natural structured cheating
+strategies (fingerprint-valued product proofs) and reports the best found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as iter_product
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.adversary import seesaw_separable_acceptance
+from repro.exceptions import ProtocolError
+from repro.protocols.base import DQMAProtocol, ProductProof
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class SoundnessReport:
+    """Summary of a soundness experiment on one no-instance."""
+
+    inputs: Tuple[str, ...]
+    honest_acceptance: float
+    best_found_acceptance: float
+    optimal_entangled_acceptance: Optional[float]
+    paper_bound: Optional[float]
+
+    @property
+    def respects_paper_bound(self) -> bool:
+        """True when every measured acceptance stays below the paper's bound."""
+        if self.paper_bound is None:
+            return True
+        observed = self.best_found_acceptance
+        if self.optimal_entangled_acceptance is not None:
+            observed = max(observed, self.optimal_entangled_acceptance)
+        return observed <= self.paper_bound + 1e-9
+
+
+def fingerprint_strategy_soundness(
+    protocol: DQMAProtocol,
+    inputs: Sequence[str],
+    candidate_strings: Optional[Iterable[str]] = None,
+    max_assignments: int = 4096,
+) -> Tuple[float, Optional[ProductProof]]:
+    """Best acceptance over proofs built from fingerprints of candidate strings.
+
+    This is the natural cheating family for the fingerprint-based protocols:
+    the prover fills every fingerprint-sized register with the fingerprint of
+    some string (defaulting to the instance's own inputs), and any classical
+    index / direction / relay registers with their honest contents.  The
+    search enumerates assignments where all registers of a node share one
+    string (the strategies the paper's soundness analyses reason about).
+    """
+    fingerprints = getattr(protocol, "fingerprints", None)
+    if fingerprints is None:
+        raise ProtocolError("fingerprint strategy search needs a fingerprint-based protocol")
+    inputs = tuple(inputs)
+    if candidate_strings is None:
+        candidate_strings = list(dict.fromkeys(inputs))
+    candidates = list(dict.fromkeys(candidate_strings))
+
+    honest = protocol.honest_proof(inputs)
+    registers = protocol.proof_registers()
+    fingerprint_registers = [reg for reg in registers if reg.dim == fingerprints.dim]
+    nodes = sorted({reg.node for reg in fingerprint_registers}, key=str)
+
+    assignments = len(candidates) ** len(nodes)
+    if assignments > max_assignments:
+        raise ProtocolError(
+            f"{assignments} candidate assignments exceed the search limit {max_assignments}"
+        )
+
+    best_value = protocol.acceptance_probability(inputs, honest)
+    best_proof: Optional[ProductProof] = honest
+    for combo in iter_product(candidates, repeat=len(nodes)):
+        node_string = dict(zip(nodes, combo))
+        proof = honest
+        for register in fingerprint_registers:
+            proof = proof.replaced(register.name, fingerprints.state(node_string[register.node]))
+        value = protocol.acceptance_probability(inputs, proof)
+        if value > best_value:
+            best_value = value
+            best_proof = proof
+    return float(best_value), best_proof
+
+
+def entangled_soundness_report(
+    protocol: DQMAProtocol,
+    inputs: Sequence[str],
+    paper_bound: Optional[float] = None,
+    run_seesaw: bool = False,
+    rng: RngLike = None,
+) -> SoundnessReport:
+    """Full soundness report for a (small) path-protocol instance.
+
+    Includes the honest-proof acceptance, the best structured product proof
+    found, and — when the protocol exposes an acceptance operator — the exact
+    optimum over entangled proofs (optionally cross-checked against the seesaw
+    separable optimum).
+    """
+    inputs = tuple(inputs)
+    honest_acceptance = protocol.acceptance_probability(inputs, None)
+    try:
+        best_found, _ = fingerprint_strategy_soundness(protocol, inputs)
+    except ProtocolError:
+        best_found = honest_acceptance
+
+    optimal = None
+    if hasattr(protocol, "acceptance_operator"):
+        operator = protocol.acceptance_operator(inputs)
+        eigenvalues = np.linalg.eigvalsh((operator + operator.conj().T) / 2)
+        optimal = float(min(max(eigenvalues[-1].real, 0.0), 1.0))
+        if run_seesaw:
+            dims = [register.dim for register in protocol.proof_registers()]
+            seesaw_value, _ = seesaw_separable_acceptance(operator, dims, rng=ensure_rng(rng))
+            best_found = max(best_found, seesaw_value)
+
+    if paper_bound is None and hasattr(protocol, "single_shot_soundness_gap"):
+        paper_bound = 1.0 - protocol.single_shot_soundness_gap()
+
+    return SoundnessReport(
+        inputs=inputs,
+        honest_acceptance=honest_acceptance,
+        best_found_acceptance=best_found,
+        optimal_entangled_acceptance=optimal,
+        paper_bound=paper_bound,
+    )
+
+
+def repetition_soundness(single_shot_acceptance: float, repetitions: int) -> float:
+    """Acceptance of a no-instance after parallel repetition: ``p^k``.
+
+    For product proofs the copies are independent, so the best cheating
+    probability of the repeated protocol is the single-shot optimum raised to
+    the number of repetitions — the quantity driving the Algorithm 4 analysis.
+    """
+    if repetitions <= 0:
+        raise ProtocolError("repetition count must be positive")
+    p = min(max(single_shot_acceptance, 0.0), 1.0)
+    return float(p**repetitions)

@@ -1,0 +1,60 @@
+"""Upper- and lower-bound calculators for Tables 1, 2 and 3 of the paper.
+
+The paper's evaluation consists of asymptotic cost statements.  This package
+turns every row of those tables into a concrete formula with the constants
+used in the corresponding proof, so the benchmarks can print actual numbers,
+compare the quantum upper bounds against the classical and quantum lower
+bounds, and locate the crossover points of Section 4.
+"""
+
+from repro.bounds.lower import (
+    classical_dma_total_proof_lower_bound,
+    dqma_entangled_total_lower_bound,
+    dqma_eq_combined_lower_bound,
+    dqma_hard_function_lower_bound,
+    dqma_nonconstant_function_lower_bound,
+    dqma_sepsep_total_proof_lower_bound,
+    fingerprint_qubit_lower_bound,
+)
+from repro.bounds.upper import (
+    eq_local_proof_upper_bound,
+    eq_relay_total_proof_upper_bound,
+    fgnp21_eq_local_proof_upper_bound,
+    fgnp21_one_way_local_proof_upper_bound,
+    forall_f_local_proof_upper_bound,
+    gt_local_proof_upper_bound,
+    hamming_local_proof_upper_bound,
+    qma_based_local_proof_upper_bound,
+    rv_local_proof_upper_bound,
+    separable_conversion_local_proof_upper_bound,
+    trivial_classical_total_proof,
+)
+from repro.bounds.discrepancy import (
+    exact_discrepancy,
+    known_one_sided_smooth_discrepancy_log,
+    qmacc_lower_bound_from_sdisc,
+)
+
+__all__ = [
+    "classical_dma_total_proof_lower_bound",
+    "dqma_entangled_total_lower_bound",
+    "dqma_eq_combined_lower_bound",
+    "dqma_hard_function_lower_bound",
+    "dqma_nonconstant_function_lower_bound",
+    "dqma_sepsep_total_proof_lower_bound",
+    "fingerprint_qubit_lower_bound",
+    "eq_local_proof_upper_bound",
+    "eq_relay_total_proof_upper_bound",
+    "fgnp21_eq_local_proof_upper_bound",
+    "fgnp21_one_way_local_proof_upper_bound",
+    "forall_f_local_proof_upper_bound",
+    "gt_local_proof_upper_bound",
+    "hamming_local_proof_upper_bound",
+    "qma_based_local_proof_upper_bound",
+    "rv_local_proof_upper_bound",
+    "separable_conversion_local_proof_upper_bound",
+    "trivial_classical_total_proof",
+    "exact_discrepancy",
+    "known_one_sided_smooth_discrepancy_log",
+    "qmacc_lower_bound_from_sdisc",
+]

@@ -1,0 +1,98 @@
+"""Lower-bound formulas (Section 4.2 and Section 8; Table 3 of the paper).
+
+Each function instantiates one row of Table 3 (or the classical bound of
+Section 4.2) with the constants arising in the corresponding proof, returning
+a concrete qubit/bit count for the given parameters.  The benchmarks check
+that every upper bound of Table 2, evaluated on the same parameters, sits
+above the matching lower bound — the "who wins" shape of the paper.
+"""
+
+from __future__ import annotations
+
+from math import floor, log2
+
+from repro.exceptions import BoundError
+
+
+def _check_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise BoundError(f"{name} must be positive, got {value}")
+
+
+def classical_dma_total_proof_lower_bound(n: int, r: int, rounds: int = 1) -> float:
+    """Section 4.2 (Corollary 25): any sound classical dMA protocol for ``EQ`` needs
+    more than ``floor((r-1)/(2 nu)) * floor((n-1)/2)`` total proof bits.
+    """
+    _check_positive(n=n, r=r, rounds=rounds)
+    return float(floor((r - 1) / (2 * rounds)) * floor((n - 1) / 2))
+
+
+def fingerprint_qubit_lower_bound(n: int, delta: float = 0.5) -> float:
+    """Lemma 48 (de Wolf): ``Omega(log(n / delta^2))`` qubits for ``2^n`` near-orthogonal states."""
+    _check_positive(n=n)
+    if not (0 < delta < 1):
+        raise BoundError("delta must lie strictly between 0 and 1")
+    return max(log2(max(n, 2) / (delta * delta)), 1.0)
+
+
+def dqma_sepsep_total_proof_lower_bound(n: int, r: int, rounds: int = 1) -> float:
+    """Theorem 51: ``Omega(r log n)`` total proof qubits for ``dQMA_sep,sep`` protocols.
+
+    The proof places a ``c log log k``-qubit requirement (with ``k = 2^n``
+    fooling inputs, so ``c log n``) on every window of ``2 nu`` consecutive
+    nodes; the pigeonhole step yields ``floor((r-1)/(2 nu))`` disjoint windows.
+    """
+    _check_positive(n=n, r=r, rounds=rounds)
+    windows = floor((r - 1) / (2 * rounds))
+    per_window = 0.25 * log2(max(n, 2))
+    return float(windows * per_window)
+
+
+def dqma_nonconstant_function_lower_bound(r: int, rounds: int = 1) -> float:
+    """Corollary 55: any non-constant function needs ``Omega(r)`` total proof qubits."""
+    _check_positive(r=r, rounds=rounds)
+    return float(max(floor((r - 1) / (2 * rounds)) - 1, 0))
+
+
+def dqma_entangled_total_lower_bound(n: int, r: int, epsilon: float = 0.1) -> float:
+    """Theorem 52: ``Omega((log n)^{1/2 - eps} / r^{1 + eps'})`` for entangled proofs."""
+    _check_positive(n=n, r=r)
+    if not (0 < epsilon < 0.5):
+        raise BoundError("epsilon must lie in (0, 0.5)")
+    numerator = log2(max(n, 2)) ** (0.5 - epsilon)
+    return float(numerator / (r ** (1.0 + epsilon)))
+
+
+def dqma_eq_combined_lower_bound(n: int, epsilon: float = 0.1) -> float:
+    """Theorem 56: ``Omega((log n)^{1/4 - eps})`` total proof + communication for ``EQ``/``GT``."""
+    _check_positive(n=n)
+    if not (0 < epsilon < 0.25):
+        raise BoundError("epsilon must lie in (0, 0.25)")
+    return float(log2(max(n, 2)) ** (0.25 - epsilon))
+
+
+def dqma_hard_function_lower_bound(problem_name: str, n: int) -> float:
+    """Theorem 63 + Corollaries 64-66: lower bounds for DISJ, IP and P_AND.
+
+    ``DISJ`` and ``P_AND`` give ``Omega(n^{1/3})``; ``IP`` gives ``Omega(n^{1/2})``.
+    """
+    _check_positive(n=n)
+    name = problem_name.upper()
+    if name in ("DISJ", "DISJOINTNESS", "PAND", "P_AND", "PATTERN_AND"):
+        return float(n ** (1.0 / 3.0))
+    if name in ("IP", "IP2", "INNER_PRODUCT"):
+        return float(n**0.5)
+    raise BoundError(f"no registered QMA-communication lower bound for {problem_name!r}")
+
+
+def qmacc_lower_bound_from_one_sided_smooth_discrepancy(log_sdisc: float) -> float:
+    """Lemma 57 (Klauck): ``QMAcc(f) = Omega(sqrt(log sdisc1(f)))``."""
+    if log_sdisc <= 0:
+        raise BoundError("log sdisc must be positive")
+    return float(log_sdisc**0.5)
+
+
+def dqma_lower_bound_from_sdisc(log_sdisc: float) -> float:
+    """Theorem 10/63: total proof + communication is ``Omega(sqrt(log sdisc1(f)))``."""
+    return qmacc_lower_bound_from_one_sided_smooth_discrepancy(log_sdisc)

@@ -1,0 +1,161 @@
+"""Upper-bound cost formulas (Table 1 and Table 2 of the paper).
+
+Every function returns a concrete qubit (or bit) count obtained by
+instantiating the paper's asymptotic statement with the explicit constants
+appearing in the corresponding proof:
+
+* fingerprint registers carry ``c log2(n)`` qubits (Section 2.2.1),
+* the parallel-repetition count of the path protocols is
+  ``ceil(2 * 81 r^2 / 4)`` (Section 3.2),
+* the Hamming-distance protocol repeats its one-way protocol
+  ``O(log(n + t + r))`` times and the sweep over ``t`` spanning trees gives the
+  ``t^2`` factor (Section 6.1).
+
+The ``fingerprint_constant`` argument plays the role of ``c``; the default of
+3 matches the explicit fingerprint constructions shipped with the library.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+from repro.exceptions import BoundError
+
+
+def _check_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise BoundError(f"{name} must be positive, got {value}")
+
+
+def fingerprint_qubits(n: int, fingerprint_constant: float = 3.0) -> float:
+    """Size of one fingerprint register: ``c log2 n`` qubits."""
+    _check_positive(n=n)
+    return fingerprint_constant * log2(max(n, 2))
+
+
+def path_repetitions(r: int) -> int:
+    """Parallel repetitions used by the path protocols: ``ceil(2 * 81 r^2 / 4)``."""
+    _check_positive(r=r)
+    return int(ceil(2.0 * 81.0 * r * r / 4.0))
+
+
+def eq_local_proof_upper_bound(n: int, r: int, fingerprint_constant: float = 3.0) -> float:
+    """Theorem 19: local proof size ``O(r^2 log n)`` of the improved ``EQ`` protocol.
+
+    Each node holds two fingerprint registers per repetition.
+    """
+    _check_positive(n=n, r=r)
+    return 2.0 * path_repetitions(r) * fingerprint_qubits(n, fingerprint_constant)
+
+
+def gt_local_proof_upper_bound(n: int, r: int, fingerprint_constant: float = 3.0) -> float:
+    """Theorem 26: local proof size ``O(r^2 log n)`` of the ``GT`` protocol.
+
+    Adds one ``ceil(log2 n)``-qubit index register per repetition.
+    """
+    _check_positive(n=n, r=r)
+    per_repetition = 2.0 * fingerprint_qubits(n, fingerprint_constant) + ceil(log2(max(n, 2)))
+    return path_repetitions(r) * per_repetition
+
+
+def rv_local_proof_upper_bound(n: int, r: int, t: int, fingerprint_constant: float = 3.0) -> float:
+    """Theorem 29: local proof size ``O(t r^2 log n)`` of ranking verification.
+
+    A node may lie on the path towards each of the ``t - 1`` other terminals
+    and receives one direction qubit plus a ``GT`` proof for each.
+    """
+    _check_positive(n=n, r=r, t=t)
+    return (t - 1 if t > 1 else 1) * (gt_local_proof_upper_bound(n, r, fingerprint_constant) + 1.0)
+
+
+def eq_relay_total_proof_upper_bound(n: int, r: int, fingerprint_constant: float = 3.0) -> float:
+    """Theorem 22: total proof size ``~O(r n^{2/3})`` of the relay protocol.
+
+    Mirrors the displayed sum in the proof: every non-relay intermediate node
+    receives ``2 * 42 ceil(n^{1/3})^2`` fingerprints and every relay point
+    receives ``n`` qubits.
+    """
+    _check_positive(n=n, r=r)
+    spacing = max(int(ceil(n ** (1.0 / 3.0))), 1)
+    num_relays = max((r - 1) // spacing, 0)
+    fingerprints_per_node = 2.0 * 42.0 * spacing**2 * fingerprint_qubits(n, fingerprint_constant)
+    plain_nodes = max(r - 1 - num_relays, 0)
+    return plain_nodes * fingerprints_per_node + num_relays * float(n)
+
+
+def trivial_classical_total_proof(n: int, r: int) -> float:
+    """The trivial classical protocol: ``n`` bits to each of the ``r + 1`` nodes."""
+    _check_positive(n=n, r=r)
+    return float(n * (r + 1))
+
+
+def forall_f_local_proof_upper_bound(
+    n: int, r: int, t: int, one_way_cost: float
+) -> float:
+    """Theorem 32: local proof size ``O(t^2 r^2 BQP1(f) log(n + t + r))``.
+
+    Per spanning tree a node receives at most ``t`` message registers of
+    ``BQP1(f) * log(n + t + r)`` qubits (the amplified one-way message); the
+    ``42 r^2`` parallel repetitions and the ``t`` trees supply the remaining
+    factors.
+    """
+    _check_positive(n=n, r=r, t=t)
+    if one_way_cost <= 0:
+        raise BoundError("one-way communication cost must be positive")
+    amplification = log2(max(n + t + r, 2))
+    repetitions = 42.0 * r * r
+    return float(t) * float(t) * repetitions * one_way_cost * amplification
+
+
+def hamming_local_proof_upper_bound(
+    n: int, r: int, t: int, d: int, fingerprint_constant: float = 1.0
+) -> float:
+    """Theorem 30: local proof size ``O(t^2 r^2 d log(n) log(n + t + r))``.
+
+    Instantiates Theorem 32 with the LZ13 one-way protocol of cost
+    ``d * c * log2 n``.
+    """
+    _check_positive(n=n, r=r, t=t)
+    if d < 0:
+        raise BoundError("distance bound must be non-negative")
+    one_way = max(d, 1) * fingerprint_constant * log2(max(n, 2))
+    return forall_f_local_proof_upper_bound(n, r, t, one_way)
+
+
+def fgnp21_eq_local_proof_upper_bound(
+    n: int, r: int, t: int = 2, fingerprint_constant: float = 3.0
+) -> float:
+    """Table 1: the FGNP21 ``EQ`` protocol uses ``O(t r^2 log n)`` local proof qubits."""
+    _check_positive(n=n, r=r, t=t)
+    return float(t) * path_repetitions(r) * fingerprint_qubits(n, fingerprint_constant)
+
+
+def fgnp21_one_way_local_proof_upper_bound(
+    n: int, r: int, one_way_cost: float
+) -> float:
+    """Table 1: FGNP21's conversion of a one-way protocol costs ``O(r^2 BQP1(f) log(n + r))``."""
+    _check_positive(n=n, r=r)
+    if one_way_cost <= 0:
+        raise BoundError("one-way communication cost must be positive")
+    return 42.0 * r * r * one_way_cost * log2(max(n + r, 2))
+
+
+def qma_based_local_proof_upper_bound(r: int, qma_cost: float) -> float:
+    """Proposition 47: local proof size ``O(r^2 log(r) poly(QMAcc(f)))``.
+
+    The polynomial arising from the Raz–Shpilka reduction is quadratic in the
+    exponent bookkeeping used here (see ``repro.protocols.separable``).
+    """
+    _check_positive(r=r)
+    if qma_cost <= 0:
+        raise BoundError("QMA communication cost must be positive")
+    return 42.0 * r * r * max(log2(max(r, 2)), 1.0) * qma_cost**2
+
+
+def separable_conversion_local_proof_upper_bound(r: int, dqma_cost: float) -> float:
+    """Theorem 46: ``~O(r^2 (dQMA(f))^2)`` local proof size of the dQMA_sep simulation."""
+    _check_positive(r=r)
+    if dqma_cost <= 0:
+        raise BoundError("dQMA cost must be positive")
+    return 42.0 * r * r * dqma_cost**2 * max(log2(max(dqma_cost, 2.0)), 1.0)

@@ -1,0 +1,17 @@
+"""Classical error-correcting codes used to build quantum fingerprints.
+
+The quantum fingerprint construction of Buhrman, Cleve, Watrous and de Wolf
+(referenced as [BCWdW01] in the paper) maps an ``n``-bit string ``x`` through a
+binary code ``E`` with large minimum distance and prepares the superposition
+``|h_x> = (1/sqrt(M)) sum_i |i>|E(x)_i>``.  The pairwise fingerprint overlap is
+``1 - d(E(x), E(y)) / M``, so any code with relative distance ``delta`` yields
+fingerprints with overlap at most ``1 - delta``.
+
+This package provides binary linear codes with exactly computable minimum
+distances for the small input lengths used in exact simulation, plus the
+Hadamard code whose relative distance is exactly 1/2.
+"""
+
+from repro.codes.linear_code import LinearCode, hadamard_code, random_linear_code, repetition_code
+
+__all__ = ["LinearCode", "hadamard_code", "random_linear_code", "repetition_code"]

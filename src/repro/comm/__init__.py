@@ -1,0 +1,92 @@
+"""Communication-complexity substrate.
+
+The dQMA protocols of the paper are built on top of two-party communication
+primitives: one-way quantum protocols (Section 2.2.1), QMA communication
+protocols and their variants (Section 2.2.2), the Linear Subspace Distance
+problem of Raz and Shpilka (Section 7), and fooling-set machinery used by the
+lower bounds (Sections 4.2 and 8).  This package implements all of them.
+"""
+
+from repro.comm.problems import (
+    DisjointnessProblem,
+    EqualityProblem,
+    ForAllPairsProblem,
+    GreaterThanProblem,
+    HammingDistanceProblem,
+    InnerProductProblem,
+    L1DistanceProblem,
+    LinearThresholdXORProblem,
+    MatrixRankSumProblem,
+    PatternMatrixANDProblem,
+    Problem,
+    RankingVerificationProblem,
+    TwoPartyProblem,
+)
+from repro.comm.l1_graphs import (
+    GraphDistanceProblem,
+    HypercubeEmbedding,
+    hamming_graph_embedding,
+    hypercube_embedding,
+    path_graph_embedding,
+)
+from repro.comm.fooling import (
+    equality_fooling_set,
+    greater_than_fooling_set,
+    is_one_fooling_set,
+    one_fooling_set_size,
+)
+from repro.comm.one_way import (
+    ExactMaskHammingOneWay,
+    ExactTransmissionOneWay,
+    FingerprintEqualityOneWay,
+    HammingSketchOneWay,
+    OneWayProtocol,
+)
+from repro.comm.lsd import (
+    LinearSubspaceDistanceInstance,
+    LSDOneWayQMAProtocol,
+    random_lsd_instance,
+)
+from repro.comm.qma import (
+    QMACommunicationCost,
+    QMAOneWayProtocol,
+    QMAStarCost,
+    qma_cost_from_qma_star,
+)
+
+__all__ = [
+    "GraphDistanceProblem",
+    "HypercubeEmbedding",
+    "hamming_graph_embedding",
+    "hypercube_embedding",
+    "path_graph_embedding",
+    "DisjointnessProblem",
+    "EqualityProblem",
+    "ForAllPairsProblem",
+    "GreaterThanProblem",
+    "HammingDistanceProblem",
+    "InnerProductProblem",
+    "L1DistanceProblem",
+    "LinearThresholdXORProblem",
+    "MatrixRankSumProblem",
+    "PatternMatrixANDProblem",
+    "Problem",
+    "RankingVerificationProblem",
+    "TwoPartyProblem",
+    "equality_fooling_set",
+    "greater_than_fooling_set",
+    "is_one_fooling_set",
+    "one_fooling_set_size",
+    "ExactMaskHammingOneWay",
+    "ExactTransmissionOneWay",
+    "FingerprintEqualityOneWay",
+    "HammingSketchOneWay",
+    "OneWayProtocol",
+    "LinearSubspaceDistanceInstance",
+    "LSDOneWayQMAProtocol",
+    "random_lsd_instance",
+    "QMACommunicationCost",
+    "QMAOneWayProtocol",
+    "QMAStarCost",
+    "qma_cost_from_qma_star",
+]

@@ -1,0 +1,91 @@
+"""Fooling sets (Section 2.2.1) and their verification.
+
+A set ``S`` of input pairs is a *1-fooling set* for ``f`` when ``f(x, y) = 1``
+for every ``(x, y) in S`` and for any two distinct pairs ``(x1, y1), (x2, y2)``
+at least one of the crossed pairs evaluates to 0.  The classical lower bound of
+Section 4.2 and the quantum lower bounds of Section 8.1 are driven by the size
+of the largest 1-fooling set; for ``EQ`` and ``GT`` the size is ``2^n`` (up to
+one element for ``GT``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.exceptions import BoundError
+from repro.utils.bitstrings import all_bitstrings, int_to_bits
+
+Pair = Tuple[str, str]
+
+
+def is_one_fooling_set(two_party: Callable[[str, str], bool], pairs: Sequence[Pair]) -> bool:
+    """Exact verification of the 1-fooling-set property (quadratic in ``|S|``)."""
+    pairs = list(pairs)
+    for x, y in pairs:
+        if not two_party(x, y):
+            return False
+    for i, (x1, y1) in enumerate(pairs):
+        for j, (x2, y2) in enumerate(pairs):
+            if i == j:
+                continue
+            if two_party(x1, y2) and two_party(x2, y1):
+                return False
+    return True
+
+
+def equality_fooling_set(input_length: int) -> List[Pair]:
+    """The canonical 1-fooling set ``{(x, x)}`` for ``EQ`` of size ``2^n``."""
+    if input_length <= 0:
+        raise BoundError("input length must be positive")
+    return [(x, x) for x in all_bitstrings(input_length)]
+
+
+def greater_than_fooling_set(input_length: int) -> List[Pair]:
+    """A 1-fooling set ``{(x, x - 1)}`` for ``GT`` of size ``2^n - 1``.
+
+    The paper treats the fooling set size of ``GT`` as ``2^n``; the canonical
+    explicit construction has ``2^n - 1`` elements, which changes none of the
+    asymptotic conclusions (``log`` of either is ``Theta(n)``).
+    """
+    if input_length <= 0:
+        raise BoundError("input length must be positive")
+    pairs = []
+    for value in range(1, 1 << input_length):
+        pairs.append((int_to_bits(value, input_length), int_to_bits(value - 1, input_length)))
+    return pairs
+
+
+def one_fooling_set_size(problem_name: str, input_length: int) -> int:
+    """Size of the canonical 1-fooling set of a named problem.
+
+    Recognised names: ``"EQ"`` and ``"GT"`` (case-insensitive).
+    """
+    name = problem_name.upper()
+    if name == "EQ":
+        return 1 << input_length
+    if name == "GT":
+        return (1 << input_length) - 1
+    raise BoundError(f"no canonical fooling set registered for problem {problem_name!r}")
+
+
+def largest_fooling_set_greedy(
+    two_party: Callable[[str, str], bool], input_length: int
+) -> List[Pair]:
+    """A greedily-grown 1-fooling set for an arbitrary two-party function.
+
+    Exhaustive over all ``4^n`` candidate pairs; intended for the tiny input
+    lengths used in tests to sanity-check the canonical constructions.
+    """
+    chosen: List[Pair] = []
+    for x in all_bitstrings(input_length):
+        for y in all_bitstrings(input_length):
+            if not two_party(x, y):
+                continue
+            ok = True
+            for (cx, cy) in chosen:
+                if two_party(cx, y) and two_party(x, cy):
+                    ok = False
+                    break
+            if ok:
+                chosen.append((x, y))
+    return chosen

@@ -1,0 +1,225 @@
+"""The Linear Subspace Distance (LSD) problem of Raz and Shpilka (Section 7).
+
+An LSD instance consists of two subspaces ``V1, V2`` of ``R^m`` with the
+promise that their distance ``Delta(V1, V2) = min_{unit v1 in V1, v2 in V2}
+||v1 - v2||`` is either at most ``0.1 sqrt(2)`` (close / yes) or at least
+``0.9 sqrt(2)`` (far / no).  The problem is complete for QMA communication
+protocols (Lemma 44) and admits a QMA one-way protocol of cost ``O(log m)``
+(Lemma 45): Merlin sends a unit vector claimed to lie in ``V1`` and to be
+close to ``V2``; Alice projects onto ``V1`` (rejecting the orthogonal
+component), forwards the vector to Bob, and Bob projects onto ``V2``.
+
+This module implements LSD instances (with exact distance computation through
+principal angles), the instance generator used by the benchmarks, and the
+QMA one-way verification protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+from repro.utils.rng import RngLike, ensure_rng
+
+CLOSE_THRESHOLD = 0.1 * sqrt(2.0)
+FAR_THRESHOLD = 0.9 * sqrt(2.0)
+
+
+@dataclass(frozen=True)
+class LinearSubspaceDistanceInstance:
+    """An LSD instance: orthonormal bases of Alice's and Bob's subspaces."""
+
+    alice_basis: np.ndarray  # shape (m, k1); columns form an orthonormal basis of V1
+    bob_basis: np.ndarray  # shape (m, k2); columns form an orthonormal basis of V2
+
+    def __post_init__(self) -> None:
+        alice = np.asarray(self.alice_basis, dtype=np.float64)
+        bob = np.asarray(self.bob_basis, dtype=np.float64)
+        if alice.ndim != 2 or bob.ndim != 2:
+            raise ProtocolError("subspace bases must be 2-D arrays (columns are basis vectors)")
+        if alice.shape[0] != bob.shape[0]:
+            raise ProtocolError("subspaces must live in the same ambient dimension")
+        object.__setattr__(self, "alice_basis", _orthonormalize(alice))
+        object.__setattr__(self, "bob_basis", _orthonormalize(bob))
+
+    @property
+    def ambient_dimension(self) -> int:
+        """The ambient dimension ``m``."""
+        return int(self.alice_basis.shape[0])
+
+    @property
+    def input_qubits(self) -> float:
+        """Number of qubits needed to hold a vector of ``R^m`` as amplitudes."""
+        return float(np.ceil(np.log2(max(self.ambient_dimension, 2))))
+
+    def max_cosine(self) -> float:
+        """``max cos(theta)`` over principal angles between the two subspaces."""
+        product = self.alice_basis.T @ self.bob_basis
+        singular_values = np.linalg.svd(product, compute_uv=False)
+        if singular_values.size == 0:
+            return 0.0
+        return float(min(max(singular_values[0], 0.0), 1.0))
+
+    def distance(self) -> float:
+        """``Delta(V1, V2) = sqrt(2 - 2 max cos(theta))`` (Definition 16)."""
+        return float(sqrt(max(0.0, 2.0 - 2.0 * self.max_cosine())))
+
+    def is_close(self) -> bool:
+        """True when the instance satisfies the yes-promise."""
+        return self.distance() <= CLOSE_THRESHOLD
+
+    def is_far(self) -> bool:
+        """True when the instance satisfies the no-promise."""
+        return self.distance() >= FAR_THRESHOLD
+
+    def label(self) -> Optional[bool]:
+        """``True``/``False`` under the promise, ``None`` when the promise is violated."""
+        if self.is_close():
+            return True
+        if self.is_far():
+            return False
+        return None
+
+    def closest_pair(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Unit vectors ``(v1, v2)`` achieving the subspace distance."""
+        product = self.alice_basis.T @ self.bob_basis
+        left, _, right = np.linalg.svd(product)
+        v1 = self.alice_basis @ left[:, 0]
+        v2 = self.bob_basis @ right[0, :]
+        return v1 / np.linalg.norm(v1), v2 / np.linalg.norm(v2)
+
+    def alice_projector(self) -> np.ndarray:
+        """Projector onto Alice's subspace ``V1``."""
+        return self.alice_basis @ self.alice_basis.T
+
+    def bob_projector(self) -> np.ndarray:
+        """Projector onto Bob's subspace ``V2``."""
+        return self.bob_basis @ self.bob_basis.T
+
+
+class LSDOneWayQMAProtocol:
+    """The QMA one-way protocol for LSD (Lemma 45).
+
+    Merlin's honest proof is the Alice-side vector of the closest pair.  Alice
+    measures ``{P_V1, I - P_V1}`` and rejects on the orthogonal outcome (in
+    operator form: she applies the projector), then forwards the vector to
+    Bob, who measures ``{P_V2, I - P_V2}``.
+
+    The combined accept operator on the proof space is
+    ``P_V1 P_V2 P_V1``; its largest eigenvalue is ``max cos^2(theta)``, so
+
+    * completeness: on close instances the optimal proof is accepted with
+      probability at least ``(1 - Delta^2 / 2)^2 >= 0.98^2``;
+    * soundness: on far instances every proof is accepted with probability at
+      most ``(1 - Delta^2 / 2)^2 <= 0.19^2``.
+    """
+
+    def __init__(self, instance: LinearSubspaceDistanceInstance):
+        self.instance = instance
+
+    @property
+    def proof_qubits(self) -> float:
+        """Cost of the proof register: ``O(log m)`` qubits."""
+        return self.instance.input_qubits
+
+    @property
+    def message_qubits(self) -> float:
+        """Cost of the Alice-to-Bob message: ``O(log m)`` qubits."""
+        return self.instance.input_qubits
+
+    @property
+    def total_cost_qubits(self) -> float:
+        """``QMAcc1`` cost: proof plus message."""
+        return self.proof_qubits + self.message_qubits
+
+    def honest_proof(self) -> np.ndarray:
+        """Merlin's honest proof: the Alice-side vector of the closest pair."""
+        v1, _ = self.instance.closest_pair()
+        return v1.astype(np.complex128)
+
+    def accept_operator(self) -> np.ndarray:
+        """The overall accept operator ``P_V1 P_V2 P_V1`` on the proof space."""
+        p1 = self.instance.alice_projector().astype(np.complex128)
+        p2 = self.instance.bob_projector().astype(np.complex128)
+        return p1 @ p2 @ p1
+
+    def accept_probability(self, proof: Optional[np.ndarray] = None) -> float:
+        """Acceptance probability of the protocol on the given proof vector."""
+        if proof is None:
+            proof = self.honest_proof()
+        vec = np.asarray(proof, dtype=np.complex128).reshape(-1)
+        if vec.size != self.instance.ambient_dimension:
+            raise ProtocolError(
+                f"proof dimension {vec.size} does not match ambient dimension "
+                f"{self.instance.ambient_dimension}"
+            )
+        norm = np.linalg.norm(vec)
+        if norm < 1e-12:
+            raise ProtocolError("proof vector must be non-zero")
+        vec = vec / norm
+        value = float(np.real(np.vdot(vec, self.accept_operator() @ vec)))
+        return min(max(value, 0.0), 1.0)
+
+    def optimal_accept_probability(self) -> float:
+        """Maximum acceptance probability over all proofs (largest eigenvalue)."""
+        operator = self.accept_operator()
+        eigenvalues = np.linalg.eigvalsh((operator + operator.conj().T) / 2)
+        return float(min(max(eigenvalues[-1].real, 0.0), 1.0))
+
+
+def random_lsd_instance(
+    ambient_dimension: int,
+    subspace_dimension: int,
+    close: bool,
+    rng: RngLike = None,
+    max_attempts: int = 200,
+) -> LinearSubspaceDistanceInstance:
+    """Generate a random LSD instance satisfying the requested promise.
+
+    Close instances share a common unit vector (distance 0).  Far instances
+    draw Alice's subspace at random and Bob's subspace from a random rotation
+    inside the orthogonal complement of Alice's, so the verified distance is
+    ``sqrt(2)`` up to numerical noise; this always satisfies the far promise
+    provided ``ambient_dimension >= 2 * subspace_dimension``.
+    """
+    if subspace_dimension < 1:
+        raise ProtocolError("subspace dimension must be at least 1")
+    if ambient_dimension < 2 * subspace_dimension:
+        raise ProtocolError("ambient dimension must be at least twice the subspace dimension")
+    generator = ensure_rng(rng)
+    for _ in range(max_attempts):
+        if close:
+            shared = generator.normal(size=(ambient_dimension, 1))
+            alice_extra = generator.normal(size=(ambient_dimension, subspace_dimension - 1))
+            bob_extra = generator.normal(size=(ambient_dimension, subspace_dimension - 1))
+            alice = np.concatenate([shared, alice_extra], axis=1)
+            bob = np.concatenate([shared, bob_extra], axis=1)
+        else:
+            alice_raw = generator.normal(size=(ambient_dimension, subspace_dimension))
+            alice = _orthonormalize(alice_raw)
+            # Project a random candidate onto the orthogonal complement of
+            # Alice's subspace to make the principal cosines (numerically) zero.
+            complement = np.eye(ambient_dimension) - alice @ alice.T
+            bob = complement @ generator.normal(size=(ambient_dimension, subspace_dimension))
+        instance = LinearSubspaceDistanceInstance(alice, bob)
+        if close and instance.is_close():
+            return instance
+        if not close and instance.is_far():
+            return instance
+    raise ProtocolError(
+        "failed to generate an LSD instance satisfying the promise; "
+        "increase the ambient dimension"
+    )
+
+
+def _orthonormalize(basis: np.ndarray) -> np.ndarray:
+    """Orthonormalize the columns of a basis matrix via QR."""
+    q, r = np.linalg.qr(basis)
+    rank = int(np.sum(np.abs(np.diag(r)) > 1e-10))
+    if rank == 0:
+        raise ProtocolError("subspace basis has rank zero")
+    return q[:, :rank]

@@ -1,0 +1,530 @@
+"""Decision problems studied in the paper.
+
+Each problem is a Boolean function on tuples of ``n``-bit strings held by the
+terminals of a network.  Two-party problems additionally expose the two-party
+restriction ``f(x, y)`` used by the communication-complexity machinery and the
+lower bounds.
+
+Problems implemented
+--------------------
+* ``EqualityProblem`` — ``EQ^t_n`` (Sections 3 and 4).
+* ``GreaterThanProblem`` — ``GT`` and its variants ``GT_<, GT_>=, GT_<=``
+  (Section 5.1).
+* ``RankingVerificationProblem`` — ``RV^{i,j}_{t,n}`` (Section 5.2,
+  Definition 9).
+* ``HammingDistanceProblem`` — ``HAM^{<=d}_{t,n}`` (Section 6.1).
+* ``ForAllPairsProblem`` — the ``∀_t f`` construction (Section 6.2).
+* ``L1DistanceProblem`` — ``dist^{<=d,eps}_{R^n}`` (Definition 13).
+* ``LinearThresholdXORProblem`` — ``LTF^{<=theta,m}_n`` (Definition 14).
+* ``MatrixRankSumProblem`` — ``F_q-rank^{<=r}_{t,n}`` (Definition 15).
+* ``DisjointnessProblem``, ``InnerProductProblem``, ``PatternMatrixANDProblem``
+  — the hard functions of Section 8.2.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+from repro.utils.bitstrings import (
+    bits_to_int,
+    hamming_distance,
+    hamming_weight,
+    validate_bitstring,
+    xor_strings,
+)
+
+
+class Problem(ABC):
+    """A Boolean function on ``t`` distributed ``n``-bit inputs."""
+
+    def __init__(self, input_length: int, num_inputs: int):
+        if input_length <= 0:
+            raise ProtocolError("input length must be positive")
+        if num_inputs <= 0:
+            raise ProtocolError("number of inputs must be positive")
+        self.input_length = int(input_length)
+        self.num_inputs = int(num_inputs)
+
+    @abstractmethod
+    def evaluate(self, inputs: Sequence[str]) -> bool:
+        """Evaluate the predicate on the tuple of terminal inputs."""
+
+    @property
+    def name(self) -> str:
+        """Human-readable problem name."""
+        return type(self).__name__
+
+    def validate_inputs(self, inputs: Sequence[str]) -> Tuple[str, ...]:
+        """Check arity and bit-string validity of the input tuple."""
+        inputs = tuple(inputs)
+        if len(inputs) != self.num_inputs:
+            raise ProtocolError(
+                f"{self.name} expects {self.num_inputs} inputs, got {len(inputs)}"
+            )
+        for value in inputs:
+            validate_bitstring(value, length=self.input_length)
+        return inputs
+
+    def yes_instances(self, limit: Optional[int] = None):
+        """Iterate over yes-instances (exhaustive; intended for small ``n``/``t``)."""
+        from itertools import product
+
+        from repro.utils.bitstrings import all_bitstrings
+
+        count = 0
+        for combo in product(all_bitstrings(self.input_length), repeat=self.num_inputs):
+            if self.evaluate(combo):
+                yield combo
+                count += 1
+                if limit is not None and count >= limit:
+                    return
+
+    def no_instances(self, limit: Optional[int] = None):
+        """Iterate over no-instances (exhaustive; intended for small ``n``/``t``)."""
+        from itertools import product
+
+        from repro.utils.bitstrings import all_bitstrings
+
+        count = 0
+        for combo in product(all_bitstrings(self.input_length), repeat=self.num_inputs):
+            if not self.evaluate(combo):
+                yield combo
+                count += 1
+                if limit is not None and count >= limit:
+                    return
+
+
+class TwoPartyProblem(Problem):
+    """A problem on exactly two inputs, exposing ``f(x, y)``."""
+
+    def __init__(self, input_length: int):
+        super().__init__(input_length, num_inputs=2)
+
+    def two_party(self, x: str, y: str) -> bool:
+        """Evaluate the two-party function ``f(x, y)``."""
+        return self.evaluate((x, y))
+
+    def communication_matrix(self) -> np.ndarray:
+        """The full 0/1 communication matrix (rows = Alice, columns = Bob).
+
+        Exponential in ``n``; intended for the small instances used by the
+        discrepancy calculators and the tests.
+        """
+        from repro.utils.bitstrings import all_bitstrings
+
+        strings = list(all_bitstrings(self.input_length))
+        matrix = np.zeros((len(strings), len(strings)), dtype=np.int64)
+        for i, x in enumerate(strings):
+            for j, y in enumerate(strings):
+                matrix[i, j] = 1 if self.two_party(x, y) else 0
+        return matrix
+
+
+# ---------------------------------------------------------------------------
+# Equality and its relatives
+# ---------------------------------------------------------------------------
+
+
+class EqualityProblem(Problem):
+    """``EQ^t_n``: all ``t`` inputs are identical."""
+
+    def __init__(self, input_length: int, num_inputs: int = 2):
+        super().__init__(input_length, num_inputs)
+
+    def evaluate(self, inputs: Sequence[str]) -> bool:
+        inputs = self.validate_inputs(inputs)
+        return all(value == inputs[0] for value in inputs)
+
+    def two_party(self, x: str, y: str) -> bool:
+        """The two-party equality function regardless of the configured arity."""
+        validate_bitstring(x, self.input_length)
+        validate_bitstring(y, self.input_length)
+        return x == y
+
+
+class GreaterThanProblem(TwoPartyProblem):
+    """``GT`` and its variants, comparing inputs as unsigned integers.
+
+    ``variant`` is one of ``">"`` (the paper's ``GT``), ``"<"``, ``">="``,
+    ``"<="`` matching ``GT_<``, ``GT_>=`` and ``GT_<=`` of Corollary 28.
+    """
+
+    VARIANTS = (">", "<", ">=", "<=")
+
+    def __init__(self, input_length: int, variant: str = ">"):
+        super().__init__(input_length)
+        if variant not in self.VARIANTS:
+            raise ProtocolError(f"unknown GT variant {variant!r}; use one of {self.VARIANTS}")
+        self.variant = variant
+
+    @property
+    def name(self) -> str:
+        return f"GreaterThan[{self.variant}]"
+
+    def evaluate(self, inputs: Sequence[str]) -> bool:
+        x, y = self.validate_inputs(inputs)
+        a, b = bits_to_int(x), bits_to_int(y)
+        if self.variant == ">":
+            return a > b
+        if self.variant == "<":
+            return a < b
+        if self.variant == ">=":
+            return a >= b
+        return a <= b
+
+    def witness_index(self, x: str, y: str) -> Optional[int]:
+        """The index ``i`` of the paper's decomposition of ``GT`` (Section 5.1).
+
+        For the strict variants, returns the first position where the two
+        strings differ provided the difference has the right sign; ``None``
+        when no witness exists (i.e. the instance is a no-instance).
+        """
+        self.validate_inputs((x, y))
+        if self.variant in (">", ">="):
+            larger, smaller = x, y
+        else:
+            larger, smaller = y, x
+        if self.variant in (">=", "<=") and x == y:
+            return 0
+        for index in range(self.input_length):
+            if larger[index] != smaller[index]:
+                if larger[index] == "1" and smaller[index] == "0":
+                    return index
+                return None
+        return None
+
+
+class RankingVerificationProblem(Problem):
+    """``RV^{i,j}_{t,n}``: input ``x_i`` is the ``j``-th largest among the ``t`` inputs.
+
+    Definition 9 of the paper states the condition as
+    ``sum_{k != i} GT_>=(x_i, x_k) = t - j + 1``; counting over ``k != i`` that
+    right-hand side is off by one (for ``j = 1`` it would require ``t`` matches
+    among ``t - 1`` terms).  The reproduction uses the consistent reading
+    ``sum_{k in [1, t]} GT_>=(x_i, x_k) = t - j + 1`` (equivalently: exactly
+    ``t - j`` of the *other* inputs are at most ``x_i``), which makes ``j = 1``
+    mean "largest" and ``j = t`` mean "smallest" as intended.
+    """
+
+    def __init__(self, input_length: int, num_inputs: int, target_terminal: int, target_rank: int):
+        super().__init__(input_length, num_inputs)
+        if not (1 <= target_terminal <= num_inputs):
+            raise ProtocolError("target terminal index must be in [1, t]")
+        if not (1 <= target_rank <= num_inputs):
+            raise ProtocolError("target rank must be in [1, t]")
+        self.target_terminal = int(target_terminal)
+        self.target_rank = int(target_rank)
+
+    @property
+    def name(self) -> str:
+        return f"RankingVerification[i={self.target_terminal}, j={self.target_rank}]"
+
+    def evaluate(self, inputs: Sequence[str]) -> bool:
+        inputs = self.validate_inputs(inputs)
+        i = self.target_terminal - 1
+        xi = bits_to_int(inputs[i])
+        count = sum(
+            1
+            for k, value in enumerate(inputs)
+            if k != i and xi >= bits_to_int(value)
+        )
+        return count == self.num_inputs - self.target_rank
+
+
+# ---------------------------------------------------------------------------
+# Hamming distance and the ∀_t f construction
+# ---------------------------------------------------------------------------
+
+
+class HammingDistanceProblem(Problem):
+    """``HAM^{<=d}_{t,n}``: every pair of inputs is within Hamming distance ``d``."""
+
+    def __init__(self, input_length: int, distance_bound: int, num_inputs: int = 2):
+        super().__init__(input_length, num_inputs)
+        if distance_bound < 0:
+            raise ProtocolError("distance bound must be non-negative")
+        self.distance_bound = int(distance_bound)
+
+    @property
+    def name(self) -> str:
+        return f"HammingDistance[d<={self.distance_bound}]"
+
+    def evaluate(self, inputs: Sequence[str]) -> bool:
+        inputs = self.validate_inputs(inputs)
+        for i in range(len(inputs)):
+            for j in range(i + 1, len(inputs)):
+                if hamming_distance(inputs[i], inputs[j]) > self.distance_bound:
+                    return False
+        return True
+
+    def two_party(self, x: str, y: str) -> bool:
+        """The two-party restriction ``HAM^{<=d}_n(x, y)``."""
+        return hamming_distance(x, y) <= self.distance_bound
+
+
+class ForAllPairsProblem(Problem):
+    """``∀_t f``: the two-party predicate holds for every ordered pair of inputs."""
+
+    def __init__(self, base: TwoPartyProblem, num_inputs: int):
+        super().__init__(base.input_length, num_inputs)
+        self.base = base
+
+    @property
+    def name(self) -> str:
+        return f"ForAllPairs[{self.base.name}, t={self.num_inputs}]"
+
+    def evaluate(self, inputs: Sequence[str]) -> bool:
+        inputs = self.validate_inputs(inputs)
+        for i in range(len(inputs)):
+            for j in range(len(inputs)):
+                if i == j:
+                    continue
+                if not self.base.two_party(inputs[i], inputs[j]):
+                    return False
+        return True
+
+
+class L1DistanceProblem(Problem):
+    """``dist^{<=d,eps}_{R^n}`` (Definition 13) on fixed-point encoded vectors.
+
+    Inputs are bit strings encoding vectors in ``[-1, 1]^k`` with
+    ``bits_per_entry`` bits per coordinate (two's-complement style fixed point).
+    The problem is the promise problem: 1 when every pairwise l1 distance is at
+    most ``d`` and 0 when some pair is at least ``d (1 + eps)`` apart; instances
+    violating the promise evaluate by the ``<= d`` threshold.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        bits_per_entry: int,
+        distance_bound: float,
+        epsilon: float,
+        num_inputs: int = 2,
+    ):
+        super().__init__(dimension * bits_per_entry, num_inputs)
+        if distance_bound <= 0:
+            raise ProtocolError("distance bound must be positive")
+        if epsilon <= 0:
+            raise ProtocolError("epsilon must be positive")
+        self.dimension = int(dimension)
+        self.bits_per_entry = int(bits_per_entry)
+        self.distance_bound = float(distance_bound)
+        self.epsilon = float(epsilon)
+
+    @property
+    def name(self) -> str:
+        return f"L1Distance[d<={self.distance_bound}, eps={self.epsilon}]"
+
+    def decode_vector(self, bits: str) -> np.ndarray:
+        """Decode a bit string into a vector in ``[-1, 1]^dimension``."""
+        validate_bitstring(bits, length=self.input_length)
+        levels = (1 << self.bits_per_entry) - 1
+        entries = []
+        for index in range(self.dimension):
+            chunk = bits[index * self.bits_per_entry : (index + 1) * self.bits_per_entry]
+            value = bits_to_int(chunk)
+            entries.append(-1.0 + 2.0 * value / levels if levels else 0.0)
+        return np.array(entries)
+
+    def evaluate(self, inputs: Sequence[str]) -> bool:
+        inputs = self.validate_inputs(inputs)
+        vectors = [self.decode_vector(value) for value in inputs]
+        for i in range(len(vectors)):
+            for j in range(i + 1, len(vectors)):
+                if float(np.abs(vectors[i] - vectors[j]).sum()) > self.distance_bound:
+                    return False
+        return True
+
+
+class LinearThresholdXORProblem(Problem):
+    """``LTF^{<=theta,m}_n`` (Definition 14): ``f(x_i XOR x_j) = 1`` for all pairs.
+
+    ``f(z) = 1`` iff ``sum_i w_i z_i <= theta``; the margin of ``f`` controls
+    the one-way communication cost via Lemma 38.
+    """
+
+    def __init__(self, weights: Sequence[float], threshold: float, num_inputs: int = 2):
+        weights = tuple(float(w) for w in weights)
+        if not weights:
+            raise ProtocolError("LTF needs at least one weight")
+        super().__init__(len(weights), num_inputs)
+        self.weights = weights
+        self.threshold = float(threshold)
+
+    @property
+    def name(self) -> str:
+        return f"LinearThresholdXOR[theta={self.threshold}]"
+
+    def threshold_function(self, z: str) -> bool:
+        """``f(z) = 1`` iff the weighted sum of the bits of ``z`` is at most theta."""
+        validate_bitstring(z, length=self.input_length)
+        value = sum(w for w, bit in zip(self.weights, z) if bit == "1")
+        return value <= self.threshold
+
+    def margin(self) -> float:
+        """The margin ``m`` of the threshold function over the hypercube.
+
+        Enumerates all ``2^n`` points; intended for the small ``n`` used in
+        simulation.  The margin controls the cost formula of Corollary 39.
+        """
+        from repro.utils.bitstrings import all_bitstrings
+
+        below = []
+        above = []
+        for z in all_bitstrings(self.input_length):
+            value = sum(w for w, bit in zip(self.weights, z) if bit == "1")
+            if value <= self.threshold:
+                below.append(value)
+            else:
+                above.append(value)
+        if not below or not above:
+            return abs(self.threshold) if self.threshold else 1.0
+        # The paper defines m = max{m0, m1} and then recentres theta so that
+        # m0 = m1 = m; we report the recentred (balanced) margin directly.
+        w0, w1 = max(below), min(above)
+        return max((w1 - w0) / 2.0, 1e-12)
+
+    def evaluate(self, inputs: Sequence[str]) -> bool:
+        inputs = self.validate_inputs(inputs)
+        for i in range(len(inputs)):
+            for j in range(i + 1, len(inputs)):
+                if not self.threshold_function(xor_strings(inputs[i], inputs[j])):
+                    return False
+        return True
+
+
+class MatrixRankSumProblem(Problem):
+    """``F_q-rank^{<=r}_{t,n}`` (Definition 15) over GF(2).
+
+    Inputs encode ``k x k`` binary matrices row by row; the pairwise predicate
+    holds when ``rank(X_i + X_j) < rank_bound`` over GF(2).  (The paper allows
+    arbitrary prime powers ``q``; the reproduction fixes ``q = 2`` which is the
+    case exercised by the simulators, and the cost formulas keep ``q`` as a
+    parameter.)
+    """
+
+    def __init__(self, matrix_size: int, rank_bound: int, num_inputs: int = 2):
+        super().__init__(matrix_size * matrix_size, num_inputs)
+        if rank_bound < 1 or rank_bound > matrix_size:
+            raise ProtocolError("rank bound must be between 1 and the matrix size")
+        self.matrix_size = int(matrix_size)
+        self.rank_bound = int(rank_bound)
+
+    @property
+    def name(self) -> str:
+        return f"MatrixRankSum[rank<{self.rank_bound}]"
+
+    def decode_matrix(self, bits: str) -> np.ndarray:
+        """Decode a bit string into a ``k x k`` binary matrix."""
+        validate_bitstring(bits, length=self.input_length)
+        values = np.array([int(ch) for ch in bits], dtype=np.int64)
+        return values.reshape(self.matrix_size, self.matrix_size)
+
+    @staticmethod
+    def gf2_rank(matrix: np.ndarray) -> int:
+        """Rank of a binary matrix over GF(2) by Gaussian elimination."""
+        mat = (np.asarray(matrix, dtype=np.int64) % 2).copy()
+        rows, cols = mat.shape
+        rank = 0
+        pivot_row = 0
+        for col in range(cols):
+            pivot = None
+            for row in range(pivot_row, rows):
+                if mat[row, col]:
+                    pivot = row
+                    break
+            if pivot is None:
+                continue
+            mat[[pivot_row, pivot]] = mat[[pivot, pivot_row]]
+            for row in range(rows):
+                if row != pivot_row and mat[row, col]:
+                    mat[row] = (mat[row] + mat[pivot_row]) % 2
+            pivot_row += 1
+            rank += 1
+        return rank
+
+    def pairwise(self, x: str, y: str) -> bool:
+        """``rank(X + Y) < rank_bound`` over GF(2)."""
+        total = (self.decode_matrix(x) + self.decode_matrix(y)) % 2
+        return self.gf2_rank(total) < self.rank_bound
+
+    def evaluate(self, inputs: Sequence[str]) -> bool:
+        inputs = self.validate_inputs(inputs)
+        for i in range(len(inputs)):
+            for j in range(i + 1, len(inputs)):
+                if not self.pairwise(inputs[i], inputs[j]):
+                    return False
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Hard functions for QMA communication (Section 8.2)
+# ---------------------------------------------------------------------------
+
+
+class DisjointnessProblem(TwoPartyProblem):
+    """``DISJ(x, y) = AND_i (not x_i or not y_i)`` (Definition 17)."""
+
+    def evaluate(self, inputs: Sequence[str]) -> bool:
+        x, y = self.validate_inputs(inputs)
+        return all(not (a == "1" and b == "1") for a, b in zip(x, y))
+
+
+class InnerProductProblem(TwoPartyProblem):
+    """``IP2(x, y) = XOR_i (x_i and y_i)`` (Definition 18).
+
+    ``evaluate`` returns the Boolean value of the inner product bit.
+    """
+
+    def evaluate(self, inputs: Sequence[str]) -> bool:
+        x, y = self.validate_inputs(inputs)
+        parity = sum(1 for a, b in zip(x, y) if a == "1" and b == "1") % 2
+        return parity == 1
+
+
+class PatternMatrixANDProblem(Problem):
+    """The pattern matrix ``P_AND`` of the AND function (Definition 19).
+
+    Alice holds ``x`` of length ``2n``; Bob holds ``(y, z)`` each of length
+    ``n`` encoded as their concatenation.  The output is
+    ``AND(x(y) XOR z)`` where ``x(y)_i = x_{2i - y_i}`` (1-indexed as in the
+    paper; 0-indexed below).
+    """
+
+    def __init__(self, half_length: int):
+        if half_length <= 0:
+            raise ProtocolError("half length must be positive")
+        # Alice's input has 2n bits, Bob's has 2n bits (y and z concatenated);
+        # the Problem arity is 2 with input_length = 2n.
+        super().__init__(2 * half_length, num_inputs=2)
+        self.half_length = int(half_length)
+
+    @property
+    def name(self) -> str:
+        return f"PatternMatrixAND[n={self.half_length}]"
+
+    def evaluate(self, inputs: Sequence[str]) -> bool:
+        x, bob = self.validate_inputs(inputs)
+        n = self.half_length
+        y, z = bob[:n], bob[n:]
+        selected = []
+        for i in range(n):
+            # x(y)_i = x_{2i - y_i} with the paper's 1-indexed convention maps
+            # to selecting x[2i + (1 - y_i) - 1] = x[2i] when y_i = 1 and
+            # x[2i + 1] when y_i = 0 in 0-indexed form.
+            offset = 0 if y[i] == "1" else 1
+            selected.append(x[2 * i + offset])
+        pattern = "".join(
+            "1" if a != b else "0" for a, b in zip(selected, z)
+        )
+        return all(ch == "1" for ch in pattern)
+
+    def two_party(self, x: str, y: str) -> bool:
+        """Two-party evaluation with Bob's input being the concatenation ``y||z``."""
+        return self.evaluate((x, y))

@@ -1,0 +1,239 @@
+"""QMA communication protocols and their variants (Section 2.2.2).
+
+The paper works with three flavours of Merlin-assisted two-party protocols:
+
+``QMAcc(f)``
+    Merlin sends a proof to Alice only; Alice and Bob then run an interactive
+    quantum protocol (Definition 2).
+``QMAcc1(f)``
+    The one-way restriction: after receiving the proof, Alice sends a single
+    message to Bob who measures (Definition 3).
+``QMAcc*(f)``
+    Merlin may send (possibly entangled) proofs to both parties
+    (Definition 4).  Inequality (1):  ``QMAcc(f) <= gamma1 + 2 gamma2 + mu``.
+
+This module provides cost records for all three, the conversions between
+them, and a concrete :class:`QMAOneWayProtocol` abstraction consumed by the
+dQMA construction of Theorem 42 (Algorithm 10).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import Optional
+
+import numpy as np
+
+from repro.comm.lsd import LinearSubspaceDistanceInstance, LSDOneWayQMAProtocol
+from repro.exceptions import ProtocolError
+
+
+# ---------------------------------------------------------------------------
+# Cost records
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QMACommunicationCost:
+    """Cost of a QMA communication protocol: proof and communication qubits."""
+
+    proof_qubits: float
+    communication_qubits: float
+
+    @property
+    def total(self) -> float:
+        """``QMAcc`` cost: proof plus communication."""
+        return self.proof_qubits + self.communication_qubits
+
+
+@dataclass(frozen=True)
+class QMAStarCost:
+    """Cost of a QMA* protocol: proofs to both parties plus communication."""
+
+    alice_proof_qubits: float
+    bob_proof_qubits: float
+    communication_qubits: float
+
+    @property
+    def total(self) -> float:
+        """``QMAcc*`` cost: both proofs plus communication."""
+        return self.alice_proof_qubits + self.bob_proof_qubits + self.communication_qubits
+
+
+def qma_cost_from_qma_star(cost: QMAStarCost) -> QMACommunicationCost:
+    """Inequality (1) of the paper: ``QMAcc <= gamma1 + 2 gamma2 + mu``.
+
+    Alice receives both proofs from Merlin and forwards Bob's share, doubling
+    the Bob-proof contribution.
+    """
+    return QMACommunicationCost(
+        proof_qubits=cost.alice_proof_qubits + cost.bob_proof_qubits,
+        communication_qubits=cost.bob_proof_qubits + cost.communication_qubits,
+    )
+
+
+def error_reduced_cost(cost: QMACommunicationCost, target_error_exponent: int) -> QMACommunicationCost:
+    """Proof-efficient error reduction (Marriott–Watrous, used by Fact 6).
+
+    The proof length is unchanged; the communication is multiplied by the
+    number of repetitions ``k`` needed for error ``2^{-k}``.
+    """
+    if target_error_exponent <= 0:
+        raise ProtocolError("target error exponent must be positive")
+    return QMACommunicationCost(
+        proof_qubits=cost.proof_qubits,
+        communication_qubits=cost.communication_qubits * target_error_exponent,
+    )
+
+
+# ---------------------------------------------------------------------------
+# QMA one-way protocols (Definition 3) as concrete simulatable objects
+# ---------------------------------------------------------------------------
+
+
+class QMAOneWayProtocol(ABC):
+    """A QMA one-way communication protocol in the Carol/Dave form of Theorem 42.
+
+    Merlin sends a proof state to Alice (Carol).  Alice applies a unitary
+    depending on her input to the proof plus ancillas and forwards the whole
+    register to Bob (Dave), who measures a two-outcome POVM depending on his
+    input.  Keeping the forwarded state pure (rather than tracing out Alice's
+    workspace) is exactly the modification the paper makes in the proof of
+    Theorem 42 so that the SWAP-test chain has perfect completeness.
+    """
+
+    # -- abstract ----------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def proof_dim(self) -> int:
+        """Dimension of Merlin's proof register."""
+
+    @property
+    @abstractmethod
+    def forwarded_dim(self) -> int:
+        """Dimension of the register Alice forwards to Bob."""
+
+    @abstractmethod
+    def honest_proof(self, x: str, y: str) -> np.ndarray:
+        """An (optimal) honest proof for a yes-instance."""
+
+    @abstractmethod
+    def alice_state(self, x: str, proof: np.ndarray) -> np.ndarray:
+        """The pure state Alice forwards to Bob given her input and the proof."""
+
+    @abstractmethod
+    def bob_accept_operator(self, y: str) -> np.ndarray:
+        """Bob's POVM accept element on the forwarded register."""
+
+    # -- concrete ----------------------------------------------------------
+
+    @property
+    def proof_qubits(self) -> float:
+        """Number of qubits of the proof register."""
+        return float(log2(self.proof_dim))
+
+    @property
+    def forwarded_qubits(self) -> float:
+        """Number of qubits of the forwarded register."""
+        return float(log2(self.forwarded_dim))
+
+    @property
+    def cost(self) -> QMACommunicationCost:
+        """The protocol's ``QMAcc1`` cost."""
+        return QMACommunicationCost(self.proof_qubits, self.forwarded_qubits)
+
+    def accept_probability(self, x: str, y: str, proof: Optional[np.ndarray] = None) -> float:
+        """Acceptance probability on the given (or honest) proof."""
+        if proof is None:
+            proof = self.honest_proof(x, y)
+        forwarded = self.alice_state(x, proof)
+        operator = self.bob_accept_operator(y)
+        value = float(np.real(np.vdot(forwarded, operator @ forwarded)))
+        return min(max(value, 0.0), 1.0)
+
+    def optimal_accept_probability(self, x: str, y: str) -> float:
+        """Maximum acceptance probability over all proofs.
+
+        Computed as the largest eigenvalue of the operator obtained by pulling
+        Bob's accept element back through Alice's isometry; exact, feasible for
+        the small proof dimensions used in simulation.
+        """
+        operator = np.zeros((self.proof_dim, self.proof_dim), dtype=np.complex128)
+        basis_states = np.eye(self.proof_dim, dtype=np.complex128)
+        bob_operator = self.bob_accept_operator(y)
+        forwarded = [self.alice_state(x, basis_states[:, i]) for i in range(self.proof_dim)]
+        for i in range(self.proof_dim):
+            for j in range(self.proof_dim):
+                operator[i, j] = np.vdot(forwarded[i], bob_operator @ forwarded[j])
+        eigenvalues = np.linalg.eigvalsh((operator + operator.conj().T) / 2)
+        return float(min(max(eigenvalues[-1].real, 0.0), 1.0))
+
+
+class LSDQMAOneWay(QMAOneWayProtocol):
+    """The LSD verification protocol wrapped in the :class:`QMAOneWayProtocol` interface.
+
+    Both parties' inputs are carried by the instance object (the bit-string
+    arguments of the interface are ignored); this is the form consumed by the
+    Theorem 42 construction and by the dQMA-to-dQMA_sep pipeline of Theorem 46.
+    """
+
+    def __init__(self, instance: LinearSubspaceDistanceInstance):
+        self.instance = instance
+        self._protocol = LSDOneWayQMAProtocol(instance)
+        self._dim = instance.ambient_dimension
+
+    @property
+    def proof_dim(self) -> int:
+        return self._dim
+
+    @property
+    def forwarded_dim(self) -> int:
+        return self._dim
+
+    def honest_proof(self, x: str, y: str) -> np.ndarray:
+        return self._protocol.honest_proof()
+
+    def alice_state(self, x: str, proof: np.ndarray) -> np.ndarray:
+        projector = self.instance.alice_projector().astype(np.complex128)
+        vec = projector @ np.asarray(proof, dtype=np.complex128).reshape(-1)
+        # Alice's projection may shrink the vector: the lost weight corresponds
+        # to her rejecting outright, which we keep as an unnormalized branch so
+        # the downstream acceptance probability is exact.
+        return vec
+
+    def bob_accept_operator(self, y: str) -> np.ndarray:
+        return self.instance.bob_projector().astype(np.complex128)
+
+
+class FingerprintEqualityQMAOneWay(QMAOneWayProtocol):
+    """A proof-less QMA one-way protocol for ``EQ`` built from fingerprints.
+
+    Merlin's proof is ignored (dimension 1); Alice sends the fingerprint of
+    her input and Bob projects onto the fingerprint of his.  Used by tests to
+    exercise Theorem 42 with a protocol whose behaviour is fully understood.
+    """
+
+    def __init__(self, fingerprints) -> None:
+        self.fingerprints = fingerprints
+
+    @property
+    def proof_dim(self) -> int:
+        return 1
+
+    @property
+    def forwarded_dim(self) -> int:
+        return self.fingerprints.dim
+
+    def honest_proof(self, x: str, y: str) -> np.ndarray:
+        return np.array([1.0 + 0.0j])
+
+    def alice_state(self, x: str, proof: np.ndarray) -> np.ndarray:
+        scale = complex(np.asarray(proof, dtype=np.complex128).reshape(-1)[0])
+        return scale * self.fingerprints.state(x)
+
+    def bob_accept_operator(self, y: str) -> np.ndarray:
+        target = self.fingerprints.state(y)
+        return np.outer(target, np.conj(target))

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+downstream users can catch library failures without masking programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+class DimensionMismatchError(ReproError):
+    """Raised when operators, states or registers have incompatible shapes."""
+
+
+class NormalizationError(ReproError):
+    """Raised when a vector or density matrix is not normalized."""
+
+
+class RegisterError(ReproError):
+    """Raised for unknown, duplicated or otherwise invalid register usage."""
+
+
+class TopologyError(ReproError):
+    """Raised when a network topology violates a protocol's requirements."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a protocol is invoked with inconsistent arguments."""
+
+
+class ProofError(ReproError):
+    """Raised when a proof assignment does not match the protocol layout."""
+
+
+class EncodingError(ReproError):
+    """Raised when classical data cannot be encoded (e.g. out-of-range input)."""
+
+
+class BoundError(ReproError):
+    """Raised when a bound calculator receives parameters out of its domain."""

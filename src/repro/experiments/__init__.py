@@ -1,0 +1,38 @@
+"""Experiment harness: regenerate every table of the paper and the scaling figures.
+
+Each module produces structured row records (see :mod:`repro.experiments.records`)
+that the ``benchmarks/`` harness prints and that ``EXPERIMENTS.md`` documents.
+
+* :mod:`repro.experiments.table1` — the prior-work baselines of Table 1.
+* :mod:`repro.experiments.table2` — the paper's upper bounds (Table 2), each
+  row paired with an exact small-instance verification of completeness and
+  soundness performed by the corresponding protocol implementation.
+* :mod:`repro.experiments.table3` — the lower bounds of Table 3 and the
+  consistency check ``upper >= lower`` on shared parameters.
+* :mod:`repro.experiments.crossover` — the Section 4 quantum-vs-classical
+  total-proof-size comparison and its crossover points.
+* :mod:`repro.experiments.soundness_scaling` — the exact optimal cheating
+  probability of the Algorithm 3 chain as a function of the path length,
+  compared against the ``1 - 4/(81 r^2)`` bound of Lemma 17.
+"""
+
+from repro.experiments.records import ExperimentRow, format_rows
+from repro.experiments.table1 import table1_rows
+from repro.experiments.table2 import table2_rows, table2_verification_rows
+from repro.experiments.table3 import table3_rows, upper_vs_lower_consistency
+from repro.experiments.crossover import crossover_sweep, find_crossover, long_path_sweep
+from repro.experiments.soundness_scaling import soundness_scaling_sweep
+
+__all__ = [
+    "ExperimentRow",
+    "format_rows",
+    "table1_rows",
+    "table2_rows",
+    "table2_verification_rows",
+    "table3_rows",
+    "upper_vs_lower_consistency",
+    "crossover_sweep",
+    "find_crossover",
+    "long_path_sweep",
+    "soundness_scaling_sweep",
+]

@@ -1,0 +1,131 @@
+"""Quantum-vs-classical crossover experiments (Section 4 / Theorem 2).
+
+Two comparisons drive the narrative of the paper:
+
+* for small networks, the Algorithm 3 protocol (total ``O(r^3 log n)`` qubits)
+  beats the classical ``Omega(r n)`` bits as soon as ``n`` is large relative to
+  ``r`` — but loses for long paths;
+* the relay protocol's ``~O(r n^(2/3))`` total proof restores the advantage for
+  *every* path length once ``n`` is large enough.
+
+``crossover_sweep`` tabulates the three totals over a sweep, and
+``find_crossover`` locates the smallest ``n`` at which the quantum totals drop
+below the classical lower bound for a fixed ``r``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.bounds.lower import classical_dma_total_proof_lower_bound
+from repro.bounds.upper import (
+    eq_local_proof_upper_bound,
+    eq_relay_total_proof_upper_bound,
+    trivial_classical_total_proof,
+)
+from repro.experiments.records import ExperimentRow
+
+
+def quantum_total_plain(n: int, r: int) -> float:
+    """Total proof of Algorithm 3 on a path: local ``O(r^2 log n)`` times ``r - 1`` nodes."""
+    return eq_local_proof_upper_bound(n, r) * max(r - 1, 1)
+
+
+def crossover_sweep(
+    input_lengths: Optional[Sequence[int]] = None, path_length: int = 8
+) -> List[ExperimentRow]:
+    """Total proof sizes of the three strategies over a sweep of input lengths."""
+    if input_lengths is None:
+        input_lengths = [2**k for k in range(4, 22, 2)]
+    rows: List[ExperimentRow] = []
+    for n in input_lengths:
+        plain = quantum_total_plain(n, path_length)
+        relay = eq_relay_total_proof_upper_bound(n, path_length)
+        classical_upper = trivial_classical_total_proof(n, path_length)
+        classical_lower = classical_dma_total_proof_lower_bound(n, path_length)
+        rows.append(
+            ExperimentRow(
+                "crossover",
+                f"n={n}, r={path_length}",
+                {
+                    "quantum_plain_total": plain,
+                    "quantum_relay_total": relay,
+                    "classical_trivial_total": classical_upper,
+                    "classical_lower_bound": classical_lower,
+                    "relay_beats_classical_lower": relay < classical_lower,
+                    "plain_beats_classical_lower": plain < classical_lower,
+                },
+            )
+        )
+    return rows
+
+
+def long_path_sweep(
+    input_lengths: Optional[Sequence[int]] = None, path_multiplier: int = 4
+) -> List[ExperimentRow]:
+    """The Theorem 2 regime: path length proportional to ``n^{1/3}`` times a multiplier.
+
+    In this regime the relay protocol has relay points, its total is
+    ``~O(r n^{2/3})``, and the comparison against the classical ``Omega(r n)``
+    bound is per-node: quantum ``~n^{2/3} log n`` versus classical ``~n`` bits.
+    """
+    from math import ceil
+
+    if input_lengths is None:
+        input_lengths = [2**k for k in range(6, 48, 6)]
+    rows: List[ExperimentRow] = []
+    for n in input_lengths:
+        r = path_multiplier * max(int(ceil(n ** (1.0 / 3.0))), 1)
+        relay = eq_relay_total_proof_upper_bound(n, r)
+        plain = quantum_total_plain(n, r)
+        classical_lower = classical_dma_total_proof_lower_bound(n, r)
+        rows.append(
+            ExperimentRow(
+                "crossover-long-path",
+                f"n={n}, r={r}",
+                {
+                    "quantum_relay_total": relay,
+                    "quantum_plain_total": plain,
+                    "classical_lower_bound": classical_lower,
+                    "relay_beats_classical_lower": relay < classical_lower,
+                    "relay_per_node": relay / max(r - 1, 1),
+                    "classical_per_node": classical_lower / max(r - 1, 1),
+                },
+            )
+        )
+    return rows
+
+
+def find_crossover(
+    path_length: Optional[int] = None,
+    strategy: str = "relay",
+    max_exponent: int = 64,
+    path_multiplier: int = 4,
+) -> Optional[int]:
+    """Smallest power-of-two ``n`` at which the quantum total drops below ``Omega(rn)``.
+
+    ``strategy`` is ``"relay"`` (Theorem 22) or ``"plain"`` (Algorithm 3).
+    For the relay strategy the path length scales with ``n`` as
+    ``path_multiplier * ceil(n^{1/3})`` (the Theorem 2 regime) unless an
+    explicit ``path_length`` is supplied.  Returns ``None`` if no crossover
+    occurs up to ``n = 2^max_exponent`` — with the explicit constants of the
+    paper's proofs the crossover is real but occurs at very large ``n``.
+    """
+    from math import ceil
+
+    for exponent in range(2, max_exponent + 1):
+        n = 2**exponent
+        if path_length is None:
+            r = path_multiplier * max(int(ceil(n ** (1.0 / 3.0))), 1)
+        else:
+            r = path_length
+        classical_lower = classical_dma_total_proof_lower_bound(n, r)
+        if strategy == "relay":
+            quantum = eq_relay_total_proof_upper_bound(n, r)
+        elif strategy == "plain":
+            quantum = quantum_total_plain(n, r)
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        if quantum < classical_lower:
+            return n
+    return None

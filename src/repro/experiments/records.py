@@ -1,0 +1,60 @@
+"""Row records and plain-text table formatting for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+Value = Union[str, int, float, bool, None]
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One row of a regenerated table: a label plus named values."""
+
+    experiment: str
+    label: str
+    values: Dict[str, Value] = field(default_factory=dict)
+
+    def value(self, key: str) -> Value:
+        """Look up one value by column name."""
+        return self.values.get(key)
+
+
+def _format_value(value: Value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_rows(rows: Sequence[ExperimentRow], columns: Optional[List[str]] = None) -> str:
+    """Render rows as a fixed-width text table (used by the benchmark printers)."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row.values:
+                if key not in columns:
+                    columns.append(key)
+    header = ["label"] + columns
+    table: List[List[str]] = [header]
+    for row in rows:
+        table.append([row.label] + [_format_value(row.values.get(column)) for column in columns])
+    widths = [max(len(line[i]) for line in table) for i in range(len(header))]
+    lines = []
+    for index, line in enumerate(table):
+        rendered = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line))
+        lines.append(rendered.rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(header))).rstrip())
+    return "\n".join(lines)

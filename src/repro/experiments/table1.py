@@ -1,0 +1,89 @@
+"""Table 1: the prior results of Fraigniaud, Le Gall, Nishimura and Paz (FGNP21).
+
+The rows report the local proof sizes of the FGNP21 protocols (quantum upper
+bounds) and the classical lower bound, evaluated on concrete parameters, next
+to the corresponding costs measured on our implementation of the FGNP21
+baseline protocol.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bounds.lower import classical_dma_total_proof_lower_bound
+from repro.bounds.upper import (
+    fgnp21_eq_local_proof_upper_bound,
+    fgnp21_one_way_local_proof_upper_bound,
+)
+from repro.experiments.records import ExperimentRow
+
+
+def table1_rows(
+    parameter_grid: Optional[Sequence[Tuple[int, int, int]]] = None,
+) -> List[ExperimentRow]:
+    """Regenerate Table 1 over a grid of ``(n, r, t)`` parameters."""
+    if parameter_grid is None:
+        parameter_grid = [(64, 3, 2), (256, 3, 4), (1024, 5, 4), (4096, 5, 8)]
+    rows: List[ExperimentRow] = []
+    for n, r, t in parameter_grid:
+        rows.append(
+            ExperimentRow(
+                experiment="table1",
+                label=f"FGNP21 quantum EQ (n={n}, r={r}, t={t})",
+                values={
+                    "protocol": "dQMA",
+                    "problem": "EQ",
+                    "terminals": t,
+                    "rounds": 1,
+                    "local_proof_qubits": fgnp21_eq_local_proof_upper_bound(n, r, t),
+                    "formula": "O(t r^2 log n)",
+                },
+            )
+        )
+        one_way_cost = max(int(n).bit_length(), 1)  # BQP1(EQ) = O(log n)
+        rows.append(
+            ExperimentRow(
+                experiment="table1",
+                label=f"FGNP21 quantum one-way f (n={n}, r={r})",
+                values={
+                    "protocol": "dQMA",
+                    "problem": "f with BQP1(f)=O(log n)",
+                    "terminals": 2,
+                    "rounds": 1,
+                    "local_proof_qubits": fgnp21_one_way_local_proof_upper_bound(n, r, one_way_cost),
+                    "formula": "O(r^2 BQP1(f) log(n+r))",
+                },
+            )
+        )
+        rows.append(
+            ExperimentRow(
+                experiment="table1",
+                label=f"Classical dMA EQ lower bound (n={n}, r={r})",
+                values={
+                    "protocol": "dMA",
+                    "problem": "EQ",
+                    "terminals": 2,
+                    "rounds": 1,
+                    "total_proof_bits_lower": classical_dma_total_proof_lower_bound(n, r),
+                    "formula": "Omega(n/nu) per node window",
+                },
+            )
+        )
+    return rows
+
+
+def measured_fgnp21_costs(input_length: int = 4, path_length: int = 4) -> ExperimentRow:
+    """Measured register sizes of our FGNP21 baseline implementation."""
+    from repro.protocols.fgnp21 import Fgnp21EqualityProtocol
+
+    protocol = Fgnp21EqualityProtocol.on_path(input_length, path_length)
+    summary = protocol.cost_summary()
+    return ExperimentRow(
+        experiment="table1",
+        label=f"FGNP21 implementation measured (n={input_length}, r={path_length})",
+        values={
+            "local_proof_qubits": summary.local_proof,
+            "total_proof_qubits": summary.total_proof,
+            "local_message_qubits": summary.local_message,
+        },
+    )

@@ -1,0 +1,128 @@
+"""Table 3: the paper's lower bounds, and their consistency with Table 2.
+
+``table3_rows`` evaluates every lower-bound formula on concrete parameters.
+``upper_vs_lower_consistency`` checks the "who wins" shape: for every pair of
+matching rows the Table 2 upper bound evaluated at the same parameters sits
+above the Table 3 lower bound, and the classical lower bound exceeds the
+quantum upper bound once ``n`` is large enough (the quantum advantage).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bounds.lower import (
+    classical_dma_total_proof_lower_bound,
+    dqma_entangled_total_lower_bound,
+    dqma_eq_combined_lower_bound,
+    dqma_hard_function_lower_bound,
+    dqma_nonconstant_function_lower_bound,
+    dqma_sepsep_total_proof_lower_bound,
+)
+from repro.bounds.upper import eq_local_proof_upper_bound, eq_relay_total_proof_upper_bound
+from repro.experiments.records import ExperimentRow
+
+
+def table3_rows(n: int = 1024, r: int = 4) -> List[ExperimentRow]:
+    """Every row of Table 3, instantiated at the given parameters."""
+    rows = [
+        ExperimentRow(
+            "table3",
+            f"dQMA_sep,sep EQ/GT total proof (n={n}, r={r})",
+            {
+                "rounds": "constant",
+                "lower_bound_qubits": dqma_sepsep_total_proof_lower_bound(n, r),
+                "formula": "Omega(r log n)",
+            },
+        ),
+        ExperimentRow(
+            "table3",
+            f"dQMA EQ/GT proof+comm (n={n}, r={r})",
+            {
+                "rounds": "constant",
+                "lower_bound_qubits": dqma_entangled_total_lower_bound(n, r),
+                "formula": "Omega((log n)^(1/2-eps) / r^(1+eps))",
+            },
+        ),
+        ExperimentRow(
+            "table3",
+            f"dQMA non-constant f total proof (r={r})",
+            {
+                "rounds": "constant",
+                "lower_bound_qubits": dqma_nonconstant_function_lower_bound(r),
+                "formula": "Omega(r)",
+            },
+        ),
+        ExperimentRow(
+            "table3",
+            f"dQMA EQ/GT proof+comm combined (n={n})",
+            {
+                "rounds": "constant",
+                "lower_bound_qubits": dqma_eq_combined_lower_bound(n),
+                "formula": "Omega((log n)^(1/4-eps))",
+            },
+        ),
+        ExperimentRow(
+            "table3",
+            f"dQMA DISJ proof+comm (n={n})",
+            {
+                "rounds": "arbitrary",
+                "lower_bound_qubits": dqma_hard_function_lower_bound("DISJ", n),
+                "formula": "Omega(n^(1/3))",
+            },
+        ),
+        ExperimentRow(
+            "table3",
+            f"dQMA IP proof+comm (n={n})",
+            {
+                "rounds": "arbitrary",
+                "lower_bound_qubits": dqma_hard_function_lower_bound("IP", n),
+                "formula": "Omega(n^(1/2))",
+            },
+        ),
+        ExperimentRow(
+            "table3",
+            f"dQMA PAND proof+comm (n={n})",
+            {
+                "rounds": "arbitrary",
+                "lower_bound_qubits": dqma_hard_function_lower_bound("PAND", n),
+                "formula": "Omega(n^(1/3))",
+            },
+        ),
+    ]
+    return rows
+
+
+def upper_vs_lower_consistency(
+    parameter_grid: Optional[Sequence[Tuple[int, int]]] = None,
+) -> List[ExperimentRow]:
+    """Check that quantum upper bounds dominate the quantum lower bounds, and that the
+    classical lower bound eventually dominates the quantum total cost (the advantage).
+    """
+    if parameter_grid is None:
+        parameter_grid = [(64, 3), (256, 4), (1024, 5), (4096, 8), (2**14, 8), (2**16, 8)]
+    rows: List[ExperimentRow] = []
+    for n, r in parameter_grid:
+        quantum_local = eq_local_proof_upper_bound(n, r)
+        quantum_total = quantum_local * max(r - 1, 1)
+        quantum_relay_total = eq_relay_total_proof_upper_bound(n, r)
+        sepsep_lower = dqma_sepsep_total_proof_lower_bound(n, r)
+        entangled_lower = dqma_eq_combined_lower_bound(n)
+        classical_lower = classical_dma_total_proof_lower_bound(n, r)
+        rows.append(
+            ExperimentRow(
+                "table3-consistency",
+                f"EQ (n={n}, r={r})",
+                {
+                    "quantum_total_upper": quantum_total,
+                    "quantum_relay_total_upper": quantum_relay_total,
+                    "sepsep_lower": sepsep_lower,
+                    "entangled_lower": entangled_lower,
+                    "classical_total_lower": classical_lower,
+                    "upper_respects_sepsep_lower": quantum_total >= sepsep_lower,
+                    "upper_respects_entangled_lower": quantum_total >= entangled_lower,
+                    "quantum_beats_classical": min(quantum_total, quantum_relay_total) < classical_lower,
+                },
+            )
+        )
+    return rows

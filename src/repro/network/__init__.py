@@ -1,0 +1,23 @@
+"""Network substrate: topologies, spanning trees and distributed bookkeeping.
+
+Networks in the paper are simple connected graphs whose nodes are verifiers;
+a subset of *terminal* nodes hold the distributed inputs.  This package wraps
+:mod:`networkx` with the quantities the protocols need (radius, eccentricity,
+most-central terminal, path extraction) and implements the spanning-tree
+construction of Section 3.3 with terminal truncation, so that every terminal
+becomes a leaf of the verification tree.
+"""
+
+from repro.network.topology import Network, path_network, star_network, complete_network, cycle_network, random_tree_network
+from repro.network.spanning_tree import VerificationTree, build_verification_tree
+
+__all__ = [
+    "Network",
+    "path_network",
+    "star_network",
+    "complete_network",
+    "cycle_network",
+    "random_tree_network",
+    "VerificationTree",
+    "build_verification_tree",
+]

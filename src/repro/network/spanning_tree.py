@@ -1,0 +1,162 @@
+"""Verification-tree construction (Section 3.3 of the paper).
+
+For a network ``G`` with terminals ``u_1, ..., u_t`` the protocols on general
+graphs work over a tree ``T`` rooted at the most central terminal ``u_1``,
+whose leaves are the remaining terminals, with depth at most ``r + 1``.  The
+construction of the paper starts from a BFS tree, truncates it below terminals
+with no terminal descendants, and finally re-attaches any internal terminal
+``u_i`` as a fresh leaf ``u_i'`` so that every terminal has degree one in the
+verification tree.  (The paper notes a deterministic dMA protocol, Lemma 18,
+certifies the tree; here the tree is constructed honestly by the library.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.exceptions import TopologyError
+from repro.network.topology import Network, NodeId
+
+
+@dataclass
+class VerificationTree:
+    """A rooted tree used by the general-graph protocols.
+
+    Attributes
+    ----------
+    tree:
+        A directed graph with edges pointing from parent to child.
+    root:
+        The root node (the most central terminal by default).
+    terminal_leaves:
+        Mapping from each original terminal to the leaf of the tree that
+        carries its input (either the terminal itself or its shadow leaf).
+    shadow_of:
+        Mapping from shadow leaves back to the original terminal they mirror.
+    """
+
+    tree: nx.DiGraph
+    root: NodeId
+    terminal_leaves: Dict[NodeId, NodeId]
+    shadow_of: Dict[NodeId, NodeId] = field(default_factory=dict)
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        """All nodes of the verification tree."""
+        return list(self.tree.nodes())
+
+    def children(self, node: NodeId) -> List[NodeId]:
+        """Children of a node."""
+        return list(self.tree.successors(node))
+
+    def parent(self, node: NodeId) -> Optional[NodeId]:
+        """Parent of a node (``None`` for the root)."""
+        parents = list(self.tree.predecessors(node))
+        if not parents:
+            return None
+        return parents[0]
+
+    def is_leaf(self, node: NodeId) -> bool:
+        """True when the node has no children."""
+        return self.tree.out_degree(node) == 0
+
+    @property
+    def leaves(self) -> List[NodeId]:
+        """All leaves of the tree."""
+        return [node for node in self.tree.nodes() if self.is_leaf(node)]
+
+    @property
+    def depth(self) -> int:
+        """Length (in edges) of the longest root-to-leaf path."""
+        lengths = nx.single_source_shortest_path_length(self.tree, self.root)
+        return max(lengths.values()) if lengths else 0
+
+    def path_from_root(self, node: NodeId) -> List[NodeId]:
+        """The unique path from the root to the given node."""
+        return nx.shortest_path(self.tree, self.root, node)
+
+    def path_between(self, leaf: NodeId) -> List[NodeId]:
+        """Alias of :meth:`path_from_root`, named for call-site readability."""
+        return self.path_from_root(leaf)
+
+    def max_children(self) -> int:
+        """Maximum number of children over internal nodes."""
+        degrees = [self.tree.out_degree(node) for node in self.tree.nodes()]
+        return max(degrees) if degrees else 0
+
+    def validate(self) -> None:
+        """Check the structural invariants promised by the construction."""
+        if not nx.is_arborescence(self.tree):
+            raise TopologyError("verification tree is not an arborescence")
+        for terminal, leaf in self.terminal_leaves.items():
+            if leaf == self.root:
+                # The root terminal keeps its input and plays both the root
+                # and the terminal roles (Section 3.3 / Algorithm 5).
+                continue
+            if not self.is_leaf(leaf):
+                raise TopologyError(
+                    f"terminal {terminal!r} is mapped to non-leaf {leaf!r}"
+                )
+
+
+def build_verification_tree(
+    network: Network, root: Optional[NodeId] = None
+) -> VerificationTree:
+    """Construct the verification tree of Section 3.3 for a network.
+
+    The root defaults to the most central terminal.  The returned tree has
+    every terminal attached as a leaf: internal terminals are mirrored by a
+    shadow leaf named ``(terminal, "shadow")`` whose protocol actions are
+    executed by the original node, exactly as described in the paper.
+    """
+    if root is None:
+        root = network.most_central_terminal()
+    if root not in network.graph:
+        raise TopologyError(f"root {root!r} is not a node of the network")
+
+    bfs_tree = nx.bfs_tree(network.graph, root)
+    terminals = set(network.terminals)
+
+    # Iteratively truncate leaves that are neither terminals nor ancestors of
+    # terminals; this realises the truncation step of the paper's construction.
+    keep = _nodes_on_terminal_paths(bfs_tree, root, terminals)
+    pruned = bfs_tree.subgraph(keep).copy()
+
+    terminal_leaves: Dict[NodeId, NodeId] = {}
+    shadow_of: Dict[NodeId, NodeId] = {}
+    tree = nx.DiGraph()
+    tree.add_nodes_from(pruned.nodes())
+    tree.add_edges_from(pruned.edges())
+
+    for terminal in network.terminals:
+        if terminal == root:
+            # The root keeps its input; it plays both the root role and the
+            # terminal role, as in the paper's protocols.
+            terminal_leaves[terminal] = terminal
+            continue
+        if tree.out_degree(terminal) == 0:
+            terminal_leaves[terminal] = terminal
+        else:
+            shadow = (terminal, "shadow")
+            tree.add_edge(terminal, shadow)
+            terminal_leaves[terminal] = shadow
+            shadow_of[shadow] = terminal
+
+    result = VerificationTree(tree=tree, root=root, terminal_leaves=terminal_leaves, shadow_of=shadow_of)
+    result.validate()
+    return result
+
+
+def _nodes_on_terminal_paths(tree: nx.DiGraph, root: NodeId, terminals: set) -> set:
+    """Nodes lying on a path from the root to some terminal."""
+    keep = set()
+    for terminal in terminals:
+        if terminal not in tree:
+            raise TopologyError(f"terminal {terminal!r} missing from BFS tree")
+        path = nx.shortest_path(tree, root, terminal)
+        keep.update(path)
+    keep.add(root)
+    return keep

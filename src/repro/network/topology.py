@@ -1,0 +1,203 @@
+"""Network topologies for distributed verification.
+
+A :class:`Network` is a simple connected graph together with an ordered list
+of *terminals* — the nodes that hold the distributed inputs ``x_1, ..., x_t``.
+Node identifiers are arbitrary hashable values; the constructors below use
+strings such as ``"v0"`` for paths and ``"leaf3"`` for stars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.exceptions import TopologyError
+from repro.utils.rng import RngLike, ensure_rng
+
+NodeId = Hashable
+
+
+@dataclass
+class Network:
+    """A connected verification network with designated terminal nodes."""
+
+    graph: nx.Graph
+    terminals: Tuple[NodeId, ...]
+
+    def __post_init__(self) -> None:
+        if self.graph.number_of_nodes() == 0:
+            raise TopologyError("network must contain at least one node")
+        if not nx.is_connected(self.graph):
+            raise TopologyError("network must be connected")
+        terminals = tuple(self.terminals)
+        if len(terminals) == 0:
+            raise TopologyError("network must have at least one terminal")
+        if len(set(terminals)) != len(terminals):
+            raise TopologyError(f"duplicate terminals: {terminals}")
+        for terminal in terminals:
+            if terminal not in self.graph:
+                raise TopologyError(f"terminal {terminal!r} is not a node of the graph")
+        self.terminals = terminals
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        """All nodes of the network."""
+        return list(self.graph.nodes())
+
+    @property
+    def edges(self) -> List[Tuple[NodeId, NodeId]]:
+        """All edges of the network."""
+        return list(self.graph.edges())
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_terminals(self) -> int:
+        """Number of terminals ``t``."""
+        return len(self.terminals)
+
+    def distance(self, u: NodeId, v: NodeId) -> int:
+        """Graph distance between two nodes."""
+        return int(nx.shortest_path_length(self.graph, u, v))
+
+    def eccentricity(self, node: NodeId) -> int:
+        """Maximum distance from ``node`` to any other node."""
+        return int(nx.eccentricity(self.graph, node))
+
+    @property
+    def radius(self) -> int:
+        """The network radius ``r = min_u max_v dist(u, v)`` (Section 2)."""
+        return int(nx.radius(self.graph))
+
+    @property
+    def diameter(self) -> int:
+        """The network diameter."""
+        return int(nx.diameter(self.graph))
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree ``d_max`` (used by the LOCC conversion, Lemma 20)."""
+        return max(dict(self.graph.degree()).values())
+
+    def most_central_terminal(self) -> NodeId:
+        """The terminal minimising its maximum distance to the other terminals.
+
+        This is the node ``u_1`` chosen as tree root in Section 3.3.
+        """
+        best_terminal = None
+        best_value = None
+        for candidate in self.terminals:
+            value = max(self.distance(candidate, other) for other in self.terminals)
+            if best_value is None or value < best_value:
+                best_value = value
+                best_terminal = candidate
+        return best_terminal
+
+    def terminal_radius(self) -> int:
+        """``min_{terminal u} max_{terminal v} dist(u, v)`` over terminals."""
+        root = self.most_central_terminal()
+        return max(self.distance(root, other) for other in self.terminals)
+
+    def shortest_path(self, u: NodeId, v: NodeId) -> List[NodeId]:
+        """A shortest path between two nodes, inclusive of both endpoints."""
+        return list(nx.shortest_path(self.graph, u, v))
+
+    def neighbors(self, node: NodeId) -> List[NodeId]:
+        """Neighbours of a node."""
+        return list(self.graph.neighbors(node))
+
+    def is_terminal(self, node: NodeId) -> bool:
+        """True when the node holds an input."""
+        return node in set(self.terminals)
+
+    def with_terminals(self, terminals: Sequence[NodeId]) -> "Network":
+        """The same graph with a different set of terminals."""
+        return Network(self.graph.copy(), tuple(terminals))
+
+
+def path_network(length: int, terminals: Optional[Sequence[NodeId]] = None) -> Network:
+    """The path ``v0 - v1 - ... - v_length`` with terminals at the extremities.
+
+    ``length`` is the number of edges ``r``; the path has ``r + 1`` nodes.
+    """
+    if length < 1:
+        raise TopologyError("a path network needs length (number of edges) >= 1")
+    graph = nx.Graph()
+    names = [f"v{i}" for i in range(length + 1)]
+    graph.add_nodes_from(names)
+    for i in range(length):
+        graph.add_edge(names[i], names[i + 1])
+    if terminals is None:
+        terminals = (names[0], names[-1])
+    return Network(graph, tuple(terminals))
+
+
+def star_network(num_leaves: int, terminals: Optional[Sequence[NodeId]] = None) -> Network:
+    """A star with a centre node and ``num_leaves`` leaves; leaves are terminals."""
+    if num_leaves < 1:
+        raise TopologyError("a star network needs at least one leaf")
+    graph = nx.Graph()
+    centre = "centre"
+    leaves = [f"leaf{i}" for i in range(num_leaves)]
+    graph.add_node(centre)
+    for leaf in leaves:
+        graph.add_edge(centre, leaf)
+    if terminals is None:
+        terminals = tuple(leaves)
+    return Network(graph, tuple(terminals))
+
+
+def complete_network(num_nodes: int, num_terminals: int) -> Network:
+    """The complete graph on ``num_nodes`` nodes with the first ``num_terminals`` as terminals."""
+    if num_nodes < 1:
+        raise TopologyError("a complete network needs at least one node")
+    if num_terminals < 1 or num_terminals > num_nodes:
+        raise TopologyError("number of terminals must be between 1 and the node count")
+    graph = nx.complete_graph(num_nodes)
+    relabel = {i: f"n{i}" for i in range(num_nodes)}
+    graph = nx.relabel_nodes(graph, relabel)
+    terminals = tuple(f"n{i}" for i in range(num_terminals))
+    return Network(graph, terminals)
+
+
+def cycle_network(num_nodes: int, num_terminals: int = 2) -> Network:
+    """A cycle on ``num_nodes`` nodes with evenly spread terminals."""
+    if num_nodes < 3:
+        raise TopologyError("a cycle needs at least three nodes")
+    if num_terminals < 1 or num_terminals > num_nodes:
+        raise TopologyError("number of terminals must be between 1 and the node count")
+    graph = nx.cycle_graph(num_nodes)
+    relabel = {i: f"c{i}" for i in range(num_nodes)}
+    graph = nx.relabel_nodes(graph, relabel)
+    stride = num_nodes // num_terminals
+    terminals = tuple(f"c{(i * stride) % num_nodes}" for i in range(num_terminals))
+    return Network(graph, terminals)
+
+
+def random_tree_network(
+    num_nodes: int, num_terminals: int, rng: RngLike = None
+) -> Network:
+    """A uniformly random labelled tree with randomly chosen terminals."""
+    if num_nodes < 2:
+        raise TopologyError("a random tree needs at least two nodes")
+    if num_terminals < 1 or num_terminals > num_nodes:
+        raise TopologyError("number of terminals must be between 1 and the node count")
+    generator = ensure_rng(rng)
+    # Build a random tree by attaching each new node to a uniformly random
+    # earlier node (random recursive tree); connectedness is guaranteed.
+    graph = nx.Graph()
+    graph.add_node("t0")
+    for index in range(1, num_nodes):
+        parent = int(generator.integers(0, index))
+        graph.add_edge(f"t{parent}", f"t{index}")
+    node_names = [f"t{i}" for i in range(num_nodes)]
+    chosen = generator.choice(num_nodes, size=num_terminals, replace=False)
+    terminals = tuple(node_names[int(i)] for i in sorted(chosen))
+    return Network(graph, terminals)

@@ -1,0 +1,104 @@
+"""dQMA protocol library — the paper's primary contribution, as executable code.
+
+Every protocol of the paper is implemented as a class that
+
+* declares the proof registers the prover must supply (and their sizes),
+* produces the honest proof for yes-instances,
+* computes the exact acceptance probability for arbitrary product proofs
+  (and, for the path protocols on small instances, for arbitrary entangled
+  proofs via the acceptance operator),
+* reports its cost both as the actual simulated register sizes and as the
+  paper's asymptotic formulas (see :mod:`repro.bounds`).
+
+Protocols
+---------
+* :class:`EqualityPathProtocol` — Algorithm 3 (single shot) / Algorithm 4
+  (parallel repetition) for ``EQ`` on a path.
+* :class:`EqualityTreeProtocol` — Algorithm 5 for ``EQ`` on general graphs,
+  using the permutation test.
+* :class:`Fgnp21EqualityProtocol` — the baseline protocol of FGNP21.
+* :class:`RelayEqualityProtocol` — Algorithm 6 (relay points, Theorem 22).
+* :class:`GreaterThanPathProtocol` — Algorithm 7 (Theorem 26).
+* :class:`RankingVerificationProtocol` — Algorithm 8 (Theorem 29).
+* :class:`OneWayToTreeProtocol` — Algorithm 9 / Theorem 32 (Hamming distance
+  and any ``∀_t f`` with an efficient one-way protocol).
+* :class:`QMAOneWayToPathProtocol` — Algorithm 10 / Theorem 42.
+* :class:`TrivialEqualityDMA`, :class:`TruncationEqualityDMA` — classical
+  baselines used by the Section 4 comparison.
+"""
+
+from repro.protocols.applications import (
+    l1_graph_distance_protocol,
+    ltf_xor_protocol,
+    matrix_rank_protocol,
+    vector_l1_distance_protocol,
+)
+from repro.protocols.base import (
+    CostSummary,
+    DQMAProtocol,
+    ProductProof,
+    ProofRegister,
+    RepeatedProtocol,
+    RunResult,
+)
+from repro.protocols.locc import (
+    LOCCConversionCost,
+    corollary21_local_message_bound,
+    corollary21_local_proof_bound,
+    locc_conversion_cost,
+)
+from repro.protocols.transcript import (
+    NodeVerdict,
+    RunTranscript,
+    empirical_acceptance_from_transcripts,
+    rejection_histogram,
+    simulate_equality_path_run,
+)
+from repro.protocols.dma import TrivialEqualityDMA, TruncationEqualityDMA
+from repro.protocols.equality import EqualityPathProtocol, EqualityTreeProtocol
+from repro.protocols.fgnp21 import Fgnp21EqualityProtocol
+from repro.protocols.from_one_way import OneWayToTreeProtocol, hamming_distance_protocol
+from repro.protocols.greater_than import GreaterThanPathProtocol
+from repro.protocols.qma_to_dqma import LSDPathProtocol, QMAOneWayToPathProtocol
+from repro.protocols.ranking import RankingVerificationProtocol
+from repro.protocols.relay import RelayEqualityProtocol
+from repro.protocols.separable import SeparableConversionCost, dqma_to_dqmasep_cost
+from repro.protocols.reductions import QMAStarReduction, reduce_dqma_to_qma_star
+
+__all__ = [
+    "l1_graph_distance_protocol",
+    "ltf_xor_protocol",
+    "matrix_rank_protocol",
+    "vector_l1_distance_protocol",
+    "LOCCConversionCost",
+    "corollary21_local_message_bound",
+    "corollary21_local_proof_bound",
+    "locc_conversion_cost",
+    "NodeVerdict",
+    "RunTranscript",
+    "empirical_acceptance_from_transcripts",
+    "rejection_histogram",
+    "simulate_equality_path_run",
+    "CostSummary",
+    "DQMAProtocol",
+    "ProductProof",
+    "ProofRegister",
+    "RepeatedProtocol",
+    "RunResult",
+    "TrivialEqualityDMA",
+    "TruncationEqualityDMA",
+    "EqualityPathProtocol",
+    "EqualityTreeProtocol",
+    "Fgnp21EqualityProtocol",
+    "OneWayToTreeProtocol",
+    "hamming_distance_protocol",
+    "GreaterThanPathProtocol",
+    "LSDPathProtocol",
+    "QMAOneWayToPathProtocol",
+    "RankingVerificationProtocol",
+    "RelayEqualityProtocol",
+    "SeparableConversionCost",
+    "dqma_to_dqmasep_cost",
+    "QMAStarReduction",
+    "reduce_dqma_to_qma_star",
+]

@@ -1,0 +1,206 @@
+"""Protocol factories for the Section 6.2 applications of Theorem 32.
+
+Each corollary of Section 6.2 plugs a specific one-way quantum protocol into
+the generic tree construction of Algorithm 9:
+
+* Corollary 35 — distances in an ℓ1-graph, via a scale embedding into a
+  hypercube followed by the Hamming-distance protocol;
+* Corollary 37 — ℓ1 distances between real vectors, via fixed-point (unary)
+  encoding followed by the Hamming-distance protocol;
+* Corollary 39 — linear-threshold XOR functions, via a weighted expansion of
+  the inputs that turns the weighted threshold into a plain Hamming threshold;
+* Corollary 41 — GF(2) matrix-rank-of-the-sum, via the exact-transmission
+  one-way protocol (the cost calculators report the LZ13 formula).
+
+Every factory returns a fully simulatable :class:`OneWayToTreeProtocol`
+together with (when the natural inputs are not bit strings) an encoder mapping
+the domain objects to the protocol's bit-string inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.l1_graphs import GraphDistanceProblem, HypercubeEmbedding
+from repro.comm.one_way import (
+    ExactMaskHammingOneWay,
+    ExactTransmissionOneWay,
+    OneWayProtocol,
+)
+from repro.comm.problems import (
+    HammingDistanceProblem,
+    LinearThresholdXORProblem,
+    MatrixRankSumProblem,
+)
+from repro.exceptions import EncodingError, ProtocolError
+from repro.network.topology import Network, star_network
+from repro.protocols.from_one_way import OneWayToTreeProtocol
+
+
+_MAX_MASK_SKETCHES = 2000
+
+
+def _hamming_one_way(problem: HammingDistanceProblem) -> OneWayProtocol:
+    """Pick an exact one-way protocol for a Hamming-threshold problem.
+
+    The erase-mask protocol is used while its sketch count stays manageable;
+    otherwise the exact-transmission protocol (diagonal accept operator) takes
+    over for moderate input lengths.  Both have exact semantics; only their
+    register sizes differ from the LZ13 protocol whose cost the bound
+    calculators report.
+    """
+    from math import comb
+
+    sketches = sum(comb(problem.input_length, i) for i in range(problem.distance_bound + 1))
+    if sketches <= _MAX_MASK_SKETCHES:
+        return ExactMaskHammingOneWay(problem.input_length, problem.distance_bound)
+    if problem.input_length <= 18:
+        return ExactTransmissionOneWay(problem)
+    raise ProtocolError(
+        "no exact one-way protocol is available at this input length and threshold; "
+        "pass a custom one_way protocol"
+    )
+
+
+def l1_graph_distance_protocol(
+    embedding: HypercubeEmbedding,
+    distance_bound: int,
+    num_terminals: int,
+    network: Optional[Network] = None,
+    one_way: Optional[OneWayProtocol] = None,
+) -> Tuple[OneWayToTreeProtocol, Callable[[Sequence], Tuple[str, ...]]]:
+    """Corollary 35: verify that all terminals' vertices are within graph distance ``d``.
+
+    Returns ``(protocol, encode)`` where ``encode`` maps a tuple of graph
+    vertices to the protocol's bit-string inputs (the embedded codes).
+    """
+    if network is None:
+        network = star_network(num_terminals)
+    problem = GraphDistanceProblem(embedding, distance_bound, num_terminals)
+    if one_way is None:
+        one_way = _hamming_one_way(
+            HammingDistanceProblem(problem.input_length, problem.hamming_threshold)
+        )
+    protocol = OneWayToTreeProtocol(problem, network, one_way)
+    return protocol, problem.encode_vertices
+
+
+def vector_l1_distance_protocol(
+    dimension: int,
+    resolution: int,
+    distance_bound: float,
+    num_terminals: int,
+    network: Optional[Network] = None,
+) -> Tuple[OneWayToTreeProtocol, Callable[[Sequence[np.ndarray]], Tuple[str, ...]]]:
+    """Corollary 37: verify that all terminals' vectors in ``[0, 1]^dimension`` are ℓ1-close.
+
+    Each coordinate is discretised to ``resolution`` levels and encoded in
+    unary, so the ℓ1 distance between vectors becomes (up to the discretisation
+    error ``dimension / resolution``) the Hamming distance between the
+    encodings divided by ``resolution``.  The returned encoder performs the
+    discretisation; the protocol checks a Hamming threshold of
+    ``round(distance_bound * resolution)``.
+    """
+    if dimension < 1 or resolution < 1:
+        raise ProtocolError("dimension and resolution must be positive")
+    if distance_bound <= 0:
+        raise ProtocolError("distance bound must be positive")
+    if network is None:
+        network = star_network(num_terminals)
+    input_length = dimension * resolution
+    threshold = int(round(distance_bound * resolution))
+    problem = HammingDistanceProblem(input_length, threshold, num_terminals)
+    one_way = _hamming_one_way(problem)
+    protocol = OneWayToTreeProtocol(problem, network, one_way)
+
+    def encode(vectors: Sequence[np.ndarray]) -> Tuple[str, ...]:
+        encoded = []
+        for vector in vectors:
+            values = np.asarray(vector, dtype=float).reshape(-1)
+            if values.size != dimension:
+                raise EncodingError(f"expected vectors of dimension {dimension}")
+            if values.min() < -1e-9 or values.max() > 1 + 1e-9:
+                raise EncodingError("vector entries must lie in [0, 1]")
+            chunks = []
+            for value in values:
+                level = int(round(float(value) * resolution))
+                level = min(max(level, 0), resolution)
+                chunks.append("1" * level + "0" * (resolution - level))
+            encoded.append("".join(chunks))
+        return tuple(encoded)
+
+    return protocol, encode
+
+
+def ltf_xor_protocol(
+    weights: Sequence[int],
+    threshold: float,
+    num_terminals: int,
+    network: Optional[Network] = None,
+) -> Tuple[OneWayToTreeProtocol, Callable[[Sequence[str]], Tuple[str, ...]]]:
+    """Corollary 39: verify ``f(x_i XOR x_j) = 1`` for an LTF ``f`` with integer weights.
+
+    Repeating coordinate ``i`` exactly ``w_i`` times turns the weighted sum
+    ``sum_i w_i z_i`` into the Hamming weight of the expanded string, so the
+    LTF-XOR condition becomes a Hamming-distance threshold on the expanded
+    inputs.  The returned encoder performs the expansion.
+    """
+    integer_weights = [int(w) for w in weights]
+    if any(w < 0 for w in integer_weights) or not integer_weights:
+        raise ProtocolError("weights must be non-negative integers")
+    if any(abs(w - float(original)) > 1e-9 for w, original in zip(integer_weights, weights)):
+        raise ProtocolError("the expansion encoding requires integer weights")
+    if network is None:
+        network = star_network(num_terminals)
+    expanded_length = sum(integer_weights)
+    if expanded_length < 1:
+        raise ProtocolError("at least one weight must be positive")
+    hamming_threshold = int(np.floor(threshold))
+    problem = HammingDistanceProblem(expanded_length, hamming_threshold, num_terminals)
+    one_way = _hamming_one_way(problem)
+    protocol = OneWayToTreeProtocol(problem, network, one_way)
+
+    def encode(inputs: Sequence[str]) -> Tuple[str, ...]:
+        encoded = []
+        for value in inputs:
+            if len(value) != len(integer_weights):
+                raise EncodingError(
+                    f"expected inputs of length {len(integer_weights)}, got {len(value)}"
+                )
+            encoded.append("".join(ch * w for ch, w in zip(value, integer_weights)))
+        return tuple(encoded)
+
+    return protocol, encode
+
+
+def matrix_rank_protocol(
+    matrix_size: int,
+    rank_bound: int,
+    num_terminals: int,
+    network: Optional[Network] = None,
+) -> OneWayToTreeProtocol:
+    """Corollary 41: verify ``rank(X_i + X_j) < rank_bound`` over GF(2) for all pairs.
+
+    Uses the exact-transmission one-way protocol (Alice ships her matrix as a
+    basis state; Bob evaluates the rank condition exactly), which keeps the
+    simulation exact for the small matrices exercised here; the cost
+    calculators report the LZ13 ``min(q^{O(r^2)}, O(nr log q + n log n))``
+    formula for the asymptotic statement.
+    """
+    if network is None:
+        network = star_network(num_terminals)
+    problem = MatrixRankSumProblem(matrix_size, rank_bound, num_terminals)
+
+    class _PairwiseRank(MatrixRankSumProblem):
+        """Two-party view used by the exact-transmission accept operator."""
+
+        def __init__(self) -> None:
+            super().__init__(matrix_size, rank_bound, num_inputs=2)
+
+        def two_party(self, x: str, y: str) -> bool:
+            return self.pairwise(x, y)
+
+    one_way = ExactTransmissionOneWay(_PairwiseRank())
+    return OneWayToTreeProtocol(problem, network, one_way)

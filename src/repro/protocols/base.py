@@ -1,0 +1,328 @@
+"""Common framework shared by every distributed verification protocol.
+
+The central abstractions are
+
+``ProofRegister``
+    A named proof register the prover sends to a specific node.
+``ProductProof``
+    An assignment of a pure state to every proof register (the proofs that
+    honest provers send, and the separable proofs of the ``dQMA_sep,sep``
+    model).
+``DQMAProtocol``
+    The protocol interface: register layout, honest proof, exact acceptance
+    probability for product proofs, Monte-Carlo runs, and cost accounting.
+``RepeatedProtocol``
+    Generic parallel repetition (the paper's Algorithm 4 pattern): a node of
+    the repeated protocol accepts iff it accepts in every copy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from math import ceil, log2
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.problems import Problem
+from repro.exceptions import ProofError, ProtocolError
+from repro.network.topology import Network, NodeId
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class ProofRegister:
+    """A proof register: its name, the node that receives it, and its dimension."""
+
+    name: str
+    node: NodeId
+    dim: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProofError("proof register name must be non-empty")
+        if self.dim <= 0:
+            raise ProofError(f"register {self.name!r} must have positive dimension")
+
+    @property
+    def qubits(self) -> float:
+        """Number of qubits of the register."""
+        return float(log2(self.dim))
+
+
+class ProductProof:
+    """A proof that is a product state across proof registers."""
+
+    def __init__(self, states: Mapping[str, np.ndarray]):
+        self._states: Dict[str, np.ndarray] = {}
+        for name, state in states.items():
+            vec = np.asarray(state, dtype=np.complex128).reshape(-1)
+            norm = np.linalg.norm(vec)
+            if norm < 1e-12:
+                raise ProofError(f"proof state for register {name!r} is the zero vector")
+            self._states[name] = vec / norm
+
+    def state(self, name: str) -> np.ndarray:
+        """The proof state assigned to the named register."""
+        if name not in self._states:
+            raise ProofError(f"proof has no state for register {name!r}")
+        return self._states[name].copy()
+
+    def has(self, name: str) -> bool:
+        """True when the proof assigns a state to the named register."""
+        return name in self._states
+
+    @property
+    def register_names(self) -> Tuple[str, ...]:
+        """Names of the registers this proof covers."""
+        return tuple(self._states.keys())
+
+    def validate_against(self, registers: Sequence[ProofRegister]) -> None:
+        """Check that the proof covers exactly the protocol's registers with matching dims."""
+        expected = {reg.name: reg.dim for reg in registers}
+        for name, dim in expected.items():
+            if name not in self._states:
+                raise ProofError(f"proof is missing register {name!r}")
+            if self._states[name].size != dim:
+                raise ProofError(
+                    f"proof state for register {name!r} has dimension "
+                    f"{self._states[name].size}, expected {dim}"
+                )
+        extra = set(self._states) - set(expected)
+        if extra:
+            raise ProofError(f"proof contains unknown registers: {sorted(extra)}")
+
+    def replaced(self, name: str, state: np.ndarray) -> "ProductProof":
+        """A copy of the proof with one register's state replaced."""
+        states = dict(self._states)
+        states[name] = state
+        return ProductProof(states)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one Monte-Carlo run of a protocol."""
+
+    accepted: bool
+    acceptance_probability: float
+    node_outcomes: Dict[NodeId, bool] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    """Cost of a protocol instance, in qubits (or bits for classical protocols)."""
+
+    local_proof: float
+    total_proof: float
+    local_message: float
+    total_message: float
+    rounds: int = 1
+
+    @property
+    def proof_plus_communication(self) -> float:
+        """The quantity bounded by the Section 8 lower bounds."""
+        return self.total_proof + self.total_message
+
+
+class DQMAProtocol(ABC):
+    """Interface of every distributed Merlin-Arthur protocol in the library."""
+
+    def __init__(self, problem: Problem, network: Network):
+        self.problem = problem
+        self.network = network
+        if len(network.terminals) != problem.num_inputs:
+            raise ProtocolError(
+                f"problem {problem.name} has {problem.num_inputs} inputs but the "
+                f"network has {len(network.terminals)} terminals"
+            )
+
+    # -- abstract ----------------------------------------------------------
+
+    @abstractmethod
+    def proof_registers(self) -> List[ProofRegister]:
+        """The proof registers the prover sends, with their receiving nodes."""
+
+    @abstractmethod
+    def honest_proof(self, inputs: Sequence[str]) -> ProductProof:
+        """The honest prover's proof for the given inputs.
+
+        For yes-instances the returned proof must achieve the protocol's
+        completeness; for no-instances it is the prover's best "truthful"
+        attempt and carries no guarantee.
+        """
+
+    @abstractmethod
+    def acceptance_probability(
+        self, inputs: Sequence[str], proof: Optional[ProductProof] = None
+    ) -> float:
+        """Exact probability that *all* nodes accept, for a product proof.
+
+        ``proof = None`` uses the honest proof.
+        """
+
+    # -- cost accounting -----------------------------------------------------
+
+    @property
+    def rounds(self) -> int:
+        """Number of verification rounds (all protocols in the paper use one)."""
+        return 1
+
+    def local_proof_qubits(self) -> float:
+        """Largest total proof size received by a single node."""
+        per_node: Dict[NodeId, float] = {}
+        for register in self.proof_registers():
+            per_node[register.node] = per_node.get(register.node, 0.0) + register.qubits
+        return max(per_node.values()) if per_node else 0.0
+
+    def total_proof_qubits(self) -> float:
+        """Total proof size over all nodes."""
+        return sum(register.qubits for register in self.proof_registers())
+
+    def message_qubits(self) -> Dict[Tuple[NodeId, NodeId], float]:
+        """Qubits sent over each edge during verification.
+
+        Subclasses override :meth:`_messages`; the default derives messages
+        from the proof layout (each forwarded register traverses one edge),
+        which matches the path and tree protocols of the paper.
+        """
+        return self._messages()
+
+    def _messages(self) -> Dict[Tuple[NodeId, NodeId], float]:
+        return {}
+
+    def local_message_qubits(self) -> float:
+        """Largest number of qubits exchanged over a single edge."""
+        messages = self.message_qubits()
+        return max(messages.values()) if messages else 0.0
+
+    def total_message_qubits(self) -> float:
+        """Total qubits exchanged over all edges."""
+        return sum(self.message_qubits().values())
+
+    def cost_summary(self) -> CostSummary:
+        """All cost figures of this protocol instance."""
+        return CostSummary(
+            local_proof=self.local_proof_qubits(),
+            total_proof=self.total_proof_qubits(),
+            local_message=self.local_message_qubits(),
+            total_message=self.total_message_qubits(),
+            rounds=self.rounds,
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        inputs: Sequence[str],
+        proof: Optional[ProductProof] = None,
+        rng: RngLike = None,
+    ) -> RunResult:
+        """One Monte-Carlo run: draws the global accept/reject outcome."""
+        generator = ensure_rng(rng)
+        probability = self.acceptance_probability(inputs, proof)
+        accepted = bool(generator.random() < probability)
+        return RunResult(accepted=accepted, acceptance_probability=probability)
+
+    def estimate_acceptance(
+        self,
+        inputs: Sequence[str],
+        proof: Optional[ProductProof] = None,
+        shots: int = 200,
+        rng: RngLike = None,
+    ) -> float:
+        """Empirical acceptance frequency over independent runs."""
+        generator = ensure_rng(rng)
+        hits = sum(1 for _ in range(shots) if self.run(inputs, proof, generator).accepted)
+        return hits / shots
+
+    # -- convenience ----------------------------------------------------------
+
+    def completeness_on(self, inputs: Sequence[str]) -> float:
+        """Acceptance probability of the honest proof (should be high on yes-instances)."""
+        return self.acceptance_probability(inputs, None)
+
+    def validate_proof(self, proof: ProductProof) -> None:
+        """Check a proof against this protocol's register layout."""
+        proof.validate_against(self.proof_registers())
+
+
+class RepeatedProtocol(DQMAProtocol):
+    """Parallel repetition of a base protocol (the Algorithm 4 pattern).
+
+    The prover supplies ``repetitions`` independent copies of the base proof;
+    every node accepts iff it accepts in every copy.  For product proofs the
+    acceptance probability is the product of the per-copy probabilities, which
+    is exact because distinct copies share no registers.
+    """
+
+    def __init__(self, base: DQMAProtocol, repetitions: int):
+        if repetitions <= 0:
+            raise ProtocolError("number of repetitions must be positive")
+        super().__init__(base.problem, base.network)
+        self.base = base
+        self.repetitions = int(repetitions)
+
+    @staticmethod
+    def _copy_name(name: str, copy: int) -> str:
+        return f"{name}#rep{copy}"
+
+    def proof_registers(self) -> List[ProofRegister]:
+        registers = []
+        for copy in range(self.repetitions):
+            for register in self.base.proof_registers():
+                registers.append(
+                    ProofRegister(self._copy_name(register.name, copy), register.node, register.dim)
+                )
+        return registers
+
+    def honest_proof(self, inputs: Sequence[str]) -> ProductProof:
+        base_proof = self.base.honest_proof(inputs)
+        states = {}
+        for copy in range(self.repetitions):
+            for name in base_proof.register_names:
+                states[self._copy_name(name, copy)] = base_proof.state(name)
+        return ProductProof(states)
+
+    def _split_proof(self, proof: ProductProof) -> List[ProductProof]:
+        copies = []
+        base_names = [register.name for register in self.base.proof_registers()]
+        for copy in range(self.repetitions):
+            states = {name: proof.state(self._copy_name(name, copy)) for name in base_names}
+            copies.append(ProductProof(states))
+        return copies
+
+    def acceptance_probability(
+        self, inputs: Sequence[str], proof: Optional[ProductProof] = None
+    ) -> float:
+        if proof is None:
+            copies = [None] * self.repetitions
+        else:
+            copies = self._split_proof(proof)
+        probability = 1.0
+        for copy_proof in copies:
+            probability *= self.base.acceptance_probability(inputs, copy_proof)
+        return probability
+
+    def _messages(self) -> Dict[Tuple[NodeId, NodeId], float]:
+        base_messages = self.base.message_qubits()
+        return {edge: qubits * self.repetitions for edge, qubits in base_messages.items()}
+
+    @property
+    def rounds(self) -> int:
+        return self.base.rounds
+
+
+def soundness_repetitions(single_shot_gap: float, target_error: float = 1.0 / 3.0) -> int:
+    """Number of parallel repetitions needed to push soundness below ``target_error``.
+
+    If one copy accepts a no-instance with probability at most ``1 - gap``,
+    ``k`` copies accept with probability at most ``(1 - gap)^k``; the paper
+    uses ``k = ceil(2 / gap)`` to reach ``e^{-2} < 1/3`` (Section 3.2).
+    """
+    if not (0.0 < single_shot_gap <= 1.0):
+        raise ProtocolError("single-shot gap must lie in (0, 1]")
+    if not (0.0 < target_error < 1.0):
+        raise ProtocolError("target error must lie in (0, 1)")
+    repetitions = ceil(np.log(target_error) / np.log(max(1.0 - single_shot_gap, 1e-12)))
+    return max(int(repetitions), 1)

@@ -1,0 +1,173 @@
+"""Classical distributed Merlin-Arthur (dMA) baselines.
+
+The paper's quantum advantage statements compare against classical protocols:
+
+* the *trivial* protocol in which the prover sends the whole ``n``-bit input to
+  every node (Section 1.2) — completeness 1, soundness 0, total proof
+  ``Theta(r n)`` bits, matching the Section 4.2 lower bound up to constants;
+* truncated-proof protocols, which fall below the ``Omega(r n)`` bound and are
+  therefore *unsound*: the benchmarks exhibit explicit fooling inputs, which is
+  the constructive content of Lemma 23 / Proposition 24.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.comm.problems import EqualityProblem
+from repro.exceptions import ProofError, ProtocolError
+from repro.network.topology import Network, NodeId, path_network
+from repro.protocols.base import CostSummary
+from repro.utils.bitstrings import validate_bitstring
+
+
+class ClassicalDMAProtocol(ABC):
+    """A classical dMA protocol: bit-string proofs, deterministic or randomized verification."""
+
+    def __init__(self, problem: EqualityProblem, network: Network):
+        self.problem = problem
+        self.network = network
+        if len(network.terminals) != problem.num_inputs:
+            raise ProtocolError("terminal count does not match the problem arity")
+
+    @abstractmethod
+    def proof_bits_per_node(self) -> Dict[NodeId, int]:
+        """Number of proof bits sent to each node."""
+
+    @abstractmethod
+    def honest_proof(self, inputs: Sequence[str]) -> Dict[NodeId, str]:
+        """The honest prover's proof assignment."""
+
+    @abstractmethod
+    def acceptance_probability(
+        self, inputs: Sequence[str], proof: Optional[Dict[NodeId, str]] = None
+    ) -> float:
+        """Probability that all nodes accept."""
+
+    # -- cost accounting -----------------------------------------------------
+
+    def local_proof_bits(self) -> int:
+        """Largest per-node proof size."""
+        sizes = self.proof_bits_per_node()
+        return max(sizes.values()) if sizes else 0
+
+    def total_proof_bits(self) -> int:
+        """Total proof size over all nodes."""
+        return sum(self.proof_bits_per_node().values())
+
+    def cost_summary(self) -> CostSummary:
+        """Cost record (message sizes equal the proof sizes exchanged with neighbours)."""
+        return CostSummary(
+            local_proof=float(self.local_proof_bits()),
+            total_proof=float(self.total_proof_bits()),
+            local_message=float(self.local_proof_bits()),
+            total_message=float(self.local_proof_bits() * max(len(self.network.edges), 1)),
+            rounds=1,
+        )
+
+    def _validate_proof(self, proof: Dict[NodeId, str]) -> None:
+        sizes = self.proof_bits_per_node()
+        for node, expected in sizes.items():
+            if node not in proof:
+                raise ProofError(f"classical proof is missing node {node!r}")
+            validate_bitstring(proof[node], length=expected)
+
+
+class TrivialEqualityDMA(ClassicalDMAProtocol):
+    """The trivial classical protocol: the prover sends the full string to every node.
+
+    Every node checks that its proof equals its neighbours' proofs, and each
+    terminal additionally checks the proof against its own input.  The protocol
+    is deterministic: completeness 1, soundness 0, with ``n`` proof bits per
+    node (``Theta(r n)`` in total on a path).
+    """
+
+    def __init__(self, problem: EqualityProblem, network: Network):
+        super().__init__(problem, network)
+
+    @classmethod
+    def on_path(cls, input_length: int, path_length: int) -> "TrivialEqualityDMA":
+        """Convenience constructor on the standard path."""
+        return cls(EqualityProblem(input_length, 2), path_network(path_length))
+
+    def proof_bits_per_node(self) -> Dict[NodeId, int]:
+        return {node: self.problem.input_length for node in self.network.nodes}
+
+    def honest_proof(self, inputs: Sequence[str]) -> Dict[NodeId, str]:
+        inputs = self.problem.validate_inputs(inputs)
+        return {node: inputs[0] for node in self.network.nodes}
+
+    def acceptance_probability(
+        self, inputs: Sequence[str], proof: Optional[Dict[NodeId, str]] = None
+    ) -> float:
+        inputs = self.problem.validate_inputs(inputs)
+        if proof is None:
+            proof = self.honest_proof(inputs)
+        self._validate_proof(proof)
+        for node in self.network.nodes:
+            for neighbour in self.network.neighbors(node):
+                if proof[node] != proof[neighbour]:
+                    return 0.0
+        for terminal, value in zip(self.network.terminals, inputs):
+            if proof[terminal] != value:
+                return 0.0
+        return 1.0
+
+
+class TruncationEqualityDMA(ClassicalDMAProtocol):
+    """A deliberately-undersized classical protocol: proofs carry only a prefix.
+
+    The prover sends only the first ``proof_bits`` bits of the claimed common
+    string; nodes compare prefixes.  Completeness stays 1, but as soon as
+    ``proof_bits < n`` there are fooling input pairs the protocol accepts —
+    the constructive failure mode behind the ``Omega(r n)`` classical lower
+    bound of Section 4.2.
+    """
+
+    def __init__(self, problem: EqualityProblem, network: Network, proof_bits: int):
+        super().__init__(problem, network)
+        if proof_bits < 0 or proof_bits > problem.input_length:
+            raise ProtocolError("proof_bits must be between 0 and the input length")
+        self.proof_bits = int(proof_bits)
+
+    def proof_bits_per_node(self) -> Dict[NodeId, int]:
+        return {node: self.proof_bits for node in self.network.nodes}
+
+    def honest_proof(self, inputs: Sequence[str]) -> Dict[NodeId, str]:
+        inputs = self.problem.validate_inputs(inputs)
+        prefix = inputs[0][: self.proof_bits]
+        return {node: prefix for node in self.network.nodes}
+
+    def acceptance_probability(
+        self, inputs: Sequence[str], proof: Optional[Dict[NodeId, str]] = None
+    ) -> float:
+        inputs = self.problem.validate_inputs(inputs)
+        if proof is None:
+            proof = self.honest_proof(inputs)
+        self._validate_proof(proof)
+        for node in self.network.nodes:
+            for neighbour in self.network.neighbors(node):
+                if proof[node] != proof[neighbour]:
+                    return 0.0
+        for terminal, value in zip(self.network.terminals, inputs):
+            if proof[terminal] != value[: self.proof_bits]:
+                return 0.0
+        return 1.0
+
+    def fooling_pair(self) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        """An accepted no-instance demonstrating the soundness failure.
+
+        Returns ``(yes_instance, accepted_no_instance)``: two inputs that share
+        the proof prefix but differ in the suffix, so the protocol accepts both
+        with probability 1 while the second is a no-instance of ``EQ``.
+        Only defined when ``proof_bits < n``.
+        """
+        n = self.problem.input_length
+        if self.proof_bits >= n:
+            raise ProtocolError("the full-prefix protocol has no fooling pair")
+        base = "0" * n
+        other = "0" * (n - 1) + "1"
+        yes_instance = tuple([base] * self.problem.num_inputs)
+        no_instance = tuple([base] * (self.problem.num_inputs - 1) + [other])
+        return yes_instance, no_instance

@@ -1,0 +1,323 @@
+"""dQMA protocols for the equality function (Section 3 of the paper).
+
+``EqualityPathProtocol`` implements Algorithm 3 (the single-shot protocol
+``P_pi`` on a path with the symmetrization step), and ``EqualityTreeProtocol``
+implements Algorithm 5 (the protocol on a general network over the
+verification tree, using the permutation test).  Both have perfect
+completeness; the single-shot soundness gap is ``4 / (81 r^2)`` (Lemma 17) and
+parallel repetition (Algorithm 4, :class:`repro.protocols.base.RepeatedProtocol`)
+brings the soundness error below 1/3.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from math import ceil
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.problems import EqualityProblem
+from repro.exceptions import ProtocolError, TopologyError
+from repro.network.spanning_tree import VerificationTree, build_verification_tree
+from repro.network.topology import Network, NodeId, path_network
+from repro.protocols.base import (
+    DQMAProtocol,
+    ProductProof,
+    ProofRegister,
+    RepeatedProtocol,
+    soundness_repetitions,
+)
+from repro.protocols.chain import (
+    chain_acceptance_operator,
+    chain_acceptance_probability,
+    optimal_entangled_acceptance,
+)
+from repro.quantum.fingerprint import ExactCodeFingerprint, FingerprintScheme
+from repro.quantum.permutation_test import permutation_test_accept_probability_product
+from repro.quantum.states import outer
+
+
+def _ordered_path_nodes(network: Network) -> List[NodeId]:
+    """The nodes of a path network from one terminal to the other."""
+    if len(network.terminals) != 2:
+        raise TopologyError("a path protocol needs exactly two terminals")
+    left, right = network.terminals
+    path = network.shortest_path(left, right)
+    if len(path) != network.num_nodes:
+        raise TopologyError("the network is not a simple path between its terminals")
+    return path
+
+
+class EqualityPathProtocol(DQMAProtocol):
+    """Algorithm 3: the single-shot dQMA protocol ``P_pi`` for ``EQ`` on a path.
+
+    The prover sends two fingerprint registers to every intermediate node; the
+    nodes symmetrize, forward one register to the right, SWAP-test the other
+    against the incoming register, and the right end applies the fingerprint
+    measurement of the one-way protocol ``pi``.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        fingerprints: FingerprintScheme,
+        problem: Optional[EqualityProblem] = None,
+    ):
+        if problem is None:
+            problem = EqualityProblem(fingerprints.input_length, num_inputs=2)
+        if problem.input_length != fingerprints.input_length:
+            raise ProtocolError("fingerprint scheme and problem disagree on the input length")
+        super().__init__(problem, network)
+        self.fingerprints = fingerprints
+        self.path_nodes = _ordered_path_nodes(network)
+        self.path_length = len(self.path_nodes) - 1
+
+    # -- layout --------------------------------------------------------------
+
+    @classmethod
+    def on_path(cls, input_length: int, path_length: int, fingerprints: Optional[FingerprintScheme] = None):
+        """Convenience constructor on the standard path ``v0 .. v_r``."""
+        if fingerprints is None:
+            fingerprints = ExactCodeFingerprint(input_length)
+        return cls(path_network(path_length), fingerprints)
+
+    def _register_name(self, node_index: int, slot: int) -> str:
+        return f"R[{node_index},{slot}]"
+
+    def proof_registers(self) -> List[ProofRegister]:
+        registers = []
+        for index in range(1, self.path_length):
+            node = self.path_nodes[index]
+            for slot in (0, 1):
+                registers.append(
+                    ProofRegister(self._register_name(index, slot), node, self.fingerprints.dim)
+                )
+        return registers
+
+    def _messages(self) -> Dict[Tuple[NodeId, NodeId], float]:
+        messages = {}
+        for index in range(self.path_length):
+            edge = (self.path_nodes[index], self.path_nodes[index + 1])
+            messages[edge] = self.fingerprints.num_qubits
+        return messages
+
+    # -- proofs ---------------------------------------------------------------
+
+    def honest_proof(self, inputs: Sequence[str]) -> ProductProof:
+        inputs = self.problem.validate_inputs(inputs)
+        fingerprint = self.fingerprints.state(inputs[0])
+        states = {}
+        for index in range(1, self.path_length):
+            states[self._register_name(index, 0)] = fingerprint
+            states[self._register_name(index, 1)] = fingerprint
+        return ProductProof(states)
+
+    # -- acceptance ------------------------------------------------------------
+
+    def _chain_inputs(self, inputs: Sequence[str], proof: Optional[ProductProof]):
+        inputs = self.problem.validate_inputs(inputs)
+        if proof is None:
+            proof = self.honest_proof(inputs)
+        else:
+            self.validate_proof(proof)
+        left_state = self.fingerprints.state(inputs[0])
+        pairs = []
+        for index in range(1, self.path_length):
+            pairs.append(
+                (
+                    proof.state(self._register_name(index, 0)),
+                    proof.state(self._register_name(index, 1)),
+                )
+            )
+        right_operator = outer(self.fingerprints.state(inputs[1]))
+        return left_state, pairs, right_operator
+
+    def acceptance_probability(
+        self, inputs: Sequence[str], proof: Optional[ProductProof] = None
+    ) -> float:
+        left_state, pairs, right_operator = self._chain_inputs(inputs, proof)
+        return chain_acceptance_probability(left_state, pairs, right_operator)
+
+    def acceptance_operator(self, inputs: Sequence[str]) -> np.ndarray:
+        """Exact acceptance operator over (possibly entangled) proofs — small instances."""
+        inputs = self.problem.validate_inputs(inputs)
+        left_state = self.fingerprints.state(inputs[0])
+        right_operator = outer(self.fingerprints.state(inputs[1]))
+        return chain_acceptance_operator(
+            left_state, self.fingerprints.dim, self.path_length - 1, right_operator
+        )
+
+    def optimal_cheating_probability(self, inputs: Sequence[str]) -> float:
+        """Maximum acceptance over all (entangled) proofs — the soundness supremum."""
+        return optimal_entangled_acceptance(self.acceptance_operator(inputs))
+
+    # -- paper parameters -------------------------------------------------------
+
+    def single_shot_soundness_gap(self) -> float:
+        """The paper's single-shot rejection-probability bound ``4 / (81 r^2)`` (Lemma 17)."""
+        return 4.0 / (81.0 * self.path_length**2)
+
+    def paper_repetitions(self) -> int:
+        """The repetition count ``k = ceil(2 * 81 r^2 / 4)`` used in Section 3.2."""
+        return int(ceil(2.0 * 81.0 * self.path_length**2 / 4.0))
+
+    def repeated(self, repetitions: Optional[int] = None) -> RepeatedProtocol:
+        """Algorithm 4: the parallel repetition ``P_pi[k]`` of this protocol."""
+        if repetitions is None:
+            repetitions = self.paper_repetitions()
+        return RepeatedProtocol(self, repetitions)
+
+
+class EqualityTreeProtocol(DQMAProtocol):
+    """Algorithm 5: ``EQ`` between ``t`` terminals on a general network.
+
+    The protocol runs over the verification tree of Section 3.3: terminals
+    prepare their own fingerprints, every non-input node receives two
+    fingerprint registers from the prover and symmetrizes them, every non-root
+    node forwards one register to its parent, and every non-input node (and
+    the root) applies the permutation test to its kept register together with
+    everything received from its children.
+    """
+
+    MAX_ENUMERATED_NODES = 16
+
+    def __init__(
+        self,
+        network: Network,
+        fingerprints: FingerprintScheme,
+        problem: Optional[EqualityProblem] = None,
+        root: Optional[NodeId] = None,
+    ):
+        if problem is None:
+            problem = EqualityProblem(fingerprints.input_length, num_inputs=network.num_terminals)
+        if problem.input_length != fingerprints.input_length:
+            raise ProtocolError("fingerprint scheme and problem disagree on the input length")
+        super().__init__(problem, network)
+        self.fingerprints = fingerprints
+        self.tree: VerificationTree = build_verification_tree(network, root=root)
+        self._input_nodes = set(self.tree.terminal_leaves.values())
+        self._terminal_of_input_node = {
+            leaf: terminal for terminal, leaf in self.tree.terminal_leaves.items()
+        }
+        self._proof_nodes = [
+            node for node in self.tree.nodes if node not in self._input_nodes
+        ]
+
+    # -- layout --------------------------------------------------------------
+
+    def _register_name(self, node: NodeId, slot: int) -> str:
+        return f"R[{node},{slot}]"
+
+    def proof_registers(self) -> List[ProofRegister]:
+        registers = []
+        for node in self._proof_nodes:
+            original = self.tree.shadow_of.get(node, node)
+            for slot in (0, 1):
+                registers.append(
+                    ProofRegister(self._register_name(node, slot), original, self.fingerprints.dim)
+                )
+        return registers
+
+    def _messages(self) -> Dict[Tuple[NodeId, NodeId], float]:
+        messages: Dict[Tuple[NodeId, NodeId], float] = {}
+        for node in self.tree.nodes:
+            parent = self.tree.parent(node)
+            if parent is None:
+                continue
+            child_physical = self.tree.shadow_of.get(node, node)
+            parent_physical = self.tree.shadow_of.get(parent, parent)
+            if child_physical == parent_physical:
+                continue  # shadow-leaf messages stay inside the physical node
+            edge = (child_physical, parent_physical)
+            messages[edge] = messages.get(edge, 0.0) + self.fingerprints.num_qubits
+        return messages
+
+    # -- proofs ---------------------------------------------------------------
+
+    def honest_proof(self, inputs: Sequence[str]) -> ProductProof:
+        inputs = self.problem.validate_inputs(inputs)
+        fingerprint = self.fingerprints.state(inputs[0])
+        states = {}
+        for node in self._proof_nodes:
+            states[self._register_name(node, 0)] = fingerprint
+            states[self._register_name(node, 1)] = fingerprint
+        return ProductProof(states)
+
+    # -- acceptance ------------------------------------------------------------
+
+    def _input_of_node(self, node: NodeId, inputs: Sequence[str]) -> str:
+        terminal = self._terminal_of_input_node[node]
+        terminal_index = list(self.network.terminals).index(terminal)
+        return inputs[terminal_index]
+
+    def acceptance_probability(
+        self, inputs: Sequence[str], proof: Optional[ProductProof] = None
+    ) -> float:
+        inputs = self.problem.validate_inputs(inputs)
+        if proof is None:
+            proof = self.honest_proof(inputs)
+        else:
+            self.validate_proof(proof)
+
+        symmetrized_nodes = [node for node in self._proof_nodes]
+        if len(symmetrized_nodes) > self.MAX_ENUMERATED_NODES:
+            raise ProtocolError(
+                "exact product-proof acceptance enumerates symmetrization patterns; "
+                f"the tree has {len(symmetrized_nodes)} non-input nodes which exceeds "
+                f"the limit of {self.MAX_ENUMERATED_NODES}"
+            )
+
+        root = self.tree.root
+        total = 0.0
+        patterns = list(iter_product((0, 1), repeat=len(symmetrized_nodes)))
+        weight = 1.0 / len(patterns) if patterns else 1.0
+        for pattern in patterns:
+            bits = dict(zip(symmetrized_nodes, pattern))
+            probability = 1.0
+            for node in self.tree.nodes:
+                is_input = node in self._input_nodes
+                if is_input and node != root:
+                    continue  # leaves with inputs perform no test
+                kept = self._kept_state(node, bits, proof, inputs)
+                child_states = [
+                    self._sent_state(child, bits, proof, inputs)
+                    for child in self.tree.children(node)
+                ]
+                if not child_states:
+                    continue
+                states = [kept] + child_states
+                probability *= permutation_test_accept_probability_product(states)
+                if probability == 0.0:
+                    break
+            total += weight * probability
+        return float(min(max(total, 0.0), 1.0))
+
+    def _kept_state(self, node: NodeId, bits, proof: ProductProof, inputs: Sequence[str]) -> np.ndarray:
+        if node in self._input_nodes:
+            return self.fingerprints.state(self._input_of_node(node, inputs))
+        slot = 0 if bits[node] == 0 else 1
+        return proof.state(self._register_name(node, slot))
+
+    def _sent_state(self, node: NodeId, bits, proof: ProductProof, inputs: Sequence[str]) -> np.ndarray:
+        if node in self._input_nodes:
+            return self.fingerprints.state(self._input_of_node(node, inputs))
+        slot = 1 if bits[node] == 0 else 0
+        return proof.state(self._register_name(node, slot))
+
+    # -- paper parameters -------------------------------------------------------
+
+    def single_shot_soundness_gap(self) -> float:
+        """The ``Omega(1/r^2)`` single-shot gap along the path joining two terminals."""
+        depth = max(self.tree.depth, 1)
+        return 4.0 / (81.0 * (2 * depth) ** 2)
+
+    def paper_repetitions(self) -> int:
+        """Repetition count sufficient for soundness 1/3 (parallel Algorithm 4)."""
+        return soundness_repetitions(self.single_shot_soundness_gap())
+
+    def repeated(self, repetitions: Optional[int] = None) -> RepeatedProtocol:
+        """The parallel repetition of this protocol."""
+        if repetitions is None:
+            repetitions = self.paper_repetitions()
+        return RepeatedProtocol(self, repetitions)

@@ -1,0 +1,277 @@
+"""dQMA protocols built from one-way communication protocols (Section 6, Algorithm 9).
+
+Given any two-party predicate ``f`` with an efficient one-way quantum protocol
+and a network with ``t`` terminals, Theorem 32 builds a dQMA protocol for
+``∀_t f`` by running, for every terminal ``u_j``, a verification tree rooted at
+``u_j``: the root prepares its one-way message ``|psi(x_j)>`` and sends a copy
+towards every leaf through a chain of SWAP tests maintained by the
+intermediate nodes (each of which receives one register per child plus one
+from the prover and permutes them uniformly at random), and every leaf applies
+Bob's measurement with its own input.  Theorem 30 (the Hamming distance
+protocol) is the instantiation with the Hamming one-way protocol.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations as iter_permutations
+from itertools import product as iter_product
+from math import ceil
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.one_way import ExactMaskHammingOneWay, HammingSketchOneWay, OneWayProtocol
+from repro.comm.problems import ForAllPairsProblem, HammingDistanceProblem, Problem
+from repro.exceptions import ProtocolError
+from repro.network.spanning_tree import VerificationTree, build_verification_tree
+from repro.network.topology import Network, NodeId, star_network
+from repro.protocols.base import (
+    DQMAProtocol,
+    ProductProof,
+    ProofRegister,
+    RepeatedProtocol,
+    soundness_repetitions,
+)
+
+
+class OneWayToTreeProtocol(DQMAProtocol):
+    """Algorithm 9 generalised: a dQMA protocol for ``∀_t f`` from a one-way protocol.
+
+    Proof registers are indexed by (tree, node, slot): for tree ``j`` each
+    internal non-root node with ``delta`` children receives ``delta + 1``
+    message-sized registers.  Message registers are manipulated as lists of
+    tensor factors so that one-way protocols with many-factor messages (the
+    Hamming sketches) never materialise their full product state.
+    """
+
+    MAX_ENUMERATED_PERMUTATION_PATTERNS = 5000
+
+    def __init__(
+        self,
+        problem: Problem,
+        network: Network,
+        one_way: OneWayProtocol,
+    ):
+        super().__init__(problem, network)
+        if one_way.input_length != problem.input_length:
+            raise ProtocolError("one-way protocol input length does not match the problem")
+        self.one_way = one_way
+        self.trees: Dict[int, VerificationTree] = {}
+        for index, terminal in enumerate(network.terminals):
+            self.trees[index] = build_verification_tree(network, root=terminal)
+
+    # -- layout ----------------------------------------------------------------
+
+    def _register_name(self, tree_index: int, node: NodeId, slot: int, factor: int) -> str:
+        return f"T[{tree_index}]:{node}:{slot}:{factor}"
+
+    def _internal_nodes(self, tree: VerificationTree) -> List[NodeId]:
+        internal = []
+        for node in tree.nodes:
+            if node == tree.root:
+                continue
+            if tree.is_leaf(node):
+                continue
+            internal.append(node)
+        return internal
+
+    def proof_registers(self) -> List[ProofRegister]:
+        registers = []
+        factor_dims = self.one_way.factor_dims
+        for tree_index, tree in self.trees.items():
+            for node in self._internal_nodes(tree):
+                physical = tree.shadow_of.get(node, node)
+                num_children = len(tree.children(node))
+                for slot in range(num_children + 1):
+                    for factor, dim in enumerate(factor_dims):
+                        registers.append(
+                            ProofRegister(
+                                self._register_name(tree_index, node, slot, factor), physical, dim
+                            )
+                        )
+        return registers
+
+    def _messages(self) -> Dict[Tuple[NodeId, NodeId], float]:
+        messages: Dict[Tuple[NodeId, NodeId], float] = {}
+        per_message = self.one_way.message_qubits
+        for tree in self.trees.values():
+            for node in tree.nodes:
+                parent = tree.parent(node)
+                if parent is None:
+                    continue
+                child_physical = tree.shadow_of.get(node, node)
+                parent_physical = tree.shadow_of.get(parent, parent)
+                if child_physical == parent_physical:
+                    continue
+                edge = (parent_physical, child_physical)
+                messages[edge] = messages.get(edge, 0.0) + per_message
+        return messages
+
+    # -- proofs -------------------------------------------------------------------
+
+    def honest_proof(self, inputs: Sequence[str]) -> ProductProof:
+        inputs = self.problem.validate_inputs(inputs)
+        states: Dict[str, np.ndarray] = {}
+        for tree_index, tree in self.trees.items():
+            root_input = inputs[tree_index]
+            factors = self.one_way.message_factors(root_input)
+            for node in self._internal_nodes(tree):
+                num_children = len(tree.children(node))
+                for slot in range(num_children + 1):
+                    for factor_index, factor in enumerate(factors):
+                        states[self._register_name(tree_index, node, slot, factor_index)] = factor
+        return ProductProof(states)
+
+    # -- acceptance ------------------------------------------------------------------
+
+    def acceptance_probability(
+        self, inputs: Sequence[str], proof: Optional[ProductProof] = None
+    ) -> float:
+        inputs = self.problem.validate_inputs(inputs)
+        if proof is None:
+            proof = self.honest_proof(inputs)
+        else:
+            self.validate_proof(proof)
+        probability = 1.0
+        for tree_index in self.trees:
+            probability *= self._tree_acceptance(tree_index, inputs, proof)
+            if probability == 0.0:
+                return 0.0
+        return float(min(max(probability, 0.0), 1.0))
+
+    def _register_factors(
+        self, proof: ProductProof, tree_index: int, node: NodeId, slot: int
+    ) -> List[np.ndarray]:
+        return [
+            proof.state(self._register_name(tree_index, node, slot, factor))
+            for factor in range(len(self.one_way.factor_dims))
+        ]
+
+    @staticmethod
+    def _swap_accept_factored(first: Sequence[np.ndarray], second: Sequence[np.ndarray]) -> float:
+        overlap_sq = 1.0
+        for f, g in zip(first, second):
+            overlap_sq *= float(abs(np.vdot(f, g)) ** 2)
+        return 0.5 + 0.5 * overlap_sq
+
+    def _tree_acceptance(
+        self, tree_index: int, inputs: Sequence[str], proof: ProductProof
+    ) -> float:
+        tree = self.trees[tree_index]
+        root_input = inputs[tree_index]
+        root_factors = self.one_way.message_factors(root_input)
+        internal_nodes = self._internal_nodes(tree)
+
+        # Each internal node draws a uniformly random assignment of its
+        # delta + 1 registers to the slots (child_1, ..., child_delta, keep);
+        # enumerate the joint assignment space exactly.
+        assignment_spaces: List[List[Tuple[int, ...]]] = []
+        for node in internal_nodes:
+            size = len(tree.children(node)) + 1
+            assignment_spaces.append(list(iter_permutations(range(size))))
+        total_patterns = 1
+        for space in assignment_spaces:
+            total_patterns *= len(space)
+        if total_patterns > self.MAX_ENUMERATED_PERMUTATION_PATTERNS:
+            raise ProtocolError(
+                f"permutation pattern space of size {total_patterns} is too large for "
+                "exact enumeration; reduce the tree fan-out"
+            )
+
+        terminal_of_leaf = {leaf: term for term, leaf in tree.terminal_leaves.items()}
+        terminal_index = {term: i for i, term in enumerate(self.network.terminals)}
+
+        total = 0.0
+        weight = 1.0 / total_patterns if total_patterns else 1.0
+        for pattern in iter_product(*assignment_spaces) if assignment_spaces else [()]:
+            assignment = dict(zip(internal_nodes, pattern))
+            probability = 1.0
+
+            def incoming_factors(node: NodeId) -> List[np.ndarray]:
+                """The register sent to ``node`` by its parent under this pattern."""
+                parent = tree.parent(node)
+                if parent == tree.root or parent is None:
+                    return root_factors
+                perm = assignment[parent]
+                child_position = tree.children(parent).index(node)
+                slot = perm[child_position]
+                return self._register_factors(proof, tree_index, parent, slot)
+
+            for node in tree.nodes:
+                if node == tree.root:
+                    continue
+                received = incoming_factors(node)
+                if tree.is_leaf(node):
+                    terminal = terminal_of_leaf.get(node)
+                    if terminal is None:
+                        # A non-terminal leaf performs no measurement.
+                        continue
+                    leaf_input = inputs[terminal_index[terminal]]
+                    probability *= self.one_way.accept_probability_factors(received, leaf_input)
+                else:
+                    perm = assignment[node]
+                    keep_slot = perm[len(tree.children(node))]
+                    kept = self._register_factors(proof, tree_index, node, keep_slot)
+                    probability *= self._swap_accept_factored(received, kept)
+                if probability == 0.0:
+                    break
+            total += weight * probability
+        return float(min(max(total, 0.0), 1.0))
+
+    # -- paper parameters ----------------------------------------------------------------
+
+    def single_shot_soundness_gap(self) -> float:
+        """The ``Omega(1/r^2)`` gap along the worst root-to-leaf path."""
+        depth = max(max(tree.depth for tree in self.trees.values()), 1)
+        return 4.0 / (81.0 * (depth + 1) ** 2)
+
+    def paper_repetitions(self) -> int:
+        """The paper's ``k = 42 r^2`` repetition count (Theorem 30)."""
+        radius = max(self.network.radius, 1)
+        return int(42 * radius**2)
+
+    def repeated(self, repetitions: Optional[int] = None) -> RepeatedProtocol:
+        """Parallel repetition of the protocol (the Step-7 loop of Algorithm 9)."""
+        if repetitions is None:
+            repetitions = soundness_repetitions(self.single_shot_soundness_gap())
+        return RepeatedProtocol(self, repetitions)
+
+
+def hamming_distance_protocol(
+    input_length: int,
+    distance_bound: int,
+    num_terminals: int,
+    network: Optional[Network] = None,
+    one_way: Optional[OneWayProtocol] = None,
+    exact: bool = True,
+    num_sketches: int = 40,
+) -> OneWayToTreeProtocol:
+    """Theorem 30: the dQMA protocol for ``HAM^{<=d}_{t,n}`` on a network.
+
+    Defaults to a star network with the terminals at the leaves.  With
+    ``exact=True`` (the default) the one-way subroutine is the erase-mask
+    protocol with perfect completeness; with ``exact=False`` it is the
+    lighter sketch-based protocol (bounded two-sided error).
+    """
+    if network is None:
+        network = star_network(num_terminals)
+    if one_way is None:
+        if exact:
+            one_way = ExactMaskHammingOneWay(input_length, distance_bound)
+        else:
+            one_way = HammingSketchOneWay(input_length, distance_bound, num_sketches=num_sketches)
+    problem = HammingDistanceProblem(input_length, distance_bound, num_terminals)
+    return OneWayToTreeProtocol(problem, network, one_way)
+
+
+def forall_pairs_protocol(
+    base_problem,
+    one_way: OneWayProtocol,
+    num_terminals: int,
+    network: Optional[Network] = None,
+) -> OneWayToTreeProtocol:
+    """Theorem 32: the dQMA protocol for ``∀_t f`` from a one-way protocol for ``f``."""
+    if network is None:
+        network = star_network(num_terminals)
+    problem = ForAllPairsProblem(base_problem, num_terminals)
+    return OneWayToTreeProtocol(problem, network, one_way)

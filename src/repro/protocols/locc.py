@@ -1,0 +1,81 @@
+"""LOCC dQMA conversion (Lemma 20, quoted from Le Gall–Miyamoto–Nishimura).
+
+A dQMA protocol uses quantum messages between the verifiers.  Lemma 20 (GMN23a)
+replaces the verification-stage quantum communication by classical
+communication (LOCC) at the price of enlarging the proofs:
+
+    local proof   s_c  ->  s_c + O(d_max * s_m * s_tm)
+    local message s_m  ->  O(s_m * s_tm)
+
+where ``d_max`` is the maximum degree and ``s_tm`` the total number of qubits
+sent during verification.  Combining this with Theorem 19 gives Corollary 21:
+an LOCC dQMA protocol for ``EQ^t_n`` with local proof
+``O(d_max |V| r^4 log^2 n)`` and message ``O(|V| r^4 log^2 n)``.
+
+This module provides the cost conversion for any instantiated protocol and the
+Corollary 21 formula; the verification-stage rewriting itself is not simulated
+(the acceptance statistics are unchanged by construction, which is the content
+of the cited lemma).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log2
+
+from repro.exceptions import BoundError
+from repro.protocols.base import CostSummary, DQMAProtocol
+
+
+@dataclass(frozen=True)
+class LOCCConversionCost:
+    """Costs of the LOCC dQMA protocol produced by Lemma 20."""
+
+    original: CostSummary
+    max_degree: int
+    total_verification_qubits: float
+    local_proof_qubits: float
+    local_message_bits: float
+
+    @property
+    def proof_overhead_factor(self) -> float:
+        """Ratio of the LOCC local proof to the original local proof."""
+        if self.original.local_proof <= 0:
+            return float("inf")
+        return self.local_proof_qubits / self.original.local_proof
+
+
+def locc_conversion_cost(protocol: DQMAProtocol) -> LOCCConversionCost:
+    """Apply the Lemma 20 cost conversion to an instantiated dQMA protocol."""
+    summary = protocol.cost_summary()
+    max_degree = protocol.network.max_degree
+    total_verification = summary.total_message
+    local_proof = summary.local_proof + max_degree * summary.local_message * total_verification
+    local_message = summary.local_message * total_verification
+    return LOCCConversionCost(
+        original=summary,
+        max_degree=max_degree,
+        total_verification_qubits=total_verification,
+        local_proof_qubits=local_proof,
+        local_message_bits=local_message,
+    )
+
+
+def corollary21_local_proof_bound(
+    n: int, r: int, num_nodes: int, max_degree: int, fingerprint_constant: float = 3.0
+) -> float:
+    """Corollary 21: LOCC dQMA local proof size ``O(d_max |V| r^4 log^2 n)`` for ``EQ``."""
+    if n <= 0 or r <= 0 or num_nodes <= 0 or max_degree <= 0:
+        raise BoundError("all parameters must be positive")
+    log_n = fingerprint_constant * log2(max(n, 2))
+    return float(max_degree) * num_nodes * (r**4) * (log_n**2)
+
+
+def corollary21_local_message_bound(
+    n: int, r: int, num_nodes: int, fingerprint_constant: float = 3.0
+) -> float:
+    """Corollary 21: LOCC dQMA local message size ``O(|V| r^4 log^2 n)`` for ``EQ``."""
+    if n <= 0 or r <= 0 or num_nodes <= 0:
+        raise BoundError("all parameters must be positive")
+    log_n = fingerprint_constant * log2(max(n, 2))
+    return float(num_nodes) * (r**4) * (log_n**2)

@@ -1,0 +1,241 @@
+"""dQMA protocol for ranking verification (Section 5.2, Algorithm 8).
+
+To verify that terminal ``u_i`` holds the ``j``-th largest input, the prover
+sends, for every other terminal ``u_k``:
+
+* a one-qubit *direction register* to every node on the tree path between
+  ``u_i`` and ``u_k`` (``0`` encodes ``x_i >= x_k``, ``1`` encodes
+  ``x_i < x_k``), and
+* a proof for the greater-than protocol (``GT_>=`` or ``GT_<`` according to
+  the direction) along that path.
+
+All nodes on a path compare their direction bits; the nodes then run the
+corresponding greater-than protocol; finally the root counts the number of
+``>=`` directions and rejects unless it matches the claimed rank.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.problems import GreaterThanProblem, RankingVerificationProblem
+from repro.exceptions import ProtocolError
+from repro.network.spanning_tree import build_verification_tree
+from repro.network.topology import Network, NodeId, path_network, star_network
+from repro.protocols.base import (
+    DQMAProtocol,
+    ProductProof,
+    ProofRegister,
+    RepeatedProtocol,
+    soundness_repetitions,
+)
+from repro.protocols.greater_than import GreaterThanPathProtocol
+from repro.quantum.fingerprint import ExactCodeFingerprint, FingerprintScheme
+from repro.quantum.states import basis_state
+
+
+class RankingVerificationProtocol(DQMAProtocol):
+    """Algorithm 8: verify that terminal ``i`` holds the ``j``-th largest input."""
+
+    def __init__(
+        self,
+        network: Network,
+        fingerprints: FingerprintScheme,
+        target_terminal: int,
+        target_rank: int,
+        problem: Optional[RankingVerificationProblem] = None,
+    ):
+        if problem is None:
+            problem = RankingVerificationProblem(
+                fingerprints.input_length, network.num_terminals, target_terminal, target_rank
+            )
+        if problem.input_length != fingerprints.input_length:
+            raise ProtocolError("fingerprint scheme and problem disagree on the input length")
+        super().__init__(problem, network)
+        self.fingerprints = fingerprints
+        self.target_terminal = int(target_terminal)
+        self.target_rank = int(target_rank)
+        root = network.terminals[self.target_terminal - 1]
+        self.tree = build_verification_tree(network, root=root)
+        self.root = root
+        self._paths: Dict[int, List[NodeId]] = {}
+        self._sub_protocols: Dict[int, Dict[str, GreaterThanPathProtocol]] = {}
+        self._build_paths()
+
+    @classmethod
+    def on_star(
+        cls,
+        input_length: int,
+        num_terminals: int,
+        target_terminal: int,
+        target_rank: int,
+        fingerprints: Optional[FingerprintScheme] = None,
+    ) -> "RankingVerificationProtocol":
+        """Convenience constructor on a star network with terminals at the leaves."""
+        if fingerprints is None:
+            fingerprints = ExactCodeFingerprint(input_length)
+        return cls(star_network(num_terminals), fingerprints, target_terminal, target_rank)
+
+    # -- construction ------------------------------------------------------------
+
+    def _other_terminal_indices(self) -> List[int]:
+        return [
+            index
+            for index in range(self.problem.num_inputs)
+            if index != self.target_terminal - 1
+        ]
+
+    def _build_paths(self) -> None:
+        terminals = list(self.network.terminals)
+        for other in self._other_terminal_indices():
+            terminal = terminals[other]
+            physical_path = self.network.shortest_path(self.root, terminal)
+            self._paths[other] = physical_path
+            length = len(physical_path) - 1
+            # Both direction variants share one set of prover registers, so the
+            # strict variant's index register is widened to match the sentinel
+            # dimension of the non-strict one.
+            shared_index_dim = self.fingerprints.input_length + 1
+            self._sub_protocols[other] = {
+                ">=": GreaterThanPathProtocol(
+                    path_network(length), self.fingerprints, variant=">=", index_dim=shared_index_dim
+                ),
+                "<": GreaterThanPathProtocol(
+                    path_network(length), self.fingerprints, variant="<", index_dim=shared_index_dim
+                ),
+            }
+
+    # -- layout --------------------------------------------------------------------
+
+    def _direction_register_name(self, other: int, position: int) -> str:
+        return f"D[{other},{position}]"
+
+    def _sub_register_name(self, other: int, base_name: str) -> str:
+        return f"GT[{other}]:{base_name}"
+
+    def proof_registers(self) -> List[ProofRegister]:
+        registers = []
+        for other, physical_path in self._paths.items():
+            for position, node in enumerate(physical_path):
+                registers.append(
+                    ProofRegister(self._direction_register_name(other, position), node, 2)
+                )
+            # Both direction branches share the same registers; the prover sends
+            # one set of GT-proof registers per path whose contents depend on
+            # the direction.  Cost accounting uses the ">=" layout (identical
+            # sizes to "<").
+            sub = self._sub_protocols[other][">="]
+            for register in sub.proof_registers():
+                node_index = sub.path_nodes.index(register.node)
+                physical_node = physical_path[node_index]
+                registers.append(
+                    ProofRegister(self._sub_register_name(other, register.name), physical_node, register.dim)
+                )
+        return registers
+
+    def _messages(self) -> Dict[Tuple[NodeId, NodeId], float]:
+        messages: Dict[Tuple[NodeId, NodeId], float] = {}
+        for other, physical_path in self._paths.items():
+            sub = self._sub_protocols[other][">="]
+            sub_messages = sub.message_qubits()
+            for (left, right), qubits in sub_messages.items():
+                left_index = sub.path_nodes.index(left)
+                right_index = sub.path_nodes.index(right)
+                edge = (physical_path[left_index], physical_path[right_index])
+                messages[edge] = messages.get(edge, 0.0) + qubits + 1.0  # +1 direction bit
+        return messages
+
+    # -- proofs -----------------------------------------------------------------------
+
+    def _direction_for(self, inputs: Sequence[str], other: int) -> int:
+        xi = inputs[self.target_terminal - 1]
+        xk = inputs[other]
+        return 0 if int(xi, 2) >= int(xk, 2) else 1
+
+    def honest_proof(self, inputs: Sequence[str]) -> ProductProof:
+        inputs = self.problem.validate_inputs(inputs)
+        states: Dict[str, np.ndarray] = {}
+        for other, physical_path in self._paths.items():
+            direction = self._direction_for(inputs, other)
+            for position in range(len(physical_path)):
+                states[self._direction_register_name(other, position)] = basis_state(2, direction)
+            variant = ">=" if direction == 0 else "<"
+            sub = self._sub_protocols[other][variant]
+            sub_inputs = (inputs[self.target_terminal - 1], inputs[other])
+            sub_proof = sub.honest_proof(sub_inputs)
+            for name in sub_proof.register_names:
+                states[self._sub_register_name(other, name)] = sub_proof.state(name)
+        return ProductProof(states)
+
+    # -- acceptance ----------------------------------------------------------------------
+
+    def acceptance_probability(
+        self, inputs: Sequence[str], proof: Optional[ProductProof] = None
+    ) -> float:
+        inputs = self.problem.validate_inputs(inputs)
+        if proof is None:
+            proof = self.honest_proof(inputs)
+        else:
+            self.validate_proof(proof)
+
+        others = self._other_terminal_indices()
+        per_path: Dict[int, Dict[int, float]] = {}
+        for other in others:
+            per_path[other] = {
+                0: self._path_acceptance(inputs, proof, other, direction=0),
+                1: self._path_acceptance(inputs, proof, other, direction=1),
+            }
+
+        required = self.problem.num_inputs - self.target_rank
+        total = 0.0
+        for directions in iter_product((0, 1), repeat=len(others)):
+            count_ge = sum(1 for d in directions if d == 0)
+            if count_ge != required:
+                continue  # the root rejects the direction pattern outright
+            probability = 1.0
+            for other, direction in zip(others, directions):
+                probability *= per_path[other][direction]
+                if probability == 0.0:
+                    break
+            total += probability
+        return float(min(max(total, 0.0), 1.0))
+
+    def _path_acceptance(
+        self, inputs: Sequence[str], proof: ProductProof, other: int, direction: int
+    ) -> float:
+        """Joint probability that path ``other`` measures ``direction`` everywhere and accepts."""
+        physical_path = self._paths[other]
+        joint = 1.0
+        for position in range(len(physical_path)):
+            amplitudes = proof.state(self._direction_register_name(other, position))
+            joint *= float(abs(amplitudes[direction]) ** 2)
+            if joint == 0.0:
+                return 0.0
+        variant = ">=" if direction == 0 else "<"
+        sub = self._sub_protocols[other][variant]
+        sub_inputs = (inputs[self.target_terminal - 1], inputs[other])
+        sub_states = {}
+        for register in sub.proof_registers():
+            sub_states[register.name] = proof.state(self._sub_register_name(other, register.name))
+        sub_proof = ProductProof(sub_states)
+        return joint * sub.acceptance_probability(sub_inputs, sub_proof)
+
+    # -- paper parameters -------------------------------------------------------------------
+
+    def single_shot_soundness_gap(self) -> float:
+        """Single-shot gap of the worst (longest) greater-than sub-protocol."""
+        longest = max(len(path) - 1 for path in self._paths.values())
+        return 4.0 / (81.0 * max(longest, 1) ** 2)
+
+    def paper_repetitions(self) -> int:
+        """Repetition count for soundness 1/3."""
+        return soundness_repetitions(self.single_shot_soundness_gap())
+
+    def repeated(self, repetitions: Optional[int] = None) -> RepeatedProtocol:
+        """Parallel repetition of the protocol."""
+        if repetitions is None:
+            repetitions = self.paper_repetitions()
+        return RepeatedProtocol(self, repetitions)

@@ -1,0 +1,100 @@
+"""Reductions from dQMA protocols to two-party QMA* protocols (Algorithm 11).
+
+Splitting the path ``v_0, ..., v_r`` between positions ``i`` and ``i + 1``
+turns any dQMA protocol into a QMA* communication protocol: Alice receives the
+proofs of ``v_0 .. v_i`` and simulates those nodes, Bob receives the proofs of
+``v_{i+1} .. v_r`` and simulates the rest, and the only communication crossing
+the cut is the ``m(v_i, v_{i+1})`` qubits of the original protocol.  The
+acceptance statistics of the two-party protocol are *identical* to the
+original protocol's by construction, so the reduction is entirely about cost
+accounting — which is what Theorem 63 combines with the QMA communication
+lower bounds of Klauck to obtain dQMA lower bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.comm.qma import QMAStarCost, qma_cost_from_qma_star
+from repro.exceptions import ProtocolError
+from repro.network.topology import NodeId
+from repro.protocols.base import DQMAProtocol
+
+
+@dataclass(frozen=True)
+class QMAStarReduction:
+    """Outcome of the Algorithm 11 reduction at a specific cut."""
+
+    cut_index: int
+    alice_nodes: Tuple[NodeId, ...]
+    bob_nodes: Tuple[NodeId, ...]
+    cost: QMAStarCost
+
+    @property
+    def total_cost(self) -> float:
+        """The QMA* cost of the reduced protocol."""
+        return self.cost.total
+
+    @property
+    def qma_cost_bound(self) -> float:
+        """Upper bound on the plain QMA cost via inequality (1)."""
+        return qma_cost_from_qma_star(self.cost).total
+
+
+def reduce_dqma_to_qma_star(
+    protocol: DQMAProtocol, cut_index: Optional[int] = None
+) -> QMAStarReduction:
+    """Algorithm 11: reduce a path dQMA protocol to a QMA* communication protocol.
+
+    ``cut_index = i`` places nodes ``v_0 .. v_i`` on Alice's side.  When the
+    cut is not specified the cheapest edge (minimum message size) is chosen,
+    matching the ``min_j m(v_j, v_{j+1})`` term in the lower-bound statements.
+    """
+    path_nodes = getattr(protocol, "path_nodes", None)
+    if path_nodes is None:
+        raise ProtocolError("the QMA* reduction is defined for path protocols")
+    path_length = len(path_nodes) - 1
+    messages = protocol.message_qubits()
+
+    def edge_message(index: int) -> float:
+        forward = (path_nodes[index], path_nodes[index + 1])
+        backward = (path_nodes[index + 1], path_nodes[index])
+        return messages.get(forward, 0.0) + messages.get(backward, 0.0)
+
+    if cut_index is None:
+        cut_index = min(range(path_length), key=edge_message)
+    if not (0 <= cut_index < path_length):
+        raise ProtocolError(f"cut index {cut_index} out of range for path length {path_length}")
+
+    alice_nodes = tuple(path_nodes[: cut_index + 1])
+    bob_nodes = tuple(path_nodes[cut_index + 1 :])
+    alice_set = set(alice_nodes)
+
+    alice_proof = 0.0
+    bob_proof = 0.0
+    for register in protocol.proof_registers():
+        if register.node in alice_set:
+            alice_proof += register.qubits
+        else:
+            bob_proof += register.qubits
+
+    cost = QMAStarCost(
+        alice_proof_qubits=alice_proof,
+        bob_proof_qubits=bob_proof,
+        communication_qubits=edge_message(cut_index),
+    )
+    return QMAStarReduction(
+        cut_index=cut_index, alice_nodes=alice_nodes, bob_nodes=bob_nodes, cost=cost
+    )
+
+
+def all_cut_reductions(protocol: DQMAProtocol) -> List[QMAStarReduction]:
+    """The Algorithm 11 reduction at every cut of the path."""
+    path_nodes = getattr(protocol, "path_nodes", None)
+    if path_nodes is None:
+        raise ProtocolError("the QMA* reduction is defined for path protocols")
+    return [
+        reduce_dqma_to_qma_star(protocol, cut_index=index)
+        for index in range(len(path_nodes) - 1)
+    ]

@@ -1,0 +1,136 @@
+"""Separable-proof conversions (Section 7, Theorems 42/46 and Proposition 47).
+
+Theorem 46: any constant-round dQMA protocol on a path with total cost
+``C = sum_j c(v_j) + min_j m(v_j, v_{j+1})`` can be simulated by a *1-round*
+``dQMA_sep`` protocol with local proof and message size ``~O(r^2 C^2)``.  The
+pipeline is
+
+1. split the path at the cheapest edge and view the two halves as Alice and
+   Bob — a QMA* communication protocol of cost ``C`` (Algorithm 11),
+2. convert to a plain QMA protocol via inequality (1) (cost at most ``2C``),
+3. reduce to a Linear Subspace Distance instance of ambient dimension
+   ``m = 2^{O(C)}`` (Lemma 44),
+4. solve the LSD instance with the QMA one-way protocol of cost ``O(log m) =
+   O(C)`` (Lemma 45),
+5. turn that one-way protocol into a dQMA_sep path protocol via Theorem 42.
+
+Steps 1, 2, 4 and 5 are implemented exactly (see
+:mod:`repro.protocols.reductions`, :mod:`repro.comm.qma`,
+:mod:`repro.comm.lsd`, :mod:`repro.protocols.qma_to_dqma`).  Step 3 — the
+Kitaev-style circuit-to-subspace reduction of Raz and Shpilka — is reproduced
+at the cost-accounting level (the instance dimension and the resulting
+register sizes), and the benchmarks exercise the remainder of the pipeline on
+explicitly generated LSD instances with the dimensions the reduction would
+produce; DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import Optional
+
+from repro.comm.lsd import random_lsd_instance
+from repro.exceptions import ProtocolError
+from repro.protocols.base import CostSummary, DQMAProtocol
+from repro.protocols.qma_to_dqma import LSDPathProtocol
+
+
+@dataclass(frozen=True)
+class SeparableConversionCost:
+    """Cost bookkeeping of the dQMA → dQMA_sep conversion of Theorem 46."""
+
+    original_cost: float
+    path_length: int
+    qma_star_cost: float
+    qma_cost_bound: float
+    lsd_ambient_log_dim: float
+    lsd_input_bits: float
+    one_way_cost: float
+    local_proof_qubits: float
+    local_message_qubits: float
+
+    @property
+    def overhead_factor(self) -> float:
+        """Ratio of the converted local proof size to the original cost."""
+        if self.original_cost <= 0:
+            return float("inf")
+        return self.local_proof_qubits / self.original_cost
+
+
+def dqma_to_dqmasep_cost(
+    cost: CostSummary | float,
+    path_length: int,
+    repetition_constant: float = 81.0 / 2.0,
+) -> SeparableConversionCost:
+    """Theorem 46 cost pipeline for a protocol of total cost ``C`` on a path of length ``r``.
+
+    ``cost`` may be a :class:`CostSummary` (in which case ``C`` is the total
+    proof size plus the cheapest edge message, as in the theorem statement) or
+    the value of ``C`` directly.
+    """
+    if path_length < 1:
+        raise ProtocolError("path length must be at least 1")
+    if isinstance(cost, CostSummary):
+        messages = cost.local_message  # cheapest-edge proxy when only a summary is given
+        total_cost = cost.total_proof + messages
+    else:
+        total_cost = float(cost)
+    if total_cost <= 0:
+        raise ProtocolError("protocol cost must be positive")
+
+    qma_star = total_cost
+    qma_bound = 2.0 * total_cost  # inequality (1)
+    lsd_log_dim = qma_bound  # m = 2^{O(C)}; the exponent constant is 1 in this accounting
+    # The LSD input has O(m^2 log m) bits; reported in the log domain to avoid overflow.
+    lsd_input_bits = 2.0 * lsd_log_dim + log2(max(lsd_log_dim, 2.0))
+    one_way_cost = lsd_log_dim  # Lemma 45: O(log m)
+    repetitions = repetition_constant * path_length**2
+    # Theorem 42 amplifies the one-way protocol O(log(n' + r)) times where n'
+    # is the LSD input size; log2(n') is exactly ``lsd_input_bits``.
+    amplification = lsd_input_bits + log2(max(path_length, 2.0))
+    local_proof = repetitions * 2.0 * one_way_cost * amplification
+    local_message = repetitions * one_way_cost * amplification
+    return SeparableConversionCost(
+        original_cost=total_cost,
+        path_length=path_length,
+        qma_star_cost=qma_star,
+        qma_cost_bound=qma_bound,
+        lsd_ambient_log_dim=lsd_log_dim,
+        lsd_input_bits=lsd_input_bits,
+        one_way_cost=one_way_cost,
+        local_proof_qubits=local_proof,
+        local_message_qubits=local_message,
+    )
+
+
+def dqma_to_dqmasep_cost_from_protocol(protocol: DQMAProtocol) -> SeparableConversionCost:
+    """Theorem 46 applied to an instantiated path protocol.
+
+    ``C`` is the protocol's total proof size plus its cheapest edge message.
+    """
+    summary = protocol.cost_summary()
+    messages = protocol.message_qubits()
+    cheapest_edge = min(messages.values()) if messages else 0.0
+    total_cost = summary.total_proof + cheapest_edge
+    path_length = getattr(protocol, "path_length", None)
+    if path_length is None:
+        path_length = max(protocol.network.radius, 1) * 2
+    return dqma_to_dqmasep_cost(total_cost, path_length)
+
+
+def build_sep_protocol_for_parameters(
+    ambient_dimension: int,
+    subspace_dimension: int,
+    path_length: int,
+    close: bool,
+    rng=None,
+) -> LSDPathProtocol:
+    """Instantiate the final step of the pipeline on an explicit LSD instance.
+
+    Generates an LSD instance with the requested parameters (standing in for
+    the output of the Raz–Shpilka reduction) and wraps it in the Theorem 42
+    path protocol, which is a genuine ``dQMA_sep`` protocol.
+    """
+    instance = random_lsd_instance(ambient_dimension, subspace_dimension, close=close, rng=rng)
+    return LSDPathProtocol(instance, path_length)

@@ -1,0 +1,114 @@
+"""Quantum simulation substrate.
+
+This package is a small, self-contained exact simulator of finite-dimensional
+quantum systems built on numpy.  It provides everything the dQMA protocols of
+the paper need:
+
+* pure states / density matrices and their algebra (:mod:`repro.quantum.states`),
+* standard gates and permutation unitaries (:mod:`repro.quantum.gates`),
+* distance measures: trace distance and fidelity (:mod:`repro.quantum.distance`),
+* named multi-register systems with partial traces (:mod:`repro.quantum.system`),
+* projective and POVM measurements (:mod:`repro.quantum.measurement`),
+* the symmetric subspace and permutation operators (:mod:`repro.quantum.symmetric`),
+* the SWAP test and the permutation test (:mod:`repro.quantum.swap_test`,
+  :mod:`repro.quantum.permutation_test`),
+* quantum fingerprints of classical strings (:mod:`repro.quantum.fingerprint`).
+"""
+
+from repro.quantum.distance import (
+    fidelity,
+    fuchs_van_de_graaf_bounds,
+    purity,
+    trace_distance,
+    trace_norm,
+)
+from repro.quantum.fingerprint import (
+    ExactCodeFingerprint,
+    FingerprintScheme,
+    HadamardCodeFingerprint,
+    SimulatedFingerprint,
+    fingerprint_register_qubits,
+)
+from repro.quantum.gates import (
+    controlled_swap,
+    hadamard,
+    identity,
+    pauli_x,
+    pauli_z,
+    permutation_unitary,
+    swap_unitary,
+)
+from repro.quantum.measurement import POVM, born_probability, projective_measurement
+from repro.quantum.permutation_test import (
+    permutation_test_accept_probability,
+    permutation_test_projector,
+)
+from repro.quantum.random_states import haar_random_state, random_density_matrix
+from repro.quantum.states import (
+    basis_state,
+    bra,
+    density_matrix,
+    is_density_matrix,
+    is_normalized,
+    ket,
+    normalize,
+    outer,
+    partial_trace,
+    tensor,
+)
+from repro.quantum.swap_test import (
+    swap_test_accept_probability,
+    swap_test_accept_probability_pure,
+    swap_test_projector,
+)
+from repro.quantum.symmetric import (
+    antisymmetric_projector,
+    symmetric_subspace_dimension,
+    symmetric_subspace_projector,
+)
+from repro.quantum.system import QuantumSystem, Register
+
+__all__ = [
+    "fidelity",
+    "fuchs_van_de_graaf_bounds",
+    "purity",
+    "trace_distance",
+    "trace_norm",
+    "ExactCodeFingerprint",
+    "FingerprintScheme",
+    "HadamardCodeFingerprint",
+    "SimulatedFingerprint",
+    "fingerprint_register_qubits",
+    "controlled_swap",
+    "hadamard",
+    "identity",
+    "pauli_x",
+    "pauli_z",
+    "permutation_unitary",
+    "swap_unitary",
+    "POVM",
+    "born_probability",
+    "projective_measurement",
+    "permutation_test_accept_probability",
+    "permutation_test_projector",
+    "haar_random_state",
+    "random_density_matrix",
+    "basis_state",
+    "bra",
+    "density_matrix",
+    "is_density_matrix",
+    "is_normalized",
+    "ket",
+    "normalize",
+    "outer",
+    "partial_trace",
+    "tensor",
+    "swap_test_accept_probability",
+    "swap_test_accept_probability_pure",
+    "swap_test_projector",
+    "antisymmetric_projector",
+    "symmetric_subspace_dimension",
+    "symmetric_subspace_projector",
+    "QuantumSystem",
+    "Register",
+]

@@ -1,0 +1,117 @@
+"""Standard gates and permutation unitaries.
+
+These are the only unitaries the protocols of the paper require: Hadamard (for
+the SWAP test), the SWAP operator on two equal-dimensional systems, the
+controlled-SWAP used in Algorithm 1, and the permutation unitaries
+``U_pi |i_1> ... |i_k> = |i_{pi^{-1}(1)}> ... |i_{pi^{-1}(k)}>`` used by the
+permutation test (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations as iter_permutations
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError
+
+SQRT_HALF = 1.0 / np.sqrt(2.0)
+
+
+def identity(dim: int) -> np.ndarray:
+    """The identity operator on a ``dim``-dimensional space."""
+    if dim <= 0:
+        raise DimensionMismatchError("dimension must be positive")
+    return np.eye(dim, dtype=np.complex128)
+
+
+def hadamard() -> np.ndarray:
+    """The single-qubit Hadamard gate."""
+    return SQRT_HALF * np.array([[1, 1], [1, -1]], dtype=np.complex128)
+
+
+def pauli_x() -> np.ndarray:
+    """The single-qubit Pauli X gate."""
+    return np.array([[0, 1], [1, 0]], dtype=np.complex128)
+
+
+def pauli_z() -> np.ndarray:
+    """The single-qubit Pauli Z gate."""
+    return np.array([[1, 0], [0, -1]], dtype=np.complex128)
+
+
+def swap_unitary(dim: int) -> np.ndarray:
+    """The SWAP operator on two subsystems each of dimension ``dim``."""
+    if dim <= 0:
+        raise DimensionMismatchError("dimension must be positive")
+    swap = np.zeros((dim * dim, dim * dim), dtype=np.complex128)
+    for i in range(dim):
+        for j in range(dim):
+            swap[j * dim + i, i * dim + j] = 1.0
+    return swap
+
+
+def controlled_swap(dim: int) -> np.ndarray:
+    """The controlled-SWAP gate: control qubit first, then two ``dim``-dim targets."""
+    swap = swap_unitary(dim)
+    eye = np.eye(dim * dim, dtype=np.complex128)
+    zero = np.zeros((2, 2), dtype=np.complex128)
+    zero[0, 0] = 1.0
+    one = np.zeros((2, 2), dtype=np.complex128)
+    one[1, 1] = 1.0
+    return np.kron(zero, eye) + np.kron(one, swap)
+
+
+def permutation_unitary(permutation: Sequence[int], dim: int) -> np.ndarray:
+    """Unitary permuting ``k`` subsystems of dimension ``dim``.
+
+    ``permutation`` is given in one-line notation: position ``p`` of the
+    output receives the subsystem that was at position ``permutation[p]`` of
+    the input.  Equivalently this implements
+    ``U |i_0> ... |i_{k-1}> = |i_{perm[0]}> ... |i_{perm[k-1]}>``.
+    """
+    perm = tuple(int(p) for p in permutation)
+    k = len(perm)
+    if sorted(perm) != list(range(k)):
+        raise DimensionMismatchError(f"{perm} is not a permutation of 0..{k - 1}")
+    total = dim**k
+    unitary = np.zeros((total, total), dtype=np.complex128)
+    for index in range(total):
+        digits = _digits(index, dim, k)
+        permuted = tuple(digits[perm[p]] for p in range(k))
+        target = _from_digits(permuted, dim)
+        unitary[target, index] = 1.0
+    return unitary
+
+
+def all_permutation_unitaries(k: int, dim: int) -> Tuple[Tuple[Tuple[int, ...], np.ndarray], ...]:
+    """All ``k!`` permutation unitaries on ``k`` subsystems of dimension ``dim``."""
+    result = []
+    for perm in iter_permutations(range(k)):
+        result.append((perm, permutation_unitary(perm, dim)))
+    return tuple(result)
+
+
+def _digits(index: int, dim: int, k: int) -> Tuple[int, ...]:
+    """Base-``dim`` digits (most significant first) of ``index`` with ``k`` digits."""
+    digits = []
+    for position in range(k - 1, -1, -1):
+        digits.append((index // dim**position) % dim)
+    return tuple(digits)
+
+
+def _from_digits(digits: Sequence[int], dim: int) -> int:
+    """Inverse of :func:`_digits`."""
+    value = 0
+    for digit in digits:
+        value = value * dim + int(digit)
+    return value
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """Check ``U U^dagger = I``."""
+    mat = np.asarray(matrix, dtype=np.complex128)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        return False
+    return bool(np.allclose(mat @ mat.conj().T, np.eye(mat.shape[0]), atol=atol))

@@ -1,0 +1,125 @@
+"""Projective and POVM measurements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, NormalizationError
+from repro.quantum.states import density_matrix
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def born_probability(operator: np.ndarray, state) -> float:
+    """``tr(M rho)`` clipped to [0, 1] for a POVM element ``M``."""
+    rho = density_matrix(state)
+    op = np.asarray(operator, dtype=np.complex128)
+    if op.shape != rho.shape:
+        raise DimensionMismatchError(
+            f"operator shape {op.shape} does not match state shape {rho.shape}"
+        )
+    value = float(np.real(np.trace(op @ rho)))
+    return min(max(value, 0.0), 1.0)
+
+
+@dataclass(frozen=True)
+class POVM:
+    """A positive-operator-valued measure with hashable outcome labels."""
+
+    elements: Tuple[Tuple[Hashable, np.ndarray], ...]
+
+    @classmethod
+    def from_dict(cls, elements: Dict[Hashable, np.ndarray]) -> "POVM":
+        """Build a POVM from a mapping of outcome label to POVM element."""
+        return cls(tuple((label, np.asarray(op, dtype=np.complex128)) for label, op in elements.items()))
+
+    @classmethod
+    def two_outcome(cls, accept_operator: np.ndarray) -> "POVM":
+        """The accept/reject POVM ``{M, I - M}`` with labels 1 and 0."""
+        accept = np.asarray(accept_operator, dtype=np.complex128)
+        reject = np.eye(accept.shape[0], dtype=np.complex128) - accept
+        return cls(((1, accept), (0, reject)))
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the space the POVM acts on."""
+        return self.elements[0][1].shape[0]
+
+    def validate(self, atol: float = 1e-7) -> None:
+        """Check positivity of every element and completeness (sum to identity)."""
+        total = np.zeros((self.dim, self.dim), dtype=np.complex128)
+        for label, op in self.elements:
+            if op.shape != (self.dim, self.dim):
+                raise DimensionMismatchError(f"POVM element {label!r} has wrong shape")
+            eigenvalues = np.linalg.eigvalsh((op + op.conj().T) / 2)
+            if eigenvalues.min() < -atol:
+                raise NormalizationError(f"POVM element {label!r} is not positive")
+            total += op
+        if not np.allclose(total, np.eye(self.dim), atol=atol):
+            raise NormalizationError("POVM elements do not sum to the identity")
+
+    def outcome_distribution(self, state) -> Dict[Hashable, float]:
+        """Probability of each outcome on the given state."""
+        return {label: born_probability(op, state) for label, op in self.elements}
+
+    def accept_probability(self, state, accept_label: Hashable = 1) -> float:
+        """Probability of the outcome labelled ``accept_label``."""
+        for label, op in self.elements:
+            if label == accept_label:
+                return born_probability(op, state)
+        raise DimensionMismatchError(f"POVM has no outcome labelled {accept_label!r}")
+
+    def sample(self, state, rng: RngLike = None) -> Hashable:
+        """Sample an outcome according to the Born rule."""
+        generator = ensure_rng(rng)
+        labels = [label for label, _ in self.elements]
+        probabilities = np.array([born_probability(op, state) for _, op in self.elements])
+        total = probabilities.sum()
+        if total <= 0:
+            raise NormalizationError("POVM outcome probabilities sum to zero")
+        probabilities = probabilities / total
+        index = generator.choice(len(labels), p=probabilities)
+        return labels[index]
+
+
+def projective_measurement(
+    projectors: Sequence[np.ndarray], state, rng: RngLike = None
+) -> Tuple[int, float, np.ndarray]:
+    """Perform a projective measurement on a pure state.
+
+    Returns ``(outcome index, probability, normalized post-measurement ket)``.
+    """
+    generator = ensure_rng(rng)
+    vec = np.asarray(state, dtype=np.complex128).reshape(-1)
+    probabilities: List[float] = []
+    branches: List[np.ndarray] = []
+    for projector in projectors:
+        proj = np.asarray(projector, dtype=np.complex128)
+        if proj.shape != (vec.size, vec.size):
+            raise DimensionMismatchError("projector shape does not match the state")
+        branch = proj @ vec
+        probabilities.append(float(np.real(np.vdot(branch, branch))))
+        branches.append(branch)
+    total = sum(probabilities)
+    if abs(total - 1.0) > 1e-6:
+        raise NormalizationError(
+            f"projective measurement probabilities sum to {total}, expected 1"
+        )
+    normalized = np.array(probabilities) / total
+    outcome = int(generator.choice(len(projectors), p=normalized))
+    branch = branches[outcome]
+    norm = np.linalg.norm(branch)
+    post = branch / norm if norm > 0 else branch
+    return outcome, probabilities[outcome], post
+
+
+def computational_basis_povm(dim: int) -> POVM:
+    """The computational-basis measurement as a POVM with integer labels."""
+    elements = {}
+    for index in range(dim):
+        op = np.zeros((dim, dim), dtype=np.complex128)
+        op[index, index] = 1.0
+        elements[index] = op
+    return POVM.from_dict(elements)

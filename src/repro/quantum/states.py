@@ -1,0 +1,154 @@
+"""Pure states, density matrices and their basic algebra.
+
+Conventions
+-----------
+* Pure states are one-dimensional complex numpy arrays (kets).
+* Density matrices are two-dimensional complex numpy arrays.
+* Composite systems are ordered left-to-right; ``tensor(a, b)`` puts ``a`` on
+  the most significant axis, matching ``numpy.kron``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, NormalizationError
+
+ATOL = 1e-9
+
+StateLike = Union[np.ndarray, Sequence[complex]]
+
+
+def ket(amplitudes: StateLike) -> np.ndarray:
+    """Return a complex column-free ket (1-D array) from the given amplitudes."""
+    vec = np.asarray(amplitudes, dtype=np.complex128).reshape(-1)
+    if vec.ndim != 1 or vec.size == 0:
+        raise DimensionMismatchError("a ket must be a non-empty 1-D array")
+    return vec
+
+
+def bra(amplitudes: StateLike) -> np.ndarray:
+    """Return the conjugate transpose (as a 1-D array) of the given ket."""
+    return np.conj(ket(amplitudes))
+
+
+def basis_state(dim: int, index: int) -> np.ndarray:
+    """The computational basis ket ``|index>`` in a ``dim``-dimensional space."""
+    if dim <= 0:
+        raise DimensionMismatchError("dimension must be positive")
+    if index < 0 or index >= dim:
+        raise DimensionMismatchError(f"basis index {index} out of range for dim {dim}")
+    vec = np.zeros(dim, dtype=np.complex128)
+    vec[index] = 1.0
+    return vec
+
+
+def normalize(state: StateLike) -> np.ndarray:
+    """Normalize a ket to unit Euclidean norm."""
+    vec = ket(state)
+    norm = np.linalg.norm(vec)
+    if norm < ATOL:
+        raise NormalizationError("cannot normalize the zero vector")
+    return vec / norm
+
+
+def is_normalized(state: StateLike, atol: float = 1e-8) -> bool:
+    """True when the ket has unit norm (within ``atol``)."""
+    vec = ket(state)
+    return bool(abs(np.linalg.norm(vec) - 1.0) <= atol)
+
+
+def outer(state: StateLike, other: StateLike | None = None) -> np.ndarray:
+    """The outer product ``|state><other|`` (``other`` defaults to ``state``)."""
+    left = ket(state)
+    right = ket(other) if other is not None else left
+    return np.outer(left, np.conj(right))
+
+
+def density_matrix(state: StateLike) -> np.ndarray:
+    """Density matrix of a pure state: ``|psi><psi|``.
+
+    If the input is already a square matrix it is validated and returned.
+    """
+    arr = np.asarray(state, dtype=np.complex128)
+    if arr.ndim == 2:
+        if arr.shape[0] != arr.shape[1]:
+            raise DimensionMismatchError("density matrix must be square")
+        return arr
+    return outer(arr)
+
+
+def is_density_matrix(matrix: np.ndarray, atol: float = 1e-7) -> bool:
+    """Check Hermiticity, positivity and unit trace."""
+    mat = np.asarray(matrix, dtype=np.complex128)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        return False
+    if not np.allclose(mat, mat.conj().T, atol=atol):
+        return False
+    eigenvalues = np.linalg.eigvalsh((mat + mat.conj().T) / 2)
+    if eigenvalues.min() < -atol:
+        return False
+    return bool(abs(np.trace(mat).real - 1.0) <= atol)
+
+
+def tensor(*factors: StateLike) -> np.ndarray:
+    """Kronecker product of kets or matrices (mixing is not allowed)."""
+    if not factors:
+        raise DimensionMismatchError("tensor() needs at least one factor")
+    arrays = [np.asarray(f, dtype=np.complex128) for f in factors]
+    ndim = arrays[0].ndim
+    if any(a.ndim != ndim for a in arrays):
+        raise DimensionMismatchError("cannot mix kets and matrices in tensor()")
+    result = arrays[0]
+    for arr in arrays[1:]:
+        result = np.kron(result, arr)
+    return result
+
+
+def partial_trace(
+    matrix: np.ndarray, dims: Sequence[int], keep: Iterable[int]
+) -> np.ndarray:
+    """Partial trace of a density matrix over the subsystems not in ``keep``.
+
+    Parameters
+    ----------
+    matrix:
+        Density matrix on a composite system whose subsystem dimensions are
+        ``dims`` (ordered left-to-right as in :func:`tensor`).
+    dims:
+        Dimension of each subsystem.
+    keep:
+        Indices (into ``dims``) of the subsystems to keep, in their original
+        order.
+    """
+    dims = list(int(d) for d in dims)
+    keep = sorted(set(int(k) for k in keep))
+    total = int(np.prod(dims))
+    mat = np.asarray(matrix, dtype=np.complex128)
+    if mat.shape != (total, total):
+        raise DimensionMismatchError(
+            f"matrix shape {mat.shape} does not match subsystem dims {dims}"
+        )
+    if any(k < 0 or k >= len(dims) for k in keep):
+        raise DimensionMismatchError(f"keep indices {keep} out of range")
+    num = len(dims)
+    reshaped = mat.reshape(dims + dims)
+    trace_out = [i for i in range(num) if i not in keep]
+    # Trace out the highest-index subsystem first so earlier axis labels stay valid.
+    for subsystem in sorted(trace_out, reverse=True):
+        reshaped = np.trace(reshaped, axis1=subsystem, axis2=subsystem + reshaped.ndim // 2)
+    keep_dim = int(np.prod([dims[k] for k in keep])) if keep else 1
+    return reshaped.reshape(keep_dim, keep_dim)
+
+
+def expectation(operator: np.ndarray, state: StateLike) -> float:
+    """Real part of ``<psi|O|psi>`` (ket input) or ``tr(O rho)`` (matrix input)."""
+    op = np.asarray(operator, dtype=np.complex128)
+    arr = np.asarray(state, dtype=np.complex128)
+    if arr.ndim == 1:
+        value = np.vdot(arr, op @ arr)
+    else:
+        value = np.trace(op @ arr)
+    return float(np.real(value))

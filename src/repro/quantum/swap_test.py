@@ -1,0 +1,68 @@
+"""The SWAP test (Algorithm 1 of the paper).
+
+The SWAP test on a bipartite input state accepts with probability equal to the
+weight of the state in the symmetric subspace of the two registers:
+``P[accept] = tr( (I + SWAP)/2 * rho )``.  For pure product inputs
+``|psi_1> (x) |psi_2>`` this reduces to the textbook value
+``1/2 + |<psi_1|psi_2>|^2 / 2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError
+from repro.quantum.gates import swap_unitary
+from repro.quantum.states import density_matrix
+
+
+def swap_test_projector(dim: int) -> np.ndarray:
+    """Accept projector ``(I + SWAP)/2`` on two ``dim``-dimensional registers."""
+    swap = swap_unitary(dim)
+    eye = np.eye(dim * dim, dtype=np.complex128)
+    return (eye + swap) / 2.0
+
+
+def swap_test_accept_probability(rho, dim: int | None = None) -> float:
+    """Acceptance probability of the SWAP test on a (possibly mixed) bipartite state.
+
+    ``rho`` is a ket or density matrix on two equal-dimensional registers; if
+    ``dim`` is not given it is inferred as the square root of the total
+    dimension.
+    """
+    rho_m = density_matrix(rho)
+    total = rho_m.shape[0]
+    if dim is None:
+        dim = int(round(np.sqrt(total)))
+    if dim * dim != total:
+        raise DimensionMismatchError(
+            f"total dimension {total} is not a square of the register dimension {dim}"
+        )
+    projector = swap_test_projector(dim)
+    return float(np.real(np.trace(projector @ rho_m)))
+
+
+def swap_test_accept_probability_pure(psi: np.ndarray, phi: np.ndarray) -> float:
+    """``1/2 + |<psi|phi>|^2 / 2`` for a product input of two pure states."""
+    psi = np.asarray(psi, dtype=np.complex128).reshape(-1)
+    phi = np.asarray(phi, dtype=np.complex128).reshape(-1)
+    if psi.shape != phi.shape:
+        raise DimensionMismatchError("SWAP test requires equal-dimensional registers")
+    overlap = abs(np.vdot(psi, phi)) ** 2
+    return 0.5 + 0.5 * float(overlap)
+
+
+def swap_test_post_measurement_state(rho, accept: bool, dim: int | None = None) -> np.ndarray:
+    """Normalized post-measurement state of the SWAP test given the outcome."""
+    rho_m = density_matrix(rho)
+    total = rho_m.shape[0]
+    if dim is None:
+        dim = int(round(np.sqrt(total)))
+    projector = swap_test_projector(dim)
+    if not accept:
+        projector = np.eye(total, dtype=np.complex128) - projector
+    unnormalized = projector @ rho_m @ projector
+    probability = float(np.real(np.trace(unnormalized)))
+    if probability <= 1e-15:
+        raise DimensionMismatchError("conditioning on a zero-probability outcome")
+    return unnormalized / probability

@@ -1,0 +1,91 @@
+"""The symmetric subspace of ``k`` copies of a ``d``-dimensional system.
+
+The permutation test of Algorithm 2 is equivalent to the two-outcome
+projective measurement ``{Pi_sym, I - Pi_sym}`` where ``Pi_sym`` is the
+projector onto the symmetric subspace
+``H_S^k = { |Phi> : U_pi |Phi> = |Phi> for all pi in S_k }``.
+The paper identifies ``Pi_sym = (1/k!) sum_pi U_pi`` (Section 3.1); this module
+constructs that projector explicitly.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations as iter_permutations
+from math import comb, factorial
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError
+from repro.quantum.gates import permutation_unitary
+
+
+def symmetric_subspace_dimension(dim: int, copies: int) -> int:
+    """Dimension ``C(d + k - 1, k)`` of the symmetric subspace of ``k`` ``d``-dim systems."""
+    if dim <= 0 or copies <= 0:
+        raise DimensionMismatchError("dimension and copy count must be positive")
+    return comb(dim + copies - 1, copies)
+
+
+def symmetric_subspace_projector(dim: int, copies: int) -> np.ndarray:
+    """The projector ``Pi_sym = (1/k!) sum_{pi in S_k} U_pi``."""
+    if dim <= 0 or copies <= 0:
+        raise DimensionMismatchError("dimension and copy count must be positive")
+    total = dim**copies
+    projector = np.zeros((total, total), dtype=np.complex128)
+    for perm in iter_permutations(range(copies)):
+        projector += permutation_unitary(perm, dim)
+    projector /= factorial(copies)
+    return projector
+
+
+def antisymmetric_projector(dim: int, copies: int) -> np.ndarray:
+    """The projector onto the fully antisymmetric subspace (sign-weighted average)."""
+    if dim <= 0 or copies <= 0:
+        raise DimensionMismatchError("dimension and copy count must be positive")
+    total = dim**copies
+    projector = np.zeros((total, total), dtype=np.complex128)
+    for perm in iter_permutations(range(copies)):
+        sign = _permutation_sign(perm)
+        projector += sign * permutation_unitary(perm, dim)
+    projector /= factorial(copies)
+    return projector
+
+
+def orthogonal_complement_projector(dim: int, copies: int) -> np.ndarray:
+    """``I - Pi_sym``: projector onto the subspace ``H_N`` orthogonal to ``H_S^k``."""
+    total = dim**copies
+    return np.eye(total, dtype=np.complex128) - symmetric_subspace_projector(dim, copies)
+
+
+def symmetric_weight(state: np.ndarray, dim: int, copies: int) -> float:
+    """Weight ``|alpha|^2`` of a pure state inside the symmetric subspace.
+
+    This is exactly the acceptance probability of the permutation test on the
+    state (Lemma 15).
+    """
+    vec = np.asarray(state, dtype=np.complex128).reshape(-1)
+    if vec.size != dim**copies:
+        raise DimensionMismatchError(
+            f"state dimension {vec.size} does not match {dim}^{copies}"
+        )
+    projector = symmetric_subspace_projector(dim, copies)
+    return float(np.real(np.vdot(vec, projector @ vec)))
+
+
+def _permutation_sign(perm) -> int:
+    """Sign of a permutation given in one-line notation."""
+    perm = list(perm)
+    sign = 1
+    visited = [False] * len(perm)
+    for start in range(len(perm)):
+        if visited[start]:
+            continue
+        cycle_length = 0
+        current = start
+        while not visited[current]:
+            visited[current] = True
+            current = perm[current]
+            cycle_length += 1
+        if cycle_length % 2 == 0:
+            sign = -sign
+    return sign

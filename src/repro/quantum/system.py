@@ -1,0 +1,249 @@
+"""Named multi-register pure-state quantum systems.
+
+:class:`QuantumSystem` is the work-horse of the *global* (entangled-proof)
+simulations: it stores a state vector over an ordered collection of named
+registers and supports applying unitaries/operators to arbitrary subsets of
+registers, projecting onto measurement outcomes, sampling computational-basis
+measurements and computing reduced density matrices.
+
+The product-proof simulators used for larger instances avoid this class and
+work with local states only (see :mod:`repro.protocols`); this class is used
+whenever exact, fully-entangled simulation of a small instance is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, NormalizationError, RegisterError
+from repro.quantum.states import basis_state
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class Register:
+    """A named quantum register of a fixed dimension."""
+
+    name: str
+    dim: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise RegisterError("register name must be non-empty")
+        if self.dim <= 0:
+            raise RegisterError(f"register {self.name!r} must have positive dimension")
+
+    @property
+    def num_qubits(self) -> float:
+        """Number of qubits needed to hold the register (``log2`` of the dimension)."""
+        return float(np.log2(self.dim))
+
+
+class QuantumSystem:
+    """An exact state-vector simulator over named registers."""
+
+    def __init__(self, registers: Sequence[Register], state: Optional[np.ndarray] = None):
+        if not registers:
+            raise RegisterError("a quantum system needs at least one register")
+        names = [reg.name for reg in registers]
+        if len(set(names)) != len(names):
+            raise RegisterError(f"duplicate register names: {names}")
+        self._registers: Tuple[Register, ...] = tuple(registers)
+        self._index: Dict[str, int] = {reg.name: i for i, reg in enumerate(self._registers)}
+        self._dims: Tuple[int, ...] = tuple(reg.dim for reg in self._registers)
+        total = int(np.prod(self._dims))
+        if state is None:
+            vec = basis_state(total, 0)
+        else:
+            vec = np.asarray(state, dtype=np.complex128).reshape(-1)
+            if vec.size != total:
+                raise DimensionMismatchError(
+                    f"state has dimension {vec.size}, registers require {total}"
+                )
+        self._state = vec.astype(np.complex128).copy()
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def registers(self) -> Tuple[Register, ...]:
+        """The registers of the system, in tensor order."""
+        return self._registers
+
+    @property
+    def register_names(self) -> Tuple[str, ...]:
+        """Names of the registers, in tensor order."""
+        return tuple(reg.name for reg in self._registers)
+
+    @property
+    def dims(self) -> Tuple[int, ...]:
+        """Dimensions of the registers, in tensor order."""
+        return self._dims
+
+    @property
+    def total_dim(self) -> int:
+        """Dimension of the full Hilbert space."""
+        return int(np.prod(self._dims))
+
+    @property
+    def state_vector(self) -> np.ndarray:
+        """A copy of the (possibly unnormalized) global state vector."""
+        return self._state.copy()
+
+    def copy(self) -> "QuantumSystem":
+        """An independent copy of the system."""
+        return QuantumSystem(self._registers, self._state.copy())
+
+    @classmethod
+    def from_product(
+        cls, assignments: Sequence[Tuple[Register, np.ndarray]]
+    ) -> "QuantumSystem":
+        """Build a system whose state is the tensor product of per-register kets."""
+        registers = [reg for reg, _ in assignments]
+        state = np.array([1.0 + 0.0j])
+        for reg, vec in assignments:
+            vec = np.asarray(vec, dtype=np.complex128).reshape(-1)
+            if vec.size != reg.dim:
+                raise DimensionMismatchError(
+                    f"state for register {reg.name!r} has dimension {vec.size}, "
+                    f"expected {reg.dim}"
+                )
+            state = np.kron(state, vec)
+        return cls(registers, state)
+
+    # --------------------------------------------------------- state algebra
+
+    def norm_squared(self) -> float:
+        """Squared norm of the state (probability weight of the current branch)."""
+        return float(np.real(np.vdot(self._state, self._state)))
+
+    def renormalize(self) -> "QuantumSystem":
+        """Normalize the state in place (raises on the zero vector); returns self."""
+        norm = np.linalg.norm(self._state)
+        if norm < 1e-15:
+            raise NormalizationError("cannot renormalize the zero vector")
+        self._state = self._state / norm
+        return self
+
+    def apply_operator(self, operator: np.ndarray, register_names: Sequence[str]) -> "QuantumSystem":
+        """Apply a (not necessarily unitary) operator to the named registers in place."""
+        axes = self._axes(register_names)
+        target_dims = [self._dims[a] for a in axes]
+        block = int(np.prod(target_dims))
+        op = np.asarray(operator, dtype=np.complex128)
+        if op.shape != (block, block):
+            raise DimensionMismatchError(
+                f"operator shape {op.shape} does not match registers "
+                f"{tuple(register_names)} of total dimension {block}"
+            )
+        tensor_state = self._state.reshape(self._dims)
+        op_tensor = op.reshape(target_dims + target_dims)
+        # Contract the operator's input axes with the targeted state axes.
+        moved = np.tensordot(op_tensor, tensor_state, axes=(list(range(len(axes), 2 * len(axes))), axes))
+        # tensordot puts the operator output axes first; move them back into place.
+        moved = np.moveaxis(moved, list(range(len(axes))), axes)
+        self._state = moved.reshape(-1)
+        return self
+
+    def apply_unitary(self, unitary: np.ndarray, register_names: Sequence[str]) -> "QuantumSystem":
+        """Alias of :meth:`apply_operator` kept for readability at call sites."""
+        return self.apply_operator(unitary, register_names)
+
+    def expectation(self, operator: np.ndarray, register_names: Sequence[str]) -> float:
+        """``<psi| O |psi>`` of an operator acting on the named registers."""
+        branch = self.copy().apply_operator(operator, register_names)
+        return float(np.real(np.vdot(self._state, branch._state)))
+
+    def project(
+        self, projector: np.ndarray, register_names: Sequence[str], renormalize: bool = False
+    ) -> float:
+        """Project onto a measurement outcome; returns the branch probability.
+
+        The state is replaced by the (unnormalized, unless ``renormalize``)
+        projected branch.  The returned probability is relative to the norm of
+        the state *before* the projection, so chaining projections of commuting
+        outcomes accumulates the joint outcome probability in
+        :meth:`norm_squared`.
+        """
+        before = self.norm_squared()
+        if before <= 1e-18:
+            return 0.0
+        self.apply_operator(projector, register_names)
+        after = self.norm_squared()
+        probability = after / before
+        if renormalize and after > 1e-18:
+            self.renormalize()
+        return float(min(max(probability, 0.0), 1.0))
+
+    def measure_computational(
+        self, register_names: Sequence[str], rng: RngLike = None
+    ) -> Tuple[int, float]:
+        """Measure the named registers in the computational basis.
+
+        Returns ``(outcome, probability)`` where ``outcome`` indexes the joint
+        computational basis of the measured registers, and collapses the state.
+        """
+        generator = ensure_rng(rng)
+        axes = self._axes(register_names)
+        target_dims = [self._dims[a] for a in axes]
+        block = int(np.prod(target_dims))
+        tensor_state = self._state.reshape(self._dims)
+        moved = np.moveaxis(tensor_state, axes, range(len(axes)))
+        flat = moved.reshape(block, -1)
+        weights = np.sum(np.abs(flat) ** 2, axis=1)
+        total = weights.sum()
+        if total <= 1e-18:
+            raise NormalizationError("cannot measure the zero vector")
+        probabilities = weights / total
+        outcome = int(generator.choice(block, p=probabilities))
+        collapsed = np.zeros_like(flat)
+        collapsed[outcome] = flat[outcome]
+        collapsed_tensor = collapsed.reshape([target_dims[i] for i in range(len(axes))] + [
+            d for i, d in enumerate(moved.shape) if i >= len(axes)
+        ])
+        restored = np.moveaxis(collapsed_tensor, range(len(axes)), axes)
+        self._state = restored.reshape(-1)
+        self.renormalize()
+        return outcome, float(probabilities[outcome])
+
+    def reduced_density_matrix(self, register_names: Sequence[str]) -> np.ndarray:
+        """Reduced density matrix of the named registers (normalized)."""
+        axes = self._axes(register_names)
+        target_dims = [self._dims[a] for a in axes]
+        block = int(np.prod(target_dims))
+        tensor_state = self._state.reshape(self._dims)
+        moved = np.moveaxis(tensor_state, axes, range(len(axes)))
+        flat = moved.reshape(block, -1)
+        rho = flat @ flat.conj().T
+        trace = np.trace(rho).real
+        if trace <= 1e-18:
+            raise NormalizationError("cannot reduce the zero vector")
+        return rho / trace
+
+    def overlap(self, other: "QuantumSystem") -> complex:
+        """``<other|self>`` for two systems over identical register layouts."""
+        if self._dims != other._dims:
+            raise DimensionMismatchError("systems have different register layouts")
+        return complex(np.vdot(other._state, self._state))
+
+    # ------------------------------------------------------------ internals
+
+    def _axes(self, register_names: Sequence[str]) -> List[int]:
+        if isinstance(register_names, str):
+            raise RegisterError(
+                "register_names must be a sequence of names, not a single string"
+            )
+        axes = []
+        for name in register_names:
+            if name not in self._index:
+                raise RegisterError(f"unknown register {name!r}")
+            axes.append(self._index[name])
+        if len(set(axes)) != len(axes):
+            raise RegisterError(f"duplicate registers in {tuple(register_names)}")
+        return axes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        regs = ", ".join(f"{r.name}:{r.dim}" for r in self._registers)
+        return f"QuantumSystem({regs}, norm^2={self.norm_squared():.4f})"

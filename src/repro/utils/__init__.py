@@ -1,0 +1,35 @@
+"""Small shared utilities: bit-string helpers, validation, RNG handling."""
+
+from repro.utils.bitstrings import (
+    all_bitstrings,
+    bits_to_int,
+    bitstring_to_array,
+    hamming_distance,
+    hamming_weight,
+    int_to_bits,
+    random_bitstring,
+    validate_bitstring,
+    xor_strings,
+)
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import (
+    require_integer_in_range,
+    require_positive_integer,
+    require_probability,
+)
+
+__all__ = [
+    "all_bitstrings",
+    "bits_to_int",
+    "bitstring_to_array",
+    "hamming_distance",
+    "hamming_weight",
+    "int_to_bits",
+    "random_bitstring",
+    "validate_bitstring",
+    "xor_strings",
+    "ensure_rng",
+    "require_integer_in_range",
+    "require_positive_integer",
+    "require_probability",
+]

@@ -1,0 +1,126 @@
+"""Helpers for manipulating classical bit strings.
+
+Inputs to the distributed problems in the paper (``EQ``, ``GT``, Hamming
+distance, ...) are ``n``-bit strings.  Throughout the library bit strings are
+represented as Python ``str`` objects consisting of the characters ``'0'`` and
+``'1'``; the left-most character is the most significant bit, matching the
+convention used in Section 5.1 of the paper for the greater-than function.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import EncodingError
+
+
+def validate_bitstring(value: str, length: int | None = None) -> str:
+    """Check that ``value`` is a bit string (optionally of a given length).
+
+    Returns the validated string so the function can be used inline.
+    """
+    if not isinstance(value, str):
+        raise EncodingError(f"expected a bit string, got {type(value).__name__}")
+    if any(ch not in "01" for ch in value):
+        raise EncodingError(f"bit strings may only contain '0' and '1': {value!r}")
+    if length is not None and len(value) != length:
+        raise EncodingError(
+            f"expected a bit string of length {length}, got length {len(value)}"
+        )
+    return value
+
+
+def bits_to_int(bits: str) -> int:
+    """Interpret a bit string as a non-negative integer (MSB first)."""
+    validate_bitstring(bits)
+    if bits == "":
+        return 0
+    return int(bits, 2)
+
+
+def int_to_bits(value: int, length: int) -> str:
+    """Encode ``value`` as a bit string of exactly ``length`` bits (MSB first)."""
+    if value < 0:
+        raise EncodingError("cannot encode a negative integer as a bit string")
+    if length < 0:
+        raise EncodingError("bit string length must be non-negative")
+    if value >= (1 << length) and length >= 0 and not (value == 0 and length == 0):
+        if value >> length:
+            raise EncodingError(
+                f"value {value} does not fit into {length} bits"
+            )
+    return format(value, "b").zfill(length) if length > 0 else ""
+
+
+def all_bitstrings(length: int) -> Iterator[str]:
+    """Yield every bit string of the given length in lexicographic order."""
+    for value in range(1 << length):
+        yield int_to_bits(value, length)
+
+
+def hamming_weight(bits: str) -> int:
+    """Number of '1' characters in the bit string."""
+    validate_bitstring(bits)
+    return bits.count("1")
+
+
+def hamming_distance(x: str, y: str) -> int:
+    """Hamming distance between two equal-length bit strings."""
+    validate_bitstring(x)
+    validate_bitstring(y, length=len(x))
+    return sum(1 for a, b in zip(x, y) if a != b)
+
+
+def xor_strings(x: str, y: str) -> str:
+    """Bitwise XOR of two equal-length bit strings."""
+    validate_bitstring(x)
+    validate_bitstring(y, length=len(x))
+    return "".join("1" if a != b else "0" for a, b in zip(x, y))
+
+
+def bitstring_to_array(bits: str) -> np.ndarray:
+    """Convert a bit string to a numpy array of 0/1 integers."""
+    validate_bitstring(bits)
+    return np.array([int(ch) for ch in bits], dtype=np.int64)
+
+
+def random_bitstring(length: int, rng: np.random.Generator) -> str:
+    """Draw a uniformly random bit string of the given length."""
+    if length == 0:
+        return ""
+    bits = rng.integers(0, 2, size=length)
+    return "".join(str(int(b)) for b in bits)
+
+
+def distinct_random_bitstrings(
+    length: int, count: int, rng: np.random.Generator
+) -> List[str]:
+    """Draw ``count`` distinct random bit strings of the given length."""
+    if count > (1 << length):
+        raise EncodingError(
+            f"cannot draw {count} distinct strings of length {length}"
+        )
+    seen: set[str] = set()
+    while len(seen) < count:
+        seen.add(random_bitstring(length, rng))
+    return sorted(seen)
+
+
+def prefix(bits: str, index: int) -> str:
+    """The prefix ``bits[0:index]`` used in the greater-than decomposition.
+
+    Matches the paper's notation ``x[i] = x_0 ... x_{i-1}`` (Section 5.1).
+    """
+    validate_bitstring(bits)
+    if index < 0 or index > len(bits):
+        raise EncodingError(f"prefix index {index} out of range for {bits!r}")
+    return bits[:index]
+
+
+def concat(parts: Sequence[str]) -> str:
+    """Concatenate several bit strings, validating each."""
+    for part in parts:
+        validate_bitstring(part)
+    return "".join(parts)

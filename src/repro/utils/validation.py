@@ -1,0 +1,31 @@
+"""Argument validation helpers used across the library."""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+
+def require_positive_integer(value: int, name: str) -> int:
+    """Raise unless ``value`` is an ``int`` greater than zero."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ReproError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ReproError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_integer_in_range(value: int, name: str, low: int, high: int) -> int:
+    """Raise unless ``low <= value <= high``."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ReproError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < low or value > high:
+        raise ReproError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def require_probability(value: float, name: str) -> float:
+    """Raise unless ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if value < -1e-12 or value > 1 + 1e-12:
+        raise ReproError(f"{name} must be a probability in [0, 1], got {value}")
+    return min(max(value, 0.0), 1.0)

@@ -1,0 +1,122 @@
+"""Tests for the adversary optimisation and soundness-report machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.adversary import (
+    conditional_operator,
+    product_acceptance,
+    random_product_search,
+    seesaw_separable_acceptance,
+)
+from repro.analysis.soundness import (
+    entangled_soundness_report,
+    fingerprint_strategy_soundness,
+    repetition_soundness,
+)
+from repro.exceptions import DimensionMismatchError, ProtocolError
+from repro.protocols.chain import chain_acceptance_operator, optimal_entangled_acceptance
+from repro.protocols.equality import EqualityPathProtocol
+from repro.quantum.random_states import haar_random_state
+from repro.quantum.states import basis_state, outer
+
+
+@pytest.fixture(scope="module")
+def small_operator():
+    """The acceptance operator of the r = 2 chain on a no-instance of EQ (dim 4)."""
+    return chain_acceptance_operator(
+        basis_state(2, 0), 2, 1, outer(basis_state(2, 1))
+    )
+
+
+class TestProductAcceptance:
+    def test_matches_direct_computation(self, small_operator):
+        a = haar_random_state(2, rng=0)
+        b = haar_random_state(2, rng=1)
+        joint = np.kron(a, b)
+        direct = float(np.real(np.vdot(joint, small_operator @ joint)))
+        assert np.isclose(product_acceptance(small_operator, [a, b]), direct, atol=1e-10)
+
+    def test_normalises_factors(self, small_operator):
+        a = 3.0 * haar_random_state(2, rng=2)
+        b = 0.5 * haar_random_state(2, rng=3)
+        value = product_acceptance(small_operator, [a, b])
+        assert 0.0 <= value <= 1.0
+
+    def test_dimension_mismatch(self, small_operator):
+        with pytest.raises(DimensionMismatchError):
+            seesaw_separable_acceptance(small_operator, [2, 4], rng=0)
+
+
+class TestConditionalOperator:
+    def test_quadratic_form_consistency(self, small_operator):
+        factors = [haar_random_state(2, rng=4), haar_random_state(2, rng=5)]
+        for position in range(2):
+            conditional = conditional_operator(small_operator, [2, 2], factors, position)
+            via_conditional = float(
+                np.real(np.vdot(factors[position], conditional @ factors[position]))
+            )
+            assert np.isclose(via_conditional, product_acceptance(small_operator, factors), atol=1e-9)
+
+    def test_single_factor_case(self):
+        operator = outer(haar_random_state(3, rng=6))
+        psi = haar_random_state(3, rng=7)
+        conditional = conditional_operator(operator, [3], [psi], 0)
+        np.testing.assert_allclose(conditional, operator, atol=1e-10)
+
+
+class TestSeesaw:
+    def test_lower_bounds_entangled_optimum(self, small_operator):
+        separable, _ = seesaw_separable_acceptance(small_operator, [2, 2], rng=0)
+        entangled = optimal_entangled_acceptance(small_operator)
+        assert separable <= entangled + 1e-8
+
+    def test_beats_random_search(self, small_operator):
+        separable, _ = seesaw_separable_acceptance(small_operator, [2, 2], rng=1)
+        random_best = random_product_search(small_operator, [2, 2], samples=50, rng=2)
+        assert separable >= random_best - 1e-8
+
+    def test_achieving_factors_reproduce_value(self, small_operator):
+        value, factors = seesaw_separable_acceptance(small_operator, [2, 2], rng=3)
+        assert np.isclose(product_acceptance(small_operator, factors), value, atol=1e-8)
+
+    def test_separable_optimum_on_rank_one_operator(self):
+        # For E = |ab><ab| the separable optimum equals the entangled optimum (1).
+        a, b = basis_state(2, 0), basis_state(2, 1)
+        operator = outer(np.kron(a, b))
+        value, _ = seesaw_separable_acceptance(operator, [2, 2], rng=4)
+        assert np.isclose(value, 1.0, atol=1e-6)
+
+    def test_separable_strictly_below_entangled_for_bell_projector(self):
+        # E = |Phi+><Phi+|: entangled optimum 1, separable optimum 1/2.
+        bell = (np.kron(basis_state(2, 0), basis_state(2, 0)) + np.kron(basis_state(2, 1), basis_state(2, 1))) / np.sqrt(2)
+        operator = outer(bell)
+        value, _ = seesaw_separable_acceptance(operator, [2, 2], rng=5)
+        assert np.isclose(value, 0.5, atol=1e-6)
+        assert np.isclose(optimal_entangled_acceptance(operator), 1.0, atol=1e-9)
+
+
+class TestSoundnessReports:
+    def test_fingerprint_strategy_requires_fingerprint_protocol(self):
+        class Dummy:
+            pass
+
+        with pytest.raises(ProtocolError):
+            fingerprint_strategy_soundness(Dummy(), ("0", "1"))
+
+    def test_fingerprint_strategy_on_path_protocol(self, tiny_fingerprints):
+        protocol = EqualityPathProtocol.on_path(1, 3, tiny_fingerprints)
+        best, proof = fingerprint_strategy_soundness(protocol, ("0", "1"))
+        assert proof is not None
+        assert 0.0 <= best <= 1.0 - protocol.single_shot_soundness_gap() + 1e-9
+
+    def test_report_with_seesaw(self, tiny_fingerprints):
+        protocol = EqualityPathProtocol.on_path(1, 2, tiny_fingerprints)
+        report = entangled_soundness_report(protocol, ("0", "1"), run_seesaw=True, rng=0)
+        assert report.respects_paper_bound
+        assert report.best_found_acceptance <= report.optimal_entangled_acceptance + 1e-8
+
+    def test_repetition_soundness(self):
+        assert np.isclose(repetition_soundness(0.9, 10), 0.9**10)
+        with pytest.raises(ProtocolError):
+            repetition_soundness(0.9, 0)

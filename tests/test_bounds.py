@@ -1,0 +1,177 @@
+"""Tests for the upper/lower bound calculators (Tables 1-3, Sections 4.2 and 8)."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.discrepancy import (
+    exact_discrepancy,
+    known_one_sided_smooth_discrepancy_log,
+    qmacc_lower_bound_from_sdisc,
+)
+from repro.bounds.lower import (
+    classical_dma_total_proof_lower_bound,
+    dqma_entangled_total_lower_bound,
+    dqma_eq_combined_lower_bound,
+    dqma_hard_function_lower_bound,
+    dqma_lower_bound_from_sdisc,
+    dqma_nonconstant_function_lower_bound,
+    dqma_sepsep_total_proof_lower_bound,
+    fingerprint_qubit_lower_bound,
+)
+from repro.bounds.upper import (
+    eq_local_proof_upper_bound,
+    eq_relay_total_proof_upper_bound,
+    fgnp21_eq_local_proof_upper_bound,
+    forall_f_local_proof_upper_bound,
+    gt_local_proof_upper_bound,
+    hamming_local_proof_upper_bound,
+    path_repetitions,
+    qma_based_local_proof_upper_bound,
+    rv_local_proof_upper_bound,
+    separable_conversion_local_proof_upper_bound,
+    trivial_classical_total_proof,
+)
+from repro.comm.problems import EqualityProblem, InnerProductProblem
+from repro.exceptions import BoundError
+
+
+class TestUpperBoundShapes:
+    def test_eq_local_proof_grows_quadratically_in_r(self):
+        ratio = eq_local_proof_upper_bound(1024, 8) / eq_local_proof_upper_bound(1024, 4)
+        assert 3.5 <= ratio <= 4.5
+
+    def test_eq_local_proof_grows_logarithmically_in_n(self):
+        ratio = eq_local_proof_upper_bound(2**20, 4) / eq_local_proof_upper_bound(2**10, 4)
+        assert 1.8 <= ratio <= 2.2
+
+    def test_gt_exceeds_eq_by_index_register(self):
+        assert gt_local_proof_upper_bound(1024, 4) > eq_local_proof_upper_bound(1024, 4)
+
+    def test_rv_scales_linearly_in_t(self):
+        ratio = rv_local_proof_upper_bound(1024, 4, 9) / rv_local_proof_upper_bound(1024, 4, 5)
+        assert 1.8 <= ratio <= 2.2
+
+    def test_relay_total_scales_subliearly_in_n(self):
+        # ~ n^{2/3} log n per node: going from n to 8n multiplies by ~4·(log factor).
+        ratio = eq_relay_total_proof_upper_bound(2**18, 100) / eq_relay_total_proof_upper_bound(2**15, 100)
+        assert ratio < 8.0
+
+    def test_relay_total_below_plain_total_for_long_paths(self):
+        n = 2**12
+        r = 200
+        plain_total = eq_local_proof_upper_bound(n, r) * (r - 1)
+        assert eq_relay_total_proof_upper_bound(n, r) < plain_total
+
+    def test_forall_f_scales_with_t_squared(self):
+        ratio = forall_f_local_proof_upper_bound(256, 3, 8, 10) / forall_f_local_proof_upper_bound(256, 3, 4, 10)
+        assert 3.5 <= ratio <= 4.5
+
+    def test_hamming_instantiates_forall(self):
+        assert hamming_local_proof_upper_bound(256, 3, 4, 2) == pytest.approx(
+            forall_f_local_proof_upper_bound(256, 3, 4, 2 * 1.0 * np.log2(256))
+        )
+
+    def test_fgnp21_depends_on_terminal_count(self):
+        assert fgnp21_eq_local_proof_upper_bound(1024, 4, 8) > fgnp21_eq_local_proof_upper_bound(1024, 4, 2)
+
+    def test_improved_eq_beats_fgnp21_for_many_terminals(self):
+        # The Section 3 improvement: no t-dependence in the local proof size.
+        assert eq_local_proof_upper_bound(1024, 4) < fgnp21_eq_local_proof_upper_bound(1024, 4, 8)
+
+    def test_qma_and_separable_conversions_grow_polynomially(self):
+        assert qma_based_local_proof_upper_bound(4, 20) > qma_based_local_proof_upper_bound(4, 10)
+        assert separable_conversion_local_proof_upper_bound(4, 40) > separable_conversion_local_proof_upper_bound(4, 20)
+
+    def test_path_repetitions_formula(self):
+        assert path_repetitions(3) == int(np.ceil(2 * 81 * 9 / 4))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(BoundError):
+            eq_local_proof_upper_bound(0, 3)
+        with pytest.raises(BoundError):
+            forall_f_local_proof_upper_bound(16, 3, 2, 0)
+
+
+class TestLowerBounds:
+    def test_classical_bound_scales_with_r_and_n(self):
+        assert classical_dma_total_proof_lower_bound(1024, 9) > classical_dma_total_proof_lower_bound(1024, 5)
+        assert classical_dma_total_proof_lower_bound(2048, 5) > classical_dma_total_proof_lower_bound(1024, 5)
+
+    def test_classical_bound_formula(self):
+        assert classical_dma_total_proof_lower_bound(9, 5, rounds=1) == 2 * 4
+
+    def test_fingerprint_qubit_lower_bound_monotone(self):
+        assert fingerprint_qubit_lower_bound(2**20) > fingerprint_qubit_lower_bound(2**10)
+
+    def test_sepsep_bound_scales_with_r_log_n(self):
+        assert dqma_sepsep_total_proof_lower_bound(2**16, 9) > dqma_sepsep_total_proof_lower_bound(2**16, 5)
+        assert dqma_sepsep_total_proof_lower_bound(2**16, 9) > dqma_sepsep_total_proof_lower_bound(2**4, 9)
+
+    def test_nonconstant_function_bound_is_linear_in_r(self):
+        assert dqma_nonconstant_function_lower_bound(21) == pytest.approx(9.0)
+
+    def test_entangled_bound_decreases_with_r(self):
+        assert dqma_entangled_total_lower_bound(2**16, 2) > dqma_entangled_total_lower_bound(2**16, 8)
+
+    def test_combined_bound_independent_of_r(self):
+        assert dqma_eq_combined_lower_bound(2**16) > dqma_eq_combined_lower_bound(2**4)
+
+    def test_hard_function_bounds(self):
+        assert dqma_hard_function_lower_bound("DISJ", 1000) == pytest.approx(10.0)
+        assert dqma_hard_function_lower_bound("IP", 100) == pytest.approx(10.0)
+        assert dqma_hard_function_lower_bound("PAND", 8) == pytest.approx(2.0)
+        with pytest.raises(BoundError):
+            dqma_hard_function_lower_bound("EQ", 100)
+
+    def test_sdisc_reduction(self):
+        assert dqma_lower_bound_from_sdisc(64.0) == pytest.approx(8.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(BoundError):
+            classical_dma_total_proof_lower_bound(0, 3)
+        with pytest.raises(BoundError):
+            dqma_entangled_total_lower_bound(16, 4, epsilon=0.7)
+
+
+class TestConsistencyBetweenTables:
+    @pytest.mark.parametrize("n,r", [(256, 3), (4096, 5), (2**16, 8)])
+    def test_quantum_upper_bounds_respect_quantum_lower_bounds(self, n, r):
+        total_upper = eq_local_proof_upper_bound(n, r) * max(r - 1, 1)
+        assert total_upper >= dqma_sepsep_total_proof_lower_bound(n, r)
+        assert total_upper >= dqma_eq_combined_lower_bound(n)
+        assert total_upper >= dqma_nonconstant_function_lower_bound(r)
+
+    @pytest.mark.parametrize("n,r", [(2**21, 6), (2**24, 6)])
+    def test_quantum_beats_classical_for_large_n(self, n, r):
+        total_upper = eq_local_proof_upper_bound(n, r) * max(r - 1, 1)
+        assert total_upper < classical_dma_total_proof_lower_bound(n, r)
+
+    def test_trivial_classical_protocol_above_lower_bound(self):
+        assert trivial_classical_total_proof(1024, 5) >= classical_dma_total_proof_lower_bound(1024, 5)
+
+
+class TestDiscrepancy:
+    def test_exact_discrepancy_of_constant_matrix_is_one(self):
+        assert exact_discrepancy(np.zeros((4, 4), dtype=int)) == pytest.approx(1.0)
+
+    def test_inner_product_has_small_discrepancy(self):
+        ip_matrix = InnerProductProblem(2).communication_matrix()
+        assert exact_discrepancy(ip_matrix) < 0.6
+
+    def test_equality_has_larger_discrepancy_than_inner_product(self):
+        eq_matrix = np.eye(4, dtype=int)
+        ip_matrix = InnerProductProblem(2).communication_matrix()
+        assert exact_discrepancy(eq_matrix) > exact_discrepancy(ip_matrix)
+
+    def test_size_guard(self):
+        with pytest.raises(BoundError):
+            exact_discrepancy(np.zeros((20, 20), dtype=int))
+
+    def test_known_sdisc_values(self):
+        assert known_one_sided_smooth_discrepancy_log("IP", 64) == pytest.approx(64.0)
+        assert known_one_sided_smooth_discrepancy_log("DISJ", 64) == pytest.approx(16.0)
+        assert known_one_sided_smooth_discrepancy_log("EQ", 64) == pytest.approx(1.0)
+
+    def test_qmacc_bound_from_sdisc(self):
+        assert qmacc_lower_bound_from_sdisc("IP", 64) == pytest.approx(8.0)
+        assert qmacc_lower_bound_from_sdisc("DISJ", 64) == pytest.approx(4.0)

@@ -1,0 +1,179 @@
+"""Tests for fooling sets (Section 2.2.1) and one-way quantum protocols."""
+
+import numpy as np
+import pytest
+
+from repro.comm.fooling import (
+    equality_fooling_set,
+    greater_than_fooling_set,
+    is_one_fooling_set,
+    largest_fooling_set_greedy,
+    one_fooling_set_size,
+)
+from repro.comm.one_way import (
+    ExactMaskHammingOneWay,
+    ExactTransmissionOneWay,
+    FingerprintEqualityOneWay,
+    HammingSketchOneWay,
+    repeated_protocol_error,
+)
+from repro.comm.problems import (
+    DisjointnessProblem,
+    EqualityProblem,
+    GreaterThanProblem,
+    HammingDistanceProblem,
+)
+from repro.exceptions import BoundError, ProtocolError
+from repro.utils.bitstrings import hamming_distance
+
+
+class TestFoolingSets:
+    def test_equality_fooling_set_verified(self):
+        pairs = equality_fooling_set(3)
+        assert len(pairs) == 8
+        assert is_one_fooling_set(EqualityProblem(3).two_party, pairs)
+
+    def test_greater_than_fooling_set_verified(self):
+        pairs = greater_than_fooling_set(3)
+        assert len(pairs) == 7
+        assert is_one_fooling_set(GreaterThanProblem(3).two_party, pairs)
+
+    def test_not_a_fooling_set_detected(self):
+        # For DISJ, the pairs (x, 0...0) are all 1-inputs but the crossed pairs
+        # are also 1-inputs, so this is not a 1-fooling set.
+        pairs = [("10", "00"), ("01", "00")]
+        assert not is_one_fooling_set(DisjointnessProblem(2).two_party, pairs)
+
+    def test_zero_input_pairs_rejected(self):
+        pairs = [("10", "01"), ("01", "10")]
+        assert not is_one_fooling_set(EqualityProblem(2).two_party, pairs)
+
+    def test_canonical_sizes(self):
+        assert one_fooling_set_size("EQ", 5) == 32
+        assert one_fooling_set_size("GT", 5) == 31
+        with pytest.raises(BoundError):
+            one_fooling_set_size("DISJ", 5)
+
+    def test_greedy_matches_canonical_for_equality(self):
+        greedy = largest_fooling_set_greedy(EqualityProblem(2).two_party, 2)
+        assert len(greedy) >= 4
+        assert is_one_fooling_set(EqualityProblem(2).two_party, greedy)
+
+
+class TestFingerprintEqualityOneWay:
+    def test_perfect_completeness(self, fingerprints3):
+        protocol = FingerprintEqualityOneWay(fingerprints3)
+        assert np.isclose(protocol.accept_probability("110", "110"), 1.0)
+
+    def test_soundness_bound(self, fingerprints3):
+        protocol = FingerprintEqualityOneWay(fingerprints3)
+        bound = protocol.soundness_bound()
+        assert protocol.accept_probability("110", "011") <= bound + 1e-9
+        assert bound < 1.0
+
+    def test_error_on_problem(self, fingerprints3):
+        protocol = FingerprintEqualityOneWay(fingerprints3)
+        problem = EqualityProblem(3)
+        assert np.isclose(protocol.error_on(problem, "110", "110"), 0.0, atol=1e-9)
+        assert protocol.error_on(problem, "110", "011") <= protocol.soundness_bound() + 1e-9
+
+    def test_message_qubits(self, fingerprints3):
+        protocol = FingerprintEqualityOneWay(fingerprints3)
+        assert protocol.message_qubits == pytest.approx(np.log2(fingerprints3.dim))
+
+    def test_default_factorisation_is_whole_message(self, fingerprints3):
+        protocol = FingerprintEqualityOneWay(fingerprints3)
+        factors = protocol.message_factors("101")
+        assert len(factors) == 1
+        assert np.isclose(protocol.accept_probability_factors(factors, "101"), 1.0)
+
+
+class TestExactTransmissionOneWay:
+    def test_zero_error(self):
+        problem = DisjointnessProblem(3)
+        protocol = ExactTransmissionOneWay(problem)
+        assert np.isclose(protocol.accept_probability("101", "010"), 1.0)
+        assert np.isclose(protocol.accept_probability("101", "001"), 0.0)
+
+    def test_cost_is_full_input(self):
+        protocol = ExactTransmissionOneWay(DisjointnessProblem(4))
+        assert protocol.message_qubits == 4
+
+
+class TestHammingSketchOneWay:
+    def test_perfect_match(self):
+        protocol = HammingSketchOneWay(8, 1, num_sketches=32, seed=3)
+        assert protocol.accept_probability("10101010", "10101010") > 0.99
+
+    def test_far_strings_rejected(self):
+        protocol = HammingSketchOneWay(8, 1, num_sketches=32, seed=3)
+        assert protocol.accept_probability("10101010", "01010101") < 0.1
+
+    def test_factor_dims_consistent(self):
+        protocol = HammingSketchOneWay(8, 1, num_sketches=10, seed=3)
+        assert len(protocol.factor_dims) == 10
+        assert len(protocol.message_factors("10101010")) == 10
+
+    def test_accept_probability_factors_matches_direct(self):
+        protocol = HammingSketchOneWay(6, 1, num_sketches=8, seed=5)
+        x, y = "101010", "101011"
+        factors = protocol.message_factors(x)
+        assert np.isclose(
+            protocol.accept_probability(x, y),
+            protocol.accept_probability_factors(factors, y),
+            atol=1e-10,
+        )
+
+    def test_wrong_factor_count_rejected(self):
+        protocol = HammingSketchOneWay(6, 1, num_sketches=8, seed=5)
+        with pytest.raises(ProtocolError):
+            protocol.accept_probability_factors([protocol.message_factors("101010")[0]], "101010")
+
+
+class TestExactMaskHammingOneWay:
+    def test_number_of_sketches(self):
+        protocol = ExactMaskHammingOneWay(5, 1)
+        assert protocol.num_sketches == 1 + 5  # empty mask + single-coordinate masks
+
+    def test_perfect_completeness_within_distance(self):
+        protocol = ExactMaskHammingOneWay(6, 1, seed=2)
+        assert np.isclose(protocol.accept_probability("101010", "101010"), 1.0, atol=1e-9)
+        assert np.isclose(protocol.accept_probability("101010", "101011"), 1.0, atol=1e-9)
+
+    def test_distance_two_with_bound_two(self):
+        protocol = ExactMaskHammingOneWay(5, 2, seed=2)
+        assert np.isclose(protocol.accept_probability("10101", "01101"), 1.0, atol=1e-9)
+
+    def test_far_strings_rejected_with_high_probability(self):
+        protocol = ExactMaskHammingOneWay(6, 1, seed=2)
+        assert protocol.accept_probability("101010", "010101") < 0.2
+
+    def test_agreement_with_problem_semantics(self):
+        protocol = ExactMaskHammingOneWay(5, 1, seed=4)
+        problem = HammingDistanceProblem(5, 1)
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            x = "".join(rng.choice(["0", "1"], size=5))
+            y = "".join(rng.choice(["0", "1"], size=5))
+            accept = protocol.accept_probability(x, y)
+            if problem.two_party(x, y):
+                assert accept > 2.0 / 3.0
+            elif hamming_distance(x, y) >= 2:
+                assert accept < 1.0 / 3.0
+
+    def test_soundness_bound_reported(self):
+        protocol = ExactMaskHammingOneWay(4, 1)
+        assert 0 < protocol.soundness_bound() <= 1.0
+
+
+class TestRepetitionError:
+    def test_error_decreases_with_repetitions(self):
+        single = 1.0 / 3.0
+        assert repeated_protocol_error(single, 15) < repeated_protocol_error(single, 3) < single + 0.2
+
+    def test_zero_error_stays_zero(self):
+        assert repeated_protocol_error(0.0, 5) == 0.0
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ProtocolError):
+            repeated_protocol_error(0.1, 0)

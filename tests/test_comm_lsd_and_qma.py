@@ -1,0 +1,147 @@
+"""Tests for the Linear Subspace Distance problem (Section 7) and QMA communication costs."""
+
+import numpy as np
+import pytest
+
+from repro.comm.lsd import (
+    CLOSE_THRESHOLD,
+    FAR_THRESHOLD,
+    LinearSubspaceDistanceInstance,
+    LSDOneWayQMAProtocol,
+    random_lsd_instance,
+)
+from repro.comm.qma import (
+    FingerprintEqualityQMAOneWay,
+    LSDQMAOneWay,
+    QMACommunicationCost,
+    QMAStarCost,
+    error_reduced_cost,
+    qma_cost_from_qma_star,
+)
+from repro.exceptions import ProtocolError
+from repro.quantum.fingerprint import ExactCodeFingerprint
+
+
+class TestLSDInstance:
+    def test_identical_subspaces_have_distance_zero(self):
+        basis = np.eye(6)[:, :2]
+        instance = LinearSubspaceDistanceInstance(basis, basis)
+        assert np.isclose(instance.distance(), 0.0, atol=1e-9)
+        assert instance.is_close()
+
+    def test_orthogonal_subspaces_have_distance_sqrt2(self):
+        alice = np.eye(6)[:, :2]
+        bob = np.eye(6)[:, 2:4]
+        instance = LinearSubspaceDistanceInstance(alice, bob)
+        assert np.isclose(instance.distance(), np.sqrt(2.0), atol=1e-9)
+        assert instance.is_far()
+
+    def test_distance_formula_via_principal_angle(self):
+        # One-dimensional subspaces at angle theta: distance = sqrt(2 - 2 cos theta).
+        theta = 0.3
+        alice = np.array([[1.0], [0.0], [0.0]])
+        bob = np.array([[np.cos(theta)], [np.sin(theta)], [0.0]])
+        instance = LinearSubspaceDistanceInstance(alice, bob)
+        assert np.isclose(instance.distance(), np.sqrt(2 - 2 * np.cos(theta)), atol=1e-9)
+
+    def test_closest_pair_achieves_distance(self):
+        instance = random_lsd_instance(12, 2, close=False, rng=0)
+        v1, v2 = instance.closest_pair()
+        assert np.isclose(np.linalg.norm(v1), 1.0)
+        assert np.isclose(np.linalg.norm(v2), 1.0)
+        assert np.isclose(np.linalg.norm(v1 - v2), instance.distance(), atol=1e-8)
+
+    def test_projectors_are_projectors(self):
+        instance = random_lsd_instance(10, 3, close=True, rng=1)
+        for projector in (instance.alice_projector(), instance.bob_projector()):
+            np.testing.assert_allclose(projector @ projector, projector, atol=1e-9)
+
+    def test_random_instances_satisfy_promise(self):
+        close = random_lsd_instance(16, 2, close=True, rng=2)
+        far = random_lsd_instance(16, 2, close=False, rng=3)
+        assert close.distance() <= CLOSE_THRESHOLD
+        assert far.distance() >= FAR_THRESHOLD
+        assert close.label() is True
+        assert far.label() is False
+
+    def test_generator_rejects_too_small_ambient_dimension(self):
+        with pytest.raises(ProtocolError):
+            random_lsd_instance(3, 2, close=True, rng=0)
+
+
+class TestLSDOneWayProtocol:
+    def test_completeness_on_close_instances(self):
+        instance = random_lsd_instance(16, 2, close=True, rng=4)
+        protocol = LSDOneWayQMAProtocol(instance)
+        # Delta <= 0.1 sqrt(2) implies acceptance >= (1 - Delta^2 / 2)^2 >= 0.98^2.
+        assert protocol.accept_probability() >= 0.98**2 - 1e-9
+
+    def test_soundness_on_far_instances(self):
+        instance = random_lsd_instance(16, 2, close=False, rng=5)
+        protocol = LSDOneWayQMAProtocol(instance)
+        # Delta >= 0.9 sqrt(2) implies acceptance <= 0.19^2 for every proof.
+        assert protocol.optimal_accept_probability() <= 0.19**2 + 1e-9
+
+    def test_optimal_equals_max_cosine_squared(self):
+        instance = random_lsd_instance(16, 3, close=False, rng=6)
+        protocol = LSDOneWayQMAProtocol(instance)
+        assert np.isclose(
+            protocol.optimal_accept_probability(), instance.max_cosine() ** 2, atol=1e-8
+        )
+
+    def test_cost_is_logarithmic_in_dimension(self):
+        instance = random_lsd_instance(64, 2, close=True, rng=7)
+        protocol = LSDOneWayQMAProtocol(instance)
+        assert protocol.total_cost_qubits == pytest.approx(2 * np.log2(64))
+
+    def test_rejects_bad_proof_dimension(self):
+        instance = random_lsd_instance(8, 2, close=True, rng=8)
+        protocol = LSDOneWayQMAProtocol(instance)
+        with pytest.raises(ProtocolError):
+            protocol.accept_probability(np.ones(5))
+
+
+class TestQMACosts:
+    def test_total(self):
+        cost = QMACommunicationCost(proof_qubits=5, communication_qubits=7)
+        assert cost.total == 12
+
+    def test_inequality_one(self):
+        star = QMAStarCost(alice_proof_qubits=3, bob_proof_qubits=4, communication_qubits=5)
+        converted = qma_cost_from_qma_star(star)
+        assert converted.proof_qubits == 7
+        assert converted.communication_qubits == 9
+        assert converted.total == star.total + star.bob_proof_qubits
+
+    def test_error_reduction_keeps_proof_size(self):
+        cost = QMACommunicationCost(proof_qubits=5, communication_qubits=7)
+        reduced = error_reduced_cost(cost, 4)
+        assert reduced.proof_qubits == 5
+        assert reduced.communication_qubits == 28
+
+    def test_error_reduction_invalid(self):
+        with pytest.raises(ProtocolError):
+            error_reduced_cost(QMACommunicationCost(1, 1), 0)
+
+
+class TestQMAOneWayWrappers:
+    def test_lsd_wrapper_accept_probability(self):
+        instance = random_lsd_instance(12, 2, close=True, rng=9)
+        protocol = LSDQMAOneWay(instance)
+        assert protocol.accept_probability("0", "0") >= 0.98**2 - 1e-9
+
+    def test_lsd_wrapper_optimal_on_far_instance(self):
+        instance = random_lsd_instance(12, 2, close=False, rng=10)
+        protocol = LSDQMAOneWay(instance)
+        assert protocol.optimal_accept_probability("0", "0") <= 0.19**2 + 1e-9
+
+    def test_fingerprint_wrapper_matches_equality(self):
+        fingerprints = ExactCodeFingerprint(3, rng=11)
+        protocol = FingerprintEqualityQMAOneWay(fingerprints)
+        assert np.isclose(protocol.accept_probability("101", "101"), 1.0)
+        assert protocol.accept_probability("101", "011") <= fingerprints.overlap_bound() ** 2 + 1e-9
+
+    def test_cost_record(self):
+        instance = random_lsd_instance(16, 2, close=True, rng=12)
+        protocol = LSDQMAOneWay(instance)
+        assert protocol.cost.total == pytest.approx(protocol.proof_qubits + protocol.forwarded_qubits)

@@ -1,0 +1,226 @@
+"""Tests for the problem definitions of Section 2 and their semantics."""
+
+import numpy as np
+import pytest
+
+from repro.comm.problems import (
+    DisjointnessProblem,
+    EqualityProblem,
+    ForAllPairsProblem,
+    GreaterThanProblem,
+    HammingDistanceProblem,
+    InnerProductProblem,
+    L1DistanceProblem,
+    LinearThresholdXORProblem,
+    MatrixRankSumProblem,
+    PatternMatrixANDProblem,
+    RankingVerificationProblem,
+)
+from repro.exceptions import ProtocolError
+
+
+class TestEquality:
+    def test_yes_and_no(self):
+        problem = EqualityProblem(3, 3)
+        assert problem.evaluate(("101", "101", "101"))
+        assert not problem.evaluate(("101", "100", "101"))
+
+    def test_two_party(self):
+        problem = EqualityProblem(4)
+        assert problem.two_party("1010", "1010")
+        assert not problem.two_party("1010", "0101")
+
+    def test_arity_checked(self):
+        problem = EqualityProblem(3, 2)
+        with pytest.raises(ProtocolError):
+            problem.evaluate(("101",))
+
+    def test_yes_instances_enumeration(self):
+        problem = EqualityProblem(2, 2)
+        yes = list(problem.yes_instances())
+        assert len(yes) == 4
+        assert all(x == y for x, y in yes)
+
+    def test_communication_matrix_of_greater_than_is_strictly_lower_triangular(self):
+        matrix = GreaterThanProblem(2).communication_matrix()
+        expected = np.tril(np.ones((4, 4), dtype=int), k=-1)
+        np.testing.assert_array_equal(matrix, expected)
+
+
+class TestGreaterThan:
+    def test_strict_variant(self):
+        problem = GreaterThanProblem(3)
+        assert problem.evaluate(("110", "011"))
+        assert not problem.evaluate(("011", "110"))
+        assert not problem.evaluate(("011", "011"))
+
+    @pytest.mark.parametrize(
+        "variant,x,y,expected",
+        [
+            ("<", "011", "110", True),
+            ("<", "110", "011", False),
+            (">=", "011", "011", True),
+            (">=", "010", "011", False),
+            ("<=", "011", "011", True),
+            ("<=", "100", "011", False),
+        ],
+    )
+    def test_variants(self, variant, x, y, expected):
+        problem = GreaterThanProblem(3, variant=variant)
+        assert problem.evaluate((x, y)) is expected
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ProtocolError):
+            GreaterThanProblem(3, variant="!=")
+
+    def test_witness_index_decomposition(self):
+        # GT(x, y) = 1 iff there is i with x_i = 1, y_i = 0, x[i] = y[i].
+        problem = GreaterThanProblem(4)
+        index = problem.witness_index("1010", "1001")
+        assert index == 2
+        assert "1010"[:index] == "1001"[:index]
+        assert "1010"[index] == "1" and "1001"[index] == "0"
+
+    def test_witness_index_none_for_no_instance(self):
+        problem = GreaterThanProblem(4)
+        assert problem.witness_index("1001", "1010") is None
+
+    def test_witness_index_exhaustive_consistency(self):
+        problem = GreaterThanProblem(3)
+        from repro.utils.bitstrings import all_bitstrings
+
+        for x in all_bitstrings(3):
+            for y in all_bitstrings(3):
+                witness = problem.witness_index(x, y)
+                assert (witness is not None) == problem.evaluate((x, y))
+
+
+class TestRankingVerification:
+    def test_largest(self):
+        problem = RankingVerificationProblem(3, 3, target_terminal=2, target_rank=1)
+        assert problem.evaluate(("001", "111", "010"))
+
+    def test_second_largest(self):
+        problem = RankingVerificationProblem(3, 3, target_terminal=1, target_rank=2)
+        assert problem.evaluate(("100", "110", "001"))
+
+    def test_smallest(self):
+        problem = RankingVerificationProblem(3, 3, target_terminal=3, target_rank=3)
+        assert problem.evaluate(("100", "110", "001"))
+
+    def test_wrong_rank_rejected(self):
+        problem = RankingVerificationProblem(3, 3, target_terminal=1, target_rank=1)
+        assert not problem.evaluate(("100", "110", "001"))
+
+    def test_exactly_one_rank_true_for_distinct_inputs(self):
+        inputs = ("0101", "1100", "0011")
+        truths = [
+            RankingVerificationProblem(4, 3, target_terminal=1, target_rank=j).evaluate(inputs)
+            for j in (1, 2, 3)
+        ]
+        assert sum(truths) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ProtocolError):
+            RankingVerificationProblem(3, 3, target_terminal=0, target_rank=1)
+        with pytest.raises(ProtocolError):
+            RankingVerificationProblem(3, 3, target_terminal=1, target_rank=4)
+
+
+class TestHammingDistance:
+    def test_pairwise_condition(self):
+        problem = HammingDistanceProblem(4, 1, 3)
+        assert problem.evaluate(("1010", "1011", "1010"))
+        assert not problem.evaluate(("1010", "1011", "0110"))
+
+    def test_two_party(self):
+        problem = HammingDistanceProblem(4, 2)
+        assert problem.two_party("1010", "0110")
+        assert not problem.two_party("1010", "0101")
+
+    def test_zero_distance_is_equality(self):
+        problem = HammingDistanceProblem(3, 0, 2)
+        assert problem.evaluate(("101", "101"))
+        assert not problem.evaluate(("101", "100"))
+
+
+class TestForAllPairs:
+    def test_wraps_two_party_problem(self):
+        base = HammingDistanceProblem(4, 1)
+        problem = ForAllPairsProblem(base, 3)
+        assert problem.evaluate(("1010", "1011", "1010"))
+        assert not problem.evaluate(("1010", "0101", "1010"))
+
+    def test_name_mentions_base(self):
+        base = EqualityProblem(3)
+        assert "Equality" in ForAllPairsProblem(base, 3).name
+
+
+class TestHardFunctions:
+    def test_disjointness(self):
+        problem = DisjointnessProblem(4)
+        assert problem.evaluate(("1010", "0101"))
+        assert not problem.evaluate(("1010", "0010"))
+
+    def test_inner_product(self):
+        problem = InnerProductProblem(3)
+        assert problem.evaluate(("101", "011"))  # one overlapping 1 -> parity 1
+        assert not problem.evaluate(("101", "101"))  # two overlaps -> parity 0
+
+    def test_pattern_matrix_and(self):
+        problem = PatternMatrixANDProblem(2)
+        # x = 1111 so x(y) = 11 regardless of y; z = 00 -> xor = 11 -> AND = 1.
+        assert problem.evaluate(("1111", "0000"))
+        # z = 01 -> xor = 10 -> AND = 0.
+        assert not problem.evaluate(("1111", "0001"))
+
+
+class TestL1Distance:
+    def test_decode_range(self):
+        problem = L1DistanceProblem(2, 3, distance_bound=0.5, epsilon=0.5)
+        vector = problem.decode_vector("000111")
+        assert np.isclose(vector[0], -1.0)
+        assert np.isclose(vector[1], 1.0)
+
+    def test_close_and_far(self):
+        problem = L1DistanceProblem(2, 3, distance_bound=0.5, epsilon=0.5)
+        assert problem.evaluate(("011011", "011011"))
+        assert not problem.evaluate(("000000", "111111"))
+
+
+class TestLinearThresholdXOR:
+    def test_margin_balanced(self):
+        problem = LinearThresholdXORProblem([1, 1, 1, 1], 1.5)
+        assert np.isclose(problem.margin(), 0.5)
+
+    def test_evaluate(self):
+        problem = LinearThresholdXORProblem([1, 1, 1, 1], 1.5)
+        assert problem.evaluate(("1010", "1011"))  # XOR weight 1 <= 1.5
+        assert not problem.evaluate(("1010", "0101"))  # XOR weight 4 > 1.5
+
+    def test_hamming_is_special_case(self):
+        ltf = LinearThresholdXORProblem([1, 1, 1, 1], 1.0)
+        ham = HammingDistanceProblem(4, 1)
+        from repro.utils.bitstrings import all_bitstrings
+
+        for x in all_bitstrings(4):
+            assert ltf.evaluate((x, "0000")) == ham.two_party(x, "0000")
+
+
+class TestMatrixRank:
+    def test_gf2_rank(self):
+        assert MatrixRankSumProblem.gf2_rank(np.array([[1, 1], [1, 1]])) == 1
+        assert MatrixRankSumProblem.gf2_rank(np.array([[1, 0], [0, 1]])) == 2
+        assert MatrixRankSumProblem.gf2_rank(np.zeros((2, 2), dtype=int)) == 0
+
+    def test_pairwise(self):
+        problem = MatrixRankSumProblem(2, 2)
+        # X + Y = 0 has rank 0 < 2.
+        assert problem.pairwise("1001", "1001")
+        # X + Y = identity has rank 2, not < 2.
+        assert not problem.pairwise("1001", "0000")
+
+    def test_evaluate_multiparty(self):
+        problem = MatrixRankSumProblem(2, 2, num_inputs=3)
+        assert problem.evaluate(("1001", "1001", "1001"))
+        assert not problem.evaluate(("1001", "0000", "1001"))

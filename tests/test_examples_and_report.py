@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs end to end, and the report generator works."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_has_at_least_five_scenarios(self):
+        assert len(EXAMPLE_FILES) >= 5
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_runs_to_completion(self, path, capsys):
+        module = _load_module(path)
+        assert hasattr(module, "main"), f"{path.name} must expose a main() function"
+        module.main()
+        captured = capsys.readouterr()
+        assert captured.out.strip(), f"{path.name} should print its results"
+
+
+class TestReport:
+    def test_report_contains_every_section(self):
+        from repro.experiments.report import generate_report
+
+        report = generate_report(include_soundness=False)
+        for marker in (
+            "Table 1 — FGNP21 baselines",
+            "Table 2 — upper bounds",
+            "Table 2 — small-instance protocol verification",
+            "Table 3 — lower bounds",
+            "Theorem 2 — crossover points",
+        ):
+            assert marker in report
+
+    def test_report_cli_writes_file(self, tmp_path):
+        from repro.experiments.report import main
+
+        target = tmp_path / "report.txt"
+        exit_code = main([str(target)])
+        assert exit_code == 0
+        assert "Table 3" in target.read_text(encoding="utf-8")

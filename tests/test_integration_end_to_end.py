@@ -1,0 +1,152 @@
+"""End-to-end integration tests: whole-pipeline scenarios across modules.
+
+Each test exercises several subsystems together (fingerprints, networks,
+protocols, repetition, adversaries, bounds) the way the examples and
+benchmarks do, pinning down the paper's headline claims on concrete instances.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EqualityPathProtocol,
+    EqualityTreeProtocol,
+    ExactCodeFingerprint,
+    GreaterThanPathProtocol,
+    LSDPathProtocol,
+    RankingVerificationProtocol,
+    RelayEqualityProtocol,
+    TrivialEqualityDMA,
+    TruncationEqualityDMA,
+    hamming_distance_protocol,
+    path_network,
+    random_lsd_instance,
+    random_tree_network,
+    star_network,
+)
+from repro.analysis.soundness import entangled_soundness_report
+from repro.bounds.lower import classical_dma_total_proof_lower_bound, dqma_sepsep_total_proof_lower_bound
+from repro.comm.problems import EqualityProblem
+from repro.experiments.soundness_scaling import small_fingerprints
+from repro.protocols.reductions import reduce_dqma_to_qma_star
+from repro.protocols.separable import dqma_to_dqmasep_cost_from_protocol
+from repro.utils.bitstrings import all_bitstrings
+
+
+class TestTheorem19Pipeline:
+    """Theorem 19: EQ on a general graph with O(r^2 log n) local proofs."""
+
+    def test_full_amplified_protocol_on_a_tree(self, fingerprints3):
+        network = random_tree_network(7, 3, rng=11)
+        protocol = EqualityTreeProtocol(network, fingerprints3)
+        amplified = protocol.repeated(protocol.paper_repetitions())
+
+        yes_instance = ("110", "110", "110")
+        no_instance = ("110", "110", "111")
+        assert np.isclose(amplified.acceptance_probability(yes_instance), 1.0, atol=1e-9)
+        assert amplified.acceptance_probability(no_instance) < 1.0 / 3.0
+
+    def test_quantum_total_cost_respects_quantum_lower_bound(self, fingerprints3):
+        protocol = EqualityPathProtocol.on_path(3, 5, fingerprints3)
+        amplified = protocol.repeated(protocol.paper_repetitions())
+        assert amplified.total_proof_qubits() >= dqma_sepsep_total_proof_lower_bound(3, 5)
+
+
+class TestTheorem2QuantumAdvantage:
+    """Theorem 2: quantum total proof beats classical for EQ, and undersized
+    classical protocols are demonstrably unsound."""
+
+    def test_relay_protocol_end_to_end(self, fingerprints4):
+        protocol = RelayEqualityProtocol.on_path(4, 6, relay_spacing=2, segment_repetitions=4, fingerprints=fingerprints4)
+        assert np.isclose(protocol.acceptance_probability(("1100", "1100")), 1.0, atol=1e-9)
+        assert protocol.acceptance_probability(("1100", "1101")) < 0.5
+
+    def test_classical_protocols_with_few_bits_are_fooled(self):
+        n, r = 6, 4
+        sound = TrivialEqualityDMA.on_path(n, r)
+        unsound = TruncationEqualityDMA(EqualityProblem(n, 2), path_network(r), proof_bits=2)
+        yes_instance, no_instance = unsound.fooling_pair()
+
+        # The full protocol distinguishes the two instances...
+        assert sound.acceptance_probability(yes_instance) == 1.0
+        assert sound.acceptance_probability(no_instance, sound.honest_proof(yes_instance)) == 0.0
+        # ... the undersized one cannot, exactly as Lemma 23 predicts.
+        proof = unsound.honest_proof(yes_instance)
+        assert unsound.acceptance_probability(no_instance, proof) == 1.0
+        assert unsound.total_proof_bits() < classical_dma_total_proof_lower_bound(n, r) + n * (r + 1)
+
+
+class TestSection5Pipeline:
+    """Theorems 26 and 29: comparisons and ranking built on the same chain."""
+
+    def test_greater_than_exhaustive_semantics(self, fingerprints3):
+        protocol = GreaterThanPathProtocol.on_path(3, 2, ">", fingerprints3)
+        amplified = protocol.repeated(60)
+        for x in all_bitstrings(3):
+            for y in all_bitstrings(3):
+                acceptance = amplified.acceptance_probability((x, y))
+                if int(x, 2) > int(y, 2):
+                    assert np.isclose(acceptance, 1.0, atol=1e-9)
+                else:
+                    assert acceptance < 1.0 / 3.0
+
+    def test_ranking_on_star_with_four_sensors(self, fingerprints3):
+        readings = ("011", "110", "001", "100")  # 3, 6, 1, 4
+        correct = RankingVerificationProtocol.on_star(3, 4, 1, 3, fingerprints3)
+        wrong = RankingVerificationProtocol.on_star(3, 4, 1, 1, fingerprints3)
+        assert np.isclose(correct.acceptance_probability(readings), 1.0, atol=1e-9)
+        assert wrong.repeated(40).acceptance_probability(readings) < 1.0 / 3.0
+
+
+class TestSection6Pipeline:
+    """Theorem 30: Hamming distance on a network via a one-way protocol."""
+
+    def test_hamming_network_verification(self):
+        protocol = hamming_distance_protocol(6, 1, 3, network=star_network(3))
+        yes_instance = ("110100", "110101", "110100")
+        no_instance = ("110100", "001011", "110100")
+        assert protocol.acceptance_probability(yes_instance) > 0.99
+        assert protocol.acceptance_probability(no_instance) < 1.0 / 3.0
+
+
+class TestSection7Pipeline:
+    """Theorems 42 and 46: QMA communication to dQMA and back."""
+
+    def test_lsd_instances_through_the_path_protocol(self):
+        close = LSDPathProtocol(random_lsd_instance(24, 2, close=True, rng=21), 4)
+        far = LSDPathProtocol(random_lsd_instance(24, 2, close=False, rng=22), 4)
+        assert close.acceptance_on_promise() > 0.95
+        assert far.acceptance_on_promise() < 0.05
+
+    def test_round_trip_cost_accounting(self, fingerprints3):
+        protocol = EqualityPathProtocol.on_path(3, 4, fingerprints3)
+        reduction = reduce_dqma_to_qma_star(protocol)
+        conversion = dqma_to_dqmasep_cost_from_protocol(protocol)
+        # The QMA* protocol cost feeds the Theorem 46 pipeline: the final
+        # dQMA_sep protocol is polynomially larger but finite and positive.
+        assert conversion.original_cost == pytest.approx(
+            protocol.total_proof_qubits() + min(protocol.message_qubits().values())
+        )
+        assert conversion.qma_cost_bound >= reduction.cost.total
+        assert conversion.local_proof_qubits > 0
+
+
+class TestSection8Soundness:
+    """Section 8: the measured optima stay within the proved bounds."""
+
+    def test_entangled_adversary_versus_bounds_across_path_lengths(self):
+        fingerprints = small_fingerprints()
+        for r in (2, 3, 4):
+            protocol = EqualityPathProtocol.on_path(1, r, fingerprints)
+            report = entangled_soundness_report(protocol, ("0", "1"))
+            assert report.respects_paper_bound
+            # The exact optimum certifies that the repetition count of
+            # Algorithm 4 suffices to reach soundness 1/3.
+            repetitions = protocol.paper_repetitions()
+            assert report.optimal_entangled_acceptance**repetitions < 1.0 / 3.0
+
+    def test_public_api_surface(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

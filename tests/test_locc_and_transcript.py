@@ -1,0 +1,101 @@
+"""Tests for the LOCC conversion costs (Lemma 20 / Corollary 21) and the transcript simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BoundError
+from repro.protocols.equality import EqualityPathProtocol, EqualityTreeProtocol
+from repro.protocols.locc import (
+    corollary21_local_message_bound,
+    corollary21_local_proof_bound,
+    locc_conversion_cost,
+)
+from repro.protocols.transcript import (
+    empirical_acceptance_from_transcripts,
+    rejection_histogram,
+    simulate_equality_path_run,
+)
+from repro.network.topology import star_network
+from repro.quantum.fingerprint import ExactCodeFingerprint
+
+
+class TestLOCCConversion:
+    def test_proof_grows_by_degree_times_traffic(self, fingerprints3):
+        protocol = EqualityPathProtocol.on_path(3, 4, fingerprints3)
+        conversion = locc_conversion_cost(protocol)
+        expected = protocol.local_proof_qubits() + protocol.network.max_degree * (
+            protocol.local_message_qubits() * protocol.total_message_qubits()
+        )
+        assert conversion.local_proof_qubits == pytest.approx(expected)
+        assert conversion.proof_overhead_factor > 1.0
+
+    def test_conversion_on_tree_protocol(self, fingerprints3):
+        protocol = EqualityTreeProtocol(star_network(3), fingerprints3)
+        conversion = locc_conversion_cost(protocol)
+        assert conversion.max_degree == 3
+        assert conversion.local_message_bits > 0
+
+    def test_corollary21_formulas_scale(self):
+        assert corollary21_local_proof_bound(2**16, 4, 10, 3) > corollary21_local_proof_bound(2**8, 4, 10, 3)
+        assert corollary21_local_proof_bound(2**10, 8, 10, 3) > corollary21_local_proof_bound(2**10, 4, 10, 3)
+        assert corollary21_local_message_bound(2**10, 4, 20) > corollary21_local_message_bound(2**10, 4, 10)
+
+    def test_corollary21_degree_factor(self):
+        with_degree = corollary21_local_proof_bound(1024, 4, 10, 6)
+        without_degree = corollary21_local_proof_bound(1024, 4, 10, 3)
+        assert with_degree == pytest.approx(2 * without_degree)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(BoundError):
+            corollary21_local_proof_bound(0, 4, 10, 3)
+        with pytest.raises(BoundError):
+            corollary21_local_message_bound(1024, 0, 10)
+
+
+class TestTranscriptSimulator:
+    @pytest.fixture(scope="class")
+    def protocol(self):
+        return EqualityPathProtocol.on_path(3, 4, ExactCodeFingerprint(3, rng=17))
+
+    def test_yes_instance_every_node_accepts(self, protocol):
+        transcript = simulate_equality_path_run(protocol, ("101", "101"), rng=0)
+        assert transcript.accepted
+        assert transcript.rejecting_nodes == []
+        assert len(transcript.verdicts) == protocol.path_length
+
+    def test_verdict_metadata(self, protocol):
+        transcript = simulate_equality_path_run(protocol, ("101", "101"), rng=1)
+        assert transcript.verdicts[-1].test == "fingerprint-measurement"
+        assert all(verdict.test == "swap-test" for verdict in transcript.verdicts[:-1])
+        assert set(transcript.symmetrization_bits) == {"v1", "v2", "v3"}
+
+    def test_empirical_frequency_matches_exact_probability(self, protocol):
+        exact = protocol.acceptance_probability(("101", "011"))
+        empirical = empirical_acceptance_from_transcripts(protocol, ("101", "011"), shots=400, rng=2)
+        assert abs(empirical - exact) < 0.08
+
+    def test_rejections_concentrate_at_the_right_end_for_honest_proofs(self, protocol):
+        # With the honest (all-|h_x>) proof on a no-instance, only the final
+        # fingerprint measurement can reject.
+        histogram = rejection_histogram(protocol, ("101", "011"), shots=200, rng=3)
+        final_node = protocol.path_nodes[-1]
+        assert histogram[final_node] > 0
+        for node in protocol.path_nodes[:-1]:
+            assert histogram[node] == 0
+
+    def test_corrupted_middle_proof_is_detected_mid_chain(self, protocol):
+        # Corrupt node v2's registers: some SWAP test along the chain must now
+        # reject in a noticeable fraction of the runs.
+        fingerprints = protocol.fingerprints
+        proof = protocol.honest_proof(("101", "101"))
+        proof = proof.replaced("R[2,0]", fingerprints.state("010"))
+        proof = proof.replaced("R[2,1]", fingerprints.state("010"))
+        histogram = rejection_histogram(protocol, ("101", "101"), proof=proof, shots=300, rng=4)
+        middle_rejections = sum(histogram[node] for node in protocol.path_nodes[1:-1])
+        assert middle_rejections > 0
+
+    def test_transcript_sampling_is_reproducible(self, protocol):
+        first = simulate_equality_path_run(protocol, ("101", "011"), rng=7)
+        second = simulate_equality_path_run(protocol, ("101", "011"), rng=7)
+        assert first.accepted == second.accepted
+        assert first.symmetrization_bits == second.symmetrization_bits

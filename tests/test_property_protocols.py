@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) for protocol-level invariants.
+
+The invariants mirror the paper's completeness/soundness statements:
+
+* perfect completeness of the EQ / GT / RV protocols on arbitrary yes-instances,
+* acceptance probabilities always in [0, 1] for arbitrary product proofs,
+* parallel repetition multiplies acceptance probabilities,
+* the problem evaluators agree with their defining formulas.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.problems import (
+    EqualityProblem,
+    GreaterThanProblem,
+    HammingDistanceProblem,
+    RankingVerificationProblem,
+)
+from repro.protocols.base import ProductProof, RepeatedProtocol
+from repro.protocols.equality import EqualityPathProtocol
+from repro.protocols.greater_than import GreaterThanPathProtocol
+from repro.quantum.fingerprint import ExactCodeFingerprint
+from repro.quantum.random_states import haar_random_state
+from repro.utils.bitstrings import hamming_distance, int_to_bits
+
+MAX_EXAMPLES = 20
+
+_FINGERPRINTS = ExactCodeFingerprint(3, rng=99)
+_EQ_PROTOCOL = EqualityPathProtocol.on_path(3, 3, _FINGERPRINTS)
+_GT_PROTOCOL = GreaterThanPathProtocol.on_path(3, 2, ">", _FINGERPRINTS)
+
+bitstrings3 = st.integers(0, 7).map(lambda v: int_to_bits(v, 3))
+
+
+class TestProblemSemantics:
+    @given(x=st.integers(0, 63), y=st.integers(0, 63))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_greater_than_matches_integer_comparison(self, x, y):
+        problem = GreaterThanProblem(6)
+        assert problem.evaluate((int_to_bits(x, 6), int_to_bits(y, 6))) == (x > y)
+
+    @given(x=st.integers(0, 63), y=st.integers(0, 63), d=st.integers(0, 6))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_hamming_problem_matches_distance(self, x, y, d):
+        problem = HammingDistanceProblem(6, d)
+        xs, ys = int_to_bits(x, 6), int_to_bits(y, 6)
+        assert problem.two_party(xs, ys) == (hamming_distance(xs, ys) <= d)
+
+    @given(values=st.lists(st.integers(0, 15), min_size=3, max_size=3, unique=True))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_ranking_problem_identifies_the_sorted_position(self, values):
+        inputs = tuple(int_to_bits(v, 4) for v in values)
+        order = sorted(values, reverse=True)
+        for terminal, value in enumerate(values, start=1):
+            true_rank = order.index(value) + 1
+            for rank in (1, 2, 3):
+                problem = RankingVerificationProblem(4, 3, terminal, rank)
+                assert problem.evaluate(inputs) == (rank == true_rank)
+
+    @given(x=bitstrings3, y=bitstrings3, z=bitstrings3)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_equality_problem_is_transitive_friendly(self, x, y, z):
+        problem = EqualityProblem(3, 3)
+        assert problem.evaluate((x, y, z)) == (x == y == z)
+
+
+class TestEqualityProtocolProperties:
+    @given(x=bitstrings3)
+    @settings(max_examples=8, deadline=None)
+    def test_perfect_completeness_everywhere(self, x):
+        assert np.isclose(_EQ_PROTOCOL.acceptance_probability((x, x)), 1.0, atol=1e-9)
+
+    @given(x=bitstrings3, y=bitstrings3)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_acceptance_probability_is_a_probability(self, x, y):
+        value = _EQ_PROTOCOL.acceptance_probability((x, y))
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+    @given(x=bitstrings3, y=bitstrings3, seed=st.integers(0, 10**6))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_arbitrary_product_proofs_give_probabilities(self, x, y, seed):
+        rng = np.random.default_rng(seed)
+        states = {}
+        for register in _EQ_PROTOCOL.proof_registers():
+            states[register.name] = haar_random_state(register.dim, rng)
+        proof = ProductProof(states)
+        value = _EQ_PROTOCOL.acceptance_probability((x, y), proof)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+    @given(x=bitstrings3, y=bitstrings3, repetitions=st.integers(1, 6))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_repetition_is_a_power(self, x, y, repetitions):
+        single = _EQ_PROTOCOL.acceptance_probability((x, y))
+        repeated = RepeatedProtocol(_EQ_PROTOCOL, repetitions).acceptance_probability((x, y))
+        assert np.isclose(repeated, single**repetitions, atol=1e-8)
+
+    @given(x=bitstrings3, y=bitstrings3)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_no_instance_never_beats_lemma_17_bound_with_honest_proofs(self, x, y):
+        if x == y:
+            return
+        bound = 1.0 - _EQ_PROTOCOL.single_shot_soundness_gap()
+        assert _EQ_PROTOCOL.acceptance_probability((x, y)) <= bound + 1e-9
+
+
+class TestGreaterThanProtocolProperties:
+    @given(x=st.integers(0, 7), y=st.integers(0, 7))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_yes_instances_accepted_with_certainty(self, x, y):
+        if x <= y:
+            return
+        inputs = (int_to_bits(x, 3), int_to_bits(y, 3))
+        assert np.isclose(_GT_PROTOCOL.acceptance_probability(inputs), 1.0, atol=1e-9)
+
+    @given(x=st.integers(0, 7), y=st.integers(0, 7))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_acceptance_is_probability(self, x, y):
+        inputs = (int_to_bits(x, 3), int_to_bits(y, 3))
+        value = _GT_PROTOCOL.acceptance_probability(inputs)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+    @given(x=st.integers(0, 7), y=st.integers(0, 7), seed=st.integers(0, 10**6))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_random_index_registers_cannot_exceed_bound_on_no_instances(self, x, y, seed):
+        if x > y:
+            return
+        inputs = (int_to_bits(x, 3), int_to_bits(y, 3))
+        rng = np.random.default_rng(seed)
+        proof = _GT_PROTOCOL.honest_proof(inputs)
+        for node_index in range(_GT_PROTOCOL.path_length + 1):
+            proof = proof.replaced(
+                f"I[{node_index}]", haar_random_state(_GT_PROTOCOL.index_dim, rng)
+            )
+        bound = 1.0 - _GT_PROTOCOL.single_shot_soundness_gap()
+        assert _GT_PROTOCOL.acceptance_probability(inputs, proof) <= bound + 1e-9

@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for the quantum substrate invariants.
+
+These check the structural facts the paper's proofs rely on — Fuchs-van de
+Graaf, contractivity of the trace distance under partial trace, the SWAP /
+permutation test acceptance laws — on randomly generated states rather than
+hand-picked examples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.distance import fidelity, fuchs_van_de_graaf_bounds, trace_distance
+from repro.quantum.fingerprint import SimulatedFingerprint
+from repro.quantum.permutation_test import permutation_test_accept_probability_product
+from repro.quantum.random_states import haar_random_state, random_density_matrix
+from repro.quantum.states import outer, partial_trace
+from repro.quantum.swap_test import swap_test_accept_probability, swap_test_accept_probability_pure
+from repro.quantum.symmetric import symmetric_subspace_dimension
+
+MAX_EXAMPLES = 25
+
+
+def _state(dim: int, seed: int) -> np.ndarray:
+    return haar_random_state(dim, rng=seed)
+
+
+class TestDistanceProperties:
+    @given(seed_a=st.integers(0, 10**6), seed_b=st.integers(0, 10**6), dim=st.sampled_from([2, 3, 4]))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_trace_distance_is_a_metric_between_zero_and_one(self, seed_a, seed_b, dim):
+        a, b = _state(dim, seed_a), _state(dim, seed_b)
+        distance = trace_distance(a, b)
+        assert -1e-9 <= distance <= 1.0 + 1e-9
+        assert np.isclose(trace_distance(b, a), distance, atol=1e-9)
+
+    @given(seed_a=st.integers(0, 10**6), seed_b=st.integers(0, 10**6), dim=st.sampled_from([2, 3]))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_fuchs_van_de_graaf(self, seed_a, seed_b, dim):
+        a = random_density_matrix(dim, rng=seed_a)
+        b = random_density_matrix(dim, rng=seed_b)
+        lower, upper = fuchs_van_de_graaf_bounds(a, b)
+        distance = trace_distance(a, b)
+        assert lower - 1e-7 <= distance <= upper + 1e-7
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_partial_trace_is_contractive(self, seed):
+        # Fact 4: tracing out a subsystem cannot increase the trace distance.
+        rho = random_density_matrix(4, rng=seed)
+        sigma = random_density_matrix(4, rng=seed + 1)
+        full = trace_distance(rho, sigma)
+        reduced = trace_distance(
+            partial_trace(rho, [2, 2], [0]), partial_trace(sigma, [2, 2], [0])
+        )
+        assert reduced <= full + 1e-8
+
+    @given(seed_a=st.integers(0, 10**6), seed_b=st.integers(0, 10**6))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_fidelity_symmetric_and_bounded(self, seed_a, seed_b):
+        a = random_density_matrix(3, rng=seed_a)
+        b = random_density_matrix(3, rng=seed_b)
+        value = fidelity(a, b)
+        assert -1e-9 <= value <= 1.0 + 1e-6
+        assert np.isclose(value, fidelity(b, a), atol=1e-6)
+
+
+class TestSwapTestProperties:
+    @given(seed_a=st.integers(0, 10**6), seed_b=st.integers(0, 10**6), dim=st.sampled_from([2, 3, 4]))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_acceptance_between_half_and_one(self, seed_a, seed_b, dim):
+        probability = swap_test_accept_probability_pure(_state(dim, seed_a), _state(dim, seed_b))
+        assert 0.5 - 1e-9 <= probability <= 1.0 + 1e-9
+
+    @given(seed=st.integers(0, 10**6), dim=st.sampled_from([2, 3]))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_mixed_state_acceptance_matches_projector_form(self, seed, dim):
+        a, b = _state(dim, seed), _state(dim, seed + 7)
+        product = np.kron(outer(a), outer(b))
+        assert np.isclose(
+            swap_test_accept_probability(product, dim=dim),
+            swap_test_accept_probability_pure(a, b),
+            atol=1e-9,
+        )
+
+    @given(seed=st.integers(0, 10**6), copies=st.sampled_from([2, 3, 4]))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_permutation_test_accepts_identical_copies(self, seed, copies):
+        psi = _state(2, seed)
+        assert np.isclose(
+            permutation_test_accept_probability_product([psi] * copies), 1.0, atol=1e-9
+        )
+
+    @given(
+        seeds=st.lists(st.integers(0, 10**6), min_size=2, max_size=4, unique=True),
+    )
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_permutation_test_probability_in_range(self, seeds):
+        states = [_state(3, seed) for seed in seeds]
+        probability = permutation_test_accept_probability_product(states)
+        # The symmetric weight of any product state is at least 1/k!.
+        from math import factorial
+
+        assert 1.0 / factorial(len(states)) - 1e-9 <= probability <= 1.0 + 1e-9
+
+
+class TestCombinatorialInvariants:
+    @given(dim=st.integers(2, 6), copies=st.integers(1, 4))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_symmetric_dimension_recurrence(self, dim, copies):
+        # C(d + k - 1, k) satisfies Pascal-style recurrences; check against a
+        # direct stars-and-bars count.
+        from itertools import combinations_with_replacement
+
+        direct = sum(1 for _ in combinations_with_replacement(range(dim), copies))
+        assert symmetric_subspace_dimension(dim, copies) == direct
+
+    @given(
+        length=st.integers(2, 10),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_simulated_fingerprints_deterministic(self, length, seed):
+        rng = np.random.default_rng(seed)
+        value = "".join(rng.choice(["0", "1"], size=length))
+        scheme_a = SimulatedFingerprint(length, num_qubits=4, seed=seed)
+        scheme_b = SimulatedFingerprint(length, num_qubits=4, seed=seed)
+        np.testing.assert_allclose(scheme_a.state(value), scheme_b.state(value))

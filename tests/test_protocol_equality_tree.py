@@ -1,0 +1,110 @@
+"""Tests for the EQ protocol on general graphs (Algorithm 5 / Theorem 19)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.problems import EqualityProblem
+from repro.exceptions import ProtocolError
+from repro.network.topology import complete_network, path_network, random_tree_network, star_network
+from repro.protocols.base import ProductProof
+from repro.protocols.equality import EqualityTreeProtocol
+from repro.quantum.fingerprint import ExactCodeFingerprint
+
+
+class TestLayout:
+    def test_star_register_layout(self, fingerprints3):
+        protocol = EqualityTreeProtocol(star_network(3), fingerprints3)
+        # The only non-input node is the centre (the root is a terminal).
+        nodes = {register.node for register in protocol.proof_registers()}
+        assert nodes == {"centre"}
+        assert len(protocol.proof_registers()) == 2
+
+    def test_terminal_count_must_match_problem(self, fingerprints3):
+        with pytest.raises(ProtocolError):
+            EqualityTreeProtocol(
+                star_network(3), fingerprints3, problem=EqualityProblem(3, num_inputs=2)
+            )
+
+    def test_messages_follow_tree_edges(self, fingerprints3):
+        protocol = EqualityTreeProtocol(star_network(4), fingerprints3)
+        messages = protocol.message_qubits()
+        assert len(messages) >= 3  # at least one message per leaf-to-centre edge
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("num_terminals", [2, 3, 4])
+    def test_star_perfect_completeness(self, fingerprints3, num_terminals):
+        protocol = EqualityTreeProtocol(star_network(num_terminals), fingerprints3)
+        inputs = tuple(["110"] * num_terminals)
+        assert np.isclose(protocol.acceptance_probability(inputs), 1.0, atol=1e-9)
+
+    def test_path_network_completeness(self, fingerprints3):
+        network = path_network(4, terminals=("v0", "v4"))
+        protocol = EqualityTreeProtocol(network, fingerprints3)
+        assert np.isclose(protocol.acceptance_probability(("011", "011")), 1.0, atol=1e-9)
+
+    def test_random_tree_completeness(self, fingerprints3):
+        network = random_tree_network(8, 3, rng=4)
+        protocol = EqualityTreeProtocol(network, fingerprints3)
+        assert np.isclose(protocol.acceptance_probability(("101", "101", "101")), 1.0, atol=1e-9)
+
+    def test_internal_terminal_completeness(self, fingerprints3):
+        # A path with a terminal in the middle exercises the shadow-leaf construction.
+        network = path_network(4, terminals=("v0", "v2", "v4"))
+        protocol = EqualityTreeProtocol(network, fingerprints3)
+        assert np.isclose(protocol.acceptance_probability(("111", "111", "111")), 1.0, atol=1e-9)
+
+    def test_complete_graph_completeness(self, fingerprints3):
+        protocol = EqualityTreeProtocol(complete_network(4, 3), fingerprints3)
+        assert np.isclose(protocol.acceptance_probability(("100", "100", "100")), 1.0, atol=1e-9)
+
+
+class TestSoundness:
+    def test_single_divergent_terminal_detected(self, fingerprints3):
+        protocol = EqualityTreeProtocol(star_network(3), fingerprints3)
+        acceptance = protocol.acceptance_probability(("110", "110", "011"))
+        assert acceptance < 1.0
+
+    def test_divergent_terminal_on_random_tree(self, fingerprints3):
+        network = random_tree_network(8, 3, rng=4)
+        protocol = EqualityTreeProtocol(network, fingerprints3)
+        acceptance = protocol.acceptance_probability(("101", "101", "100"))
+        assert acceptance <= 1.0 - protocol.single_shot_soundness_gap() + 1e-9
+
+    def test_repetition_reduces_soundness_error(self, fingerprints3):
+        protocol = EqualityTreeProtocol(star_network(3), fingerprints3)
+        single = protocol.acceptance_probability(("110", "110", "011"))
+        repeated = protocol.repeated(40).acceptance_probability(("110", "110", "011"))
+        assert np.isclose(repeated, single**40, atol=1e-9)
+        assert repeated < 1.0 / 3.0
+
+    def test_cheating_with_mixed_fingerprints_detected(self, fingerprints3):
+        protocol = EqualityTreeProtocol(star_network(3), fingerprints3)
+        inputs = ("110", "110", "011")
+        # Prover sends the fingerprint of the majority string everywhere.
+        states = {}
+        for register in protocol.proof_registers():
+            states[register.name] = fingerprints3.state("110")
+        acceptance = protocol.acceptance_probability(inputs, ProductProof(states))
+        assert acceptance < 1.0
+
+    def test_enumeration_guard(self, fingerprints3):
+        network = random_tree_network(25, 6, rng=1)
+        protocol = EqualityTreeProtocol(network, fingerprints3)
+        if len(protocol._proof_nodes) > protocol.MAX_ENUMERATED_NODES:
+            with pytest.raises(ProtocolError):
+                protocol.acceptance_probability(tuple(["101"] * 6))
+
+
+class TestCosts:
+    def test_local_proof_independent_of_terminal_count(self, fingerprints3):
+        # The improvement over FGNP21: local proof size does not grow with t.
+        small = EqualityTreeProtocol(star_network(2), fingerprints3)
+        large = EqualityTreeProtocol(star_network(5), fingerprints3)
+        assert np.isclose(small.local_proof_qubits(), large.local_proof_qubits())
+
+    def test_total_proof_grows_with_network_size(self, fingerprints3):
+        small = EqualityTreeProtocol(star_network(3), fingerprints3)
+        big_network = random_tree_network(10, 3, rng=2)
+        large = EqualityTreeProtocol(big_network, fingerprints3)
+        assert large.total_proof_qubits() >= small.total_proof_qubits()

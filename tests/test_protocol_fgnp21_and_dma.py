@@ -1,0 +1,127 @@
+"""Tests for the FGNP21 baseline protocol and the classical dMA baselines."""
+
+import numpy as np
+import pytest
+
+from repro.comm.problems import EqualityProblem
+from repro.exceptions import ProofError, ProtocolError
+from repro.network.topology import path_network
+from repro.protocols.dma import TrivialEqualityDMA, TruncationEqualityDMA
+from repro.protocols.equality import EqualityPathProtocol
+from repro.protocols.fgnp21 import Fgnp21EqualityProtocol
+from repro.utils.bitstrings import all_bitstrings
+
+
+class TestFgnp21Protocol:
+    def test_perfect_completeness(self, fingerprints3):
+        protocol = Fgnp21EqualityProtocol.on_path(3, 4, fingerprints3)
+        for x in ("000", "101", "111"):
+            assert np.isclose(protocol.acceptance_probability((x, x)), 1.0, atol=1e-9)
+
+    def test_single_register_per_node(self, fingerprints3):
+        protocol = Fgnp21EqualityProtocol.on_path(3, 5, fingerprints3)
+        assert len(protocol.proof_registers()) == 4
+        assert protocol.local_proof_qubits() == pytest.approx(fingerprints3.num_qubits)
+
+    def test_uses_half_the_proof_of_the_improved_protocol(self, fingerprints3):
+        baseline = Fgnp21EqualityProtocol.on_path(3, 5, fingerprints3)
+        improved = EqualityPathProtocol.on_path(3, 5, fingerprints3)
+        assert improved.local_proof_qubits() == pytest.approx(2 * baseline.local_proof_qubits())
+
+    def test_no_instance_has_soundness_gap(self, fingerprints3):
+        protocol = Fgnp21EqualityProtocol.on_path(3, 4, fingerprints3)
+        acceptance = protocol.acceptance_probability(("101", "011"))
+        assert acceptance < 1.0
+
+    def test_improved_protocol_has_larger_single_shot_gap(self, fingerprints3):
+        # The symmetrization step makes every adjacent test happen with
+        # certainty, so on the honest-but-wrong proof the improved protocol
+        # rejects at least as often as the baseline.
+        baseline = Fgnp21EqualityProtocol.on_path(3, 4, fingerprints3)
+        improved = EqualityPathProtocol.on_path(3, 4, fingerprints3)
+        no_instance = ("101", "011")
+        assert (
+            improved.acceptance_probability(no_instance)
+            <= baseline.acceptance_probability(no_instance) + 1e-9
+        )
+
+    def test_repetition_amplifies_soundness(self, fingerprints3):
+        protocol = Fgnp21EqualityProtocol.on_path(3, 3, fingerprints3)
+        single = protocol.acceptance_probability(("101", "011"))
+        repeated = protocol.repeated(80).acceptance_probability(("101", "011"))
+        assert np.isclose(repeated, single**80, atol=1e-9)
+
+    def test_gap_formula(self, fingerprints3):
+        protocol = Fgnp21EqualityProtocol.on_path(3, 6, fingerprints3)
+        assert protocol.single_shot_soundness_gap() == pytest.approx(1.0 / (81.0 * 36.0))
+
+
+class TestTrivialClassicalProtocol:
+    def test_deterministic_completeness(self):
+        protocol = TrivialEqualityDMA.on_path(4, 3)
+        assert protocol.acceptance_probability(("1010", "1010")) == 1.0
+
+    def test_deterministic_soundness(self):
+        protocol = TrivialEqualityDMA.on_path(4, 3)
+        # The honest proof on a no-instance is rejected outright.
+        assert protocol.acceptance_probability(("1010", "1011")) == 0.0
+
+    def test_no_adversarial_proof_fools_it(self):
+        protocol = TrivialEqualityDMA.on_path(2, 2)
+        no_instance = ("10", "01")
+        for claimed in all_bitstrings(2):
+            proof = {node: claimed for node in protocol.network.nodes}
+            assert protocol.acceptance_probability(no_instance, proof) == 0.0
+
+    def test_inconsistent_proofs_rejected(self):
+        protocol = TrivialEqualityDMA.on_path(2, 2)
+        proof = {"v0": "10", "v1": "01", "v2": "10"}
+        assert protocol.acceptance_probability(("10", "10"), proof) == 0.0
+
+    def test_total_proof_is_n_times_nodes(self):
+        protocol = TrivialEqualityDMA.on_path(6, 4)
+        assert protocol.total_proof_bits() == 6 * 5
+
+    def test_proof_validation(self):
+        protocol = TrivialEqualityDMA.on_path(3, 2)
+        with pytest.raises(ProofError):
+            protocol.acceptance_probability(("101", "101"), {"v0": "101"})
+
+
+class TestTruncationProtocol:
+    def test_completeness_preserved(self):
+        protocol = TruncationEqualityDMA(EqualityProblem(6, 2), path_network(3), proof_bits=3)
+        assert protocol.acceptance_probability(("101011", "101011")) == 1.0
+
+    def test_fooling_pair_is_accepted(self):
+        protocol = TruncationEqualityDMA(EqualityProblem(6, 2), path_network(3), proof_bits=3)
+        yes_instance, no_instance = protocol.fooling_pair()
+        assert protocol.problem.evaluate(yes_instance)
+        assert not protocol.problem.evaluate(no_instance)
+        proof = protocol.honest_proof(yes_instance)
+        assert protocol.acceptance_probability(yes_instance, proof) == 1.0
+        assert protocol.acceptance_probability(no_instance, proof) == 1.0  # soundness broken
+
+    def test_full_length_truncation_has_no_fooling_pair(self):
+        protocol = TruncationEqualityDMA(EqualityProblem(4, 2), path_network(3), proof_bits=4)
+        with pytest.raises(ProtocolError):
+            protocol.fooling_pair()
+
+    def test_total_proof_below_lower_bound_threshold(self):
+        # The whole point: the truncated protocol's total proof is below the
+        # Omega(rn) threshold of Corollary 25, which is why it cannot be sound.
+        from repro.bounds.lower import classical_dma_total_proof_lower_bound
+
+        n, r = 8, 5
+        protocol = TruncationEqualityDMA(EqualityProblem(n, 2), path_network(r), proof_bits=2)
+        assert protocol.total_proof_bits() <= classical_dma_total_proof_lower_bound(n, r) + n * (r + 1)
+
+    def test_invalid_proof_bits(self):
+        with pytest.raises(ProtocolError):
+            TruncationEqualityDMA(EqualityProblem(4, 2), path_network(3), proof_bits=5)
+
+    def test_cost_summary_fields(self):
+        protocol = TrivialEqualityDMA.on_path(4, 3)
+        summary = protocol.cost_summary()
+        assert summary.local_proof == 4
+        assert summary.total_proof == 16

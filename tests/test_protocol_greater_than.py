@@ -1,0 +1,151 @@
+"""Tests for the greater-than protocol (Algorithm 7 / Theorem 26, Corollary 28)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.problems import GreaterThanProblem
+from repro.exceptions import ProtocolError
+from repro.protocols.base import ProductProof
+from repro.protocols.greater_than import GreaterThanPathProtocol
+from repro.quantum.states import basis_state
+from repro.utils.bitstrings import all_bitstrings, bits_to_int
+
+
+class TestLayout:
+    def test_every_node_has_an_index_register(self, fingerprints3):
+        protocol = GreaterThanPathProtocol.on_path(3, 4, ">", fingerprints3)
+        index_registers = [r for r in protocol.proof_registers() if r.name.startswith("I[")]
+        assert len(index_registers) == 5
+
+    def test_intermediate_nodes_have_fingerprint_pairs(self, fingerprints3):
+        protocol = GreaterThanPathProtocol.on_path(3, 4, ">", fingerprints3)
+        fingerprint_registers = [r for r in protocol.proof_registers() if r.name.startswith("R[")]
+        assert len(fingerprint_registers) == 6
+
+    def test_index_dimension_strict_vs_nonstrict(self, fingerprints3):
+        strict = GreaterThanPathProtocol.on_path(3, 3, ">", fingerprints3)
+        nonstrict = GreaterThanPathProtocol.on_path(3, 3, ">=", fingerprints3)
+        assert strict.index_dim == 3
+        assert nonstrict.index_dim == 4
+
+    def test_index_dim_override(self, fingerprints3):
+        protocol = GreaterThanPathProtocol.on_path(3, 3, ">", fingerprints3)
+        widened = GreaterThanPathProtocol(
+            protocol.network, fingerprints3, variant=">", index_dim=4
+        )
+        assert widened.index_dim == 4
+        with pytest.raises(ProtocolError):
+            GreaterThanPathProtocol(protocol.network, fingerprints3, variant=">=", index_dim=2)
+
+
+class TestCompleteness:
+    def test_exhaustive_completeness_strict(self, fingerprints3):
+        protocol = GreaterThanPathProtocol.on_path(3, 3, ">", fingerprints3)
+        for x in all_bitstrings(3):
+            for y in all_bitstrings(3):
+                if bits_to_int(x) > bits_to_int(y):
+                    assert np.isclose(protocol.acceptance_probability((x, y)), 1.0, atol=1e-9), (x, y)
+
+    @pytest.mark.parametrize(
+        "variant,x,y",
+        [
+            ("<", "010", "110"),
+            (">=", "110", "110"),
+            (">=", "110", "010"),
+            ("<=", "010", "010"),
+            ("<=", "001", "100"),
+        ],
+    )
+    def test_variant_completeness(self, fingerprints3, variant, x, y):
+        protocol = GreaterThanPathProtocol.on_path(3, 3, variant, fingerprints3)
+        assert np.isclose(protocol.acceptance_probability((x, y)), 1.0, atol=1e-9)
+
+    def test_long_path_completeness(self, fingerprints3):
+        protocol = GreaterThanPathProtocol.on_path(3, 8, ">", fingerprints3)
+        assert np.isclose(protocol.acceptance_probability(("111", "000")), 1.0, atol=1e-9)
+
+    def test_path_length_one(self, fingerprints3):
+        protocol = GreaterThanPathProtocol.on_path(3, 1, ">", fingerprints3)
+        assert np.isclose(protocol.acceptance_probability(("100", "011")), 1.0, atol=1e-9)
+
+
+class TestSoundness:
+    def test_honest_proof_on_no_instance_rejected(self, fingerprints3):
+        protocol = GreaterThanPathProtocol.on_path(3, 3, ">", fingerprints3)
+        assert protocol.acceptance_probability(("010", "110")) < 0.25
+
+    def test_equal_inputs_rejected_for_strict_variant(self, fingerprints3):
+        protocol = GreaterThanPathProtocol.on_path(3, 3, ">", fingerprints3)
+        assert protocol.acceptance_probability(("101", "101")) < 0.25
+
+    def test_adversarial_index_cannot_pass_endpoint_checks(self, fingerprints3):
+        # On a no-instance of GT, for every index either x_i = 0 or y_i = 1, or
+        # the prefixes differ; sweep over all constant-index proofs and check
+        # the acceptance stays below the Lemma 17 bound.
+        protocol = GreaterThanPathProtocol.on_path(3, 3, ">", fingerprints3)
+        x, y = "011", "101"  # x = 3 < y = 5
+        honest = protocol.honest_proof((x, y))
+        bound = 1.0 - protocol.single_shot_soundness_gap()
+        for index in range(protocol.index_dim):
+            proof = honest
+            for node_index in range(protocol.path_length + 1):
+                proof = proof.replaced(f"I[{node_index}]", basis_state(protocol.index_dim, index))
+            # Try the two natural fingerprint fillings: prefixes of x and of y.
+            for source in (x, y):
+                fingerprint = fingerprints3.state(protocol._padded_prefix(source, index))
+                for node_index in range(1, protocol.path_length):
+                    proof = proof.replaced(f"R[{node_index},0]", fingerprint)
+                    proof = proof.replaced(f"R[{node_index},1]", fingerprint)
+                assert protocol.acceptance_probability((x, y), proof) <= bound + 1e-9
+
+    def test_mismatched_index_registers_rejected(self, fingerprints3):
+        protocol = GreaterThanPathProtocol.on_path(3, 2, ">", fingerprints3)
+        x, y = "110", "010"
+        honest = protocol.honest_proof((x, y))
+        # Give node v0 a different index than the others: the comparison fails.
+        tampered = honest.replaced("I[0]", basis_state(protocol.index_dim, 0))
+        tampered = tampered.replaced("I[1]", basis_state(protocol.index_dim, 1))
+        assert protocol.acceptance_probability((x, y), tampered) == 0.0
+
+    def test_repetition_reaches_one_third(self, fingerprints3):
+        protocol = GreaterThanPathProtocol.on_path(3, 2, ">", fingerprints3)
+        single = protocol.acceptance_probability(("010", "110"))
+        repeated = protocol.repeated(40)
+        assert repeated.acceptance_probability(("010", "110")) <= max(single**40, 1e-30) + 1e-12
+        assert repeated.acceptance_probability(("010", "110")) < 1.0 / 3.0
+
+    def test_superposed_index_register_gives_mixture(self, fingerprints3):
+        # A uniform superposition over index values behaves like the classical
+        # mixture of the measured outcomes.
+        protocol = GreaterThanPathProtocol.on_path(3, 2, ">", fingerprints3)
+        x, y = "110", "010"
+        honest = protocol.honest_proof((x, y))
+        uniform = np.ones(protocol.index_dim) / np.sqrt(protocol.index_dim)
+        proof = honest
+        for node_index in range(protocol.path_length + 1):
+            proof = proof.replaced(f"I[{node_index}]", uniform)
+        mixed = protocol.acceptance_probability((x, y), proof)
+        assert mixed <= protocol.acceptance_probability((x, y), honest)
+        assert mixed > 0.0
+
+
+class TestSemantics:
+    def test_honest_index_matches_witness(self, fingerprints4):
+        protocol = GreaterThanPathProtocol.on_path(4, 3, ">", fingerprints4)
+        problem = GreaterThanProblem(4)
+        assert protocol.honest_index(("1010", "1001")) == problem.witness_index("1010", "1001")
+
+    def test_honest_index_equality_sentinel(self, fingerprints3):
+        protocol = GreaterThanPathProtocol.on_path(3, 3, ">=", fingerprints3)
+        assert protocol.honest_index(("101", "101")) == 3
+
+    def test_padded_prefix(self, fingerprints4):
+        protocol = GreaterThanPathProtocol.on_path(4, 3, ">", fingerprints4)
+        assert protocol._padded_prefix("1011", 2) == "1000"
+        assert protocol._padded_prefix("1011", 0) == "0000"
+        assert protocol._padded_prefix("1011", 4) == "1011"
+
+    def test_cost_includes_index_register(self, fingerprints3):
+        protocol = GreaterThanPathProtocol.on_path(3, 3, ">", fingerprints3)
+        eq_like = 2 * fingerprints3.num_qubits
+        assert protocol.local_proof_qubits() > eq_like

@@ -1,0 +1,164 @@
+"""Tests for Algorithm 10 (QMA one-way -> dQMA), the QMA* reduction (Algorithm 11)
+and the dQMA -> dQMA_sep cost pipeline (Theorem 46)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.lsd import random_lsd_instance
+from repro.comm.qma import FingerprintEqualityQMAOneWay
+from repro.comm.problems import EqualityProblem
+from repro.exceptions import ProtocolError
+from repro.network.topology import path_network
+from repro.protocols.base import CostSummary, ProductProof
+from repro.protocols.equality import EqualityPathProtocol
+from repro.protocols.greater_than import GreaterThanPathProtocol
+from repro.protocols.qma_to_dqma import LSDPathProtocol, PromiseInstanceProblem, QMAOneWayToPathProtocol
+from repro.protocols.reductions import all_cut_reductions, reduce_dqma_to_qma_star
+from repro.protocols.separable import (
+    SeparableConversionCost,
+    build_sep_protocol_for_parameters,
+    dqma_to_dqmasep_cost,
+    dqma_to_dqmasep_cost_from_protocol,
+)
+from repro.quantum.fingerprint import ExactCodeFingerprint
+
+
+class TestLSDPathProtocol:
+    def test_completeness_on_close_instance(self):
+        instance = random_lsd_instance(16, 2, close=True, rng=0)
+        for path_length in (1, 2, 4):
+            protocol = LSDPathProtocol(instance, path_length)
+            assert protocol.acceptance_on_promise() >= 0.98**2 - 1e-9
+
+    def test_far_instance_honest_proof_rejected(self):
+        instance = random_lsd_instance(16, 2, close=False, rng=1)
+        protocol = LSDPathProtocol(instance, 3)
+        assert protocol.acceptance_on_promise() <= 0.19**2 + 1e-6
+
+    def test_proof_layout(self):
+        instance = random_lsd_instance(16, 2, close=True, rng=2)
+        protocol = LSDPathProtocol(instance, 4)
+        registers = protocol.proof_registers()
+        # One proof register at v0 plus two forwarded-size registers per
+        # intermediate node.
+        assert len(registers) == 1 + 2 * 3
+        assert registers[0].node == "v0"
+
+    def test_problem_label_follows_promise(self):
+        close = random_lsd_instance(16, 2, close=True, rng=3)
+        far = random_lsd_instance(16, 2, close=False, rng=4)
+        assert LSDPathProtocol(close, 2).problem.evaluate(("0", "0"))
+        assert not LSDPathProtocol(far, 2).problem.evaluate(("0", "0"))
+
+    def test_adversarial_forwarded_registers_do_not_help_on_far_instance(self):
+        instance = random_lsd_instance(12, 2, close=False, rng=5)
+        protocol = LSDPathProtocol(instance, 3)
+        honest = protocol.honest_proof(("0", "0"))
+        rng = np.random.default_rng(0)
+        bound = 1.0 - protocol.single_shot_soundness_gap()
+        for _ in range(5):
+            proof = honest
+            for register in protocol.proof_registers():
+                random_state = rng.normal(size=register.dim) + 1j * rng.normal(size=register.dim)
+                proof = proof.replaced(register.name, random_state)
+            assert protocol.acceptance_probability(("0", "0"), proof) <= bound + 1e-9
+
+
+class TestQMAOneWayToPath:
+    def test_fingerprint_equality_wrapper_round_trip(self, fingerprints3):
+        qma_protocol = FingerprintEqualityQMAOneWay(fingerprints3)
+        problem = EqualityProblem(3)
+        yes = QMAOneWayToPathProtocol(
+            path_network(3), qma_protocol, problem, alice_input="101", bob_input="101"
+        )
+        no = QMAOneWayToPathProtocol(
+            path_network(3), qma_protocol, problem, alice_input="101", bob_input="011"
+        )
+        assert np.isclose(yes.acceptance_probability(("101", "101")), 1.0, atol=1e-9)
+        assert no.acceptance_probability(("101", "011")) < 1.0
+
+    def test_promise_problem_validation(self):
+        problem = PromiseInstanceProblem(True)
+        assert problem.evaluate(("0", "1"))
+        with pytest.raises(Exception):
+            problem.evaluate(("01", "0"))
+
+
+class TestQMAStarReduction:
+    def test_cut_costs_add_up(self, fingerprints3):
+        protocol = EqualityPathProtocol.on_path(3, 4, fingerprints3)
+        reduction = reduce_dqma_to_qma_star(protocol, cut_index=1)
+        total_proof = protocol.total_proof_qubits()
+        assert reduction.cost.alice_proof_qubits + reduction.cost.bob_proof_qubits == pytest.approx(total_proof)
+
+    def test_default_cut_minimises_communication(self, fingerprints3):
+        protocol = GreaterThanPathProtocol.on_path(3, 4, ">", fingerprints3)
+        best = reduce_dqma_to_qma_star(protocol)
+        for other in all_cut_reductions(protocol):
+            assert best.cost.communication_qubits <= other.cost.communication_qubits + 1e-9
+
+    def test_alice_and_bob_node_partition(self, fingerprints3):
+        protocol = EqualityPathProtocol.on_path(3, 5, fingerprints3)
+        reduction = reduce_dqma_to_qma_star(protocol, cut_index=2)
+        assert set(reduction.alice_nodes) | set(reduction.bob_nodes) == set(protocol.path_nodes)
+        assert not set(reduction.alice_nodes) & set(reduction.bob_nodes)
+
+    def test_invalid_cut_rejected(self, fingerprints3):
+        protocol = EqualityPathProtocol.on_path(3, 3, fingerprints3)
+        with pytest.raises(ProtocolError):
+            reduce_dqma_to_qma_star(protocol, cut_index=10)
+
+    def test_qma_cost_bound_uses_inequality_one(self, fingerprints3):
+        protocol = EqualityPathProtocol.on_path(3, 4, fingerprints3)
+        reduction = reduce_dqma_to_qma_star(protocol, cut_index=1)
+        expected = (
+            reduction.cost.alice_proof_qubits
+            + 2 * reduction.cost.bob_proof_qubits
+            + reduction.cost.communication_qubits
+        )
+        assert reduction.qma_cost_bound == pytest.approx(expected)
+
+
+class TestSeparableConversion:
+    def test_cost_pipeline_monotone_in_input_cost(self):
+        small = dqma_to_dqmasep_cost(10.0, path_length=4)
+        large = dqma_to_dqmasep_cost(100.0, path_length=4)
+        assert large.local_proof_qubits > small.local_proof_qubits
+        assert large.qma_cost_bound == pytest.approx(200.0)
+
+    def test_cost_pipeline_scales_with_path_length(self):
+        short = dqma_to_dqmasep_cost(20.0, path_length=2)
+        long = dqma_to_dqmasep_cost(20.0, path_length=8)
+        assert long.local_proof_qubits > short.local_proof_qubits
+
+    def test_quadratic_overhead_shape(self):
+        # Theorem 46: local proof ~ r^2 C^2 (up to log factors); doubling C
+        # should roughly quadruple the result.
+        base = dqma_to_dqmasep_cost(50.0, path_length=4)
+        double = dqma_to_dqmasep_cost(100.0, path_length=4)
+        ratio = double.local_proof_qubits / base.local_proof_qubits
+        assert 3.0 < ratio < 6.0
+
+    def test_from_protocol(self, fingerprints3):
+        protocol = EqualityPathProtocol.on_path(3, 4, fingerprints3)
+        conversion = dqma_to_dqmasep_cost_from_protocol(protocol)
+        assert isinstance(conversion, SeparableConversionCost)
+        assert conversion.original_cost > 0
+        assert conversion.local_proof_qubits > conversion.original_cost
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ProtocolError):
+            dqma_to_dqmasep_cost(0.0, path_length=3)
+        with pytest.raises(ProtocolError):
+            dqma_to_dqmasep_cost(10.0, path_length=0)
+
+    def test_build_sep_protocol_realises_final_step(self):
+        close = build_sep_protocol_for_parameters(16, 2, path_length=3, close=True, rng=6)
+        far = build_sep_protocol_for_parameters(16, 2, path_length=3, close=False, rng=7)
+        assert close.acceptance_on_promise() > 0.9
+        assert far.acceptance_on_promise() < 0.1
+
+    def test_cost_summary_input_accepted(self):
+        summary = CostSummary(local_proof=4, total_proof=20, local_message=3, total_message=12)
+        conversion = dqma_to_dqmasep_cost(summary, path_length=4)
+        assert conversion.original_cost == pytest.approx(23.0)

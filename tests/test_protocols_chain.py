@@ -1,0 +1,147 @@
+"""Tests for the symmetrized SWAP-test chain machinery (used by Algorithms 3, 7 and 10)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, ProtocolError
+from repro.protocols.chain import (
+    chain_acceptance_operator,
+    chain_acceptance_probability,
+    chain_acceptance_probability_factored,
+    optimal_entangled_acceptance,
+    right_end_swap_operator,
+)
+from repro.quantum.random_states import haar_random_state
+from repro.quantum.states import basis_state, outer
+
+
+def _povm_for(target):
+    return outer(target)
+
+
+class TestChainAcceptanceProbability:
+    def test_no_intermediate_nodes(self):
+        psi = haar_random_state(4, rng=0)
+        phi = haar_random_state(4, rng=1)
+        probability = chain_acceptance_probability(psi, [], _povm_for(phi))
+        assert np.isclose(probability, abs(np.vdot(phi, psi)) ** 2, atol=1e-10)
+
+    def test_all_identical_states_accept(self):
+        psi = haar_random_state(4, rng=2)
+        pairs = [(psi, psi)] * 3
+        assert np.isclose(chain_acceptance_probability(psi, pairs, _povm_for(psi)), 1.0, atol=1e-10)
+
+    def test_single_intermediate_node_manual_computation(self):
+        # With orthogonal states |0>, |1>: proof (a, b) = (|0>, |1>), left |0>,
+        # right end projects onto |1>.
+        # No swap (prob 1/2): test(|0>,|0>)=1, right gets |1> -> accepts 1.  Contribution 0.5.
+        # Swap (prob 1/2): test(|0>,|1>)=0.5, right gets |0> -> accepts 0.  Contribution 0.
+        left = basis_state(2, 0)
+        pairs = [(basis_state(2, 0), basis_state(2, 1))]
+        probability = chain_acceptance_probability(left, pairs, _povm_for(basis_state(2, 1)))
+        assert np.isclose(probability, 0.5, atol=1e-12)
+
+    def test_monotone_under_orthogonal_right_end(self):
+        psi = haar_random_state(3, rng=3)
+        phi = haar_random_state(3, rng=4)
+        pairs = [(psi, psi)] * 2
+        accept_same = chain_acceptance_probability(psi, pairs, _povm_for(psi))
+        accept_diff = chain_acceptance_probability(psi, pairs, _povm_for(phi))
+        assert accept_same >= accept_diff - 1e-12
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            chain_acceptance_probability(
+                basis_state(2, 0), [(basis_state(3, 0), basis_state(3, 1))], np.eye(2)
+            )
+
+    def test_right_end_swap_operator_probability(self):
+        phi = haar_random_state(4, rng=5)
+        incoming = haar_random_state(4, rng=6)
+        operator = right_end_swap_operator(phi)
+        expected = 0.5 + 0.5 * abs(np.vdot(phi, incoming)) ** 2
+        assert np.isclose(
+            float(np.real(np.vdot(incoming, operator @ incoming))), expected, atol=1e-10
+        )
+
+
+class TestChainFactored:
+    def test_matches_unfactored_for_single_factor(self):
+        psi = haar_random_state(2, rng=7)
+        phi = haar_random_state(2, rng=8)
+        a = haar_random_state(2, rng=9)
+        b = haar_random_state(2, rng=10)
+        plain = chain_acceptance_probability(psi, [(a, b)], _povm_for(phi))
+        factored = chain_acceptance_probability_factored(
+            [psi],
+            [([a], [b])],
+            lambda factors: float(abs(np.vdot(phi, factors[0])) ** 2),
+        )
+        assert np.isclose(plain, factored, atol=1e-10)
+
+    def test_multi_factor_product_structure(self):
+        # Two-factor messages: the SWAP acceptance multiplies the per-factor overlaps.
+        f1 = haar_random_state(2, rng=11)
+        f2 = haar_random_state(2, rng=12)
+        g1 = haar_random_state(2, rng=13)
+        g2 = haar_random_state(2, rng=14)
+        plain_overlap_sq = abs(np.vdot(f1, g1)) ** 2 * abs(np.vdot(f2, g2)) ** 2
+        probability = chain_acceptance_probability_factored(
+            [f1, f2],
+            [([g1, g2], [g1, g2])],
+            lambda factors: 1.0,
+        )
+        assert np.isclose(probability, 0.5 + 0.5 * plain_overlap_sq, atol=1e-10)
+
+
+class TestChainAcceptanceOperator:
+    def test_operator_matches_product_proof_probability(self):
+        dim = 2
+        left = basis_state(2, 0)
+        right_op = _povm_for(basis_state(2, 1))
+        operator = chain_acceptance_operator(left, dim, 2, right_op)
+        # Evaluate the operator on a random product proof and compare with the
+        # transfer-matrix computation.
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            a1, b1 = haar_random_state(2, rng), haar_random_state(2, rng)
+            a2, b2 = haar_random_state(2, rng), haar_random_state(2, rng)
+            product = np.kron(np.kron(a1, b1), np.kron(a2, b2))
+            via_operator = float(np.real(np.vdot(product, operator @ product)))
+            via_chain = chain_acceptance_probability(left, [(a1, b1), (a2, b2)], right_op)
+            assert np.isclose(via_operator, via_chain, atol=1e-9)
+
+    def test_operator_is_hermitian_and_bounded(self):
+        operator = chain_acceptance_operator(basis_state(2, 0), 2, 2, _povm_for(basis_state(2, 1)))
+        np.testing.assert_allclose(operator, operator.conj().T, atol=1e-10)
+        eigenvalues = np.linalg.eigvalsh(operator)
+        assert eigenvalues.min() >= -1e-9
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_optimal_entangled_at_least_best_product(self):
+        operator = chain_acceptance_operator(basis_state(2, 0), 2, 2, _povm_for(basis_state(2, 1)))
+        optimal = optimal_entangled_acceptance(operator)
+        rng = np.random.default_rng(1)
+        best_product = 0.0
+        for _ in range(30):
+            factors = [haar_random_state(2, rng) for _ in range(4)]
+            product = factors[0]
+            for factor in factors[1:]:
+                product = np.kron(product, factor)
+            best_product = max(best_product, float(np.real(np.vdot(product, operator @ product))))
+        assert optimal >= best_product - 1e-9
+
+    def test_yes_instance_operator_reaches_one(self):
+        psi = basis_state(2, 0)
+        operator = chain_acceptance_operator(psi, 2, 2, _povm_for(psi))
+        assert np.isclose(optimal_entangled_acceptance(operator), 1.0, atol=1e-9)
+
+    def test_zero_intermediate_nodes(self):
+        psi = basis_state(2, 0)
+        operator = chain_acceptance_operator(psi, 2, 0, _povm_for(basis_state(2, 1)))
+        assert operator.shape == (1, 1)
+        assert np.isclose(operator[0, 0].real, 0.0, atol=1e-12)
+
+    def test_size_guard(self):
+        with pytest.raises(ProtocolError):
+            chain_acceptance_operator(basis_state(4, 0), 4, 5, np.eye(4))

@@ -1,0 +1,96 @@
+"""Tests for trace distance, fidelity and the Fuchs-van de Graaf inequalities (Fact 1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.quantum.distance import (
+    fidelity,
+    fuchs_van_de_graaf_bounds,
+    pure_state_overlap,
+    purity,
+    trace_distance,
+    trace_norm,
+)
+from repro.quantum.random_states import haar_random_state, random_density_matrix
+from repro.quantum.states import basis_state, normalize, outer
+
+
+class TestTraceNorm:
+    def test_trace_norm_of_density_matrix_is_one(self):
+        rho = random_density_matrix(4, rng=0)
+        assert np.isclose(trace_norm(rho), 1.0)
+
+    def test_trace_norm_of_difference_is_symmetric(self):
+        a = random_density_matrix(3, rng=1)
+        b = random_density_matrix(3, rng=2)
+        assert np.isclose(trace_norm(a - b), trace_norm(b - a))
+
+
+class TestTraceDistance:
+    def test_identical_states(self):
+        psi = haar_random_state(4, rng=3)
+        assert np.isclose(trace_distance(psi, psi), 0.0, atol=1e-10)
+
+    def test_orthogonal_states_have_distance_one(self):
+        assert np.isclose(trace_distance(basis_state(2, 0), basis_state(2, 1)), 1.0)
+
+    def test_pure_state_formula(self):
+        # For pure states D = sqrt(1 - |<a|b>|^2).
+        a = haar_random_state(5, rng=4)
+        b = haar_random_state(5, rng=5)
+        overlap = pure_state_overlap(a, b)
+        assert np.isclose(trace_distance(a, b), np.sqrt(1 - overlap**2), atol=1e-8)
+
+    def test_triangle_inequality(self):
+        a = random_density_matrix(3, rng=6)
+        b = random_density_matrix(3, rng=7)
+        c = random_density_matrix(3, rng=8)
+        assert trace_distance(a, c) <= trace_distance(a, b) + trace_distance(b, c) + 1e-10
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            trace_distance(basis_state(2, 0), basis_state(3, 0))
+
+
+class TestFidelity:
+    def test_identical_states(self):
+        rho = random_density_matrix(4, rng=9)
+        assert np.isclose(fidelity(rho, rho), 1.0, atol=1e-8)
+
+    def test_orthogonal_pure_states(self):
+        assert np.isclose(fidelity(basis_state(2, 0), basis_state(2, 1)), 0.0, atol=1e-8)
+
+    def test_pure_state_fidelity_is_overlap(self):
+        a = haar_random_state(4, rng=10)
+        b = haar_random_state(4, rng=11)
+        assert np.isclose(fidelity(a, b), pure_state_overlap(a, b), atol=1e-8)
+
+    def test_symmetry(self):
+        a = random_density_matrix(3, rng=12)
+        b = random_density_matrix(3, rng=13)
+        assert np.isclose(fidelity(a, b), fidelity(b, a), atol=1e-8)
+
+
+class TestFuchsVanDeGraaf:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_inequalities_hold_for_random_states(self, seed):
+        a = random_density_matrix(4, rng=2 * seed)
+        b = random_density_matrix(4, rng=2 * seed + 1)
+        lower, upper = fuchs_van_de_graaf_bounds(a, b)
+        distance = trace_distance(a, b)
+        assert lower - 1e-8 <= distance <= upper + 1e-8
+
+    def test_pure_states_saturate_upper_bound(self):
+        a = haar_random_state(3, rng=20)
+        b = haar_random_state(3, rng=21)
+        _, upper = fuchs_van_de_graaf_bounds(a, b)
+        assert np.isclose(trace_distance(a, b), upper, atol=1e-8)
+
+
+class TestPurity:
+    def test_pure_state(self):
+        assert np.isclose(purity(haar_random_state(4, rng=30)), 1.0)
+
+    def test_maximally_mixed(self):
+        assert np.isclose(purity(np.eye(4) / 4), 0.25)

@@ -1,0 +1,104 @@
+"""Tests for gates and permutation unitaries."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.quantum.gates import (
+    all_permutation_unitaries,
+    controlled_swap,
+    hadamard,
+    identity,
+    is_unitary,
+    pauli_x,
+    pauli_z,
+    permutation_unitary,
+    swap_unitary,
+)
+from repro.quantum.states import basis_state, tensor
+
+
+class TestBasicGates:
+    def test_hadamard_unitary(self):
+        assert is_unitary(hadamard())
+
+    def test_hadamard_squares_to_identity(self):
+        np.testing.assert_allclose(hadamard() @ hadamard(), np.eye(2), atol=1e-12)
+
+    def test_pauli_gates_unitary(self):
+        assert is_unitary(pauli_x())
+        assert is_unitary(pauli_z())
+
+    def test_pauli_anticommute(self):
+        anti = pauli_x() @ pauli_z() + pauli_z() @ pauli_x()
+        np.testing.assert_allclose(anti, np.zeros((2, 2)), atol=1e-12)
+
+    def test_identity(self):
+        np.testing.assert_allclose(identity(3), np.eye(3))
+
+    def test_identity_rejects_nonpositive(self):
+        with pytest.raises(DimensionMismatchError):
+            identity(0)
+
+
+class TestSwap:
+    def test_swap_exchanges_basis_states(self):
+        swap = swap_unitary(3)
+        state = tensor(basis_state(3, 1), basis_state(3, 2))
+        swapped = swap @ state
+        np.testing.assert_allclose(swapped, tensor(basis_state(3, 2), basis_state(3, 1)))
+
+    def test_swap_is_involution(self):
+        swap = swap_unitary(4)
+        np.testing.assert_allclose(swap @ swap, np.eye(16), atol=1e-12)
+
+    def test_swap_is_unitary_and_hermitian(self):
+        swap = swap_unitary(2)
+        assert is_unitary(swap)
+        np.testing.assert_allclose(swap, swap.conj().T)
+
+    def test_controlled_swap_control_off(self):
+        cswap = controlled_swap(2)
+        state = tensor(basis_state(2, 0), basis_state(2, 0), basis_state(2, 1))
+        np.testing.assert_allclose(cswap @ state, state)
+
+    def test_controlled_swap_control_on(self):
+        cswap = controlled_swap(2)
+        state = tensor(basis_state(2, 1), basis_state(2, 0), basis_state(2, 1))
+        expected = tensor(basis_state(2, 1), basis_state(2, 1), basis_state(2, 0))
+        np.testing.assert_allclose(cswap @ state, expected)
+
+    def test_controlled_swap_unitary(self):
+        assert is_unitary(controlled_swap(2))
+
+
+class TestPermutationUnitaries:
+    def test_identity_permutation(self):
+        np.testing.assert_allclose(permutation_unitary((0, 1, 2), 2), np.eye(8))
+
+    def test_transposition_matches_swap(self):
+        np.testing.assert_allclose(permutation_unitary((1, 0), 3), swap_unitary(3))
+
+    def test_cycle_action_on_basis_state(self):
+        # One-line notation (1, 2, 0): output position p gets input subsystem perm[p].
+        unitary = permutation_unitary((1, 2, 0), 2)
+        state = tensor(basis_state(2, 1), basis_state(2, 0), basis_state(2, 0))
+        moved = unitary @ state
+        expected = tensor(basis_state(2, 0), basis_state(2, 0), basis_state(2, 1))
+        np.testing.assert_allclose(moved, expected)
+
+    def test_all_permutations_are_unitary(self):
+        for _, unitary in all_permutation_unitaries(3, 2):
+            assert is_unitary(unitary)
+
+    def test_permutation_group_structure(self):
+        # Composition of permutation unitaries is again a permutation unitary.
+        u1 = permutation_unitary((1, 0, 2), 2)
+        u2 = permutation_unitary((0, 2, 1), 2)
+        product = u1 @ u2
+        assert is_unitary(product)
+        assert np.allclose(np.abs(product) ** 2, np.abs(product))  # 0/1 entries
+
+    def test_invalid_permutation_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            permutation_unitary((0, 0, 1), 2)

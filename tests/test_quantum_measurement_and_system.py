@@ -1,0 +1,149 @@
+"""Tests for POVMs, projective measurements and the multi-register simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, NormalizationError, RegisterError
+from repro.quantum.gates import hadamard, swap_unitary
+from repro.quantum.measurement import (
+    POVM,
+    born_probability,
+    computational_basis_povm,
+    projective_measurement,
+)
+from repro.quantum.random_states import haar_random_state
+from repro.quantum.states import basis_state, normalize, outer
+from repro.quantum.system import QuantumSystem, Register
+
+
+class TestPOVM:
+    def test_two_outcome_completeness(self):
+        povm = POVM.two_outcome(outer(basis_state(2, 0)))
+        povm.validate()
+
+    def test_two_outcome_probabilities(self):
+        povm = POVM.two_outcome(outer(basis_state(2, 0)))
+        distribution = povm.outcome_distribution(normalize([1, 1]))
+        assert np.isclose(distribution[1], 0.5)
+        assert np.isclose(distribution[0], 0.5)
+
+    def test_accept_probability(self):
+        target = haar_random_state(4, rng=0)
+        povm = POVM.two_outcome(outer(target))
+        assert np.isclose(povm.accept_probability(target), 1.0)
+
+    def test_validate_rejects_incomplete(self):
+        bad = POVM.from_dict({0: 0.5 * np.eye(2), 1: 0.4 * np.eye(2)})
+        with pytest.raises(NormalizationError):
+            bad.validate()
+
+    def test_validate_rejects_negative_element(self):
+        bad = POVM.from_dict({0: np.diag([1.5, 1.0]), 1: np.diag([-0.5, 0.0])})
+        with pytest.raises(NormalizationError):
+            bad.validate()
+
+    def test_sampling_distribution(self):
+        povm = computational_basis_povm(2)
+        rng = np.random.default_rng(0)
+        state = normalize([1, 1])
+        outcomes = [povm.sample(state, rng) for _ in range(400)]
+        frequency = sum(outcomes) / len(outcomes)
+        assert 0.35 < frequency < 0.65
+
+    def test_born_probability_shape_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            born_probability(np.eye(3), basis_state(2, 0))
+
+
+class TestProjectiveMeasurement:
+    def test_deterministic_outcome(self):
+        projectors = [outer(basis_state(2, 0)), outer(basis_state(2, 1))]
+        outcome, probability, post = projective_measurement(projectors, basis_state(2, 1), rng=0)
+        assert outcome == 1
+        assert np.isclose(probability, 1.0)
+        np.testing.assert_allclose(post, basis_state(2, 1))
+
+    def test_incomplete_projectors_rejected(self):
+        with pytest.raises(NormalizationError):
+            projective_measurement([outer(basis_state(2, 0))], normalize([1, 1]), rng=0)
+
+
+class TestQuantumSystem:
+    def test_from_product_and_reduced_density_matrix(self):
+        system = QuantumSystem.from_product(
+            [(Register("a", 2), basis_state(2, 1)), (Register("b", 3), basis_state(3, 2))]
+        )
+        np.testing.assert_allclose(system.reduced_density_matrix(["a"]), outer(basis_state(2, 1)), atol=1e-12)
+        np.testing.assert_allclose(system.reduced_density_matrix(["b"]), outer(basis_state(3, 2)), atol=1e-12)
+
+    def test_apply_unitary_single_register(self):
+        system = QuantumSystem.from_product(
+            [(Register("a", 2), basis_state(2, 0)), (Register("b", 2), basis_state(2, 0))]
+        )
+        system.apply_unitary(hadamard(), ["a"])
+        rho = system.reduced_density_matrix(["a"])
+        np.testing.assert_allclose(rho, np.full((2, 2), 0.5), atol=1e-12)
+
+    def test_apply_unitary_on_pair_entangles(self):
+        system = QuantumSystem.from_product(
+            [(Register("a", 2), normalize([1, 1])), (Register("b", 2), basis_state(2, 0))]
+        )
+        cnot = np.array([[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex)
+        system.apply_unitary(cnot, ["a", "b"])
+        rho_b = system.reduced_density_matrix(["b"])
+        np.testing.assert_allclose(rho_b, np.eye(2) / 2, atol=1e-12)
+
+    def test_register_order_does_not_matter_for_operators(self):
+        # Applying SWAP on (a, b) equals applying it on (b, a).
+        psi_a = haar_random_state(2, rng=1)
+        psi_b = haar_random_state(2, rng=2)
+        s1 = QuantumSystem.from_product([(Register("a", 2), psi_a), (Register("b", 2), psi_b)])
+        s2 = QuantumSystem.from_product([(Register("a", 2), psi_a), (Register("b", 2), psi_b)])
+        s1.apply_unitary(swap_unitary(2), ["a", "b"])
+        s2.apply_unitary(swap_unitary(2), ["b", "a"])
+        assert np.isclose(abs(s1.overlap(s2)), 1.0, atol=1e-10)
+
+    def test_project_returns_probability_and_collapses(self):
+        system = QuantumSystem.from_product([(Register("a", 2), normalize([1, 1]))])
+        probability = system.project(outer(basis_state(2, 0)), ["a"])
+        assert np.isclose(probability, 0.5)
+        assert np.isclose(system.norm_squared(), 0.5)
+
+    def test_chained_projections_accumulate(self):
+        system = QuantumSystem.from_product(
+            [(Register("a", 2), normalize([1, 1])), (Register("b", 2), normalize([1, 1]))]
+        )
+        system.project(outer(basis_state(2, 0)), ["a"])
+        system.project(outer(basis_state(2, 0)), ["b"])
+        assert np.isclose(system.norm_squared(), 0.25)
+
+    def test_measure_computational_collapses(self):
+        system = QuantumSystem.from_product([(Register("a", 2), normalize([1, 1]))])
+        outcome, probability = system.measure_computational(["a"], rng=3)
+        assert outcome in (0, 1)
+        assert np.isclose(probability, 0.5)
+        assert np.isclose(system.norm_squared(), 1.0)
+
+    def test_expectation(self):
+        system = QuantumSystem.from_product([(Register("a", 2), basis_state(2, 1))])
+        z = np.diag([1.0, -1.0])
+        assert np.isclose(system.expectation(z, ["a"]), -1.0)
+
+    def test_duplicate_register_names_rejected(self):
+        with pytest.raises(RegisterError):
+            QuantumSystem([Register("a", 2), Register("a", 2)])
+
+    def test_unknown_register_rejected(self):
+        system = QuantumSystem([Register("a", 2)])
+        with pytest.raises(RegisterError):
+            system.apply_unitary(hadamard(), ["b"])
+
+    def test_operator_dimension_mismatch_rejected(self):
+        system = QuantumSystem([Register("a", 2)])
+        with pytest.raises(DimensionMismatchError):
+            system.apply_unitary(np.eye(3), ["a"])
+
+    def test_string_register_names_argument_rejected(self):
+        system = QuantumSystem([Register("a", 2)])
+        with pytest.raises(RegisterError):
+            system.apply_unitary(hadamard(), "a")

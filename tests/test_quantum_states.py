@@ -1,0 +1,119 @@
+"""Tests for state algebra: kets, density matrices, tensor products, partial traces."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, NormalizationError
+from repro.quantum.states import (
+    basis_state,
+    density_matrix,
+    expectation,
+    is_density_matrix,
+    is_normalized,
+    ket,
+    normalize,
+    outer,
+    partial_trace,
+    tensor,
+)
+
+
+class TestKets:
+    def test_basis_state(self):
+        np.testing.assert_allclose(basis_state(4, 2), np.array([0, 0, 1, 0], dtype=complex))
+
+    def test_basis_state_out_of_range(self):
+        with pytest.raises(DimensionMismatchError):
+            basis_state(4, 4)
+
+    def test_normalize(self):
+        assert is_normalized(normalize([3, 4]))
+
+    def test_normalize_zero_vector_rejected(self):
+        with pytest.raises(NormalizationError):
+            normalize([0, 0])
+
+    def test_is_normalized_detects_unnormalized(self):
+        assert not is_normalized([1, 1])
+
+    def test_ket_rejects_empty(self):
+        with pytest.raises(DimensionMismatchError):
+            ket([])
+
+
+class TestDensityMatrices:
+    def test_outer_is_projector_for_pure_state(self):
+        psi = normalize([1, 1j])
+        rho = outer(psi)
+        np.testing.assert_allclose(rho @ rho, rho, atol=1e-12)
+
+    def test_density_matrix_from_ket(self):
+        rho = density_matrix(normalize([1, 1]))
+        assert is_density_matrix(rho)
+
+    def test_density_matrix_passthrough(self):
+        rho = np.eye(2) / 2
+        assert is_density_matrix(density_matrix(rho))
+
+    def test_is_density_matrix_rejects_non_hermitian(self):
+        assert not is_density_matrix(np.array([[0.5, 1.0], [0.0, 0.5]]))
+
+    def test_is_density_matrix_rejects_trace_not_one(self):
+        assert not is_density_matrix(np.eye(2))
+
+    def test_is_density_matrix_rejects_negative(self):
+        assert not is_density_matrix(np.diag([1.5, -0.5]))
+
+
+class TestTensor:
+    def test_tensor_of_kets(self):
+        product = tensor(basis_state(2, 0), basis_state(2, 1))
+        np.testing.assert_allclose(product, basis_state(4, 1))
+
+    def test_tensor_of_matrices(self):
+        product = tensor(np.eye(2), np.eye(3))
+        np.testing.assert_allclose(product, np.eye(6))
+
+    def test_tensor_mixing_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            tensor(basis_state(2, 0), np.eye(2))
+
+
+class TestPartialTrace:
+    def test_product_state_reduces_to_factors(self):
+        rho_a = outer(normalize([1, 2]))
+        rho_b = outer(normalize([2, 1j]))
+        joint = np.kron(rho_a, rho_b)
+        np.testing.assert_allclose(partial_trace(joint, [2, 2], [0]), rho_a, atol=1e-12)
+        np.testing.assert_allclose(partial_trace(joint, [2, 2], [1]), rho_b, atol=1e-12)
+
+    def test_bell_state_reduces_to_maximally_mixed(self):
+        bell = normalize([1, 0, 0, 1])
+        reduced = partial_trace(outer(bell), [2, 2], [0])
+        np.testing.assert_allclose(reduced, np.eye(2) / 2, atol=1e-12)
+
+    def test_three_party_keep_two(self):
+        psi = tensor(basis_state(2, 0), basis_state(2, 1), basis_state(2, 0))
+        reduced = partial_trace(outer(psi), [2, 2, 2], [0, 2])
+        expected = outer(tensor(basis_state(2, 0), basis_state(2, 0)))
+        np.testing.assert_allclose(reduced, expected, atol=1e-12)
+
+    def test_trace_preserved(self):
+        rho = outer(normalize(np.arange(1, 9)))
+        reduced = partial_trace(rho, [2, 4], [1])
+        assert np.isclose(np.trace(reduced).real, 1.0)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            partial_trace(np.eye(4), [2, 3], [0])
+
+
+class TestExpectation:
+    def test_on_ket(self):
+        z = np.diag([1.0, -1.0])
+        assert np.isclose(expectation(z, basis_state(2, 0)), 1.0)
+        assert np.isclose(expectation(z, basis_state(2, 1)), -1.0)
+
+    def test_on_density_matrix(self):
+        z = np.diag([1.0, -1.0])
+        assert np.isclose(expectation(z, np.eye(2) / 2), 0.0)

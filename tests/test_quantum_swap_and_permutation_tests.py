@@ -1,0 +1,151 @@
+"""Tests for the SWAP test (Algorithm 1, Lemmas 13-14) and the permutation test
+(Algorithm 2, Lemmas 15-16)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.quantum.distance import trace_distance
+from repro.quantum.permutation_test import (
+    permutation_test_accept_probability,
+    permutation_test_accept_probability_product,
+    permutation_test_post_measurement_state,
+    permutation_test_projector,
+)
+from repro.quantum.random_states import haar_random_state, random_density_matrix
+from repro.quantum.states import basis_state, normalize, outer, partial_trace, tensor
+from repro.quantum.swap_test import (
+    swap_test_accept_probability,
+    swap_test_accept_probability_pure,
+    swap_test_post_measurement_state,
+    swap_test_projector,
+)
+
+
+class TestSwapTest:
+    def test_identical_pure_states_always_accept(self):
+        psi = haar_random_state(4, rng=0)
+        assert np.isclose(swap_test_accept_probability_pure(psi, psi), 1.0)
+
+    def test_orthogonal_states_accept_half(self):
+        assert np.isclose(
+            swap_test_accept_probability_pure(basis_state(3, 0), basis_state(3, 1)), 0.5
+        )
+
+    def test_textbook_formula(self):
+        a = haar_random_state(5, rng=1)
+        b = haar_random_state(5, rng=2)
+        expected = 0.5 + 0.5 * abs(np.vdot(a, b)) ** 2
+        assert np.isclose(swap_test_accept_probability_pure(a, b), expected)
+
+    def test_projector_matches_pure_formula(self):
+        a = haar_random_state(3, rng=3)
+        b = haar_random_state(3, rng=4)
+        joint = np.kron(a, b)
+        assert np.isclose(
+            swap_test_accept_probability(joint),
+            swap_test_accept_probability_pure(a, b),
+            atol=1e-10,
+        )
+
+    def test_projector_is_projector(self):
+        proj = swap_test_projector(3)
+        np.testing.assert_allclose(proj @ proj, proj, atol=1e-10)
+
+    def test_lemma_13_amplitude_in_symmetric_subspace(self):
+        # A state alpha |sym> + beta |antisym> is accepted with probability |alpha|^2.
+        sym = normalize(tensor(basis_state(2, 0), basis_state(2, 1)) + tensor(basis_state(2, 1), basis_state(2, 0)))
+        anti = normalize(tensor(basis_state(2, 0), basis_state(2, 1)) - tensor(basis_state(2, 1), basis_state(2, 0)))
+        alpha, beta = np.sqrt(0.7), np.sqrt(0.3)
+        state = alpha * sym + beta * anti
+        assert np.isclose(swap_test_accept_probability(state), 0.7, atol=1e-10)
+
+    def test_lemma_14_accept_one_implies_equal_reduced_states(self):
+        psi = haar_random_state(3, rng=5)
+        joint = outer(np.kron(psi, psi))
+        assert np.isclose(swap_test_accept_probability(joint), 1.0)
+        rho_1 = partial_trace(joint, [3, 3], [0])
+        rho_2 = partial_trace(joint, [3, 3], [1])
+        assert trace_distance(rho_1, rho_2) < 1e-8
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_lemma_14_robustness_bound(self, seed):
+        # If the test accepts with probability 1 - eps, the reduced states are
+        # within trace distance 2 sqrt(eps) + eps.
+        rho = random_density_matrix(9, rng=seed)
+        accept = swap_test_accept_probability(rho, dim=3)
+        eps = 1.0 - accept
+        rho_1 = partial_trace(rho, [3, 3], [0])
+        rho_2 = partial_trace(rho, [3, 3], [1])
+        assert trace_distance(rho_1, rho_2) <= 2 * np.sqrt(eps) + eps + 1e-8
+
+    def test_post_measurement_state_is_symmetric(self):
+        rho = random_density_matrix(4, rng=7)
+        post = swap_test_post_measurement_state(rho, accept=True, dim=2)
+        assert np.isclose(swap_test_accept_probability(post, dim=2), 1.0, atol=1e-8)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            swap_test_accept_probability_pure(basis_state(2, 0), basis_state(3, 0))
+
+
+class TestPermutationTest:
+    def test_reduces_to_swap_test_for_two_copies(self):
+        a = haar_random_state(2, rng=8)
+        b = haar_random_state(2, rng=9)
+        joint = np.kron(a, b)
+        assert np.isclose(
+            permutation_test_accept_probability(joint, 2, 2),
+            swap_test_accept_probability(joint),
+            atol=1e-10,
+        )
+
+    def test_lemma_15_identical_copies_accept(self):
+        psi = haar_random_state(2, rng=10)
+        state = np.kron(np.kron(psi, psi), psi)
+        assert np.isclose(permutation_test_accept_probability(state, 2, 3), 1.0, atol=1e-10)
+
+    def test_projector_identity(self):
+        proj = permutation_test_projector(2, 3)
+        np.testing.assert_allclose(proj @ proj, proj, atol=1e-10)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_lemma_16_robustness_bound(self, seed):
+        rho = random_density_matrix(8, rng=seed)
+        accept = permutation_test_accept_probability(rho, 2, 3)
+        eps = 1.0 - accept
+        bound = 2 * np.sqrt(eps) + eps
+        for i in range(3):
+            for j in range(i + 1, 3):
+                rho_i = partial_trace(rho, [2, 2, 2], [i])
+                rho_j = partial_trace(rho, [2, 2, 2], [j])
+                assert trace_distance(rho_i, rho_j) <= bound + 1e-8
+
+    def test_product_formula_matches_projector(self):
+        states = [haar_random_state(2, rng=20 + i) for i in range(3)]
+        joint = states[0]
+        for s in states[1:]:
+            joint = np.kron(joint, s)
+        assert np.isclose(
+            permutation_test_accept_probability_product(states),
+            permutation_test_accept_probability(joint, 2, 3),
+            atol=1e-10,
+        )
+
+    def test_product_formula_identical_states(self):
+        psi = haar_random_state(3, rng=30)
+        assert np.isclose(permutation_test_accept_probability_product([psi] * 4), 1.0, atol=1e-10)
+
+    def test_product_formula_orthogonal_states(self):
+        # For k orthogonal states the acceptance probability is 1/k!.
+        states = [basis_state(3, i) for i in range(3)]
+        assert np.isclose(permutation_test_accept_probability_product(states), 1.0 / 6.0, atol=1e-10)
+
+    def test_post_measurement_state_is_symmetric(self):
+        rho = random_density_matrix(4, rng=11)
+        post = permutation_test_post_measurement_state(rho, 2, 2, accept=True)
+        assert np.isclose(permutation_test_accept_probability(post, 2, 2), 1.0, atol=1e-8)
+
+    def test_wrong_dimension_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            permutation_test_accept_probability(np.eye(8) / 8, 3, 2)

@@ -1,0 +1,92 @@
+"""Tests for the symmetric subspace and its projector."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.quantum.gates import permutation_unitary
+from repro.quantum.random_states import haar_random_state
+from repro.quantum.states import basis_state, normalize, tensor
+from repro.quantum.symmetric import (
+    antisymmetric_projector,
+    orthogonal_complement_projector,
+    symmetric_subspace_dimension,
+    symmetric_subspace_projector,
+    symmetric_weight,
+)
+
+
+class TestDimension:
+    @pytest.mark.parametrize(
+        "dim,copies,expected",
+        [(2, 2, 3), (2, 3, 4), (3, 2, 6), (4, 2, 10), (2, 4, 5)],
+    )
+    def test_formula(self, dim, copies, expected):
+        assert symmetric_subspace_dimension(dim, copies) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DimensionMismatchError):
+            symmetric_subspace_dimension(0, 2)
+
+
+class TestProjector:
+    @pytest.mark.parametrize("dim,copies", [(2, 2), (2, 3), (3, 2)])
+    def test_is_projector(self, dim, copies):
+        projector = symmetric_subspace_projector(dim, copies)
+        np.testing.assert_allclose(projector @ projector, projector, atol=1e-10)
+        np.testing.assert_allclose(projector, projector.conj().T, atol=1e-12)
+
+    @pytest.mark.parametrize("dim,copies", [(2, 2), (2, 3), (3, 2)])
+    def test_rank_equals_symmetric_dimension(self, dim, copies):
+        projector = symmetric_subspace_projector(dim, copies)
+        rank = int(round(np.trace(projector).real))
+        assert rank == symmetric_subspace_dimension(dim, copies)
+
+    @pytest.mark.parametrize("copies", [2, 3])
+    def test_fixes_identical_copies(self, copies):
+        psi = haar_random_state(3, rng=copies)
+        product = psi
+        for _ in range(copies - 1):
+            product = np.kron(product, psi)
+        projector = symmetric_subspace_projector(3, copies)
+        np.testing.assert_allclose(projector @ product, product, atol=1e-10)
+
+    def test_commutes_with_permutations(self):
+        projector = symmetric_subspace_projector(2, 3)
+        for perm in [(1, 0, 2), (2, 0, 1)]:
+            unitary = permutation_unitary(perm, 2)
+            np.testing.assert_allclose(projector @ unitary, unitary @ projector, atol=1e-10)
+
+    def test_antisymmetric_orthogonal_to_symmetric(self):
+        sym = symmetric_subspace_projector(3, 2)
+        anti = antisymmetric_projector(3, 2)
+        np.testing.assert_allclose(sym @ anti, np.zeros_like(sym), atol=1e-10)
+
+    def test_two_copies_decomposition(self):
+        # For two copies, symmetric + antisymmetric = identity.
+        sym = symmetric_subspace_projector(2, 2)
+        anti = antisymmetric_projector(2, 2)
+        np.testing.assert_allclose(sym + anti, np.eye(4), atol=1e-12)
+
+    def test_complement(self):
+        sym = symmetric_subspace_projector(2, 3)
+        comp = orthogonal_complement_projector(2, 3)
+        np.testing.assert_allclose(sym + comp, np.eye(8), atol=1e-12)
+
+
+class TestSymmetricWeight:
+    def test_identical_copies_have_weight_one(self):
+        psi = haar_random_state(2, rng=5)
+        assert np.isclose(symmetric_weight(np.kron(psi, psi), 2, 2), 1.0, atol=1e-10)
+
+    def test_singlet_has_weight_zero(self):
+        singlet = normalize(tensor(basis_state(2, 0), basis_state(2, 1)) - tensor(basis_state(2, 1), basis_state(2, 0)))
+        assert np.isclose(symmetric_weight(singlet, 2, 2), 0.0, atol=1e-10)
+
+    def test_orthogonal_product_weight_half(self):
+        product = tensor(basis_state(2, 0), basis_state(2, 1))
+        assert np.isclose(symmetric_weight(product, 2, 2), 0.5, atol=1e-10)
+
+    def test_wrong_dimension_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            symmetric_weight(basis_state(4, 0), 2, 3)

@@ -1,0 +1,121 @@
+"""Tests for bit-string utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EncodingError
+from repro.utils.bitstrings import (
+    all_bitstrings,
+    bits_to_int,
+    bitstring_to_array,
+    concat,
+    distinct_random_bitstrings,
+    hamming_distance,
+    hamming_weight,
+    int_to_bits,
+    prefix,
+    random_bitstring,
+    validate_bitstring,
+    xor_strings,
+)
+
+
+class TestValidation:
+    def test_accepts_valid_strings(self):
+        assert validate_bitstring("0101") == "0101"
+
+    def test_accepts_empty_string(self):
+        assert validate_bitstring("") == ""
+
+    def test_rejects_non_binary_characters(self):
+        with pytest.raises(EncodingError):
+            validate_bitstring("01a1")
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(EncodingError):
+            validate_bitstring("0101", length=3)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(EncodingError):
+            validate_bitstring(101)
+
+
+class TestConversions:
+    def test_bits_to_int_msb_first(self):
+        assert bits_to_int("110") == 6
+
+    def test_bits_to_int_empty(self):
+        assert bits_to_int("") == 0
+
+    def test_int_to_bits_round_trip(self):
+        for value in range(32):
+            assert bits_to_int(int_to_bits(value, 5)) == value
+
+    def test_int_to_bits_pads_with_zeros(self):
+        assert int_to_bits(3, 5) == "00011"
+
+    def test_int_to_bits_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            int_to_bits(8, 3)
+
+    def test_int_to_bits_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            int_to_bits(-1, 3)
+
+    def test_bitstring_to_array(self):
+        np.testing.assert_array_equal(bitstring_to_array("101"), np.array([1, 0, 1]))
+
+
+class TestEnumeration:
+    def test_all_bitstrings_count(self):
+        assert len(list(all_bitstrings(4))) == 16
+
+    def test_all_bitstrings_order(self):
+        assert list(all_bitstrings(2)) == ["00", "01", "10", "11"]
+
+
+class TestHamming:
+    def test_weight(self):
+        assert hamming_weight("10110") == 3
+
+    def test_distance_zero(self):
+        assert hamming_distance("1010", "1010") == 0
+
+    def test_distance_counts_differences(self):
+        assert hamming_distance("1010", "0101") == 4
+
+    def test_distance_requires_equal_length(self):
+        with pytest.raises(EncodingError):
+            hamming_distance("10", "100")
+
+    def test_xor(self):
+        assert xor_strings("1100", "1010") == "0110"
+
+
+class TestRandomAndSlices:
+    def test_random_bitstring_length_and_alphabet(self):
+        rng = np.random.default_rng(0)
+        value = random_bitstring(16, rng)
+        assert len(value) == 16
+        assert set(value) <= {"0", "1"}
+
+    def test_distinct_random_bitstrings_are_distinct(self):
+        rng = np.random.default_rng(0)
+        values = distinct_random_bitstrings(4, 10, rng)
+        assert len(values) == len(set(values)) == 10
+
+    def test_distinct_random_bitstrings_too_many(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(EncodingError):
+            distinct_random_bitstrings(2, 5, rng)
+
+    def test_prefix(self):
+        assert prefix("10110", 3) == "101"
+        assert prefix("10110", 0) == ""
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(EncodingError):
+            prefix("101", 4)
+
+    def test_concat(self):
+        assert concat(["10", "01", ""]) == "1001"

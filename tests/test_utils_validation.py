@@ -1,0 +1,74 @@
+"""Tests for argument-validation helpers and RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.utils.rng import ensure_rng, spawn
+from repro.utils.validation import (
+    require_integer_in_range,
+    require_positive_integer,
+    require_probability,
+)
+
+
+class TestRequirePositiveInteger:
+    def test_accepts_positive(self):
+        assert require_positive_integer(5, "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ReproError):
+            require_positive_integer(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ReproError):
+            require_positive_integer(-2, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ReproError):
+            require_positive_integer(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ReproError):
+            require_positive_integer(2.5, "x")
+
+
+class TestRequireIntegerInRange:
+    def test_accepts_in_range(self):
+        assert require_integer_in_range(3, "x", 1, 5) == 3
+
+    def test_rejects_below(self):
+        with pytest.raises(ReproError):
+            require_integer_in_range(0, "x", 1, 5)
+
+    def test_rejects_above(self):
+        with pytest.raises(ReproError):
+            require_integer_in_range(6, "x", 1, 5)
+
+
+class TestRequireProbability:
+    def test_accepts_interior(self):
+        assert require_probability(0.25, "p") == 0.25
+
+    def test_clips_tiny_numerical_noise(self):
+        assert require_probability(1.0 + 1e-13, "p") == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ReproError):
+            require_probability(1.5, "p")
+
+
+class TestRng:
+    def test_ensure_rng_from_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_ensure_rng_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert ensure_rng(generator) is generator
+
+    def test_spawn_children_differ(self):
+        children = spawn(ensure_rng(3), 3)
+        values = [child.integers(0, 10**9) for child in children]
+        assert len(set(values)) == 3
