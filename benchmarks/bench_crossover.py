@@ -17,7 +17,8 @@ from __future__ import annotations
 import pytest
 
 from repro.comm.problems import EqualityProblem
-from repro.experiments.crossover import crossover_sweep, find_crossover, long_path_sweep
+from repro.experiments.crossover import find_crossover
+from repro.experiments.runner import run_scenario
 from repro.network.topology import path_network
 from repro.protocols.dma import TruncationEqualityDMA
 from repro.protocols.relay import RelayEqualityProtocol
@@ -29,14 +30,14 @@ from conftest import emit_table
 def test_crossover_fixed_path_sweep(benchmark):
     """Total proof sizes versus n at fixed path length r = 6."""
     input_lengths = [2**k for k in range(8, 26, 2)]
-    rows = benchmark(crossover_sweep, input_lengths, 6)
+    rows = benchmark(run_scenario, "crossover", input_lengths=input_lengths, path_length=6)
     emit_table("Theorem 2 — total proof size versus n (fixed r = 6)", rows)
     assert rows[-1].value("plain_beats_classical_lower")
 
 
 def test_crossover_long_path_sweep(benchmark):
     """Per-node costs in the long-path regime r ~ 4 n^(1/3) (the relay regime)."""
-    rows = benchmark(long_path_sweep, [2**12, 2**24, 2**36, 2**48])
+    rows = benchmark(run_scenario, "crossover-long-path", input_lengths=[2**12, 2**24, 2**36, 2**48])
     emit_table("Theorem 2 — long-path regime (relay protocol)", rows)
     assert rows[-1].value("relay_beats_classical_lower")
 

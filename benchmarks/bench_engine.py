@@ -1,0 +1,135 @@
+"""Benchmarks of the simulation-engine layer: batched versus scalar evaluation.
+
+The headline number: evaluating 64 inputs through the batched
+``acceptance_probabilities`` API (transfer-matrix backend, batched Gram-matrix
+contractions) must be at least 5x faster than 64 scalar
+``acceptance_probability`` calls on the reference dense backend.  The
+remaining benchmarks time the backends head to head and the engine's
+operator-cache hit path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import ChainJob, DenseBackend, Engine, TransferMatrixBackend
+from repro.protocols.equality import EqualityPathProtocol
+from repro.quantum.fingerprint import ExactCodeFingerprint
+from repro.quantum.random_states import haar_random_state
+from repro.quantum.states import outer
+from repro.utils.bitstrings import int_to_bits
+
+from conftest import best_of, emit_table, record_engine_metadata, timing_assertions_enabled
+from repro.experiments.records import ExperimentRow
+
+BATCH_SIZE = 64
+FINGERPRINTS = ExactCodeFingerprint(4, rng=11)
+
+
+def _input_batch(size: int = BATCH_SIZE):
+    """A deterministic mix of yes- and no-instances for 4-bit equality."""
+    batch = []
+    for index in range(size):
+        x = int_to_bits(index % 16, 4)
+        y = x if index % 2 == 0 else int_to_bits((index * 7 + 1) % 16, 4)
+        batch.append((x, y))
+    return batch
+
+
+def test_batched_vs_scalar_speedup(benchmark):
+    """Acceptance criterion: >= 5x speedup for 64 batched inputs (Algorithm 3).
+
+    The scalar side runs on the dense backend — the reference one-job-at-a-time
+    evaluation, i.e. the pre-engine semantics every experiment used to loop
+    over.  The batched side is ``acceptance_probabilities`` on the default
+    transfer-matrix backend.
+    """
+    protocol = EqualityPathProtocol.on_path(4, 8, FINGERPRINTS)
+    scalar_protocol = EqualityPathProtocol.on_path(4, 8, FINGERPRINTS).use_engine("dense")
+    batch = _input_batch()
+
+    scalar_probabilities = np.array(
+        [scalar_protocol.acceptance_probability(inputs) for inputs in batch]
+    )
+    batched_probabilities = benchmark(protocol.acceptance_probabilities, batch)
+    record_engine_metadata(benchmark, batch_size=BATCH_SIZE)
+    np.testing.assert_allclose(batched_probabilities, scalar_probabilities, atol=1e-9)
+
+    if not timing_assertions_enabled(benchmark):
+        return  # functional smoke pass: skip wall-clock comparisons
+
+    scalar_time = best_of(
+        lambda: [scalar_protocol.acceptance_probability(inputs) for inputs in batch]
+    )
+    scalar_transfer_time = best_of(
+        lambda: [protocol.acceptance_probability(inputs) for inputs in batch]
+    )
+    batched_time = best_of(lambda: protocol.acceptance_probabilities(batch))
+    speedup = scalar_time / batched_time
+    emit_table(
+        "Engine — batched vs scalar acceptance evaluation (64 inputs, r=8)",
+        [
+            ExperimentRow("engine", "64 scalar calls (dense backend)", {"seconds": scalar_time}),
+            ExperimentRow("engine", "64 scalar calls (transfer-matrix)", {"seconds": scalar_transfer_time}),
+            ExperimentRow("engine", "acceptance_probabilities (transfer-matrix)", {"seconds": batched_time}),
+            ExperimentRow("engine", "speedup vs dense scalar", {"ratio": speedup, "target": ">= 5x"}),
+        ],
+    )
+    assert speedup >= 5.0, f"batched evaluation only {speedup:.1f}x faster"
+
+
+def _random_jobs(count: int, num_intermediate: int, dim: int, seed: int = 5):
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for _ in range(count):
+        left = haar_random_state(dim, rng=rng)
+        pairs = [
+            (haar_random_state(dim, rng=rng), haar_random_state(dim, rng=rng))
+            for _ in range(num_intermediate)
+        ]
+        jobs.append(ChainJob.from_states(left, pairs, outer(haar_random_state(dim, rng=rng))))
+    return jobs
+
+
+def test_transfer_matrix_backend_throughput(benchmark):
+    """Stacked contraction of 64 random chains (7 intermediate nodes, d=32)."""
+    jobs = _random_jobs(BATCH_SIZE, 7, 32)
+    backend = TransferMatrixBackend()
+    values = benchmark(backend.chain_probabilities, jobs)
+    record_engine_metadata(benchmark, backend=backend.name, batch_size=BATCH_SIZE)
+    assert np.all((values >= 0.0) & (values <= 1.0))
+
+
+def test_dense_backend_throughput(benchmark):
+    """Scalar reference evaluation of the same 64 random chains."""
+    jobs = _random_jobs(BATCH_SIZE, 7, 32)
+    backend = DenseBackend()
+    values = benchmark(backend.chain_probabilities, jobs)
+    record_engine_metadata(benchmark, backend=backend.name, batch_size=BATCH_SIZE)
+    assert np.all((values >= 0.0) & (values <= 1.0))
+
+
+def test_repeated_protocol_honest_evaluation(benchmark):
+    """Honest acceptance of the paper-repetition protocol (engine caching path)."""
+    protocol = EqualityPathProtocol.on_path(4, 4, FINGERPRINTS)
+    repeated = protocol.repeated()  # ceil(2 * 81 * 16 / 4) = 648 copies
+
+    value = benchmark(repeated.acceptance_probability, ("1011", "1010"))
+    record_engine_metadata(benchmark)
+    assert 0.0 <= value < 1.0
+
+
+def test_operator_cache_hit_path(benchmark):
+    """Cache-hit retrieval of a chain acceptance operator (soundness sweeps)."""
+    from repro.experiments.soundness_scaling import small_fingerprints
+
+    engine = Engine()
+    protocol = EqualityPathProtocol.on_path(1, 3, small_fingerprints(1))
+    protocol.use_engine(engine)
+    no_instance = ("0", "1")
+    protocol.acceptance_operator(no_instance)  # populate
+
+    operator = benchmark(protocol.acceptance_operator, no_instance)
+    record_engine_metadata(benchmark)
+    assert engine.cache.stats.hits > 0
+    assert operator.shape[0] == operator.shape[1]

@@ -22,12 +22,17 @@ from repro.protocols.equality import EqualityPathProtocol, EqualityTreeProtocol
 from repro.protocols.fgnp21 import Fgnp21EqualityProtocol
 from repro.network.topology import star_network
 from repro.quantum.fingerprint import ExactCodeFingerprint
+from repro.quantum.gates import _swap_unitary_cached, swap_unitary
 from repro.quantum.permutation_test import permutation_test_accept_probability_product
 from repro.quantum.random_states import haar_random_state
 from repro.quantum.states import outer
-from repro.quantum.swap_test import swap_test_accept_probability_pure
+from repro.quantum.swap_test import (
+    _swap_test_projector_cached,
+    swap_test_accept_probability_pure,
+    swap_test_projector,
+)
 
-from conftest import emit_table
+from conftest import best_of, emit_table, record_engine_metadata, timing_assertions_enabled
 from repro.experiments.records import ExperimentRow
 
 FINGERPRINTS = ExactCodeFingerprint(4, rng=13)
@@ -67,6 +72,40 @@ def test_fingerprint_construction_throughput(benchmark):
 
     state = benchmark(build)
     assert np.isclose(np.linalg.norm(state), 1.0)
+
+
+def test_swap_operator_cache_hit(benchmark):
+    """Cached retrieval of the SWAP unitary and test projector (dim 32)."""
+    swap_unitary(32)  # populate both caches
+    swap_test_projector(32)
+
+    def cached():
+        return swap_unitary(32), swap_test_projector(32)
+
+    swap, projector = benchmark(cached)
+    record_engine_metadata(benchmark)
+    assert swap.shape == (1024, 1024) and projector.shape == (1024, 1024)
+
+    if not timing_assertions_enabled(benchmark):
+        return  # functional smoke pass: skip wall-clock comparisons
+
+    # Quantify the win: time a cold construction against a cache hit.
+    def cold():
+        _swap_unitary_cached.cache_clear()
+        _swap_test_projector_cached.cache_clear()
+        return swap_unitary(32), swap_test_projector(32)
+
+    cold_time = best_of(cold, repeats=5)
+    warm_time = best_of(cached, repeats=5)
+    emit_table(
+        "SWAP operator construction — lru_cache win (dim 32)",
+        [
+            ExperimentRow("swap-cache", "cold construction", {"seconds": cold_time}),
+            ExperimentRow("swap-cache", "cache hit", {"seconds": warm_time}),
+            ExperimentRow("swap-cache", "speedup", {"ratio": cold_time / max(warm_time, 1e-12)}),
+        ],
+    )
+    assert warm_time < cold_time
 
 
 def test_ablation_symmetrization(benchmark):

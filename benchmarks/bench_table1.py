@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.table1 import measured_fgnp21_costs, table1_rows
+from repro.experiments.runner import run_scenario
 from repro.protocols.fgnp21 import Fgnp21EqualityProtocol
 from repro.quantum.fingerprint import ExactCodeFingerprint
 
@@ -21,16 +21,16 @@ PARAMETER_GRID = [(64, 3, 2), (256, 3, 4), (1024, 5, 4), (4096, 5, 8), (2**16, 8
 
 def test_table1_formula_rows(benchmark):
     """Regenerate the three formula rows of Table 1 over the parameter grid."""
-    rows = benchmark(table1_rows, PARAMETER_GRID)
+    rows = benchmark(run_scenario, "table1", parameter_grid=PARAMETER_GRID)
     emit_table("Table 1 — FGNP21 baselines (formula rows)", rows)
     assert len(rows) == 3 * len(PARAMETER_GRID)
 
 
 def test_table1_measured_implementation(benchmark):
     """Measured register sizes of the implemented FGNP21 baseline protocol."""
-    row = benchmark(measured_fgnp21_costs, 4, 4)
-    emit_table("Table 1 — measured FGNP21 implementation costs", [row])
-    assert row.value("local_proof_qubits") > 0
+    rows = benchmark(run_scenario, "table1-measured")
+    emit_table("Table 1 — measured FGNP21 implementation costs", rows)
+    assert rows[0].value("local_proof_qubits") > 0
 
 
 def test_table1_baseline_protocol_acceptance(benchmark):

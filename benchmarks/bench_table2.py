@@ -12,21 +12,21 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.table2 import table2_rows, table2_verification_rows
+from repro.experiments.runner import run_scenario
 
 from conftest import emit_table
 
 
 def test_table2_formula_rows(benchmark):
     """Regenerate the formula rows of Table 2 at (n=1024, r=4, t=4, d=2)."""
-    rows = benchmark(table2_rows, 1024, 4, 4, 2)
+    rows = benchmark(run_scenario, "table2", n=1024, r=4, t=4, d=2)
     emit_table("Table 2 — upper bounds (formula rows, n=1024, r=4, t=4, d=2)", rows)
     assert len(rows) == 9
 
 
 def test_table2_formula_rows_large_instance(benchmark):
     """The same rows at a larger parameter point (n=2^20, r=8, t=8, d=4)."""
-    rows = benchmark(table2_rows, 2**20, 8, 8, 4)
+    rows = benchmark(run_scenario, "table2", n=2**20, r=8, t=8, d=4)
     emit_table("Table 2 — upper bounds (formula rows, n=2^20, r=8, t=8, d=4)", rows)
     assert len(rows) == 9
 
@@ -37,7 +37,7 @@ def test_table2_protocol_verification(benchmark):
     This is the heavy row: it runs the exact simulators of Algorithms 3, 5, 6,
     7, 8, 9 and 10 and reports completeness and no-instance acceptance.
     """
-    rows = benchmark.pedantic(table2_verification_rows, rounds=1, iterations=1)
+    rows = benchmark.pedantic(run_scenario, args=("table2-verify",), rounds=1, iterations=1)
     emit_table("Table 2 — small-instance protocol verification", rows)
     for row in rows:
         assert row.value("completeness") > 0.9, row.label

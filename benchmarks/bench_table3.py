@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.table3 import table3_rows, upper_vs_lower_consistency
+from repro.experiments.runner import run_scenario
 
 from conftest import emit_table
 
@@ -19,21 +19,21 @@ CONSISTENCY_GRID = [(256, 3), (1024, 4), (4096, 5), (2**16, 6), (2**21, 6), (2**
 
 def test_table3_formula_rows(benchmark):
     """Regenerate the lower-bound rows of Table 3 at (n=1024, r=4)."""
-    rows = benchmark(table3_rows, 1024, 4)
+    rows = benchmark(run_scenario, "table3", n=1024, r=4)
     emit_table("Table 3 — lower bounds (n=1024, r=4)", rows)
     assert len(rows) == 7
 
 
 def test_table3_formula_rows_large_instance(benchmark):
     """The same rows at (n=2^20, r=16)."""
-    rows = benchmark(table3_rows, 2**20, 16)
+    rows = benchmark(run_scenario, "table3", n=2**20, r=16)
     emit_table("Table 3 — lower bounds (n=2^20, r=16)", rows)
     assert len(rows) == 7
 
 
 def test_table3_upper_vs_lower_consistency(benchmark):
     """Check upper >= lower across the parameter grid and locate the separation."""
-    rows = benchmark(upper_vs_lower_consistency, CONSISTENCY_GRID)
+    rows = benchmark(run_scenario, "table3-consistency", parameter_grid=CONSISTENCY_GRID)
     emit_table("Table 3 — consistency of upper and lower bounds", rows)
     for row in rows:
         assert row.value("upper_respects_sepsep_lower")

@@ -9,11 +9,51 @@ underlying computation.
 from __future__ import annotations
 
 import sys
-from typing import Sequence
+import time
+from typing import Callable, Optional, Sequence
 
 from repro.experiments.records import ExperimentRow, format_rows
 
 _printed_headers = set()
+
+
+def best_of(function: Callable[[], object], repeats: int = 7) -> float:
+    """Best-of-N wall-clock time of ``function``, in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def timing_assertions_enabled(benchmark) -> bool:
+    """Whether wall-clock assertions should run for this benchmark.
+
+    Timing comparisons are meaningless (and flaky) in the functional smoke
+    pass (``--benchmark-disable``), so hand-rolled ``perf_counter`` asserts
+    must be skipped there.
+    """
+    return not getattr(benchmark, "disabled", False)
+
+
+def record_engine_metadata(
+    benchmark, backend: Optional[str] = None, batch_size: Optional[int] = None
+) -> None:
+    """Attach the simulation-backend name (and batch size) to a benchmark.
+
+    The values land in the ``extra_info`` block of ``BENCH_*.json`` exports,
+    so saved trajectories can compare dense versus transfer-matrix backends
+    and correlate timings with the evaluated batch size.
+    """
+    from repro.engine import default_engine
+
+    extra = getattr(benchmark, "extra_info", None)
+    if extra is None:  # benchmark fixture disabled
+        return
+    extra["backend"] = backend if backend is not None else default_engine().backend_name
+    if batch_size is not None:
+        extra["batch_size"] = int(batch_size)
 
 
 def emit_table(title: str, rows: Sequence[ExperimentRow]) -> None:

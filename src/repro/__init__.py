@@ -62,10 +62,24 @@ from repro.quantum import (
     fidelity,
     trace_distance,
 )
+from repro.engine import (
+    DenseBackend,
+    Engine,
+    TransferMatrixBackend,
+    available_backends,
+    default_engine,
+)
+from repro.experiments import ExperimentRunner
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "DenseBackend",
+    "Engine",
+    "ExperimentRunner",
+    "TransferMatrixBackend",
+    "available_backends",
+    "default_engine",
     "DisjointnessProblem",
     "EqualityProblem",
     "ForAllPairsProblem",

@@ -1,0 +1,63 @@
+"""Pluggable simulation-engine layer.
+
+This package is the single place where acceptance probabilities of the
+symmetrized SWAP-test chains are computed.  It separates *what* a protocol
+asks the simulator to evaluate from *how* the evaluation is carried out:
+
+* :mod:`repro.engine.jobs` — :class:`ChainJob` (one chain instance: left
+  state, intermediate register pairs, right accept operator) and
+  :class:`ChainProgram` (a weighted sum of products of chain jobs, the shape
+  every chain-reducible protocol's acceptance probability takes).
+* :mod:`repro.engine.backends` — the :class:`SimulationBackend` interface, the
+  :class:`DenseBackend` reference implementation (current scalar semantics)
+  and the :class:`TransferMatrixBackend` which evaluates *batches* of chains
+  with stacked einsum contractions, plus a string-keyed backend registry.
+* :mod:`repro.engine.cache` — a bounded :class:`OperatorCache` for SWAP
+  projectors, chain acceptance operators and fingerprint measurement
+  operators, keyed by protocol layout and input.
+* :mod:`repro.engine.core` — the :class:`Engine` facade protocols talk to:
+  it owns a backend and an operator cache, evaluates single programs and
+  batches of programs, and provides the scalar-map fallback for protocols
+  whose acceptance does not reduce to chains.
+
+Protocols obtain an engine through :func:`default_engine` (configurable via
+the ``REPRO_BACKEND`` environment variable) or have one injected with
+:meth:`repro.protocols.base.DQMAProtocol.use_engine`.
+"""
+
+from repro.engine.backends import (
+    DenseBackend,
+    SimulationBackend,
+    TransferMatrixBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.engine.cache import CacheStats, OperatorCache
+from repro.engine.core import Engine, default_engine, set_default_engine
+from repro.engine.jobs import (
+    RIGHT_DENSE,
+    RIGHT_PROJECTOR,
+    RIGHT_SWAP,
+    ChainJob,
+    ChainProgram,
+)
+
+__all__ = [
+    "RIGHT_DENSE",
+    "RIGHT_PROJECTOR",
+    "RIGHT_SWAP",
+    "CacheStats",
+    "ChainJob",
+    "ChainProgram",
+    "DenseBackend",
+    "Engine",
+    "OperatorCache",
+    "SimulationBackend",
+    "TransferMatrixBackend",
+    "available_backends",
+    "default_engine",
+    "get_backend",
+    "register_backend",
+    "set_default_engine",
+]

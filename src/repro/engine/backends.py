@@ -1,0 +1,262 @@
+"""Simulation backends: how batches of chain jobs are evaluated.
+
+Two implementations ship with the library:
+
+:class:`DenseBackend`
+    The reference semantics: every job is contracted one at a time with the
+    scalar transfer recursion of :func:`repro.protocols.chain.
+    chain_acceptance_probability`.  Bit-for-bit the pre-engine behaviour.
+
+:class:`TransferMatrixBackend`
+    Groups jobs by shape ``(m, d)`` and evaluates each group with stacked
+    einsum/matmul contractions: all SWAP-test overlaps of a group are computed
+    in two einsum calls, the symmetrization transfer recursion runs as ``m``
+    batched ``(B, 2) x (B, 2, 2)`` contractions, and the right-end expectation
+    is one more einsum.  This is the fast path behind
+    ``DQMAProtocol.acceptance_probabilities``.
+
+Backends are registered by name so experiment configuration can select them
+with a string (``"dense"`` / ``"transfer-matrix"``), following the pluggable
+launcher-configuration pattern of the related-work repositories.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple, Type, Union
+
+import numpy as np
+
+from repro.engine.jobs import (
+    RIGHT_DENSE,
+    RIGHT_PROJECTOR,
+    ChainJob,
+    group_jobs_by_shape,
+)
+from repro.exceptions import ProtocolError
+
+
+class SimulationBackend(ABC):
+    """Interface every simulation backend implements."""
+
+    #: Registry name of the backend; subclasses must override.
+    name: str = ""
+
+    @abstractmethod
+    def chain_probabilities(self, jobs: Sequence[ChainJob]) -> np.ndarray:
+        """Acceptance probability of every chain job, as a float array."""
+
+    def chain_probability(self, job: ChainJob) -> float:
+        """Acceptance probability of a single chain job."""
+        return float(self.chain_probabilities([job])[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class DenseBackend(SimulationBackend):
+    """Reference backend: scalar, one-job-at-a-time dense evaluation."""
+
+    name = "dense"
+
+    def chain_probabilities(self, jobs: Sequence[ChainJob]) -> np.ndarray:
+        # Imported lazily: repro.protocols.base imports the engine package, so
+        # a module-level import here would be circular.
+        from repro.protocols.chain import chain_acceptance_probability
+
+        results = np.empty(len(jobs), dtype=np.float64)
+        for index, job in enumerate(jobs):
+            node_pairs = [(job.pairs[j, 0], job.pairs[j, 1]) for j in range(job.num_intermediate)]
+            results[index] = chain_acceptance_probability(
+                job.left, node_pairs, job.dense_right_operator()
+            )
+        return results
+
+
+class TransferMatrixBackend(SimulationBackend):
+    """Batched backend: stacked transfer-matrix contraction per job shape."""
+
+    name = "transfer-matrix"
+
+    #: Chains whose state stack fits in this many rows use the one-shot Gram
+    #: product; longer chains switch to per-step adjacent contractions, since
+    #: the full Gram matrix costs O(m^2) entries of which only O(m) are read.
+    GRAM_MAX_ROWS = 34
+
+    def chain_probabilities(self, jobs: Sequence[ChainJob]) -> np.ndarray:
+        results = np.empty(len(jobs), dtype=np.float64)
+        for (num_intermediate, dim, right_kind), indices in group_jobs_by_shape(jobs).items():
+            if num_intermediate == 0:
+                lefts = np.stack([jobs[i].left for i in indices])
+                rights = np.stack([jobs[i].right_operator for i in indices])
+                if right_kind == RIGHT_DENSE:
+                    values = (
+                        (lefts.conj() * np.matmul(rights, lefts[..., None])[..., 0])
+                        .sum(axis=-1)
+                        .real
+                    )
+                else:
+                    overlaps = np.abs((rights.conj() * lefts).sum(axis=-1)) ** 2
+                    values = (
+                        overlaps if right_kind == RIGHT_PROJECTOR else 0.5 + 0.5 * overlaps
+                    )
+            elif 2 * num_intermediate + 2 <= self.GRAM_MAX_ROWS:
+                values = self._contract_group(jobs, indices, num_intermediate, dim, right_kind)
+            else:
+                values = self._contract_group_adjacent(
+                    jobs, indices, num_intermediate, right_kind
+                )
+            results[indices] = np.clip(values, 0.0, 1.0)
+        return results
+
+    @staticmethod
+    @lru_cache(maxsize=128)
+    def _transfer_indices(num_intermediate: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Gram-row indices of (incoming, target) states for every chain step.
+
+        Row 0 of the stacked state matrix is the left state; rows ``1 + 2j``
+        and ``2 + 2j`` are slots 0/1 of intermediate node ``j``.  Step ``j``
+        (``j >= 1``) tests the register forwarded by node ``j - 1`` under
+        symmetrization bit ``s`` (its slot ``1 - s``) against slot ``n`` of
+        node ``j``.
+        """
+        steps = np.arange(1, num_intermediate)
+        incoming = 1 + 2 * (steps - 1)[:, None] + (1 - np.arange(2))[None, :]
+        targets = 1 + 2 * steps[:, None] + np.arange(2)[None, :]
+        return incoming, targets
+
+    @classmethod
+    def _contract_group(
+        cls,
+        jobs: Sequence[ChainJob],
+        indices: Sequence[int],
+        num_intermediate: int,
+        dim: int,
+        right_kind: str,
+    ) -> np.ndarray:
+        """Evaluate one ``(m, d, kind)`` group of chains in stacked contractions.
+
+        All SWAP-test overlaps of the group come from one batched Gram-matrix
+        product of the stacked states; ``weights[b, s]`` then carries the
+        joint weight of all symmetrization patterns whose latest bit is ``s``
+        (``s = 0``: the node kept slot 0 and forwards slot 1), exactly as in
+        the scalar recursion — but for every job of the batch at once.  For
+        the rank-one-structured right ends the measurement vector rides along
+        as one more row of the Gram stack, so the whole chain (tests *and*
+        final measurement) is a single batched matmul plus gathers.
+        """
+        batch = len(indices)
+        dense_end = right_kind == RIGHT_DENSE
+        num_rows = 2 * num_intermediate + (1 if dense_end else 2)
+        # One preallocated state stack per group: row 0 is the left state,
+        # rows 1 .. 2m the intermediate pairs, and (structured ends) the
+        # measurement vector last — stacked straight into place.
+        stacked = np.empty((batch, num_rows, dim), dtype=np.complex128)
+        np.stack([jobs[i].left for i in indices], out=stacked[:, 0])
+        np.stack(
+            [jobs[i].pairs for i in indices],
+            out=stacked[:, 1 : 2 * num_intermediate + 1].reshape(
+                batch, num_intermediate, 2, dim
+            ),
+        )
+        if dense_end:
+            rights = np.stack([jobs[i].right_operator for i in indices])
+        else:
+            np.stack([jobs[i].right_operator for i in indices], out=stacked[:, -1])
+        gram = np.abs(np.matmul(stacked.conj(), stacked.transpose(0, 2, 1))) ** 2
+        # Step 1: SWAP test of the left state against both slots of node 1.
+        weights = 0.5 * (0.5 + 0.5 * gram[:, 0, 1:3])  # (B, 2)
+        if num_intermediate > 1:
+            incoming, targets = cls._transfer_indices(num_intermediate)
+            overlaps = gram[:, incoming[:, :, None], targets[:, None, :]]
+            transfer = 0.5 * (0.5 + 0.5 * overlaps)  # (B, m-1, 2, 2)
+            for step in range(num_intermediate - 1):
+                weights = np.matmul(weights[:, None, :], transfer[:, step])[:, 0]
+        # Right end: acceptance on the forwarded state (rows 2m / 2m - 1 are
+        # the reversed slots of the last intermediate node).
+        if dense_end:
+            final_states = stacked[:, [2 * num_intermediate, 2 * num_intermediate - 1]]
+            accepts = (
+                (np.matmul(final_states.conj(), rights) * final_states).sum(axis=-1).real
+            )
+        else:
+            phi_row = 2 * num_intermediate + 1
+            overlaps = gram[:, phi_row, [2 * num_intermediate, 2 * num_intermediate - 1]]
+            accepts = overlaps if right_kind == RIGHT_PROJECTOR else 0.5 + 0.5 * overlaps
+        return np.sum(weights * accepts, axis=1)
+
+
+    @classmethod
+    def _contract_group_adjacent(
+        cls,
+        jobs: Sequence[ChainJob],
+        indices: Sequence[int],
+        num_intermediate: int,
+        right_kind: str,
+    ) -> np.ndarray:
+        """Long-chain path: batched overlaps of adjacent nodes only, O(m d) per job."""
+        lefts = np.stack([jobs[i].left for i in indices])
+        pairs = np.stack([jobs[i].pairs for i in indices])  # (B, m, 2, d)
+        rights = np.stack([jobs[i].right_operator for i in indices])
+        first_overlaps = (
+            np.abs(np.matmul(pairs[:, 0].conj(), lefts[..., None])[..., 0]) ** 2
+        )
+        weights = 0.5 * (0.5 + 0.5 * first_overlaps)  # (B, 2)
+        if num_intermediate > 1:
+            # incoming[b, j, s]: the state node j+1 receives when node j's
+            # symmetrization bit is s (node j's reversed slot order).
+            incoming = pairs[:, :-1, ::-1, :]
+            targets = pairs[:, 1:]
+            overlaps = (
+                np.abs(np.matmul(incoming.conj(), targets.transpose(0, 1, 3, 2))) ** 2
+            )
+            transfer = 0.5 * (0.5 + 0.5 * overlaps)  # (B, m-1, 2, 2)
+            for step in range(num_intermediate - 1):
+                weights = np.matmul(weights[:, None, :], transfer[:, step])[:, 0]
+        final_states = pairs[:, -1, ::-1, :]  # (B, 2, d)
+        if right_kind == RIGHT_DENSE:
+            accepts = (
+                (np.matmul(final_states.conj(), rights) * final_states).sum(axis=-1).real
+            )
+        else:
+            overlaps = (
+                np.abs(np.matmul(final_states.conj(), rights[..., None])[..., 0]) ** 2
+            )
+            accepts = overlaps if right_kind == RIGHT_PROJECTOR else 0.5 + 0.5 * overlaps
+        return np.sum(weights * accepts, axis=1)
+
+
+_BACKENDS: Dict[str, Type[SimulationBackend]] = {}
+
+
+def register_backend(backend_class: Type[SimulationBackend]) -> Type[SimulationBackend]:
+    """Register a backend class under its ``name`` (usable as a decorator)."""
+    name = backend_class.name
+    if not name:
+        raise ProtocolError("simulation backends must define a non-empty name")
+    _BACKENDS[name] = backend_class
+    return backend_class
+
+
+def available_backends() -> List[str]:
+    """Names of every registered backend."""
+    return sorted(_BACKENDS)
+
+
+def get_backend(backend: Union[str, SimulationBackend, None]) -> SimulationBackend:
+    """Resolve a backend instance from a name, an instance, or ``None`` (default)."""
+    if backend is None:
+        backend = TransferMatrixBackend.name
+    if isinstance(backend, SimulationBackend):
+        return backend
+    try:
+        return _BACKENDS[backend]()
+    except KeyError:
+        raise ProtocolError(
+            f"unknown simulation backend {backend!r}; available: {available_backends()}"
+        ) from None
+
+
+register_backend(DenseBackend)
+register_backend(TransferMatrixBackend)

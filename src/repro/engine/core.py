@@ -1,0 +1,118 @@
+"""The :class:`Engine` facade protocols evaluate through.
+
+An engine owns a :class:`~repro.engine.backends.SimulationBackend` and an
+:class:`~repro.engine.cache.OperatorCache`.  Protocols hand it
+:class:`~repro.engine.jobs.ChainProgram` objects (or plain scalar callables,
+for the protocol families whose acceptance does not reduce to chains) and the
+engine flattens every job into one backend call, so a batch of ``B`` protocol
+invocations costs a handful of stacked contractions instead of ``B`` Python
+loops.
+
+A process-wide default engine is available through :func:`default_engine`;
+its backend is selected by the ``REPRO_BACKEND`` environment variable
+(``"transfer-matrix"`` when unset).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Hashable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.engine.backends import SimulationBackend, get_backend
+from repro.engine.cache import OperatorCache
+from repro.engine.jobs import ChainJob, ChainProgram
+
+#: Environment variable selecting the default backend.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+class Engine:
+    """A simulation backend plus an operator cache, behind one facade."""
+
+    def __init__(
+        self,
+        backend: Union[str, SimulationBackend, None] = None,
+        cache: Optional[OperatorCache] = None,
+    ):
+        self._backend = get_backend(backend)
+        self.cache = cache if cache is not None else OperatorCache()
+
+    @property
+    def backend(self) -> SimulationBackend:
+        """The active simulation backend."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the active backend."""
+        return self._backend.name
+
+    def with_backend(self, backend: Union[str, SimulationBackend]) -> "Engine":
+        """A sibling engine on a different backend, sharing this engine's cache."""
+        return Engine(backend=backend, cache=self.cache)
+
+    # -- operator caching ----------------------------------------------------
+
+    def cached_operator(self, key: Hashable, builder: Callable[[], Any]) -> Any:
+        """Memoize an operator under a hashable key (see :class:`OperatorCache`)."""
+        return self.cache.get_or_build(key, builder)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def chain_probabilities(self, jobs: Sequence[ChainJob]) -> np.ndarray:
+        """Acceptance probabilities of a batch of chain jobs."""
+        if not jobs:
+            return np.zeros(0, dtype=np.float64)
+        return self._backend.chain_probabilities(jobs)
+
+    def evaluate_program(self, program: ChainProgram) -> float:
+        """Value of a single chain program."""
+        return program.combine(self.chain_probabilities(program.jobs))
+
+    def evaluate_programs(self, programs: Sequence[ChainProgram]) -> np.ndarray:
+        """Values of many programs, with all their jobs in one backend batch."""
+        if all(program.is_single_unit_job for program in programs):
+            # Common fast path (e.g. equality chains): one unit-weight job per
+            # program, so the backend batch is already the answer.
+            return self.chain_probabilities([program.jobs[0] for program in programs])
+        all_jobs: list = []
+        offsets = []
+        for program in programs:
+            offsets.append(len(all_jobs))
+            all_jobs.extend(program.jobs)
+        probabilities = self.chain_probabilities(all_jobs)
+        values = np.empty(len(programs), dtype=np.float64)
+        for index, (program, offset) in enumerate(zip(programs, offsets)):
+            values[index] = program.combine(
+                probabilities[offset : offset + len(program.jobs)]
+            )
+        return values
+
+    def map_scalar(
+        self, function: Callable[[Any], float], items: Iterable[Any]
+    ) -> np.ndarray:
+        """Scalar fallback: evaluate ``function`` per item into a float array.
+
+        Used by the protocol families (tree / permutation-test based) whose
+        acceptance computation does not reduce to chain programs.
+        """
+        return np.array([float(function(item)) for item in items], dtype=np.float64)
+
+
+_default_engine: Optional[Engine] = None
+
+
+def default_engine() -> Engine:
+    """The process-wide engine (created on first use from ``REPRO_BACKEND``)."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = Engine(backend=os.environ.get(BACKEND_ENV_VAR))
+    return _default_engine
+
+
+def set_default_engine(engine: Optional[Engine]) -> None:
+    """Replace the process-wide engine (``None`` resets to the environment default)."""
+    global _default_engine
+    _default_engine = engine

@@ -1,0 +1,230 @@
+"""Chain jobs and chain programs: the engine's intermediate representation.
+
+A :class:`ChainJob` is one instance of the symmetrized SWAP-test chain shared
+by Algorithms 3, 6, 7 and 10 of the paper: a fixed left state, ``m``
+intermediate register pairs and a right-end accept operator.  A
+:class:`ChainProgram` expresses an acceptance probability as a weighted sum of
+products of chain jobs,
+
+``P = sum_t  w_t * prod_{i in t} p(job_i)``,
+
+which covers every chain-reducible protocol in the library:
+
+* equality on a path — one term, one job;
+* greater-than — one term per surviving index value, weighted by the joint
+  index-measurement probability;
+* relay equality — one term per relay measurement outcome whose job tuple
+  multiplies all segment/copy chains;
+* the QMA one-way conversion — one term scaled by Alice's success probability.
+
+Programs from many protocol invocations can be flattened into a single batch
+so a backend evaluates all jobs in one stacked contraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError
+
+
+#: Right-end kinds.  ``dense`` carries a full ``(d, d)`` accept operator;
+#: ``projector`` carries a vector ``phi`` with accept ``|<phi|f>|^2`` (the
+#: fingerprint measurement of the one-way EQ protocol); ``swap`` carries a
+#: vector ``phi`` with accept ``1/2 + |<phi|f>|^2 / 2`` (a right end that
+#: SWAP-tests against its own fixed state, i.e. ``(I + |phi><phi|)/2``).
+RIGHT_DENSE = "dense"
+RIGHT_PROJECTOR = "projector"
+RIGHT_SWAP = "swap"
+
+_VECTOR_RIGHT_KINDS = (RIGHT_PROJECTOR, RIGHT_SWAP)
+
+
+@dataclass(frozen=True, eq=False)
+class ChainJob:
+    """One symmetrized SWAP-test chain instance.
+
+    Compared by identity (``eq=False``): the fields are numpy arrays, for
+    which the auto-generated dataclass ``__eq__``/``__hash__`` would raise.
+
+    Attributes
+    ----------
+    left:
+        The pure state of the left end, shape ``(d,)``.
+    pairs:
+        Proof register pairs of the intermediate nodes, shape ``(m, 2, d)``
+        with slot 0 the kept-when-not-swapped register; ``m = 0`` encodes the
+        degenerate chain where the left state reaches the right end directly.
+    right_operator:
+        The right end's accept element: a ``(d, d)`` matrix for the
+        ``dense`` kind, or the defining vector ``phi`` of shape ``(d,)``
+        for the rank-one-structured ``projector`` / ``swap`` kinds (which
+        backends can fold into the same Gram contraction as the chain).
+    right_kind:
+        One of ``"dense"``, ``"projector"``, ``"swap"``.
+    """
+
+    left: np.ndarray
+    pairs: np.ndarray
+    right_operator: np.ndarray
+    right_kind: str = RIGHT_DENSE
+
+    @classmethod
+    def from_states(
+        cls,
+        left: np.ndarray,
+        node_pairs: Sequence[Tuple[np.ndarray, np.ndarray]],
+        right_operator: np.ndarray,
+        right_kind: str = RIGHT_DENSE,
+    ) -> "ChainJob":
+        """Build a job from the per-node ``(a_j, b_j)`` state pairs."""
+        left_vec = np.asarray(left, dtype=np.complex128).reshape(-1)
+        dim = left_vec.size
+        if node_pairs:
+            pairs = np.empty((len(node_pairs), 2, dim), dtype=np.complex128)
+            for index, (a, b) in enumerate(node_pairs):
+                a_vec = np.asarray(a, dtype=np.complex128).reshape(-1)
+                b_vec = np.asarray(b, dtype=np.complex128).reshape(-1)
+                if a_vec.size != dim or b_vec.size != dim:
+                    raise DimensionMismatchError(
+                        "all chain registers must share one dimension"
+                    )
+                pairs[index, 0] = a_vec
+                pairs[index, 1] = b_vec
+        else:
+            pairs = np.zeros((0, 2, dim), dtype=np.complex128)
+        return cls.from_arrays(left_vec, pairs, right_operator, right_kind)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        left: np.ndarray,
+        pairs: np.ndarray,
+        right_operator: np.ndarray,
+        right_kind: str = RIGHT_DENSE,
+    ) -> "ChainJob":
+        """Fast constructor for callers that already hold stacked arrays.
+
+        ``pairs`` must have shape ``(m, 2, d)`` (a read-only broadcast view is
+        fine: backends stack jobs into fresh arrays before contracting).
+        """
+        left = np.asarray(left, dtype=np.complex128)
+        pairs = np.asarray(pairs, dtype=np.complex128)
+        right_operator = np.asarray(right_operator, dtype=np.complex128)
+        if pairs.shape[1:] != (2, left.size):
+            raise DimensionMismatchError("all chain registers must share one dimension")
+        if right_kind == RIGHT_DENSE:
+            expected = (left.size, left.size)
+        elif right_kind in _VECTOR_RIGHT_KINDS:
+            expected = (left.size,)
+        else:
+            raise DimensionMismatchError(f"unknown right-end kind {right_kind!r}")
+        if right_operator.shape != expected:
+            raise DimensionMismatchError("right accept operator has the wrong dimension")
+        return cls(
+            left=left, pairs=pairs, right_operator=right_operator, right_kind=right_kind
+        )
+
+    def dense_right_operator(self) -> np.ndarray:
+        """The right end as an explicit ``(d, d)`` matrix (any kind)."""
+        if self.right_kind == RIGHT_DENSE:
+            return self.right_operator
+        phi = self.right_operator
+        projector = np.outer(phi, phi.conj())
+        if self.right_kind == RIGHT_PROJECTOR:
+            return projector
+        return (np.eye(phi.size, dtype=np.complex128) + projector) / 2.0
+
+    @property
+    def num_intermediate(self) -> int:
+        """Number of intermediate nodes ``m``."""
+        return int(self.pairs.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Register dimension ``d``."""
+        return int(self.left.size)
+
+    @property
+    def shape_key(self) -> Tuple[int, int, str]:
+        """Grouping key ``(m, d, right_kind)`` for stacked batch evaluation."""
+        key = self.__dict__.get("_shape_key")
+        if key is None:
+            key = (self.num_intermediate, self.dim, self.right_kind)
+            object.__setattr__(self, "_shape_key", key)
+        return key
+
+
+@dataclass(frozen=True, eq=False)
+class ChainProgram:
+    """A weighted sum of products of chain jobs.
+
+    Compared by identity (``eq=False``), like :class:`ChainJob`.
+
+    ``terms`` holds ``(weight, job_indices)`` pairs; the program's value on
+    job probabilities ``p`` is ``sum_t weight_t * prod_{i in t} p[i]``,
+    clipped to ``[0, 1]``.  A program with no terms evaluates to 0 (used for
+    instances that are rejected outright, e.g. a zero-support index
+    distribution).
+    """
+
+    jobs: Tuple[ChainJob, ...] = field(default_factory=tuple)
+    terms: Tuple[Tuple[float, Tuple[int, ...]], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        object.__setattr__(
+            self,
+            "terms",
+            tuple((float(w), tuple(int(i) for i in idx)) for w, idx in self.terms),
+        )
+        for _, indices in self.terms:
+            for index in indices:
+                if index < 0 or index >= len(self.jobs):
+                    raise DimensionMismatchError(
+                        f"term references job {index} outside the program's {len(self.jobs)} jobs"
+                    )
+
+    @classmethod
+    def single(cls, job: ChainJob, weight: float = 1.0) -> "ChainProgram":
+        """A program with one unit-weight job (the plain chain protocols)."""
+        return cls(jobs=(job,), terms=((weight, (0,)),))
+
+    @property
+    def is_single_unit_job(self) -> bool:
+        """True for the one-unit-weight-job shape (enables a batch fast path)."""
+        return (
+            len(self.jobs) == 1
+            and len(self.terms) == 1
+            and self.terms[0] == (1.0, (0,))
+        )
+
+    @classmethod
+    def rejecting(cls) -> "ChainProgram":
+        """A program that always evaluates to zero."""
+        return cls(jobs=(), terms=())
+
+    def combine(self, job_probabilities: np.ndarray) -> float:
+        """Evaluate the weighted sum of products on the given job probabilities."""
+        total = 0.0
+        for weight, indices in self.terms:
+            value = weight
+            for index in indices:
+                value *= float(job_probabilities[index])
+                if value == 0.0:
+                    break
+            total += value
+        return float(min(max(total, 0.0), 1.0))
+
+
+def group_jobs_by_shape(
+    jobs: Sequence[ChainJob],
+) -> Dict[Tuple[int, int, str], List[int]]:
+    """Indices of ``jobs`` grouped by ``(m, dim, right_kind)`` for stacking."""
+    groups: Dict[Tuple[int, int, str], List[int]] = {}
+    for index, job in enumerate(jobs):
+        groups.setdefault(job.shape_key, []).append(index)
+    return groups

@@ -14,9 +14,19 @@ that the ``benchmarks/`` harness prints and that ``EXPERIMENTS.md`` documents.
 * :mod:`repro.experiments.soundness_scaling` — the exact optimal cheating
   probability of the Algorithm 3 chain as a function of the path length,
   compared against the ``1 - 4/(81 r^2)`` bound of Lemma 17.
+* :mod:`repro.experiments.runner` — the unified scenario registry and
+  :class:`ExperimentRunner` (optional process-pool parallelism) that the
+  report generator and the benchmark harness route through.
 """
 
 from repro.experiments.records import ExperimentRow, format_rows
+from repro.experiments.runner import (
+    ExperimentRunner,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+)
 from repro.experiments.table1 import table1_rows
 from repro.experiments.table2 import table2_rows, table2_verification_rows
 from repro.experiments.table3 import table3_rows, upper_vs_lower_consistency
@@ -25,6 +35,11 @@ from repro.experiments.soundness_scaling import soundness_scaling_sweep
 
 __all__ = [
     "ExperimentRow",
+    "ExperimentRunner",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
     "format_rows",
     "table1_rows",
     "table2_rows",

@@ -2,13 +2,16 @@
 
 Usage (command line)::
 
-    python -m repro.experiments.report            # print to stdout
-    python -m repro.experiments.report out.txt    # write to a file
+    python -m repro.experiments.report              # print to stdout
+    python -m repro.experiments.report out.txt      # write to a file
+    python -m repro.experiments.report --parallel   # scenarios on a process pool
+    repro-report                                    # console script (after install)
 
-The report contains Tables 1-3 of the paper, the small-instance protocol
-verification, the quantum/classical crossover sweeps and the soundness-scaling
-experiment — the same content the benchmark harness prints, gathered in one
-place for inclusion in lab notebooks or CI artifacts.
+The report routes every section through the unified
+:class:`~repro.experiments.runner.ExperimentRunner`: Tables 1-3 of the paper,
+the small-instance protocol verification, the quantum/classical crossover
+sweeps and the soundness-scaling experiment — the same content the benchmark
+harness prints, gathered in one place for lab notebooks or CI artifacts.
 """
 
 from __future__ import annotations
@@ -16,47 +19,53 @@ from __future__ import annotations
 import sys
 from typing import List, Optional
 
-from repro.experiments.crossover import crossover_sweep, find_crossover, long_path_sweep
-from repro.experiments.records import format_rows
-from repro.experiments.soundness_scaling import repetition_curve, soundness_scaling_sweep
-from repro.experiments.table1 import measured_fgnp21_costs, table1_rows
-from repro.experiments.table2 import table2_rows, table2_verification_rows
-from repro.experiments.table3 import table3_rows, upper_vs_lower_consistency
+from repro.experiments.runner import ExperimentRunner
+
+#: Report sections, in order; each is a registered runner scenario.
+REPORT_SCENARIOS = [
+    "table1",
+    "table1-measured",
+    "table2",
+    "table2-verify",
+    "table3",
+    "table3-consistency",
+    "crossover",
+    "crossover-long-path",
+    "crossover-points",
+]
+
+#: Heavy sections appended when soundness experiments are requested.
+SOUNDNESS_SCENARIOS = ["soundness-scaling", "soundness-repetition"]
 
 
-def generate_report(include_soundness: bool = True) -> str:
+def generate_report(
+    include_soundness: bool = True,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+) -> str:
     """Build the full text report; heavy sections can be skipped."""
-    sections: List[str] = []
-
-    def add(title: str, body: str) -> None:
-        sections.append(f"{title}\n{'=' * len(title)}\n{body}\n")
-
-    add("Table 1 — FGNP21 baselines", format_rows(table1_rows()))
-    add("Table 1 — measured FGNP21 implementation", format_rows([measured_fgnp21_costs()]))
-    add("Table 2 — upper bounds (n=1024, r=4, t=4, d=2)", format_rows(table2_rows()))
-    add("Table 2 — small-instance protocol verification", format_rows(table2_verification_rows()))
-    add("Table 3 — lower bounds (n=1024, r=4)", format_rows(table3_rows()))
-    add(
-        "Table 3 — upper vs lower consistency",
-        format_rows(upper_vs_lower_consistency()),
-    )
-    add("Theorem 2 — fixed-path crossover sweep (r=8)", format_rows(crossover_sweep()))
-    add("Theorem 2 — long-path (relay) regime", format_rows(long_path_sweep()))
-    crossover_lines = [
-        f"Algorithm 3 beats the classical Omega(rn) bound (r=6) at n >= {find_crossover(path_length=6, strategy='plain')}",
-        f"Relay protocol beats the classical bound (long-path regime) at n >= {find_crossover(strategy='relay')}",
-    ]
-    add("Theorem 2 — crossover points", "\n".join(crossover_lines))
+    scenarios = list(REPORT_SCENARIOS)
     if include_soundness:
-        add("Lemma 17 — optimal cheating vs path length", format_rows(soundness_scaling_sweep()))
-        add("Algorithm 4 — repetition curve (r=3)", format_rows(repetition_curve()))
-    return "\n".join(sections)
+        scenarios += SOUNDNESS_SCENARIOS
+    runner = ExperimentRunner(scenarios, parallel=parallel, max_workers=max_workers)
+    return runner.render()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Command-line entry point."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    report = generate_report()
+    parallel = False
+    if "--parallel" in argv:
+        parallel = True
+        argv.remove("--parallel")
+    unknown = [arg for arg in argv if arg.startswith("-")]
+    if unknown or len(argv) > 1:
+        sys.stderr.write(
+            f"usage: repro-report [--parallel] [output-file]; "
+            f"unrecognized arguments: {unknown or argv[1:]}\n"
+        )
+        return 2
+    report = generate_report(parallel=parallel)
     if argv:
         with open(argv[0], "w", encoding="utf-8") as handle:
             handle.write(report)

@@ -1,0 +1,221 @@
+"""Unified experiment runner: a scenario registry with optional parallelism.
+
+Every table and figure of the paper is registered here as a named *scenario*
+(a module-level callable returning :class:`ExperimentRow` records plus a
+display title).  The :class:`ExperimentRunner` executes any subset of the
+registry — serially, or across a process pool — so the report generator, the
+benchmark harness and ad-hoc scripts all regenerate rows through one code
+path instead of each hand-rolling its own loops.
+
+Usage::
+
+    from repro.experiments.runner import ExperimentRunner
+
+    runner = ExperimentRunner(["table1", "table2", "crossover"])
+    results = runner.run()                 # OrderedDict name -> rows
+    print(runner.render(results))          # formatted text tables
+
+    ExperimentRunner(parallel=True).run()  # every scenario, process pool
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.exceptions import ProtocolError
+from repro.experiments.crossover import crossover_sweep, find_crossover, long_path_sweep
+from repro.experiments.records import ExperimentRow, format_rows
+from repro.experiments.soundness_scaling import repetition_curve, soundness_scaling_sweep
+from repro.experiments.table1 import measured_fgnp21_costs, table1_rows
+from repro.experiments.table2 import table2_rows, table2_verification_rows
+from repro.experiments.table3 import table3_rows, upper_vs_lower_consistency
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A registered experiment: a callable producing rows, plus display metadata."""
+
+    name: str
+    builder: Callable[..., List[ExperimentRow]]
+    title: str
+    description: str = ""
+    kwargs: Mapping = field(default_factory=dict)
+
+    def run(self, **overrides) -> List[ExperimentRow]:
+        """Regenerate this scenario's rows (keyword overrides reach the builder)."""
+        kwargs = {**dict(self.kwargs), **overrides}
+        return list(self.builder(**kwargs))
+
+
+_REGISTRY: "OrderedDict[str, Scenario]" = OrderedDict()
+
+
+def register_scenario(
+    name: str,
+    builder: Callable[..., List[ExperimentRow]],
+    title: Optional[str] = None,
+    description: str = "",
+    **kwargs,
+) -> Scenario:
+    """Register (or replace) a scenario under ``name``.
+
+    ``builder`` must be a module-level callable so scenarios stay picklable
+    for the process-pool path.
+    """
+    scenario = Scenario(
+        name=name,
+        builder=builder,
+        title=title if title is not None else name,
+        description=description,
+        kwargs=kwargs,
+    )
+    _REGISTRY[name] = scenario
+    return scenario
+
+
+def available_scenarios() -> List[str]:
+    """Registered scenario names, in registration order."""
+    return list(_REGISTRY)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown experiment scenario {name!r}; available: {available_scenarios()}"
+        ) from None
+
+
+def run_scenario(name: str, **overrides) -> List[ExperimentRow]:
+    """Regenerate one scenario's rows by name (the process-pool entry point)."""
+    return get_scenario(name).run(**overrides)
+
+
+class ExperimentRunner:
+    """Run a set of registered scenarios, serially or on a process pool."""
+
+    def __init__(
+        self,
+        scenarios: Optional[Sequence[str]] = None,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+    ):
+        self.names = list(scenarios) if scenarios is not None else available_scenarios()
+        for name in self.names:
+            get_scenario(name)  # fail fast on unknown names
+        self.parallel = bool(parallel)
+        self.max_workers = max_workers
+
+    def run(self) -> "OrderedDict[str, List[ExperimentRow]]":
+        """Regenerate every selected scenario; results keep the selection order."""
+        if self.parallel and len(self.names) > 1:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                rows_per_scenario = list(pool.map(run_scenario, self.names))
+        else:
+            rows_per_scenario = [run_scenario(name) for name in self.names]
+        return OrderedDict(zip(self.names, rows_per_scenario))
+
+    def render(self, results: Optional[Mapping[str, List[ExperimentRow]]] = None) -> str:
+        """Format results (running them first when not supplied) as text tables."""
+        if results is None:
+            results = self.run()
+        sections = []
+        for name, rows in results.items():
+            title = get_scenario(name).title
+            sections.append(f"{title}\n{'=' * len(title)}\n{format_rows(rows)}\n")
+        return "\n".join(sections)
+
+
+# -- built-in scenarios -------------------------------------------------------
+
+
+def _measured_fgnp21_rows() -> List[ExperimentRow]:
+    return [measured_fgnp21_costs()]
+
+
+def _crossover_point_rows() -> List[ExperimentRow]:
+    return [
+        ExperimentRow(
+            "crossover-points",
+            "Algorithm 3 beats the classical Omega(rn) bound (r=6)",
+            {"crossover_n": find_crossover(path_length=6, strategy="plain")},
+        ),
+        ExperimentRow(
+            "crossover-points",
+            "Relay protocol beats the classical bound (long-path regime)",
+            {"crossover_n": find_crossover(strategy="relay")},
+        ),
+    ]
+
+
+register_scenario(
+    "table1",
+    table1_rows,
+    title="Table 1 — FGNP21 baselines",
+    description="Formula rows of Table 1 over the default (n, r, t) grid.",
+)
+register_scenario(
+    "table1-measured",
+    _measured_fgnp21_rows,
+    title="Table 1 — measured FGNP21 implementation",
+    description="Measured register sizes of the implemented FGNP21 baseline.",
+)
+register_scenario(
+    "table2",
+    table2_rows,
+    title="Table 2 — upper bounds (n=1024, r=4, t=4, d=2)",
+    description="Every upper-bound formula of Table 2 at the default parameters.",
+)
+register_scenario(
+    "table2-verify",
+    table2_verification_rows,
+    title="Table 2 — small-instance protocol verification",
+    description="Exact completeness/soundness of every Table 2 protocol on a small instance.",
+)
+register_scenario(
+    "table3",
+    table3_rows,
+    title="Table 3 — lower bounds (n=1024, r=4)",
+    description="Every lower-bound formula of Table 3 at the default parameters.",
+)
+register_scenario(
+    "table3-consistency",
+    upper_vs_lower_consistency,
+    title="Table 3 — upper vs lower consistency",
+    description="Upper bounds dominate lower bounds; classical eventually loses.",
+)
+register_scenario(
+    "crossover",
+    crossover_sweep,
+    title="Theorem 2 — fixed-path crossover sweep (r=8)",
+    description="Total proof sizes of the three strategies versus n at fixed r.",
+)
+register_scenario(
+    "crossover-long-path",
+    long_path_sweep,
+    title="Theorem 2 — long-path (relay) regime",
+    description="The r ~ n^(1/3) regime where relay points restore the advantage.",
+)
+register_scenario(
+    "crossover-points",
+    _crossover_point_rows,
+    title="Theorem 2 — crossover points",
+    description="Smallest n at which each quantum strategy beats the classical bound.",
+)
+register_scenario(
+    "soundness-scaling",
+    soundness_scaling_sweep,
+    title="Lemma 17 — optimal cheating vs path length",
+    description="Exact optimal entangled cheating probability against the Lemma 17 bound.",
+)
+register_scenario(
+    "soundness-repetition",
+    repetition_curve,
+    title="Algorithm 4 — repetition curve (r=3)",
+    description="Repeated acceptance of the best single-shot cheat versus k.",
+)

@@ -26,6 +26,7 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.comm.problems import Problem
+from repro.engine import ChainProgram, Engine, default_engine, get_backend
 from repro.exceptions import ProofError, ProtocolError
 from repro.network.topology import Network, NodeId
 from repro.utils.rng import RngLike, ensure_rng
@@ -126,16 +127,42 @@ class CostSummary:
 
 
 class DQMAProtocol(ABC):
-    """Interface of every distributed Merlin-Arthur protocol in the library."""
+    """Interface of every distributed Merlin-Arthur protocol in the library.
+
+    Acceptance probabilities are computed through a pluggable simulation
+    engine (:mod:`repro.engine`).  Protocols whose verification reduces to the
+    symmetrized SWAP-test chain implement :meth:`_acceptance_program`; the
+    base class then provides both the scalar :meth:`acceptance_probability`
+    and the batched :meth:`acceptance_probabilities` by delegating to the
+    engine.  Protocols with a different structure (permutation-test trees,
+    classical baselines) override :meth:`acceptance_probability` directly and
+    inherit a loop-based batch fallback.
+    """
 
     def __init__(self, problem: Problem, network: Network):
         self.problem = problem
         self.network = network
+        self._engine: Optional[Engine] = None
         if len(network.terminals) != problem.num_inputs:
             raise ProtocolError(
                 f"problem {problem.name} has {problem.num_inputs} inputs but the "
                 f"network has {len(network.terminals)} terminals"
             )
+
+    # -- engine ------------------------------------------------------------
+
+    @property
+    def engine(self) -> Engine:
+        """The simulation engine (the process-wide default unless injected)."""
+        return self._engine if self._engine is not None else default_engine()
+
+    def use_engine(self, engine) -> "DQMAProtocol":
+        """Inject an :class:`Engine` (or a backend name / instance); returns ``self``."""
+        if engine is None or isinstance(engine, Engine):
+            self._engine = engine
+        else:
+            self._engine = Engine(backend=get_backend(engine))
+        return self
 
     # -- abstract ----------------------------------------------------------
 
@@ -152,7 +179,19 @@ class DQMAProtocol(ABC):
         attempt and carries no guarantee.
         """
 
-    @abstractmethod
+    # -- acceptance ---------------------------------------------------------
+
+    def _acceptance_program(
+        self, inputs: Sequence[str], proof: Optional[ProductProof]
+    ) -> Optional[ChainProgram]:
+        """The chain program computing this protocol's acceptance, if any.
+
+        Chain-reducible protocols return a :class:`ChainProgram`; families
+        with a different verification structure return ``None`` and override
+        :meth:`acceptance_probability` instead.
+        """
+        return None
+
     def acceptance_probability(
         self, inputs: Sequence[str], proof: Optional[ProductProof] = None
     ) -> float:
@@ -160,6 +199,66 @@ class DQMAProtocol(ABC):
 
         ``proof = None`` uses the honest proof.
         """
+        program = self._acceptance_program(inputs, proof)
+        if program is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement either _acceptance_program "
+                "or acceptance_probability"
+            )
+        return self.engine.evaluate_program(program)
+
+    def _proofs_for_batch(
+        self,
+        inputs_batch: Sequence[Sequence[str]],
+        proofs: Optional[Sequence[Optional[ProductProof]]],
+    ) -> List[Optional[ProductProof]]:
+        if proofs is None:
+            return [None] * len(inputs_batch)
+        proofs = list(proofs)
+        if len(proofs) != len(inputs_batch):
+            raise ProtocolError(
+                f"got {len(proofs)} proofs for {len(inputs_batch)} input tuples"
+            )
+        return proofs
+
+    def acceptance_probabilities(
+        self,
+        inputs_batch: Sequence[Sequence[str]],
+        proofs: Optional[Sequence[Optional[ProductProof]]] = None,
+    ) -> np.ndarray:
+        """Acceptance probability of every input tuple, evaluated as one batch.
+
+        ``proofs`` is an optional per-item sequence (``None`` entries use the
+        honest proof).  Chain-reducible protocols stack every chain of the
+        batch into a single backend contraction; other protocols fall back to
+        a scalar loop through the engine.
+        """
+        proofs = self._proofs_for_batch(inputs_batch, proofs)
+        programs = [
+            self._acceptance_program(inputs, proof)
+            for inputs, proof in zip(inputs_batch, proofs)
+        ]
+        if programs and all(program is not None for program in programs):
+            return self.engine.evaluate_programs(programs)
+        return self.engine.map_scalar(
+            lambda item: self.acceptance_probability(item[0], item[1]),
+            zip(inputs_batch, proofs),
+        )
+
+    def run_many(
+        self,
+        inputs_batch: Sequence[Sequence[str]],
+        proofs: Optional[Sequence[Optional[ProductProof]]] = None,
+        rng: RngLike = None,
+    ) -> List[RunResult]:
+        """One Monte-Carlo run per input tuple, on batched exact probabilities."""
+        generator = ensure_rng(rng)
+        probabilities = self.acceptance_probabilities(inputs_batch, proofs)
+        draws = generator.random(len(probabilities))
+        return [
+            RunResult(accepted=bool(draw < probability), acceptance_probability=float(probability))
+            for draw, probability in zip(draws, probabilities)
+        ]
 
     # -- cost accounting -----------------------------------------------------
 
@@ -296,13 +395,34 @@ class RepeatedProtocol(DQMAProtocol):
         self, inputs: Sequence[str], proof: Optional[ProductProof] = None
     ) -> float:
         if proof is None:
-            copies = [None] * self.repetitions
-        else:
-            copies = self._split_proof(proof)
-        probability = 1.0
-        for copy_proof in copies:
-            probability *= self.base.acceptance_probability(inputs, copy_proof)
-        return probability
+            # Honest copies are identical, so one base evaluation suffices;
+            # this (with the engine's operator caching underneath) is what
+            # keeps the paper's O(r^2)-repetition protocols cheap to run.
+            return float(self.base.acceptance_probability(inputs, None) ** self.repetitions)
+        copies = self._split_proof(proof)
+        probabilities = self.base.acceptance_probabilities(
+            [inputs] * self.repetitions, proofs=copies
+        )
+        return float(np.prod(probabilities))
+
+    def acceptance_probabilities(
+        self,
+        inputs_batch: Sequence[Sequence[str]],
+        proofs: Optional[Sequence[Optional[ProductProof]]] = None,
+    ) -> np.ndarray:
+        proofs = self._proofs_for_batch(inputs_batch, proofs)
+        if all(proof is None for proof in proofs):
+            base_probabilities = self.base.acceptance_probabilities(inputs_batch)
+            return base_probabilities**self.repetitions
+        # Flatten (item, copy) into one base-protocol batch.
+        flat_inputs: List[Sequence[str]] = []
+        flat_proofs: List[Optional[ProductProof]] = []
+        for inputs, proof in zip(inputs_batch, proofs):
+            copies = [None] * self.repetitions if proof is None else self._split_proof(proof)
+            flat_inputs.extend([inputs] * self.repetitions)
+            flat_proofs.extend(copies)
+        flat = self.base.acceptance_probabilities(flat_inputs, proofs=flat_proofs)
+        return flat.reshape(len(inputs_batch), self.repetitions).prod(axis=1)
 
     def _messages(self) -> Dict[Tuple[NodeId, NodeId], float]:
         base_messages = self.base.message_qubits()

@@ -28,9 +28,9 @@ from repro.protocols.base import (
     RepeatedProtocol,
     soundness_repetitions,
 )
+from repro.engine import RIGHT_PROJECTOR, ChainJob, ChainProgram
 from repro.protocols.chain import (
     chain_acceptance_operator,
-    chain_acceptance_probability,
     optimal_entangled_acceptance,
 )
 from repro.quantum.fingerprint import ExactCodeFingerprint, FingerprintScheme
@@ -115,37 +115,74 @@ class EqualityPathProtocol(DQMAProtocol):
 
     # -- acceptance ------------------------------------------------------------
 
-    def _chain_inputs(self, inputs: Sequence[str], proof: Optional[ProductProof]):
-        inputs = self.problem.validate_inputs(inputs)
+    def _right_operator(self, y: str) -> np.ndarray:
+        """The right end's fingerprint measurement ``|h_y><h_y|`` (engine-cached)."""
+        return self.engine.cached_operator(
+            ("eq-right", self.fingerprints, y),
+            lambda: outer(self.fingerprints.state(y)),
+        )
+
+    def _honest_job(self, x: str, y: str) -> ChainJob:
+        # The honest proof places the (already normalized) fingerprint of x in
+        # every register: a broadcast view stands in for the stacked pair
+        # array, skipping the ProductProof round-trip entirely.  The right end
+        # is the rank-one fingerprint measurement |h_y><h_y|, carried as its
+        # defining vector so backends fold it into the chain contraction.
+        fingerprint = self.fingerprints.state(x)
+        pairs = np.broadcast_to(fingerprint, (self.path_length - 1, 2, fingerprint.size))
+        return ChainJob.from_arrays(
+            fingerprint, pairs, self.fingerprints.state(y), right_kind=RIGHT_PROJECTOR
+        )
+
+    def _acceptance_program(
+        self, inputs: Sequence[str], proof: Optional[ProductProof]
+    ) -> ChainProgram:
         if proof is None:
-            proof = self.honest_proof(inputs)
+            # Key on the raw input tuple: a hit implies an identical tuple was
+            # validated when the program was first built.
+            cache = self.engine.cache
+            key = ("eq-honest-program", self.fingerprints, self.path_length, tuple(inputs))
+            program = cache.get(key)
+            if program is None:
+                inputs = self.problem.validate_inputs(inputs)
+                program = cache.put(
+                    key, ChainProgram.single(self._honest_job(inputs[0], inputs[1]))
+                )
+            return program
         else:
+            inputs = self.problem.validate_inputs(inputs)
             self.validate_proof(proof)
-        left_state = self.fingerprints.state(inputs[0])
-        pairs = []
-        for index in range(1, self.path_length):
-            pairs.append(
+            node_pairs = [
                 (
                     proof.state(self._register_name(index, 0)),
                     proof.state(self._register_name(index, 1)),
                 )
+                for index in range(1, self.path_length)
+            ]
+            job = ChainJob.from_states(
+                self.fingerprints.state(inputs[0]),
+                node_pairs,
+                self.fingerprints.state(inputs[1]),
+                right_kind=RIGHT_PROJECTOR,
             )
-        right_operator = outer(self.fingerprints.state(inputs[1]))
-        return left_state, pairs, right_operator
-
-    def acceptance_probability(
-        self, inputs: Sequence[str], proof: Optional[ProductProof] = None
-    ) -> float:
-        left_state, pairs, right_operator = self._chain_inputs(inputs, proof)
-        return chain_acceptance_probability(left_state, pairs, right_operator)
+        return ChainProgram.single(job)
 
     def acceptance_operator(self, inputs: Sequence[str]) -> np.ndarray:
-        """Exact acceptance operator over (possibly entangled) proofs — small instances."""
+        """Exact acceptance operator over (possibly entangled) proofs — small instances.
+
+        Cached on the engine's operator cache: soundness sweeps evaluate the
+        same layout/input combination many times.
+        """
         inputs = self.problem.validate_inputs(inputs)
-        left_state = self.fingerprints.state(inputs[0])
-        right_operator = outer(self.fingerprints.state(inputs[1]))
-        return chain_acceptance_operator(
-            left_state, self.fingerprints.dim, self.path_length - 1, right_operator
+
+        def build() -> np.ndarray:
+            left_state = self.fingerprints.state(inputs[0])
+            return chain_acceptance_operator(
+                left_state, self.fingerprints.dim, self.path_length - 1, self._right_operator(inputs[1])
+            )
+
+        return self.engine.cached_operator(
+            ("eq-chain-operator", self.fingerprints, self.path_length, tuple(inputs)), build
         )
 
     def optimal_cheating_probability(self, inputs: Sequence[str]) -> float:

@@ -28,7 +28,7 @@ from repro.protocols.base import (
     ProofRegister,
     RepeatedProtocol,
 )
-from repro.protocols.chain import chain_acceptance_probability, right_end_swap_operator
+from repro.engine import RIGHT_SWAP, ChainJob, ChainProgram
 from repro.protocols.equality import _ordered_path_nodes
 from repro.quantum.fingerprint import ExactCodeFingerprint, FingerprintScheme
 from repro.quantum.states import basis_state
@@ -169,9 +169,9 @@ class GreaterThanPathProtocol(DQMAProtocol):
 
     # -- acceptance -----------------------------------------------------------------
 
-    def acceptance_probability(
-        self, inputs: Sequence[str], proof: Optional[ProductProof] = None
-    ) -> float:
+    def _acceptance_program(
+        self, inputs: Sequence[str], proof: Optional[ProductProof]
+    ) -> ChainProgram:
         inputs = self.problem.validate_inputs(inputs)
         if proof is None:
             proof = self.honest_proof(inputs)
@@ -193,7 +193,10 @@ class GreaterThanPathProtocol(DQMAProtocol):
                 )
             )
 
-        total = 0.0
+        # One chain job per surviving index value, weighted by the joint
+        # probability of every node measuring that index.
+        jobs: List[ChainJob] = []
+        terms = []
         for index in range(self.index_dim):
             joint = 1.0
             for probabilities in index_probabilities:
@@ -205,12 +208,16 @@ class GreaterThanPathProtocol(DQMAProtocol):
             if not self._endpoint_checks(inputs, index):
                 continue
             left_state = self.fingerprints.state(self._padded_prefix(inputs[0], index))
+            # The right end SWAP-tests against its own fingerprint of the
+            # padded prefix of y: a rank-one-structured (I + |h><h|)/2 end.
             right_state = self.fingerprints.state(self._padded_prefix(inputs[1], index))
-            chain = chain_acceptance_probability(
-                left_state, pairs, right_end_swap_operator(right_state)
+            terms.append((joint, (len(jobs),)))
+            jobs.append(
+                ChainJob.from_states(left_state, pairs, right_state, right_kind=RIGHT_SWAP)
             )
-            total += joint * chain
-        return float(min(max(total, 0.0), 1.0))
+        if not jobs:
+            return ChainProgram.rejecting()
+        return ChainProgram(jobs=tuple(jobs), terms=tuple(terms))
 
     # -- paper parameters --------------------------------------------------------------
 

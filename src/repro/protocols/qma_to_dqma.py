@@ -30,7 +30,7 @@ from repro.protocols.base import (
     ProofRegister,
     RepeatedProtocol,
 )
-from repro.protocols.chain import chain_acceptance_probability
+from repro.engine import ChainJob, ChainProgram
 from repro.protocols.equality import _ordered_path_nodes
 
 
@@ -120,9 +120,9 @@ class QMAOneWayToPathProtocol(DQMAProtocol):
 
     # -- acceptance ------------------------------------------------------------
 
-    def acceptance_probability(
-        self, inputs: Sequence[str], proof: Optional[ProductProof] = None
-    ) -> float:
+    def _acceptance_program(
+        self, inputs: Sequence[str], proof: Optional[ProductProof]
+    ) -> ChainProgram:
         inputs = self.problem.validate_inputs(inputs)
         if proof is None:
             proof = self.honest_proof(inputs)
@@ -134,7 +134,7 @@ class QMAOneWayToPathProtocol(DQMAProtocol):
         )
         alice_accept = float(np.real(np.vdot(raw_forwarded, raw_forwarded)))
         if alice_accept <= 1e-15:
-            return 0.0
+            return ChainProgram.rejecting()
         left_state = raw_forwarded / np.sqrt(alice_accept)
 
         pairs = []
@@ -145,9 +145,15 @@ class QMAOneWayToPathProtocol(DQMAProtocol):
                     proof.state(self._pair_register_name(index, 1)),
                 )
             )
-        right_operator = self.qma_protocol.bob_accept_operator(self.bob_input)
-        chain = chain_acceptance_probability(left_state, pairs, right_operator)
-        return float(min(max(alice_accept * chain, 0.0), 1.0))
+        right_operator = self.engine.cached_operator(
+            ("qma-bob", self.qma_protocol, self.bob_input),
+            lambda: self.qma_protocol.bob_accept_operator(self.bob_input),
+        )
+        # Alice's success probability scales the chain term (Algorithm 10
+        # conditions the forwarded state on her accepting).
+        return ChainProgram.single(
+            ChainJob.from_states(left_state, pairs, right_operator), weight=alice_accept
+        )
 
     # -- paper parameters -------------------------------------------------------
 

@@ -20,6 +20,7 @@ import numpy as np
 from repro.comm.problems import EqualityProblem
 from repro.exceptions import ProtocolError
 from repro.network.topology import Network, NodeId, path_network
+from repro.engine import RIGHT_SWAP, ChainJob, ChainProgram
 from repro.protocols.base import DQMAProtocol, ProductProof, ProofRegister
 from repro.protocols.chain import chain_acceptance_probability, right_end_swap_operator
 from repro.protocols.equality import _ordered_path_nodes
@@ -156,16 +157,19 @@ class RelayEqualityProtocol(DQMAProtocol):
 
     # -- acceptance ------------------------------------------------------------
 
-    def acceptance_probability(
-        self, inputs: Sequence[str], proof: Optional[ProductProof] = None
-    ) -> float:
-        """Exact acceptance probability when the relay outcome space is small.
+    def _acceptance_program(
+        self, inputs: Sequence[str], proof: Optional[ProductProof]
+    ) -> ChainProgram:
+        """Chain program enumerating the relay measurement outcomes.
 
         The relay registers are measured in the computational basis; for
         product proofs the joint outcome distribution is a product.  The
-        method enumerates the support of that distribution (the honest proof
-        has a single outcome per relay) and falls back to an error if the
-        support is too large — use :meth:`estimate_acceptance_sampling` there.
+        program enumerates the support of that distribution (the honest proof
+        has a single outcome per relay) — one term per joint outcome, whose
+        job tuple multiplies the chains of every segment and repetition copy.
+        Jobs are deduplicated across outcomes sharing anchor strings, so the
+        backend contracts each distinct chain once.  Raises when the support
+        is too large — use :meth:`estimate_acceptance_sampling` there.
         """
         inputs = self.problem.validate_inputs(inputs)
         if proof is None:
@@ -191,15 +195,54 @@ class RelayEqualityProtocol(DQMAProtocol):
                 "enumeration; use estimate_acceptance_sampling"
             )
 
-        def recurse(position: int, joint: float, outcomes: List[str]) -> float:
-            if position == len(supports):
-                return joint * self._segments_acceptance(inputs, proof, outcomes)
-            total = 0.0
-            for value, probability in supports[position]:
-                total += recurse(position + 1, joint * probability, outcomes + [value])
-            return total
+        num_segments = len(self.anchor_indices) - 1
+        segment_pairs: Dict[Tuple[int, int], List[Tuple[np.ndarray, np.ndarray]]] = {}
+        for segment in range(num_segments):
+            left_anchor = self.anchor_indices[segment]
+            right_anchor = self.anchor_indices[segment + 1]
+            for copy in range(self.segment_repetitions):
+                segment_pairs[(segment, copy)] = [
+                    (
+                        proof.state(self._fingerprint_register_name(index, 0, copy)),
+                        proof.state(self._fingerprint_register_name(index, 1, copy)),
+                    )
+                    for index in range(left_anchor + 1, right_anchor)
+                ]
 
-        return float(min(max(recurse(0, 1.0, []), 0.0), 1.0))
+        jobs: List[ChainJob] = []
+        job_index: Dict[Tuple[int, int, str, str], int] = {}
+
+        def job_for(segment: int, copy: int, left_string: str, right_string: str) -> int:
+            key = (segment, copy, left_string, right_string)
+            if key not in job_index:
+                job_index[key] = len(jobs)
+                jobs.append(
+                    ChainJob.from_states(
+                        self.fingerprints.state(left_string),
+                        segment_pairs[(segment, copy)],
+                        self.fingerprints.state(right_string),
+                        right_kind=RIGHT_SWAP,
+                    )
+                )
+            return job_index[key]
+
+        terms: List[Tuple[float, Tuple[int, ...]]] = []
+
+        def recurse(position: int, joint: float, outcomes: List[str]) -> None:
+            if position == len(supports):
+                anchor_strings = [inputs[0]] + outcomes + [inputs[1]]
+                indices = tuple(
+                    job_for(segment, copy, anchor_strings[segment], anchor_strings[segment + 1])
+                    for segment in range(num_segments)
+                    for copy in range(self.segment_repetitions)
+                )
+                terms.append((joint, indices))
+                return
+            for value, probability in supports[position]:
+                recurse(position + 1, joint * probability, outcomes + [value])
+
+        recurse(0, 1.0, [])
+        return ChainProgram(jobs=tuple(jobs), terms=tuple(terms))
 
     def estimate_acceptance_sampling(
         self,

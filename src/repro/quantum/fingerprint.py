@@ -87,10 +87,12 @@ class FingerprintScheme(ABC):
 
     def state(self, x: str) -> np.ndarray:
         """The fingerprint ket ``|h_x>`` (cached per string)."""
-        validate_bitstring(x, length=self.input_length)
-        if x not in self._cache:
-            self._cache[x] = self._build_state(x)
-        return self._cache[x].copy()
+        cached = self._cache.get(x)
+        if cached is None:
+            # A cache hit implies the string was validated when first built.
+            validate_bitstring(x, length=self.input_length)
+            cached = self._cache[x] = self._build_state(x)
+        return cached.copy()
 
     def overlap(self, x: str, y: str) -> float:
         """``|<h_x|h_y>|`` for the two given strings."""

@@ -9,6 +9,7 @@ permutation test (Algorithm 2).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import permutations as iter_permutations
 from typing import Sequence, Tuple
 
@@ -41,15 +42,23 @@ def pauli_z() -> np.ndarray:
     return np.array([[1, 0], [0, -1]], dtype=np.complex128)
 
 
+@lru_cache(maxsize=64)
+def _swap_unitary_cached(dim: int) -> np.ndarray:
+    swap = np.zeros((dim * dim, dim * dim), dtype=np.complex128)
+    rows = (np.arange(dim)[None, :] * dim + np.arange(dim)[:, None]).reshape(-1)
+    swap[rows, np.arange(dim * dim)] = 1.0
+    swap.setflags(write=False)
+    return swap
+
+
 def swap_unitary(dim: int) -> np.ndarray:
-    """The SWAP operator on two subsystems each of dimension ``dim``."""
+    """The SWAP operator on two subsystems each of dimension ``dim``.
+
+    The returned array is cached and marked read-only; copy before mutating.
+    """
     if dim <= 0:
         raise DimensionMismatchError("dimension must be positive")
-    swap = np.zeros((dim * dim, dim * dim), dtype=np.complex128)
-    for i in range(dim):
-        for j in range(dim):
-            swap[j * dim + i, i * dim + j] = 1.0
-    return swap
+    return _swap_unitary_cached(int(dim))
 
 
 def controlled_swap(dim: int) -> np.ndarray:

@@ -120,11 +120,14 @@ def partial_trace(
     dims:
         Dimension of each subsystem.
     keep:
-        Indices (into ``dims``) of the subsystems to keep, in their original
-        order.
+        Indices (into ``dims``) of the subsystems to keep.  The output is
+        ordered exactly as listed, so ``keep=[1, 0]`` returns the reduced
+        state with the two kept subsystems swapped.  Duplicates are rejected.
     """
     dims = list(int(d) for d in dims)
-    keep = sorted(set(int(k) for k in keep))
+    keep = [int(k) for k in keep]
+    if len(set(keep)) != len(keep):
+        raise DimensionMismatchError(f"keep indices {keep} contain duplicates")
     total = int(np.prod(dims))
     mat = np.asarray(matrix, dtype=np.complex128)
     if mat.shape != (total, total):
@@ -139,7 +142,15 @@ def partial_trace(
     # Trace out the highest-index subsystem first so earlier axis labels stay valid.
     for subsystem in sorted(trace_out, reverse=True):
         reshaped = np.trace(reshaped, axis1=subsystem, axis2=subsystem + reshaped.ndim // 2)
-    keep_dim = int(np.prod([dims[k] for k in keep])) if keep else 1
+    if not keep:
+        return reshaped.reshape(1, 1)
+    # After tracing, the remaining axes follow the subsystems' ascending order;
+    # permute them to honor the order the caller listed in ``keep``.
+    ascending = sorted(keep)
+    order = [ascending.index(k) for k in keep]
+    half = reshaped.ndim // 2
+    reshaped = reshaped.transpose(order + [half + position for position in order])
+    keep_dim = int(np.prod([dims[k] for k in keep]))
     return reshaped.reshape(keep_dim, keep_dim)
 
 

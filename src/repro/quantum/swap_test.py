@@ -9,6 +9,8 @@ weight of the state in the symmetric subspace of the two registers:
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.exceptions import DimensionMismatchError
@@ -16,11 +18,23 @@ from repro.quantum.gates import swap_unitary
 from repro.quantum.states import density_matrix
 
 
-def swap_test_projector(dim: int) -> np.ndarray:
-    """Accept projector ``(I + SWAP)/2`` on two ``dim``-dimensional registers."""
+@lru_cache(maxsize=64)
+def _swap_test_projector_cached(dim: int) -> np.ndarray:
     swap = swap_unitary(dim)
     eye = np.eye(dim * dim, dtype=np.complex128)
-    return (eye + swap) / 2.0
+    projector = (eye + swap) / 2.0
+    projector.setflags(write=False)
+    return projector
+
+
+def swap_test_projector(dim: int) -> np.ndarray:
+    """Accept projector ``(I + SWAP)/2`` on two ``dim``-dimensional registers.
+
+    The returned array is cached and marked read-only; copy before mutating.
+    """
+    if dim <= 0:
+        raise DimensionMismatchError("dimension must be positive")
+    return _swap_test_projector_cached(int(dim))
 
 
 def swap_test_accept_probability(rho, dim: int | None = None) -> float:

@@ -23,7 +23,9 @@ def validate_bitstring(value: str, length: int | None = None) -> str:
     """
     if not isinstance(value, str):
         raise EncodingError(f"expected a bit string, got {type(value).__name__}")
-    if any(ch not in "01" for ch in value):
+    # strip() on the two allowed characters is a C-level scan, far faster
+    # than a per-character Python loop on the hot validation path.
+    if value.strip("01"):
         raise EncodingError(f"bit strings may only contain '0' and '1': {value!r}")
     if length is not None and len(value) != length:
         raise EncodingError(

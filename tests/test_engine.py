@@ -1,0 +1,287 @@
+"""Tests for the pluggable simulation-engine layer.
+
+The load-bearing guarantee: for every protocol family and both backends, the
+batched ``acceptance_probabilities`` path agrees with the scalar
+``acceptance_probability`` path to 1e-9 — on honest proofs and on adversarial
+random product proofs alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.lsd import random_lsd_instance
+from repro.engine import (
+    RIGHT_PROJECTOR,
+    RIGHT_SWAP,
+    ChainJob,
+    ChainProgram,
+    DenseBackend,
+    Engine,
+    OperatorCache,
+    TransferMatrixBackend,
+    available_backends,
+    default_engine,
+    get_backend,
+)
+from repro.exceptions import DimensionMismatchError, ProtocolError
+from repro.network.topology import star_network
+from repro.protocols.base import ProductProof
+from repro.protocols.equality import EqualityPathProtocol, EqualityTreeProtocol
+from repro.protocols.from_one_way import hamming_distance_protocol
+from repro.protocols.greater_than import GreaterThanPathProtocol
+from repro.protocols.qma_to_dqma import LSDPathProtocol
+from repro.protocols.relay import RelayEqualityProtocol
+from repro.quantum.random_states import haar_random_state
+from repro.quantum.states import outer
+
+BACKENDS = ["dense", "transfer-matrix"]
+
+
+def _random_product_proof(protocol, rng) -> ProductProof:
+    states = {
+        register.name: haar_random_state(register.dim, rng=rng)
+        for register in protocol.proof_registers()
+    }
+    return ProductProof(states)
+
+
+class TestBackendRegistry:
+    def test_available_backends(self):
+        assert set(BACKENDS) <= set(available_backends())
+
+    def test_get_backend_by_name_and_instance(self):
+        dense = get_backend("dense")
+        assert isinstance(dense, DenseBackend)
+        assert get_backend(dense) is dense
+        assert isinstance(get_backend(None), TransferMatrixBackend)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ProtocolError, match="unknown simulation backend"):
+            get_backend("tensor-network")
+
+
+class TestChainJobsAndPrograms:
+    def test_backends_agree_on_random_chains(self, rng):
+        # num_intermediate = 20 exceeds GRAM_MAX_ROWS and exercises the
+        # long-chain adjacent-contraction branch of the transfer backend.
+        dense, transfer = DenseBackend(), TransferMatrixBackend()
+        jobs = []
+        for num_intermediate in (0, 1, 2, 4, 20):
+            for dim in (2, 5):
+                for kind in ("dense", RIGHT_PROJECTOR, RIGHT_SWAP):
+                    left = haar_random_state(dim, rng=rng)
+                    pairs = [
+                        (haar_random_state(dim, rng=rng), haar_random_state(dim, rng=rng))
+                        for _ in range(num_intermediate)
+                    ]
+                    if kind == "dense":
+                        operator = outer(haar_random_state(dim, rng=rng))
+                    else:
+                        operator = haar_random_state(dim, rng=rng)
+                    jobs.append(ChainJob.from_states(left, pairs, operator, right_kind=kind))
+        np.testing.assert_allclose(
+            dense.chain_probabilities(jobs), transfer.chain_probabilities(jobs), atol=1e-9
+        )
+
+    def test_structured_right_end_matches_dense_operator(self, rng):
+        transfer = TransferMatrixBackend()
+        phi = haar_random_state(4, rng=rng)
+        left = haar_random_state(4, rng=rng)
+        pairs = [(haar_random_state(4, rng=rng), haar_random_state(4, rng=rng))]
+        structured = ChainJob.from_states(left, pairs, phi, right_kind=RIGHT_SWAP)
+        dense = ChainJob.from_states(left, pairs, structured.dense_right_operator())
+        values = transfer.chain_probabilities([structured, dense])
+        assert values[0] == pytest.approx(values[1], abs=1e-12)
+
+    def test_job_shape_validation(self):
+        with pytest.raises(DimensionMismatchError):
+            ChainJob.from_states(np.ones(2), [(np.ones(3), np.ones(3))], np.eye(2))
+        with pytest.raises(DimensionMismatchError):
+            ChainJob.from_states(np.ones(2), [], np.eye(3))
+        with pytest.raises(DimensionMismatchError):
+            ChainJob.from_states(np.ones(2), [], np.ones(2), right_kind="mystery")
+
+    def test_program_term_validation_and_rejecting(self):
+        job = ChainJob.from_states(np.array([1.0, 0.0]), [], np.eye(2))
+        with pytest.raises(DimensionMismatchError):
+            ChainProgram(jobs=(job,), terms=((1.0, (3,)),))
+        engine = Engine()
+        assert engine.evaluate_program(ChainProgram.rejecting()) == 0.0
+
+    def test_jobs_and_programs_compare_by_identity(self):
+        job = ChainJob.from_states(np.array([1.0, 0.0]), [], np.eye(2))
+        other = ChainJob.from_states(np.array([1.0, 0.0]), [], np.eye(2))
+        assert job == job and job != other  # ndarray fields: identity semantics
+        program = ChainProgram.single(job)
+        assert len({job, program.jobs[0]}) == 1  # hashable (by identity)
+
+    def test_program_combine_weights_products(self):
+        engine = Engine()
+        job = ChainJob.from_states(np.array([1.0, 0.0]), [], np.eye(2))
+        program = ChainProgram(jobs=(job, job), terms=((0.25, (0, 1)), (0.5, (0,))))
+        # both jobs accept with probability 1 -> 0.25 + 0.5
+        assert engine.evaluate_program(program) == pytest.approx(0.75)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestProtocolParity:
+    """Batched == scalar to 1e-9, per protocol family and backend."""
+
+    def _check(self, protocol, inputs_batch, proofs, backend, atol=1e-9):
+        protocol.use_engine(backend)
+        scalar = np.array(
+            [
+                protocol.acceptance_probability(inputs, proof)
+                for inputs, proof in zip(inputs_batch, proofs)
+            ]
+        )
+        batched = protocol.acceptance_probabilities(inputs_batch, proofs)
+        np.testing.assert_allclose(batched, scalar, atol=atol)
+        return batched
+
+    def test_equality_path(self, fingerprints3, rng, backend):
+        protocol = EqualityPathProtocol.on_path(3, 4, fingerprints3)
+        inputs_batch = [("101", "101"), ("101", "011"), ("000", "000"), ("110", "111")]
+        proofs = [None, None, _random_product_proof(protocol, rng), _random_product_proof(protocol, rng)]
+        values = self._check(protocol, inputs_batch, proofs, backend)
+        assert values[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_equality_tree(self, fingerprints3, rng, backend):
+        protocol = EqualityTreeProtocol(star_network(3), fingerprints3)
+        inputs_batch = [("110", "110", "110"), ("110", "110", "010")]
+        proofs = [None, _random_product_proof(protocol, rng)]
+        values = self._check(protocol, inputs_batch, proofs, backend)
+        assert values[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_greater_than(self, fingerprints3, rng, backend):
+        protocol = GreaterThanPathProtocol.on_path(3, 3, ">", fingerprints3)
+        inputs_batch = [("110", "011"), ("011", "110"), ("111", "000")]
+        proofs = [None, _random_product_proof(protocol, rng), None]
+        values = self._check(protocol, inputs_batch, proofs, backend)
+        assert values[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_relay(self, fingerprints3, rng, backend):
+        protocol = RelayEqualityProtocol.on_path(
+            3, 4, relay_spacing=2, segment_repetitions=2, fingerprints=fingerprints3
+        )
+        inputs_batch = [("101", "101"), ("101", "100")]
+        proofs = [None, _random_product_proof(protocol, rng)]
+        values = self._check(protocol, inputs_batch, proofs, backend)
+        assert values[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_from_one_way(self, backend, rng):
+        protocol = hamming_distance_protocol(6, 1, 3)
+        inputs_batch = [
+            ("101010", "101011", "101010"),
+            ("101010", "010101", "101010"),
+        ]
+        proofs = [None, None]
+        values = self._check(protocol, inputs_batch, proofs, backend)
+        assert values[0] > values[1]
+
+    def test_qma_one_way(self, backend, rng):
+        protocol = LSDPathProtocol(random_lsd_instance(16, 2, close=True, rng=5), path_length=3)
+        inputs_batch = [("0", "0"), ("0", "0")]
+        proofs = [None, _random_product_proof(protocol, rng)]
+        self._check(protocol, inputs_batch, proofs, backend)
+
+    def test_repeated_protocol(self, fingerprints3, rng, backend):
+        base = EqualityPathProtocol.on_path(3, 3, fingerprints3)
+        protocol = base.repeated(4)
+        inputs_batch = [("101", "101"), ("101", "100")]
+        proofs = [None, protocol.honest_proof(("101", "100"))]
+        values = self._check(protocol, inputs_batch, proofs, backend)
+        single = base.acceptance_probability(("101", "100"))
+        assert values[1] == pytest.approx(single**4, abs=1e-9)
+
+
+class TestBatchApis:
+    def test_run_many_draws_match_probabilities(self, fingerprints3):
+        protocol = EqualityPathProtocol.on_path(3, 3, fingerprints3)
+        inputs_batch = [("101", "101"), ("101", "011"), ("010", "010")]
+        results = protocol.run_many(inputs_batch, rng=11)
+        assert len(results) == 3
+        probabilities = protocol.acceptance_probabilities(inputs_batch)
+        for result, probability in zip(results, probabilities):
+            assert result.acceptance_probability == pytest.approx(float(probability))
+        # Certain yes-instances always accept.
+        assert results[0].accepted and results[2].accepted
+
+    def test_proof_count_mismatch_raises(self, fingerprints3):
+        protocol = EqualityPathProtocol.on_path(3, 3, fingerprints3)
+        with pytest.raises(ProtocolError, match="proofs"):
+            protocol.acceptance_probabilities([("101", "101")], proofs=[None, None])
+
+    def test_use_engine_accepts_names_engines_and_none(self, fingerprints3):
+        protocol = EqualityPathProtocol.on_path(3, 3, fingerprints3)
+        assert protocol.use_engine("dense").engine.backend_name == "dense"
+        engine = Engine(backend="transfer-matrix")
+        assert protocol.use_engine(engine).engine is engine
+        protocol.use_engine(None)
+        assert protocol.engine is default_engine()
+
+
+class TestOperatorCache:
+    def test_get_or_build_counts_hits_and_misses(self):
+        cache = OperatorCache(max_entries=2)
+        calls = []
+        cache.get_or_build("a", lambda: calls.append("a") or 1)
+        cache.get_or_build("a", lambda: calls.append("a") or 1)
+        assert calls == ["a"]
+        stats = cache.stats
+        assert stats.hits == 1 and stats.misses == 1 and stats.entries == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        cache = OperatorCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now least recent
+        cache.put("c", 3)
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_cached_arrays_are_frozen(self):
+        cache = OperatorCache()
+        value = cache.get_or_build("op", lambda: np.eye(2))
+        with pytest.raises(ValueError):
+            value[0, 0] = 5.0
+
+    def test_engine_reuses_chain_operator_across_calls(self):
+        from repro.experiments.soundness_scaling import small_fingerprints
+
+        engine = Engine()
+        protocol = EqualityPathProtocol.on_path(1, 3, small_fingerprints(1))
+        protocol.use_engine(engine)
+        first = protocol.acceptance_operator(("0", "1"))
+        misses = engine.cache.stats.misses
+        second = protocol.acceptance_operator(("0", "1"))
+        assert engine.cache.stats.misses == misses
+        assert engine.cache.stats.hits > 0
+        np.testing.assert_allclose(first, second)
+
+    def test_repeated_honest_evaluation_hits_program_cache(self, fingerprints3):
+        engine = Engine()
+        base = EqualityPathProtocol.on_path(3, 3, fingerprints3).use_engine(engine)
+        repeated = base.repeated(50)
+        repeated.use_engine(engine)
+        value = repeated.acceptance_probability(("101", "100"))
+        single = base.acceptance_probability(("101", "100"))
+        assert value == pytest.approx(single**50, abs=1e-12)
+        # The honest program for ("101", "100") is built once, then re-hit.
+        assert engine.cache.stats.hits > 0
+
+
+class TestEngineFacade:
+    def test_with_backend_shares_cache(self):
+        engine = Engine(backend="transfer-matrix")
+        sibling = engine.with_backend("dense")
+        assert sibling.cache is engine.cache
+        assert sibling.backend_name == "dense"
+
+    def test_evaluate_programs_empty(self):
+        assert Engine().evaluate_programs([]).shape == (0,)
+
+    def test_map_scalar(self):
+        values = Engine().map_scalar(lambda x: x * 0.5, [1.0, 0.5])
+        np.testing.assert_allclose(values, [0.5, 0.25])

@@ -1,0 +1,109 @@
+"""Tests for the unified experiment runner and its scenario registry."""
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.experiments.crossover import crossover_sweep, long_path_sweep
+from repro.experiments.records import ExperimentRow
+from repro.experiments.runner import (
+    ExperimentRunner,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+)
+from repro.experiments.table1 import table1_rows
+from repro.experiments.table2 import table2_rows
+from repro.experiments.table3 import table3_rows, upper_vs_lower_consistency
+
+
+class TestRegistry:
+    def test_builtin_scenarios_registered(self):
+        names = available_scenarios()
+        for expected in (
+            "table1",
+            "table1-measured",
+            "table2",
+            "table2-verify",
+            "table3",
+            "table3-consistency",
+            "crossover",
+            "crossover-long-path",
+            "crossover-points",
+            "soundness-scaling",
+            "soundness-repetition",
+        ):
+            assert expected in names
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ProtocolError, match="unknown experiment scenario"):
+            get_scenario("table42")
+        with pytest.raises(ProtocolError):
+            ExperimentRunner(["table42"])
+
+    def test_register_custom_scenario(self):
+        def build(count: int = 2):
+            return [ExperimentRow("custom", f"row{i}", {"i": i}) for i in range(count)]
+
+        register_scenario("custom-demo", build, title="Demo", count=3)
+        try:
+            rows = run_scenario("custom-demo")
+            assert len(rows) == 3
+            assert run_scenario("custom-demo", count=1)[0].value("i") == 0
+        finally:
+            from repro.experiments import runner as runner_module
+
+            runner_module._REGISTRY.pop("custom-demo", None)
+
+
+class TestRunnerIdenticalRows:
+    """The runner must reproduce exactly the rows of the direct calls."""
+
+    @pytest.mark.parametrize(
+        "name, direct",
+        [
+            ("table1", table1_rows),
+            ("table2", table2_rows),
+            ("table3", table3_rows),
+            ("table3-consistency", upper_vs_lower_consistency),
+            ("crossover", crossover_sweep),
+            ("crossover-long-path", long_path_sweep),
+        ],
+    )
+    def test_scenario_matches_direct_call(self, name, direct):
+        assert run_scenario(name) == direct()
+
+    def test_runner_preserves_selection_order(self):
+        runner = ExperimentRunner(["table3", "table1"])
+        results = runner.run()
+        assert list(results) == ["table3", "table1"]
+        assert results["table1"] == table1_rows()
+
+    def test_render_contains_titles_and_labels(self):
+        runner = ExperimentRunner(["table1"])
+        text = runner.render()
+        assert "Table 1 — FGNP21 baselines" in text
+        assert "FGNP21 quantum EQ" in text
+
+
+class TestParallelRunner:
+    def test_process_pool_matches_serial(self):
+        names = ["table1", "table3", "crossover"]
+        serial = ExperimentRunner(names).run()
+        parallel = ExperimentRunner(names, parallel=True, max_workers=2).run()
+        assert serial == parallel
+
+
+class TestReportRoutesThroughRunner:
+    def test_report_sections_are_registered_scenarios(self):
+        from repro.experiments.report import REPORT_SCENARIOS, SOUNDNESS_SCENARIOS
+
+        for name in REPORT_SCENARIOS + SOUNDNESS_SCENARIOS:
+            assert name in available_scenarios()
+
+    def test_generate_report_has_crossover_points(self):
+        from repro.experiments.report import generate_report
+
+        report = generate_report(include_soundness=False)
+        assert "Theorem 2 — crossover points" in report
+        assert "crossover_n" in report

@@ -107,6 +107,32 @@ class TestPartialTrace:
         with pytest.raises(DimensionMismatchError):
             partial_trace(np.eye(4), [2, 3], [0])
 
+    def test_keep_order_is_honored(self):
+        """Regression: keep=[1, 0] must return the subsystems swapped, as documented."""
+        rho_a = outer(normalize([1, 2]))
+        rho_b = outer(normalize([2, 1j]))
+        rho_c = outer(normalize([1, 1j, 3]))
+        joint = np.kron(np.kron(rho_a, rho_b), rho_c)
+        forward = partial_trace(joint, [2, 2, 3], [0, 2])
+        np.testing.assert_allclose(forward, np.kron(rho_a, rho_c), atol=1e-12)
+        swapped = partial_trace(joint, [2, 2, 3], [2, 0])
+        np.testing.assert_allclose(swapped, np.kron(rho_c, rho_a), atol=1e-12)
+
+    def test_keep_order_on_entangled_state(self):
+        psi = normalize([1, 0, 0, 0, 0, 0, 1, 0])  # (|000> + |110>)/sqrt(2)
+        rho = outer(psi)
+        ab = partial_trace(rho, [2, 2, 2], [0, 1])
+        ba = partial_trace(rho, [2, 2, 2], [1, 0])
+        swap = np.zeros((4, 4))
+        for i in range(2):
+            for j in range(2):
+                swap[j * 2 + i, i * 2 + j] = 1.0
+        np.testing.assert_allclose(ba, swap @ ab @ swap.T, atol=1e-12)
+
+    def test_duplicate_keep_indices_rejected(self):
+        with pytest.raises(DimensionMismatchError, match="duplicates"):
+            partial_trace(np.eye(4) / 4, [2, 2], [0, 0])
+
 
 class TestExpectation:
     def test_on_ket(self):
