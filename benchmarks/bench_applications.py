@@ -10,7 +10,6 @@ exact computation; the printed table is the executable counterpart of the
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.comm.l1_graphs import hypercube_embedding
 from repro.experiments.records import ExperimentRow

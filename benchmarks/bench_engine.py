@@ -1,19 +1,24 @@
 """Benchmarks of the simulation-engine layer: batched versus scalar evaluation.
 
-The headline number: evaluating 64 inputs through the batched
+The headline numbers: evaluating 64 inputs through the batched
 ``acceptance_probabilities`` API (transfer-matrix backend, batched Gram-matrix
 contractions) must be at least 5x faster than 64 scalar
-``acceptance_probability`` calls on the reference dense backend.  The
-remaining benchmarks time the backends head to head and the engine's
-operator-cache hit path.
+``acceptance_probability`` calls on the reference dense backend for the chain
+families, and at least 3x faster for the tree families (the ``TreeProgram``
+path); the batched fingerprint-strategy soundness search must match the
+scalar loop's optimum to 1e-9 on a 1024-assignment sweep while running
+measurably faster.  The remaining benchmarks time the backends head to head
+and the engine's operator-cache hit path.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.soundness import fingerprint_strategy_soundness
 from repro.engine import ChainJob, DenseBackend, Engine, TransferMatrixBackend
-from repro.protocols.equality import EqualityPathProtocol
+from repro.network.topology import star_network
+from repro.protocols.equality import EqualityPathProtocol, EqualityTreeProtocol
 from repro.quantum.fingerprint import ExactCodeFingerprint
 from repro.quantum.random_states import haar_random_state
 from repro.quantum.states import outer
@@ -78,6 +83,111 @@ def test_batched_vs_scalar_speedup(benchmark):
     assert speedup >= 5.0, f"batched evaluation only {speedup:.1f}x faster"
 
 
+def _tree_input_batch(size: int = BATCH_SIZE):
+    """A deterministic mix of yes- and no-instances for 4-bit 3-party equality."""
+    batch = []
+    for index in range(size):
+        x = int_to_bits(index % 16, 4)
+        y = x if index % 2 == 0 else int_to_bits((index * 5 + 3) % 16, 4)
+        batch.append((x, x, y))
+    return batch
+
+
+def test_tree_batched_vs_scalar_speedup(benchmark):
+    """Acceptance criterion: >= 3x speedup for 64 batched tree instances.
+
+    The protocol is Algorithm 5 equality on a 3-terminal star, compiled to
+    ``TreeProgram`` jobs.  The scalar side evaluates one tree job at a time
+    on the dense backend (the leaf-to-root reference recursion); the batched
+    side stacks all 64 jobs into grouped Gram contractions.
+    """
+    protocol = EqualityTreeProtocol(star_network(3), FINGERPRINTS)
+    scalar_protocol = EqualityTreeProtocol(star_network(3), FINGERPRINTS).use_engine("dense")
+    batch = _tree_input_batch()
+
+    scalar_probabilities = np.array(
+        [scalar_protocol.acceptance_probability(inputs) for inputs in batch]
+    )
+    batched_probabilities = benchmark(protocol.acceptance_probabilities, batch)
+    record_engine_metadata(benchmark, batch_size=BATCH_SIZE)
+    np.testing.assert_allclose(batched_probabilities, scalar_probabilities, atol=1e-9)
+
+    if not timing_assertions_enabled(benchmark):
+        return  # functional smoke pass: skip wall-clock comparisons
+
+    scalar_time = best_of(
+        lambda: [scalar_protocol.acceptance_probability(inputs) for inputs in batch]
+    )
+    batched_time = best_of(lambda: protocol.acceptance_probabilities(batch))
+    speedup = scalar_time / batched_time
+    emit_table(
+        "Engine — batched vs scalar tree-program evaluation (64 instances, star-3)",
+        [
+            ExperimentRow("engine-tree", "64 scalar calls (dense backend)", {"seconds": scalar_time}),
+            ExperimentRow("engine-tree", "acceptance_probabilities (transfer-matrix)", {"seconds": batched_time}),
+            ExperimentRow("engine-tree", "speedup vs dense scalar", {"ratio": speedup, "target": ">= 3x"}),
+        ],
+    )
+    assert speedup >= 3.0, f"batched tree evaluation only {speedup:.1f}x faster"
+
+
+def test_batched_soundness_search_speedup(benchmark):
+    """Batched strategy search == scalar loop to 1e-9, and measurably faster.
+
+    1025 strategies (honest + 4 candidate strings over 5 path nodes =
+    1024 assignments) on the r=6 equality path.  The scalar side replicates
+    the pre-refactor loop: one ``acceptance_probability`` call per strategy.
+    """
+    protocol = EqualityPathProtocol.on_path(4, 6, FINGERPRINTS)
+    inputs = ("1011", "1010")
+    candidates = ["1011", "1010", "0101", "0000"]
+
+    result = benchmark(
+        fingerprint_strategy_soundness, protocol, inputs, candidate_strings=candidates
+    )
+    record_engine_metadata(benchmark, batch_size=result.num_assignments + 1)
+    assert result.num_assignments == 4**5
+
+    fingerprints = protocol.fingerprints
+    registers = protocol.proof_registers()
+    nodes = sorted({register.node for register in registers}, key=str)
+    honest = protocol.honest_proof(inputs)
+
+    def scalar_search():
+        from itertools import product as iter_product
+
+        best = protocol.acceptance_probability(inputs, honest)
+        for combo in iter_product(candidates, repeat=len(nodes)):
+            node_string = dict(zip(nodes, combo))
+            proof = honest
+            for register in registers:
+                proof = proof.replaced(register.name, fingerprints.state(node_string[register.node]))
+            best = max(best, protocol.acceptance_probability(inputs, proof))
+        return best
+
+    scalar_best = scalar_search()
+    assert abs(result.best_acceptance - scalar_best) <= 1e-9
+
+    if not timing_assertions_enabled(benchmark):
+        return
+
+    scalar_time = best_of(scalar_search, repeats=3)
+    batched_time = best_of(
+        lambda: fingerprint_strategy_soundness(protocol, inputs, candidate_strings=candidates),
+        repeats=3,
+    )
+    speedup = scalar_time / batched_time
+    emit_table(
+        "Soundness — batched vs scalar strategy search (1025 strategies, r=6)",
+        [
+            ExperimentRow("soundness-search", "scalar loop", {"seconds": scalar_time}),
+            ExperimentRow("soundness-search", "batched search", {"seconds": batched_time}),
+            ExperimentRow("soundness-search", "speedup", {"ratio": speedup, "target": "> 1x (measurably faster)"}),
+        ],
+    )
+    assert speedup >= 1.5, f"batched soundness search only {speedup:.2f}x faster"
+
+
 def _random_jobs(count: int, num_intermediate: int, dim: int, seed: int = 5):
     rng = np.random.default_rng(seed)
     jobs = []
@@ -130,6 +240,6 @@ def test_operator_cache_hit_path(benchmark):
     protocol.acceptance_operator(no_instance)  # populate
 
     operator = benchmark(protocol.acceptance_operator, no_instance)
-    record_engine_metadata(benchmark)
-    assert engine.cache.stats.hits > 0
+    record_engine_metadata(benchmark, engine=engine)
+    assert engine.cache.stats().hits > 0
     assert operator.shape[0] == operator.shape[1]

@@ -15,7 +15,6 @@ design choices:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.protocols.chain import chain_acceptance_probability
 from repro.protocols.equality import EqualityPathProtocol, EqualityTreeProtocol

@@ -10,7 +10,6 @@ that Algorithm 4 uses to reach soundness 1/3.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.adversary import seesaw_separable_acceptance
 from repro.experiments.soundness_scaling import (

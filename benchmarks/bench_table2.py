@@ -10,7 +10,6 @@ Two parts:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.runner import run_scenario
 

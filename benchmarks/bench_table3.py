@@ -8,7 +8,6 @@ totals drop below the classical bound once n is large — the separation).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.runner import run_scenario
 

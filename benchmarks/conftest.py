@@ -38,22 +38,31 @@ def timing_assertions_enabled(benchmark) -> bool:
 
 
 def record_engine_metadata(
-    benchmark, backend: Optional[str] = None, batch_size: Optional[int] = None
+    benchmark,
+    backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
+    engine=None,
 ) -> None:
-    """Attach the simulation-backend name (and batch size) to a benchmark.
+    """Attach the simulation-backend name, batch size and cache counters.
 
     The values land in the ``extra_info`` block of ``BENCH_*.json`` exports,
-    so saved trajectories can compare dense versus transfer-matrix backends
-    and correlate timings with the evaluated batch size.
+    so saved trajectories can compare dense versus transfer-matrix backends,
+    correlate timings with the evaluated batch size, and audit the operator
+    cache's hit/miss/eviction behaviour across runs.  Benchmarks that drive a
+    private :class:`~repro.engine.Engine` pass it explicitly so the recorded
+    cache counters describe the cache that actually did the work.
     """
     from repro.engine import default_engine
 
     extra = getattr(benchmark, "extra_info", None)
     if extra is None:  # benchmark fixture disabled
         return
-    extra["backend"] = backend if backend is not None else default_engine().backend_name
+    if engine is None:
+        engine = default_engine()
+    extra["backend"] = backend if backend is not None else engine.backend_name
     if batch_size is not None:
         extra["batch_size"] = int(batch_size)
+    extra["operator_cache"] = engine.cache.stats().as_dict()
 
 
 def emit_table(title: str, rows: Sequence[ExperimentRow]) -> None:

@@ -16,7 +16,6 @@ Run with:  python examples/replicated_database_check.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import (
     EqualityTreeProtocol,

@@ -33,6 +33,7 @@ from repro.comm import (
 )
 from repro.network import (
     Network,
+    binary_tree_network,
     build_verification_tree,
     complete_network,
     path_network,
@@ -93,6 +94,7 @@ __all__ = [
     "random_lsd_instance",
     "Network",
     "build_verification_tree",
+    "binary_tree_network",
     "complete_network",
     "path_network",
     "random_tree_network",

@@ -18,6 +18,7 @@ from repro.analysis.adversary import (
 )
 from repro.analysis.soundness import (
     SoundnessReport,
+    StrategySearchResult,
     entangled_soundness_report,
     fingerprint_strategy_soundness,
     repetition_soundness,
@@ -27,6 +28,7 @@ __all__ = [
     "random_product_search",
     "seesaw_separable_acceptance",
     "SoundnessReport",
+    "StrategySearchResult",
     "entangled_soundness_report",
     "fingerprint_strategy_soundness",
     "repetition_soundness",

@@ -82,6 +82,53 @@ def conditional_operator(
     return np.einsum("r,arbs,s->ab", np.conj(other_state), matrix, other_state)
 
 
+_LETTERS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXY"
+
+
+def _conditional_operators_batched(
+    op_tensor: np.ndarray,
+    dims: Sequence[int],
+    factors: Sequence[np.ndarray],
+    position: int,
+) -> np.ndarray:
+    """Stacked conditional operators of one factor, over a batch of restarts.
+
+    ``factors[p]`` has shape ``(batch, dims[p])``; the result has shape
+    ``(batch, dims[position], dims[position])`` and equals
+    :func:`conditional_operator` applied per restart.
+    """
+    k = len(dims)
+    batch = factors[0].shape[0]
+    if k == 1:
+        return np.broadcast_to(op_tensor, (batch,) + op_tensor.shape)
+    row_letters = _LETTERS[:k]
+    col_letters = _LETTERS[k : 2 * k]
+    batch_letter = "Z"
+    operands: List[np.ndarray] = [op_tensor]
+    subscripts = [row_letters + col_letters]
+    for q in range(k):
+        if q == position:
+            continue
+        operands.append(np.conj(factors[q]))
+        subscripts.append(batch_letter + row_letters[q])
+        operands.append(factors[q])
+        subscripts.append(batch_letter + col_letters[q])
+    output = batch_letter + row_letters[position] + col_letters[position]
+    return np.einsum(
+        ",".join(subscripts) + "->" + output, *operands, optimize=True
+    )
+
+
+def _batched_product_acceptance(
+    op_tensor: np.ndarray, dims: Sequence[int], factors: Sequence[np.ndarray]
+) -> np.ndarray:
+    """``<phi_1 ... phi_k| E |phi_1 ... phi_k>`` per restart, clipped to [0, 1]."""
+    conditional = _conditional_operators_batched(op_tensor, dims, factors, 0)
+    states = factors[0]
+    values = np.einsum("Za,Zab,Zb->Z", np.conj(states), conditional, states).real
+    return np.clip(values, 0.0, 1.0)
+
+
 def seesaw_separable_acceptance(
     operator: np.ndarray,
     dims: Sequence[int],
@@ -95,31 +142,46 @@ def seesaw_separable_acceptance(
     one factor by the top eigenvector of its conditional operator.  Each sweep
     is monotone non-decreasing, so the final value is a certified *achievable*
     acceptance probability (a lower bound on the separable supremum).
+
+    All restarts run in lockstep: every restart's initial product state is
+    drawn up front from the passed generator in restart-major order (so the
+    result is reproducible and independent of the optimisation interleaving),
+    and each eigen step is one stacked ``np.linalg.eigh`` over the still-active
+    restarts instead of a Python loop.  A restart leaves the active set after
+    a full sweep without improvement, exactly as in the scalar recursion.
     """
     op, dims = _validate(operator, dims)
     generator = ensure_rng(rng)
-    best_value = -1.0
-    best_factors: List[np.ndarray] = []
-    for _ in range(max(restarts, 1)):
-        factors = [haar_random_state(dim, generator) for dim in dims]
-        value = product_acceptance(op, factors)
-        for _ in range(max(iterations, 1)):
-            improved = False
-            for position in range(len(dims)):
-                conditional = conditional_operator(op, dims, factors, position)
-                hermitian = (conditional + conditional.conj().T) / 2
-                _, eigenvectors = np.linalg.eigh(hermitian)
-                factors[position] = eigenvectors[:, -1]
-                new_value = product_acceptance(op, factors)
-                if new_value > value + 1e-12:
-                    improved = True
-                value = new_value
-            if not improved:
-                break
-        if value > best_value:
-            best_value = value
-            best_factors = [factor.copy() for factor in factors]
-    return float(min(max(best_value, 0.0), 1.0)), best_factors
+    k = len(dims)
+    num_restarts = max(restarts, 1)
+    initial = [
+        [haar_random_state(dim, generator) for dim in dims] for _ in range(num_restarts)
+    ]
+    factors = [
+        np.stack([initial[restart][position] for restart in range(num_restarts)])
+        for position in range(k)
+    ]
+    op_tensor = op.reshape(tuple(dims) * 2)
+    values = _batched_product_acceptance(op_tensor, dims, factors)
+    active = np.ones(num_restarts, dtype=bool)
+    for _ in range(max(iterations, 1)):
+        improved = np.zeros(num_restarts, dtype=bool)
+        for position in range(k):
+            conditional = _conditional_operators_batched(op_tensor, dims, factors, position)
+            hermitian = (conditional + np.conj(np.transpose(conditional, (0, 2, 1)))) / 2
+            eigenvalues, eigenvectors = np.linalg.eigh(hermitian)
+            # After the update the factor is the top eigenvector, so the new
+            # product acceptance is the top eigenvalue itself.
+            new_values = np.clip(eigenvalues[:, -1], 0.0, 1.0)
+            factors[position][active] = eigenvectors[active, :, -1]
+            improved |= active & (new_values > values + 1e-12)
+            values = np.where(active, new_values, values)
+        active &= improved
+        if not active.any():
+            break
+    best = int(np.argmax(values))
+    best_factors = [factors[position][best].copy() for position in range(k)]
+    return float(min(max(float(values[best]), 0.0), 1.0)), best_factors
 
 
 def random_product_search(

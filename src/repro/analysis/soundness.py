@@ -5,13 +5,19 @@ no-instance over *all* proofs.  For the path protocols the library can compute
 that supremum exactly on small instances (via the acceptance operator); for
 the remaining protocols it searches over the natural structured cheating
 strategies (fingerprint-valued product proofs) and reports the best found.
+
+The strategy search compiles its whole enumeration — up to
+``max_assignments`` product proofs — into batched
+``acceptance_probabilities`` calls, so a soundness table costs a handful of
+stacked engine contractions instead of one scalar protocol evaluation per
+cheating strategy.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product as iter_product
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,6 +25,26 @@ from repro.analysis.adversary import seesaw_separable_acceptance
 from repro.exceptions import ProtocolError
 from repro.protocols.base import DQMAProtocol, ProductProof
 from repro.utils.rng import RngLike, ensure_rng
+
+#: Number of cheating strategies evaluated per batched engine call.
+STRATEGY_BATCH_SIZE = 256
+
+
+@dataclass(frozen=True)
+class StrategySearchResult:
+    """Outcome of a cheating-strategy search.
+
+    Iterable as ``(best_acceptance, best_proof)`` for backwards
+    compatibility with the original two-tuple return.
+    """
+
+    best_acceptance: float
+    best_proof: Optional[ProductProof]
+    best_strategy: str
+    num_assignments: int
+
+    def __iter__(self) -> Iterator:
+        return iter((self.best_acceptance, self.best_proof))
 
 
 @dataclass(frozen=True)
@@ -30,6 +56,10 @@ class SoundnessReport:
     best_found_acceptance: float
     optimal_entangled_acceptance: Optional[float]
     paper_bound: Optional[float]
+    #: Label of the strategy achieving ``best_found_acceptance`` (``"honest"``,
+    #: a per-node string assignment, or ``"seesaw"``) — makes table output
+    #: auditable.
+    best_strategy: Optional[str] = None
 
     @property
     def respects_paper_bound(self) -> bool:
@@ -42,12 +72,17 @@ class SoundnessReport:
         return observed <= self.paper_bound + 1e-9
 
 
+def _strategy_label(nodes: Sequence, combo: Sequence[str]) -> str:
+    return ",".join(f"{node}={string}" for node, string in zip(nodes, combo))
+
+
 def fingerprint_strategy_soundness(
     protocol: DQMAProtocol,
     inputs: Sequence[str],
     candidate_strings: Optional[Iterable[str]] = None,
     max_assignments: int = 4096,
-) -> Tuple[float, Optional[ProductProof]]:
+    batch_size: int = STRATEGY_BATCH_SIZE,
+) -> StrategySearchResult:
     """Best acceptance over proofs built from fingerprints of candidate strings.
 
     This is the natural cheating family for the fingerprint-based protocols:
@@ -55,7 +90,9 @@ def fingerprint_strategy_soundness(
     some string (defaulting to the instance's own inputs), and any classical
     index / direction / relay registers with their honest contents.  The
     search enumerates assignments where all registers of a node share one
-    string (the strategies the paper's soundness analyses reason about).
+    string (the strategies the paper's soundness analyses reason about) and
+    evaluates them through the engine's batched API, ``batch_size``
+    strategies per stacked contraction.
     """
     fingerprints = getattr(protocol, "fingerprints", None)
     if fingerprints is None:
@@ -76,18 +113,41 @@ def fingerprint_strategy_soundness(
             f"{assignments} candidate assignments exceed the search limit {max_assignments}"
         )
 
-    best_value = protocol.acceptance_probability(inputs, honest)
-    best_proof: Optional[ProductProof] = honest
-    for combo in iter_product(candidates, repeat=len(nodes)):
+    # One ProductProof construction per strategy (not a replaced() chain,
+    # which would re-normalize every register once per replacement), with the
+    # candidate fingerprints computed once up front.
+    candidate_states = {string: fingerprints.state(string) for string in candidates}
+    honest_states = {name: honest.state(name) for name in honest.register_names}
+
+    def build_proof(combo: Sequence[str]) -> ProductProof:
         node_string = dict(zip(nodes, combo))
-        proof = honest
+        states = dict(honest_states)
         for register in fingerprint_registers:
-            proof = proof.replaced(register.name, fingerprints.state(node_string[register.node]))
-        value = protocol.acceptance_probability(inputs, proof)
-        if value > best_value:
-            best_value = value
-            best_proof = proof
-    return float(best_value), best_proof
+            states[register.name] = candidate_states[node_string[register.node]]
+        return ProductProof(states)
+
+    labels: List[str] = ["honest"]
+    proofs: List[ProductProof] = [honest]
+    for combo in iter_product(candidates, repeat=len(nodes)):
+        labels.append(_strategy_label(nodes, combo))
+        proofs.append(build_proof(combo))
+
+    best_value = -1.0
+    best_index = 0
+    batch = max(int(batch_size), 1)
+    for start in range(0, len(proofs), batch):
+        chunk = proofs[start : start + batch]
+        values = protocol.acceptance_probabilities([inputs] * len(chunk), proofs=chunk)
+        local = int(np.argmax(values))
+        if values[local] > best_value:
+            best_value = float(values[local])
+            best_index = start + local
+    return StrategySearchResult(
+        best_acceptance=float(best_value),
+        best_proof=proofs[best_index],
+        best_strategy=labels[best_index],
+        num_assignments=assignments,
+    )
 
 
 def entangled_soundness_report(
@@ -100,16 +160,19 @@ def entangled_soundness_report(
     """Full soundness report for a (small) path-protocol instance.
 
     Includes the honest-proof acceptance, the best structured product proof
-    found, and — when the protocol exposes an acceptance operator — the exact
-    optimum over entangled proofs (optionally cross-checked against the seesaw
-    separable optimum).
+    found (with the strategy label that achieved it), and — when the protocol
+    exposes an acceptance operator — the exact optimum over entangled proofs
+    (optionally cross-checked against the seesaw separable optimum).
     """
     inputs = tuple(inputs)
     honest_acceptance = protocol.acceptance_probability(inputs, None)
     try:
-        best_found, _ = fingerprint_strategy_soundness(protocol, inputs)
+        search = fingerprint_strategy_soundness(protocol, inputs)
+        best_found = search.best_acceptance
+        best_strategy: Optional[str] = search.best_strategy
     except ProtocolError:
         best_found = honest_acceptance
+        best_strategy = "honest"
 
     optimal = None
     if hasattr(protocol, "acceptance_operator"):
@@ -119,7 +182,9 @@ def entangled_soundness_report(
         if run_seesaw:
             dims = [register.dim for register in protocol.proof_registers()]
             seesaw_value, _ = seesaw_separable_acceptance(operator, dims, rng=ensure_rng(rng))
-            best_found = max(best_found, seesaw_value)
+            if seesaw_value > best_found:
+                best_found = seesaw_value
+                best_strategy = "seesaw"
 
     if paper_bound is None and hasattr(protocol, "single_shot_soundness_gap"):
         paper_bound = 1.0 - protocol.single_shot_soundness_gap()
@@ -130,6 +195,7 @@ def entangled_soundness_report(
         best_found_acceptance=best_found,
         optimal_entangled_acceptance=optimal,
         paper_bound=paper_bound,
+        best_strategy=best_strategy,
     )
 
 

@@ -17,12 +17,12 @@ verifier for the scale-embedding property on small graphs, and the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Sequence, Tuple
 
 import networkx as nx
 
 from repro.comm.problems import Problem
-from repro.exceptions import EncodingError, ProtocolError, TopologyError
+from repro.exceptions import EncodingError, ProtocolError
 from repro.utils.bitstrings import hamming_distance, validate_bitstring
 
 

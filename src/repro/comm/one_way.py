@@ -28,15 +28,23 @@ Implementations
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from math import ceil, log2
-from typing import Callable, List, Optional, Sequence, Tuple
+from math import log2
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.comm.problems import TwoPartyProblem
+from repro.engine.jobs import (
+    MEAS_DENSE,
+    MEAS_DIAGONAL,
+    MEAS_MATCH_ANY,
+    MEAS_PROJECTOR,
+    MEAS_THRESHOLD,
+    MeasurementSpec,
+)
 from repro.exceptions import ProtocolError
 from repro.quantum.fingerprint import FingerprintScheme, SimulatedFingerprint
-from repro.quantum.states import basis_state, normalize, outer
+from repro.quantum.states import basis_state, outer
 from repro.utils.bitstrings import bits_to_int, validate_bitstring
 
 
@@ -95,6 +103,20 @@ class OneWayProtocol(ABC):
             state = np.kron(state, np.asarray(factor, dtype=np.complex128).reshape(-1))
         return self.accept_probability_state(state, y)
 
+    def accept_measurement_spec(self, y: str) -> Optional[MeasurementSpec]:
+        """Bob's accept element as an engine :class:`MeasurementSpec`.
+
+        Used by the network protocols to compile Bob's leaf measurement into
+        tree programs.  The default covers single-factor messages with the
+        explicit operator; many-factor protocols override it with a
+        structured kind (per-factor targets plus a combiner) and protocols
+        that cannot be described return ``None``, which routes the consumer
+        to its scalar fallback.
+        """
+        if len(self.factor_dims) != 1:
+            return None
+        return MeasurementSpec(kind=MEAS_DENSE, operator=self.accept_operator(y))
+
     def accept_probability(self, x: str, y: str) -> float:
         """Acceptance probability when Bob receives the honest message."""
         message = self.message_state(x)
@@ -135,6 +157,12 @@ class FingerprintEqualityOneWay(OneWayProtocol):
     def accept_operator(self, y: str) -> np.ndarray:
         return outer(self.fingerprints.state(y))
 
+    def accept_measurement_spec(self, y: str) -> MeasurementSpec:
+        """Rank-one fingerprint check: target vector, no operator needed."""
+        return MeasurementSpec(
+            kind=MEAS_PROJECTOR, targets=(self.fingerprints.state(y),)
+        )
+
     def soundness_bound(self) -> float:
         """Upper bound on the acceptance probability when ``x != y``."""
         return self.fingerprints.overlap_bound() ** 2
@@ -158,6 +186,13 @@ class ExactTransmissionOneWay(OneWayProtocol):
     def accept_operator(self, y: str) -> np.ndarray:
         validate_bitstring(y, self.input_length)
         return np.diag(self._accept_diagonal(y)).astype(np.complex128)
+
+    def accept_measurement_spec(self, y: str) -> MeasurementSpec:
+        """Diagonal accept element (never materialises the full operator)."""
+        validate_bitstring(y, self.input_length)
+        return MeasurementSpec(
+            kind=MEAS_DIAGONAL, operator=self._accept_diagonal(y).astype(np.complex128)
+        )
 
     def accept_probability_factors(self, factors: Sequence[np.ndarray], y: str) -> float:
         """Diagonal fast path: never materialises the full accept operator."""
@@ -321,6 +356,17 @@ class HammingSketchOneWay(OneWayProtocol):
 
     # -- fast paths used by the network protocols ----------------------------
 
+    def accept_measurement_spec(self, y: str) -> MeasurementSpec:
+        """Threshold over per-sketch matches — the Poisson-binomial tail."""
+        validate_bitstring(y, self.input_length)
+        targets = tuple(
+            self.fingerprints.state(self.masked_string(y, index))
+            for index in range(self.num_sketches)
+        )
+        return MeasurementSpec(
+            kind=MEAS_THRESHOLD, targets=targets, threshold=self.threshold_count
+        )
+
     def sketch_match_probabilities(self, x: str, y: str) -> List[float]:
         """Per-sketch probability that Bob's check passes on the honest message."""
         probabilities = []
@@ -449,6 +495,15 @@ class ExactMaskHammingOneWay(OneWayProtocol):
             reject = np.kron(reject, np.eye(dim, dtype=np.complex128) - projector)
         total_dim = dim**self.num_sketches
         return np.eye(total_dim, dtype=np.complex128) - reject
+
+    def accept_measurement_spec(self, y: str) -> MeasurementSpec:
+        """At-least-one-sketch-matches: ``1 - prod_i (1 - |<t_i|g_i>|^2)``."""
+        validate_bitstring(y, self.input_length)
+        targets = tuple(
+            self.fingerprints.state(self.masked_string(y, index))
+            for index in range(self.num_sketches)
+        )
+        return MeasurementSpec(kind=MEAS_MATCH_ANY, targets=targets)
 
     def accept_probability_factors(self, factors: Sequence[np.ndarray], y: str) -> float:
         validate_bitstring(y, self.input_length)

@@ -24,19 +24,12 @@ Problems implemented
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import ProtocolError
-from repro.utils.bitstrings import (
-    bits_to_int,
-    hamming_distance,
-    hamming_weight,
-    validate_bitstring,
-    xor_strings,
-)
+from repro.utils.bitstrings import bits_to_int, hamming_distance, validate_bitstring, xor_strings
 
 
 class Problem(ABC):

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from math import ceil, log2
+from math import log2
 from typing import Optional
 
 import numpy as np

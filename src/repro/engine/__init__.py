@@ -1,24 +1,34 @@
 """Pluggable simulation-engine layer.
 
 This package is the single place where acceptance probabilities of the
-symmetrized SWAP-test chains are computed.  It separates *what* a protocol
+paper's verification structures are computed.  It separates *what* a protocol
 asks the simulator to evaluate from *how* the evaluation is carried out:
 
-* :mod:`repro.engine.jobs` — :class:`ChainJob` (one chain instance: left
-  state, intermediate register pairs, right accept operator) and
-  :class:`ChainProgram` (a weighted sum of products of chain jobs, the shape
-  every chain-reducible protocol's acceptance probability takes).
-* :mod:`repro.engine.backends` — the :class:`SimulationBackend` interface, the
-  :class:`DenseBackend` reference implementation (current scalar semantics)
-  and the :class:`TransferMatrixBackend` which evaluates *batches* of chains
-  with stacked einsum contractions, plus a string-keyed backend registry.
+* :mod:`repro.engine.jobs` — the intermediate representation:
+  :class:`ChainJob` (one symmetrized SWAP-test chain), :class:`TreeJob` (one
+  tree-rooted verification: nodes carry fixed / symmetrized / routed
+  registers, SWAP- and permutation-test links follow the tree edges, and
+  measuring leaves carry accept operators — a chain is the degenerate path
+  tree) and :class:`TreeProgram` (a weighted sum of products of jobs, the
+  shape every compiled protocol's acceptance probability takes;
+  :class:`ChainProgram` is a thin subclass kept for the chain families).
+* :mod:`repro.engine.tree_contraction` — the leaf-to-root contraction of
+  tree jobs: a scalar reference recursion and the signature-grouped batched
+  evaluation reusing the Gram-matrix stacking of the chain path.
+* :mod:`repro.engine.backends` — the :class:`SimulationBackend` interface,
+  the :class:`DenseBackend` reference implementation (scalar, one job at a
+  time) and the :class:`TransferMatrixBackend` which evaluates *batches* of
+  chains and trees with stacked einsum contractions, plus a string-keyed
+  backend registry.
 * :mod:`repro.engine.cache` — a bounded :class:`OperatorCache` for SWAP
-  projectors, chain acceptance operators and fingerprint measurement
-  operators, keyed by protocol layout and input.
+  projectors, acceptance operators, measurement operators and compiled
+  honest-proof programs, keyed by protocol layout and input; its
+  :meth:`~OperatorCache.stats` counters are surfaced in benchmark metadata.
 * :mod:`repro.engine.core` — the :class:`Engine` facade protocols talk to:
   it owns a backend and an operator cache, evaluates single programs and
-  batches of programs, and provides the scalar-map fallback for protocols
-  whose acceptance does not reduce to chains.
+  batches of programs (flattening mixed chain/tree job batches into one
+  backend call per job type), and provides the scalar-map fallback for
+  protocols whose acceptance does not compile.
 
 Protocols obtain an engine through :func:`default_engine` (configurable via
 the ``REPRO_BACKEND`` environment variable) or have one injected with
@@ -36,28 +46,70 @@ from repro.engine.backends import (
 from repro.engine.cache import CacheStats, OperatorCache
 from repro.engine.core import Engine, default_engine, set_default_engine
 from repro.engine.jobs import (
+    MEAS_DENSE,
+    MEAS_DIAGONAL,
+    MEAS_MATCH_ANY,
+    MEAS_PROJECTOR,
+    MEAS_SWAP,
+    MEAS_THRESHOLD,
+    NODE_FIXED,
+    NODE_ROUTER,
+    NODE_SYM,
     RIGHT_DENSE,
     RIGHT_PROJECTOR,
     RIGHT_SWAP,
+    TEST_FANOUT,
+    TEST_MEASURE,
+    TEST_NONE,
+    TEST_PERM,
     ChainJob,
     ChainProgram,
+    LeafMeasurement,
+    MeasurementSpec,
+    TreeJob,
+    TreeJobBuilder,
+    TreeProgram,
+)
+from repro.engine.tree_contraction import (
+    tree_acceptance_probability,
+    tree_probabilities_batched,
 )
 
 __all__ = [
+    "MEAS_DENSE",
+    "MEAS_DIAGONAL",
+    "MEAS_MATCH_ANY",
+    "MEAS_PROJECTOR",
+    "MEAS_SWAP",
+    "MEAS_THRESHOLD",
+    "NODE_FIXED",
+    "NODE_ROUTER",
+    "NODE_SYM",
     "RIGHT_DENSE",
     "RIGHT_PROJECTOR",
     "RIGHT_SWAP",
+    "TEST_FANOUT",
+    "TEST_MEASURE",
+    "TEST_NONE",
+    "TEST_PERM",
     "CacheStats",
     "ChainJob",
     "ChainProgram",
     "DenseBackend",
     "Engine",
+    "LeafMeasurement",
+    "MeasurementSpec",
     "OperatorCache",
     "SimulationBackend",
     "TransferMatrixBackend",
+    "TreeJob",
+    "TreeJobBuilder",
+    "TreeProgram",
     "available_backends",
     "default_engine",
     "get_backend",
     "register_backend",
     "set_default_engine",
+    "tree_acceptance_probability",
+    "tree_probabilities_batched",
 ]

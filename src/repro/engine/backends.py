@@ -1,19 +1,21 @@
-"""Simulation backends: how batches of chain jobs are evaluated.
+"""Simulation backends: how batches of chain and tree jobs are evaluated.
 
 Two implementations ship with the library:
 
 :class:`DenseBackend`
-    The reference semantics: every job is contracted one at a time with the
-    scalar transfer recursion of :func:`repro.protocols.chain.
-    chain_acceptance_probability`.  Bit-for-bit the pre-engine behaviour.
+    The reference semantics: every job is contracted one at a time — chains
+    through the scalar transfer recursion of :func:`repro.protocols.chain.
+    chain_acceptance_probability` (bit-for-bit the pre-engine behaviour),
+    trees through the scalar leaf-to-root recursion of
+    :func:`repro.engine.tree_contraction.tree_acceptance_probability`.
 
 :class:`TransferMatrixBackend`
-    Groups jobs by shape ``(m, d)`` and evaluates each group with stacked
-    einsum/matmul contractions: all SWAP-test overlaps of a group are computed
-    in two einsum calls, the symmetrization transfer recursion runs as ``m``
-    batched ``(B, 2) x (B, 2, 2)`` contractions, and the right-end expectation
-    is one more einsum.  This is the fast path behind
-    ``DQMAProtocol.acceptance_probabilities``.
+    Groups chain jobs by shape ``(m, d)`` and tree jobs by structure
+    signature, and evaluates each group with stacked einsum/matmul
+    contractions: all SWAP-test overlaps of a group are computed in a couple
+    of batched Gram products, the symmetrization recursion runs vectorized
+    over the batch, and measurement expectations are one more einsum.  This
+    is the fast path behind ``DQMAProtocol.acceptance_probabilities``.
 
 Backends are registered by name so experiment configuration can select them
 with a string (``"dense"`` / ``"transfer-matrix"``), following the pluggable
@@ -32,7 +34,12 @@ from repro.engine.jobs import (
     RIGHT_DENSE,
     RIGHT_PROJECTOR,
     ChainJob,
+    TreeJob,
     group_jobs_by_shape,
+)
+from repro.engine.tree_contraction import (
+    tree_acceptance_probability,
+    tree_probabilities_batched,
 )
 from repro.exceptions import ProtocolError
 
@@ -50,6 +57,20 @@ class SimulationBackend(ABC):
     def chain_probability(self, job: ChainJob) -> float:
         """Acceptance probability of a single chain job."""
         return float(self.chain_probabilities([job])[0])
+
+    def tree_probabilities(self, jobs: Sequence[TreeJob]) -> np.ndarray:
+        """Acceptance probability of every tree job, as a float array.
+
+        The default walks the scalar leaf-to-root reference recursion per
+        job, so every backend supports trees; batching backends override it.
+        """
+        return np.array(
+            [tree_acceptance_probability(job) for job in jobs], dtype=np.float64
+        )
+
+    def tree_probability(self, job: TreeJob) -> float:
+        """Acceptance probability of a single tree job."""
+        return float(self.tree_probabilities([job])[0])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
@@ -78,6 +99,9 @@ class TransferMatrixBackend(SimulationBackend):
     """Batched backend: stacked transfer-matrix contraction per job shape."""
 
     name = "transfer-matrix"
+
+    def tree_probabilities(self, jobs: Sequence[TreeJob]) -> np.ndarray:
+        return tree_probabilities_batched(jobs)
 
     #: Chains whose state stack fits in this many rows use the one-shot Gram
     #: product; longer chains switch to per-step adjacent contractions, since

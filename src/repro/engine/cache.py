@@ -35,6 +35,16 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def as_dict(self) -> dict:
+        """Plain-dict form for benchmark metadata / JSON exports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": self.entries,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class OperatorCache:
     """A bounded LRU cache for numpy operators and other immutable values."""
@@ -94,9 +104,8 @@ class OperatorCache:
         self._misses = 0
         self._evictions = 0
 
-    @property
     def stats(self) -> CacheStats:
-        """A snapshot of the cache counters."""
+        """A snapshot of the cache counters (surfaced in benchmark metadata)."""
         return CacheStats(
             hits=self._hits,
             misses=self._misses,

@@ -2,9 +2,11 @@
 
 An engine owns a :class:`~repro.engine.backends.SimulationBackend` and an
 :class:`~repro.engine.cache.OperatorCache`.  Protocols hand it
-:class:`~repro.engine.jobs.ChainProgram` objects (or plain scalar callables,
-for the protocol families whose acceptance does not reduce to chains) and the
-engine flattens every job into one backend call, so a batch of ``B`` protocol
+:class:`~repro.engine.jobs.TreeProgram` objects — weighted sums of products
+of :class:`~repro.engine.jobs.ChainJob` / :class:`~repro.engine.jobs.TreeJob`
+instances — or plain scalar callables, for the protocol families whose
+acceptance does not compile to programs.  The engine flattens every job of a
+batch into one backend call per job type, so a batch of ``B`` protocol
 invocations costs a handful of stacked contractions instead of ``B`` Python
 loops.
 
@@ -16,13 +18,13 @@ its backend is selected by the ``REPRO_BACKEND`` environment variable
 from __future__ import annotations
 
 import os
-from typing import Any, Callable, Hashable, Iterable, Optional, Sequence, Union
+from typing import Any, Callable, Hashable, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.engine.backends import SimulationBackend, get_backend
 from repro.engine.cache import OperatorCache
-from repro.engine.jobs import ChainJob, ChainProgram
+from repro.engine.jobs import ChainJob, Job, TreeJob, TreeProgram
 
 #: Environment variable selecting the default backend.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
@@ -67,22 +69,53 @@ class Engine:
             return np.zeros(0, dtype=np.float64)
         return self._backend.chain_probabilities(jobs)
 
-    def evaluate_program(self, program: ChainProgram) -> float:
-        """Value of a single chain program."""
-        return program.combine(self.chain_probabilities(program.jobs))
+    def tree_probabilities(self, jobs: Sequence[TreeJob]) -> np.ndarray:
+        """Acceptance probabilities of a batch of tree jobs."""
+        if not jobs:
+            return np.zeros(0, dtype=np.float64)
+        return self._backend.tree_probabilities(jobs)
 
-    def evaluate_programs(self, programs: Sequence[ChainProgram]) -> np.ndarray:
+    def job_probabilities(self, jobs: Sequence[Job]) -> np.ndarray:
+        """Acceptance probabilities of a mixed batch of chain and tree jobs.
+
+        Jobs are partitioned by type and handed to the backend in one call
+        per type; the result keeps the input order.
+        """
+        if not jobs:
+            return np.zeros(0, dtype=np.float64)
+        chain_indices: List[int] = []
+        tree_indices: List[int] = []
+        for index, job in enumerate(jobs):
+            (chain_indices if isinstance(job, ChainJob) else tree_indices).append(index)
+        if not tree_indices:
+            return self._backend.chain_probabilities(jobs)
+        if not chain_indices:
+            return self._backend.tree_probabilities(jobs)
+        results = np.empty(len(jobs), dtype=np.float64)
+        results[chain_indices] = self._backend.chain_probabilities(
+            [jobs[i] for i in chain_indices]
+        )
+        results[tree_indices] = self._backend.tree_probabilities(
+            [jobs[i] for i in tree_indices]
+        )
+        return results
+
+    def evaluate_program(self, program: TreeProgram) -> float:
+        """Value of a single program."""
+        return program.combine(self.job_probabilities(program.jobs))
+
+    def evaluate_programs(self, programs: Sequence[TreeProgram]) -> np.ndarray:
         """Values of many programs, with all their jobs in one backend batch."""
         if all(program.is_single_unit_job for program in programs):
-            # Common fast path (e.g. equality chains): one unit-weight job per
-            # program, so the backend batch is already the answer.
-            return self.chain_probabilities([program.jobs[0] for program in programs])
+            # Common fast path (e.g. equality chains/trees): one unit-weight
+            # job per program, so the backend batch is already the answer.
+            return self.job_probabilities([program.jobs[0] for program in programs])
         all_jobs: list = []
         offsets = []
         for program in programs:
             offsets.append(len(all_jobs))
             all_jobs.extend(program.jobs)
-        probabilities = self.chain_probabilities(all_jobs)
+        probabilities = self.job_probabilities(all_jobs)
         values = np.empty(len(programs), dtype=np.float64)
         for index, (program, offset) in enumerate(zip(programs, offsets)):
             values[index] = program.combine(
@@ -95,8 +128,9 @@ class Engine:
     ) -> np.ndarray:
         """Scalar fallback: evaluate ``function`` per item into a float array.
 
-        Used by the protocol families (tree / permutation-test based) whose
-        acceptance computation does not reduce to chain programs.
+        Used by the protocol families (ranking, classical baselines) and the
+        oversized-fan-out instances whose acceptance computation does not
+        compile to chain/tree programs.
         """
         return np.array([float(function(item)) for item in items], dtype=np.float64)
 

@@ -1,46 +1,146 @@
-"""Chain jobs and chain programs: the engine's intermediate representation.
+"""Jobs and programs: the engine's intermediate representation.
 
-A :class:`ChainJob` is one instance of the symmetrized SWAP-test chain shared
-by Algorithms 3, 6, 7 and 10 of the paper: a fixed left state, ``m``
-intermediate register pairs and a right-end accept operator.  A
-:class:`ChainProgram` expresses an acceptance probability as a weighted sum of
-products of chain jobs,
+The engine evaluates protocols through two job types and one program type:
 
-``P = sum_t  w_t * prod_{i in t} p(job_i)``,
+:class:`ChainJob`
+    One instance of the symmetrized SWAP-test chain shared by Algorithms 3, 6,
+    7 and 10 of the paper: a fixed left state, ``m`` intermediate register
+    pairs and a right-end accept operator.  Chains are kept as a dedicated
+    flat-array job because they are by far the hottest shape; semantically a
+    chain is the degenerate *path* tree (see :meth:`ChainJob.to_tree_job`).
 
-which covers every chain-reducible protocol in the library:
+:class:`TreeJob`
+    One instance of a tree-structured verification: a rooted tree whose nodes
+    carry registers (a fixed state, a symmetrized kept/sent pair, or a routed
+    bundle), whose SWAP/permutation-test links follow the tree edges, and
+    whose measuring leaves (or the measuring root of a path) carry accept
+    operators.  This covers the Algorithm 5 equality protocol on general
+    networks, the Algorithm 9 one-way-protocol trees of Theorem 32, and — as
+    the degenerate path — every chain protocol.
 
-* equality on a path — one term, one job;
-* greater-than — one term per surviving index value, weighted by the joint
-  index-measurement probability;
-* relay equality — one term per relay measurement outcome whose job tuple
-  multiplies all segment/copy chains;
-* the QMA one-way conversion — one term scaled by Alice's success probability.
+:class:`TreeProgram`
+    A weighted sum of products of jobs,
 
-Programs from many protocol invocations can be flattened into a single batch
-so a backend evaluates all jobs in one stacked contraction.
+    ``P = sum_t  w_t * prod_{i in t} p(job_i)``,
+
+    which is the shape every compiled protocol's acceptance probability
+    takes.  Terms may mix chain and tree jobs; the engine flattens the jobs
+    of many programs into one batch per job type so a backend evaluates all
+    of them in a handful of stacked contractions.  :class:`ChainProgram` is a
+    thin subclass retained for the chain families.
+
+Tree-node vocabulary
+--------------------
+
+Every tree node has a *kind* (what registers it holds and how its local
+randomness assigns them to ports) and a *test* (which accept factor it
+contributes).  Acceptance of a job is the expectation, over the independent
+per-node randomness, of the product of all test factors — which the backends
+contract leaf-to-root instead of enumerating the joint pattern space.
+
+Kinds:
+
+``NODE_FIXED``
+    At most one register and no randomness; the register (an input
+    fingerprint, a chain's left state, the root message of a one-way tree) is
+    presented unchanged on every port.  A fixed node with no register is a
+    pure measuring leaf.
+``NODE_SYM``
+    Two registers *(kept-candidate, sent-candidate)*; with probability 1/2
+    the node swaps them (the paper's symmetrization step).  Choice ``s``:
+    slot ``s`` is kept for the node's own test, slot ``1 - s`` is forwarded
+    to the parent.
+``NODE_ROUTER``
+    ``delta + 1`` registers for a node with ``delta`` children; the node
+    draws a uniformly random assignment of registers to the ports
+    *(child_1, ..., child_delta, keep)* — the Step-4 randomization of
+    Algorithm 9.
+
+Tests:
+
+``TEST_NONE``
+    No factor (input leaves, measuring leaves — their operator is consumed by
+    the parent's ``TEST_FANOUT`` — and routers' non-terminal leaves).
+``TEST_PERM``
+    The permutation test of the node's kept register together with the
+    register each child forwards *up* to it; for one child this is exactly
+    the SWAP test, so chains are the arity-2 special case.
+``TEST_MEASURE``
+    The node applies its measurement operator to its single child's
+    forwarded register — the right end of a chain written as a tree root.
+``TEST_FANOUT``
+    The node sends one register *down* to every child; an internal child
+    SWAP-tests what it receives against its kept register, a measuring leaf
+    child applies its measurement to what it receives (Algorithm 9).
+
+Measurements (:class:`MeasurementSpec` / :class:`LeafMeasurement`):
+
+``MEAS_DENSE``        ``<f| M |f>`` for an explicit operator (single factor).
+``MEAS_DIAGONAL``     ``sum_i M_ii |f_i|^2`` for a diagonal operator.
+``MEAS_PROJECTOR``    ``prod_f |<t_f|g_f>|^2`` — match every tensor factor.
+``MEAS_SWAP``         ``1/2 + 1/2 prod_f |<t_f|g_f>|^2`` — a SWAP-test end.
+``MEAS_MATCH_ANY``    ``1 - prod_f (1 - |<t_f|g_f>|^2)`` — at least one
+                      factor matches (the erase-mask Hamming measurement).
+``MEAS_THRESHOLD``    ``P[#matching factors >= threshold]`` under independent
+                      per-factor checks (the sketch Hamming measurement).
+
+Registers may be tensor products: a job carries one stacked state array per
+tensor factor, and all overlaps factorize across the stacks — which is how
+the many-factor Hamming messages ride the batched path without ever
+materialising their product states.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from math import factorial
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import DimensionMismatchError
+from repro.exceptions import DimensionMismatchError, ProtocolError
 
-
-#: Right-end kinds.  ``dense`` carries a full ``(d, d)`` accept operator;
-#: ``projector`` carries a vector ``phi`` with accept ``|<phi|f>|^2`` (the
-#: fingerprint measurement of the one-way EQ protocol); ``swap`` carries a
-#: vector ``phi`` with accept ``1/2 + |<phi|f>|^2 / 2`` (a right end that
-#: SWAP-tests against its own fixed state, i.e. ``(I + |phi><phi|)/2``).
+#: Right-end kinds of a :class:`ChainJob`.  ``dense`` carries a full
+#: ``(d, d)`` accept operator; ``projector`` carries a vector ``phi`` with
+#: accept ``|<phi|f>|^2`` (the fingerprint measurement of the one-way EQ
+#: protocol); ``swap`` carries a vector ``phi`` with accept
+#: ``1/2 + |<phi|f>|^2 / 2`` (a right end that SWAP-tests against its own
+#: fixed state, i.e. ``(I + |phi><phi|)/2``).
 RIGHT_DENSE = "dense"
 RIGHT_PROJECTOR = "projector"
 RIGHT_SWAP = "swap"
 
 _VECTOR_RIGHT_KINDS = (RIGHT_PROJECTOR, RIGHT_SWAP)
+
+#: Tree-node kinds (see the module docstring).
+NODE_FIXED = "fixed"
+NODE_SYM = "sym"
+NODE_ROUTER = "router"
+
+#: Tree-node tests (see the module docstring).
+TEST_NONE = "none"
+TEST_PERM = "perm"
+TEST_MEASURE = "measure"
+TEST_FANOUT = "fanout"
+
+#: Measurement kinds (see the module docstring).  The first three reuse the
+#: chain right-end names so :meth:`ChainJob.to_tree_job` is a rename-free map.
+MEAS_DENSE = RIGHT_DENSE
+MEAS_PROJECTOR = RIGHT_PROJECTOR
+MEAS_SWAP = RIGHT_SWAP
+MEAS_DIAGONAL = "diagonal"
+MEAS_MATCH_ANY = "match-any"
+MEAS_THRESHOLD = "match-threshold"
+
+_VECTOR_MEAS_KINDS = (MEAS_PROJECTOR, MEAS_SWAP, MEAS_MATCH_ANY, MEAS_THRESHOLD)
+
+#: Largest permutation-test arity (kept register + children) a tree node may
+#: compile to: the batched permanent enumerates ``arity!`` terms per test.
+MAX_PERM_TEST_ARITY = 6
+
+#: Largest register bundle of a router node: the leaf-to-root marginalisation
+#: enumerates ``(delta + 1)!`` assignments per node (never across nodes).
+MAX_ROUTER_REGISTERS = 6
 
 
 @dataclass(frozen=True, eq=False)
@@ -157,12 +257,367 @@ class ChainJob:
             object.__setattr__(self, "_shape_key", key)
         return key
 
+    def to_tree_job(self) -> "TreeJob":
+        """This chain as the degenerate path tree.
+
+        The tree is rooted at the right end (a fixed node that measures its
+        single child's forwarded register); the intermediate nodes become
+        symmetrized nodes whose arity-2 permutation test *is* the SWAP test,
+        and the left end becomes a fixed leaf.  Both representations evaluate
+        to the same probability — exercised by the engine parity tests.
+        """
+        builder = TreeJobBuilder()
+        measurement = MeasurementSpec(
+            kind=self.right_kind,
+            operator=self.right_operator if self.right_kind == RIGHT_DENSE else None,
+            targets=None if self.right_kind == RIGHT_DENSE else (self.right_operator,),
+        )
+        parent = builder.add_node(
+            -1, NODE_FIXED, test=TEST_MEASURE, measurement=measurement
+        )
+        for index in range(self.num_intermediate - 1, -1, -1):
+            parent = builder.add_node(
+                parent,
+                NODE_SYM,
+                registers=((self.pairs[index, 0],), (self.pairs[index, 1],)),
+                test=TEST_PERM,
+            )
+        builder.add_node(parent, NODE_FIXED, registers=((self.left,),))
+        return builder.build()
+
 
 @dataclass(frozen=True, eq=False)
-class ChainProgram:
-    """A weighted sum of products of chain jobs.
+class MeasurementSpec:
+    """A measurement accept element, in compiler-facing form.
+
+    ``targets`` holds one target vector per tensor factor for the
+    vector-structured kinds; ``operator`` holds the explicit accept operator
+    (a matrix for ``dense``, its diagonal for ``diagonal``) on single-factor
+    registers.  Protocol layers hand specs to :class:`TreeJobBuilder`, which
+    stacks the target vectors into the job's state stacks and records the
+    row-indexed :class:`LeafMeasurement` the backends consume.
+    """
+
+    kind: str
+    targets: Optional[Tuple[np.ndarray, ...]] = None
+    operator: Optional[np.ndarray] = None
+    threshold: int = 0
+
+
+@dataclass(frozen=True, eq=False)
+class LeafMeasurement:
+    """A measurement bound to a :class:`TreeJob`: targets live in the stacks.
+
+    ``target_row`` indexes the row of the job's per-factor state stacks that
+    holds the target vectors (vector kinds); ``operator`` is the explicit
+    accept element for the ``dense`` / ``diagonal`` kinds.
+    """
+
+    kind: str
+    target_row: Optional[int] = None
+    operator: Optional[np.ndarray] = None
+    threshold: int = 0
+
+
+@dataclass(frozen=True, eq=False)
+class TreeJob:
+    """One tree-structured verification instance (see the module docstring).
 
     Compared by identity (``eq=False``), like :class:`ChainJob`.
+
+    Attributes
+    ----------
+    parents:
+        Parent index per node, in topological order: ``parents[0] == -1``
+        (the root) and ``parents[i] < i`` for every other node.
+    kinds:
+        Per-node kind: ``NODE_FIXED`` / ``NODE_SYM`` / ``NODE_ROUTER``.
+    tests:
+        Per-node test: ``TEST_NONE`` / ``TEST_PERM`` / ``TEST_MEASURE`` /
+        ``TEST_FANOUT``.
+    slots:
+        Per-node register rows into the factor stacks.
+    factors:
+        One stacked state array per tensor factor, each of shape
+        ``(num_rows, d_f)``; row ``r`` across all stacks is register ``r``.
+    measurements:
+        Per-node optional :class:`LeafMeasurement`.
+    """
+
+    parents: Tuple[int, ...]
+    kinds: Tuple[str, ...]
+    tests: Tuple[str, ...]
+    slots: Tuple[Tuple[int, ...], ...]
+    factors: Tuple[np.ndarray, ...]
+    measurements: Tuple[Optional[LeafMeasurement], ...]
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of tree nodes."""
+        return len(self.parents)
+
+    @property
+    def num_factors(self) -> int:
+        """Number of tensor factors of every register."""
+        return len(self.factors)
+
+    @property
+    def children(self) -> Tuple[Tuple[int, ...], ...]:
+        """Child indices per node (derived from ``parents``, cached)."""
+        cached = self.__dict__.get("_children")
+        if cached is None:
+            lists: List[List[int]] = [[] for _ in self.parents]
+            for node, parent in enumerate(self.parents):
+                if parent >= 0:
+                    lists[parent].append(node)
+            cached = tuple(tuple(item) for item in lists)
+            object.__setattr__(self, "_children", cached)
+        return cached
+
+    @property
+    def signature(self) -> Tuple:
+        """Structure key: jobs with equal signatures batch into one stack."""
+        cached = self.__dict__.get("_signature")
+        if cached is None:
+            measurement_key = tuple(
+                None
+                if m is None
+                else (m.kind, m.target_row, m.threshold, m.operator is not None)
+                for m in self.measurements
+            )
+            cached = (
+                self.parents,
+                self.kinds,
+                self.tests,
+                self.slots,
+                tuple(stack.shape for stack in self.factors),
+                measurement_key,
+            )
+            object.__setattr__(self, "_signature", cached)
+        return cached
+
+    def _validate(self) -> None:
+        n = self.num_nodes
+        if n == 0:
+            raise ProtocolError("a tree job needs at least one node")
+        if not (len(self.kinds) == len(self.tests) == len(self.slots) == len(self.measurements) == n):
+            raise ProtocolError("tree job per-node fields disagree on the node count")
+        if self.parents[0] != -1:
+            raise ProtocolError("tree job node 0 must be the root (parent -1)")
+        for node in range(1, n):
+            if not 0 <= self.parents[node] < node:
+                raise ProtocolError(
+                    "tree job nodes must be topologically ordered (parent before child)"
+                )
+        if not self.factors:
+            raise ProtocolError("a tree job needs at least one factor stack")
+        num_rows = self.factors[0].shape[0]
+        for stack in self.factors:
+            if stack.ndim != 2 or stack.shape[0] != num_rows:
+                raise DimensionMismatchError(
+                    "all factor stacks must share one register count"
+                )
+        children = self.children
+        down = any(test == TEST_FANOUT for test in self.tests)
+        for node in range(n):
+            kind, test = self.kinds[node], self.tests[node]
+            node_slots = self.slots[node]
+            degree = len(children[node])
+            for row in node_slots:
+                if not 0 <= row < num_rows:
+                    raise ProtocolError(f"node {node} references state row {row} out of range")
+            if kind == NODE_FIXED:
+                if len(node_slots) > 1:
+                    raise ProtocolError("a fixed node holds at most one register")
+            elif kind == NODE_SYM:
+                if len(node_slots) != 2:
+                    raise ProtocolError("a symmetrized node holds exactly two registers")
+            elif kind == NODE_ROUTER:
+                if test != TEST_FANOUT:
+                    # The evaluators implement router randomization only for
+                    # the fan-out family; accepting a router elsewhere would
+                    # silently degrade it to a fixed slot-0 forwarder.
+                    raise ProtocolError("router nodes require the fan-out test")
+                if len(node_slots) != degree + 1:
+                    raise ProtocolError(
+                        "a router node holds one register per child plus the kept one"
+                    )
+                if len(node_slots) > MAX_ROUTER_REGISTERS:
+                    raise ProtocolError(
+                        f"router bundle of {len(node_slots)} registers exceeds the "
+                        f"{MAX_ROUTER_REGISTERS}-register assignment-enumeration limit"
+                    )
+            else:
+                raise ProtocolError(f"unknown tree node kind {kind!r}")
+            if test == TEST_PERM:
+                if degree == 0:
+                    raise ProtocolError("a permutation-test node needs at least one child")
+                if kind == NODE_ROUTER or down:
+                    raise ProtocolError("permutation tests belong to the up-forwarding family")
+                if not node_slots:
+                    raise ProtocolError("a permutation-test node needs a kept register")
+                arity = degree + 1
+                if arity > MAX_PERM_TEST_ARITY:
+                    raise ProtocolError(
+                        f"permutation test of arity {arity} exceeds the "
+                        f"{MAX_PERM_TEST_ARITY}-register permanent limit"
+                    )
+                if arity > 2 and self.num_factors != 1:
+                    raise ProtocolError(
+                        "permutation tests of arity > 2 require single-factor registers"
+                    )
+            elif test == TEST_MEASURE:
+                if degree != 1:
+                    raise ProtocolError("a measuring root must have exactly one child")
+                if self.measurements[node] is None:
+                    raise ProtocolError("a measuring node needs a measurement")
+                if down:
+                    raise ProtocolError("TEST_MEASURE belongs to the up-forwarding family")
+            elif test == TEST_FANOUT:
+                if degree == 0:
+                    raise ProtocolError("a fan-out node needs at least one child")
+                if kind == NODE_SYM:
+                    raise ProtocolError("fan-out nodes are fixed roots or routers")
+                if kind == NODE_FIXED and len(node_slots) != 1:
+                    raise ProtocolError("a fixed fan-out root needs its message register")
+            elif test != TEST_NONE:
+                raise ProtocolError(f"unknown tree node test {test!r}")
+            measurement = self.measurements[node]
+            if measurement is not None:
+                self._validate_measurement(node, measurement, num_rows)
+        if down:
+            for node in range(n):
+                if children[node] and self.tests[node] != TEST_FANOUT:
+                    raise ProtocolError(
+                        "in a fan-out (down-forwarding) job every internal node fans out"
+                    )
+
+    def _validate_measurement(
+        self, node: int, measurement: LeafMeasurement, num_rows: int
+    ) -> None:
+        if measurement.kind in (MEAS_DENSE, MEAS_DIAGONAL):
+            if measurement.operator is None:
+                raise ProtocolError(f"{measurement.kind} measurement needs an operator")
+            if self.num_factors != 1:
+                raise ProtocolError(
+                    f"{measurement.kind} measurements require single-factor registers"
+                )
+            dim = self.factors[0].shape[1]
+            expected = (dim, dim) if measurement.kind == MEAS_DENSE else (dim,)
+            if measurement.operator.shape != expected:
+                raise DimensionMismatchError(
+                    f"node {node} measurement operator has the wrong dimension"
+                )
+        elif measurement.kind in _VECTOR_MEAS_KINDS:
+            if measurement.target_row is None or not 0 <= measurement.target_row < num_rows:
+                raise ProtocolError(
+                    f"node {node} measurement needs an in-range target row"
+                )
+        else:
+            raise ProtocolError(f"unknown measurement kind {measurement.kind!r}")
+
+
+class TreeJobBuilder:
+    """Incremental construction of a :class:`TreeJob`.
+
+    Usage: ``add_node`` in topological order (root first, each parent before
+    its children), then ``build``.  A *register* is a sequence of per-factor
+    vectors; for single-factor jobs a bare 1-D array is accepted.
+    """
+
+    def __init__(self, num_factors: int = 1):
+        if num_factors <= 0:
+            raise ProtocolError("a tree job needs at least one tensor factor")
+        self.num_factors = int(num_factors)
+        self._parents: List[int] = []
+        self._kinds: List[str] = []
+        self._tests: List[str] = []
+        self._slots: List[Tuple[int, ...]] = []
+        self._measurements: List[Optional[LeafMeasurement]] = []
+        self._rows: List[Tuple[np.ndarray, ...]] = []
+
+    def _add_row(self, register: Union[np.ndarray, Sequence[np.ndarray]]) -> int:
+        if isinstance(register, np.ndarray) and register.ndim == 1:
+            register = (register,)
+        vectors = tuple(
+            np.asarray(vector, dtype=np.complex128).reshape(-1) for vector in register
+        )
+        if len(vectors) != self.num_factors:
+            raise DimensionMismatchError(
+                f"register has {len(vectors)} factors, the job has {self.num_factors}"
+            )
+        if self._rows:
+            for vector, reference in zip(vectors, self._rows[0]):
+                if vector.size != reference.size:
+                    raise DimensionMismatchError(
+                        "all registers must share per-factor dimensions"
+                    )
+        self._rows.append(vectors)
+        return len(self._rows) - 1
+
+    def add_node(
+        self,
+        parent: int,
+        kind: str,
+        registers: Sequence[Union[np.ndarray, Sequence[np.ndarray]]] = (),
+        test: str = TEST_NONE,
+        measurement: Optional[MeasurementSpec] = None,
+    ) -> int:
+        """Append a node; returns its index (use as ``parent`` for children)."""
+        if parent >= len(self._parents):
+            raise ProtocolError("tree nodes must be added parent-first (topological order)")
+        bound = None
+        if measurement is not None:
+            target_row = None
+            if measurement.targets is not None:
+                target_row = self._add_row(tuple(measurement.targets))
+            bound = LeafMeasurement(
+                kind=measurement.kind,
+                target_row=target_row,
+                operator=(
+                    None
+                    if measurement.operator is None
+                    else np.asarray(measurement.operator, dtype=np.complex128)
+                ),
+                threshold=int(measurement.threshold),
+            )
+        self._parents.append(int(parent))
+        self._kinds.append(kind)
+        self._tests.append(test)
+        self._slots.append(tuple(self._add_row(register) for register in registers))
+        self._measurements.append(bound)
+        return len(self._parents) - 1
+
+    def build(self) -> TreeJob:
+        """Freeze the accumulated nodes into a validated :class:`TreeJob`."""
+        if not self._rows:
+            raise ProtocolError("a tree job needs at least one register or target state")
+        factors = tuple(
+            np.stack([row[factor] for row in self._rows])
+            for factor in range(self.num_factors)
+        )
+        return TreeJob(
+            parents=tuple(self._parents),
+            kinds=tuple(self._kinds),
+            tests=tuple(self._tests),
+            slots=tuple(self._slots),
+            factors=factors,
+            measurements=tuple(self._measurements),
+        )
+
+
+#: Any job the engine can evaluate.
+Job = Union[ChainJob, TreeJob]
+
+
+@dataclass(frozen=True, eq=False)
+class TreeProgram:
+    """A weighted sum of products of jobs (chain and/or tree).
+
+    Compared by identity (``eq=False``), like the job classes.
 
     ``terms`` holds ``(weight, job_indices)`` pairs; the program's value on
     job probabilities ``p`` is ``sum_t weight_t * prod_{i in t} p[i]``,
@@ -171,7 +626,7 @@ class ChainProgram:
     distribution).
     """
 
-    jobs: Tuple[ChainJob, ...] = field(default_factory=tuple)
+    jobs: Tuple[Job, ...] = field(default_factory=tuple)
     terms: Tuple[Tuple[float, Tuple[int, ...]], ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -189,8 +644,8 @@ class ChainProgram:
                     )
 
     @classmethod
-    def single(cls, job: ChainJob, weight: float = 1.0) -> "ChainProgram":
-        """A program with one unit-weight job (the plain chain protocols)."""
+    def single(cls, job: Job, weight: float = 1.0) -> "TreeProgram":
+        """A program with one unit-weight job (the plain chain/tree protocols)."""
         return cls(jobs=(job,), terms=((weight, (0,)),))
 
     @property
@@ -203,7 +658,7 @@ class ChainProgram:
         )
 
     @classmethod
-    def rejecting(cls) -> "ChainProgram":
+    def rejecting(cls) -> "TreeProgram":
         """A program that always evaluates to zero."""
         return cls(jobs=(), terms=())
 
@@ -220,6 +675,15 @@ class ChainProgram:
         return float(min(max(total, 0.0), 1.0))
 
 
+class ChainProgram(TreeProgram):
+    """Thin subclass of :class:`TreeProgram` kept for the chain families.
+
+    A chain is the degenerate path tree, so the program layer needs nothing
+    chain-specific; the subclass exists so chain-compiling protocols keep a
+    descriptive type and old imports keep working.
+    """
+
+
 def group_jobs_by_shape(
     jobs: Sequence[ChainJob],
 ) -> Dict[Tuple[int, int, str], List[int]]:
@@ -228,3 +692,30 @@ def group_jobs_by_shape(
     for index, job in enumerate(jobs):
         groups.setdefault(job.shape_key, []).append(index)
     return groups
+
+
+def group_tree_jobs_by_signature(
+    jobs: Sequence[TreeJob],
+) -> Dict[Tuple, List[int]]:
+    """Indices of ``jobs`` grouped by structure signature for stacking."""
+    groups: Dict[Tuple, List[int]] = {}
+    for index, job in enumerate(jobs):
+        groups.setdefault(job.signature, []).append(index)
+    return groups
+
+
+def router_assignments(num_registers: int) -> List[Tuple[int, ...]]:
+    """All register-to-port assignments of a router bundle (guarded size)."""
+    from itertools import permutations as iter_permutations
+
+    if num_registers > MAX_ROUTER_REGISTERS:
+        raise ProtocolError(
+            f"router bundle of {num_registers} registers exceeds the "
+            f"{MAX_ROUTER_REGISTERS}-register assignment-enumeration limit"
+        )
+    return list(iter_permutations(range(num_registers)))
+
+
+def assignment_count(num_registers: int) -> int:
+    """Number of uniform assignments of a router bundle: ``num_registers!``."""
+    return factorial(num_registers)

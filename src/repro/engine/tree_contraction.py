@@ -1,0 +1,399 @@
+"""Leaf-to-root contraction of :class:`~repro.engine.jobs.TreeJob` instances.
+
+Acceptance of a tree job is the expectation, over the independent per-node
+randomness (symmetrization bits, router assignments), of the product of all
+local test factors.  Because every factor couples a node only with its
+children, the expectation factorizes leaf-to-root: each node passes its
+parent a small vector ``W[choice]`` — the probability-weighted acceptance of
+its whole subtree, marginalized to the one piece of local randomness the
+parent can still see (which register is forwarded up, or which register is
+kept).  This replaces the exponential joint-pattern enumeration of the
+pre-engine protocol code with ``O(sum_v choices_v * prod_children choices)``
+work.
+
+Two evaluators share the node semantics:
+
+:func:`tree_acceptance_probability`
+    The scalar reference: one job, plain Python loops and ``np.vdot``
+    overlaps — the semantics the batched path is tested against.
+
+:func:`tree_probabilities_batched`
+    Groups jobs by structure signature, stacks each group's registers into
+    one array per tensor factor, computes every overlap of the group with a
+    single batched Gram product per factor (the PR-1 chain trick), and runs
+    the same leaf-to-root recursion vectorized over the batch axis.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.jobs import (
+    MEAS_DENSE,
+    MEAS_DIAGONAL,
+    MEAS_MATCH_ANY,
+    MEAS_PROJECTOR,
+    MEAS_SWAP,
+    NODE_FIXED,
+    NODE_SYM,
+    TEST_FANOUT,
+    TEST_MEASURE,
+    TEST_NONE,
+    LeafMeasurement,
+    TreeJob,
+    assignment_count,
+    group_tree_jobs_by_signature,
+    router_assignments,
+)
+from repro.exceptions import ProtocolError
+
+
+def _threshold_tail(match_probabilities: np.ndarray, threshold: int) -> np.ndarray:
+    """``P[#successes >= threshold]`` of independent checks, vectorized.
+
+    ``match_probabilities`` has shape ``(F,) + tail``; the Poisson-binomial
+    recursion runs over the first axis and broadcasts over the rest.
+    """
+    probs = np.asarray(match_probabilities, dtype=np.float64)
+    distribution = np.zeros((probs.shape[0] + 1,) + probs.shape[1:])
+    distribution[0] = 1.0
+    for p in probs:
+        shifted = np.zeros_like(distribution)
+        shifted[1:] += distribution[:-1] * p
+        shifted[:-1] += distribution[:-1] * (1.0 - p)
+        distribution = shifted
+    return np.clip(distribution[threshold:].sum(axis=0), 0.0, 1.0)
+
+
+def _up_choices(job: TreeJob, node: int) -> List[Tuple[float, Optional[int], Optional[int]]]:
+    """Per-choice ``(probability, kept_row, forwarded_row)`` of an up-family node."""
+    slots = job.slots[node]
+    if job.kinds[node] == NODE_SYM:
+        return [(0.5, slots[0], slots[1]), (0.5, slots[1], slots[0])]
+    row = slots[0] if slots else None
+    return [(1.0, row, row)]
+
+
+def _require_row(row: Optional[int], node: int) -> int:
+    if row is None:
+        raise ProtocolError(f"tree node {node} holds no register to forward")
+    return row
+
+
+def _is_down_family(job: TreeJob) -> bool:
+    return any(test == TEST_FANOUT for test in job.tests)
+
+
+# --------------------------------------------------------------------------
+# Scalar reference
+# --------------------------------------------------------------------------
+
+
+def _overlap_sq(job: TreeJob, row_a: int, row_b: int) -> float:
+    value = 1.0
+    for stack in job.factors:
+        value *= float(abs(np.vdot(stack[row_a], stack[row_b])) ** 2)
+    return value
+
+
+def _swap_accept(job: TreeJob, row_a: int, row_b: int) -> float:
+    return 0.5 + 0.5 * _overlap_sq(job, row_a, row_b)
+
+
+def _perm_accept(job: TreeJob, rows: Sequence[int]) -> float:
+    if len(rows) == 2:
+        return _swap_accept(job, rows[0], rows[1])
+    from repro.quantum.permutation_test import (
+        permutation_test_accept_probability_product,
+    )
+
+    kets = [job.factors[0][row] for row in rows]
+    return permutation_test_accept_probability_product(kets)
+
+
+def _measure_value(job: TreeJob, measurement: LeafMeasurement, row: int) -> float:
+    if measurement.kind == MEAS_DENSE:
+        state = job.factors[0][row]
+        return float(np.real(np.vdot(state, measurement.operator @ state)))
+    if measurement.kind == MEAS_DIAGONAL:
+        state = job.factors[0][row]
+        return float(np.real(np.sum(measurement.operator * np.abs(state) ** 2)))
+    target = measurement.target_row
+    matches = [
+        float(abs(np.vdot(stack[target], stack[row])) ** 2) for stack in job.factors
+    ]
+    if measurement.kind == MEAS_PROJECTOR:
+        return float(np.prod(matches))
+    if measurement.kind == MEAS_SWAP:
+        return 0.5 + 0.5 * float(np.prod(matches))
+    if measurement.kind == MEAS_MATCH_ANY:
+        return 1.0 - float(np.prod([1.0 - m for m in matches]))
+    return float(_threshold_tail(np.array(matches), measurement.threshold))
+
+
+def _up_scalar(job: TreeJob) -> float:
+    children = job.children
+    choices = [_up_choices(job, node) for node in range(job.num_nodes)]
+    weights: List[Optional[List[float]]] = [None] * job.num_nodes
+    for node in range(job.num_nodes - 1, -1, -1):
+        ch = children[node]
+        test = job.tests[node]
+        node_weights: List[float] = []
+        for probability, kept, _ in choices[node]:
+            if not ch or test == TEST_NONE:
+                value = probability
+                for c in ch:
+                    value *= sum(weights[c])
+            elif test == TEST_MEASURE:
+                c = ch[0]
+                total = 0.0
+                for j, (_, _, forwarded) in enumerate(choices[c]):
+                    total += (
+                        _measure_value(job, job.measurements[node], _require_row(forwarded, c))
+                        * weights[c][j]
+                    )
+                value = probability * total
+            else:  # TEST_PERM
+                total = 0.0
+                for combo in iter_product(*[range(len(choices[c])) for c in ch]):
+                    rows = [_require_row(kept, node)]
+                    term = 1.0
+                    for c, j in zip(ch, combo):
+                        rows.append(_require_row(choices[c][j][2], c))
+                        term *= weights[c][j]
+                    if term != 0.0:
+                        term *= _perm_accept(job, rows)
+                    total += term
+                value = probability * total
+            node_weights.append(value)
+        weights[node] = node_weights
+    return float(min(max(sum(weights[0]), 0.0), 1.0))
+
+
+def _down_scalar(job: TreeJob) -> float:
+    children = job.children
+    weights: List[Optional[np.ndarray]] = [None] * job.num_nodes
+    for node in range(job.num_nodes - 1, -1, -1):
+        ch = children[node]
+        if not ch:
+            continue  # leaves are consumed by their fan-out parent
+        slots = job.slots[node]
+        # messages[i][s]: acceptance of child ch[i]'s subtree when this node
+        # sends it register slot s.
+        messages = []
+        for c in ch:
+            per_slot = np.empty(len(slots))
+            for s, row in enumerate(slots):
+                if not children[c]:
+                    measurement = job.measurements[c]
+                    per_slot[s] = (
+                        _measure_value(job, measurement, row) if measurement else 1.0
+                    )
+                else:
+                    kept_rows = job.slots[c]
+                    per_slot[s] = sum(
+                        _swap_accept(job, row, kept_rows[j]) * weights[c][j]
+                        for j in range(len(kept_rows))
+                    )
+            messages.append(per_slot)
+        if job.kinds[node] == NODE_FIXED:
+            value = 1.0
+            for per_slot in messages:
+                value *= per_slot[0]
+            weights[node] = np.array([value])
+        else:  # router: marginalize the uniform assignment to the kept slot
+            bundle = len(slots)
+            marginal = np.zeros(bundle)
+            for assignment in router_assignments(bundle):
+                term = 1.0
+                for i in range(len(ch)):
+                    term *= messages[i][assignment[i]]
+                marginal[assignment[-1]] += term
+            weights[node] = marginal / assignment_count(bundle)
+    return float(min(max(float(weights[0].sum()), 0.0), 1.0))
+
+
+def tree_acceptance_probability(job: TreeJob) -> float:
+    """Exact acceptance probability of one tree job (scalar reference)."""
+    if _is_down_family(job):
+        return _down_scalar(job)
+    return _up_scalar(job)
+
+
+# --------------------------------------------------------------------------
+# Batched evaluation
+# --------------------------------------------------------------------------
+
+
+class _GroupContext:
+    """Stacked states and cached Gram products of one signature group."""
+
+    def __init__(self, group: Sequence[TreeJob]):
+        self.group = group
+        self.template = group[0]
+        self.batch = len(group)
+        num_factors = self.template.num_factors
+        self.stacks = [
+            np.stack([job.factors[f] for job in group]) for f in range(num_factors)
+        ]
+        if num_factors == 1:
+            self.cgram = np.matmul(self.stacks[0].conj(), self.stacks[0].transpose(0, 2, 1))
+            self.overlap_sq = [np.abs(self.cgram) ** 2]
+        else:
+            self.cgram = None
+            self.overlap_sq = [
+                np.abs(np.matmul(stack.conj(), stack.transpose(0, 2, 1))) ** 2
+                for stack in self.stacks
+            ]
+        product = self.overlap_sq[0]
+        for extra in self.overlap_sq[1:]:
+            product = product * extra
+        self.overlap_sq_product = product
+        self._dense_operators: Dict[int, np.ndarray] = {}
+
+    def swap_accept(self, row_a: int, row_b: int) -> np.ndarray:
+        return 0.5 + 0.5 * self.overlap_sq_product[:, row_a, row_b]
+
+    def perm_accept(self, rows: Sequence[int]) -> np.ndarray:
+        if len(rows) == 2:
+            return self.swap_accept(rows[0], rows[1])
+        from itertools import permutations as iter_permutations
+        from math import factorial
+
+        total = np.zeros(self.batch, dtype=np.complex128)
+        for permutation in iter_permutations(range(len(rows))):
+            term = np.ones(self.batch, dtype=np.complex128)
+            for i, j in enumerate(permutation):
+                term = term * self.cgram[:, rows[i], rows[j]]
+            total += term
+        return np.clip(total.real / factorial(len(rows)), 0.0, 1.0)
+
+    def _node_operators(self, node: int) -> np.ndarray:
+        if node not in self._dense_operators:
+            self._dense_operators[node] = np.stack(
+                [job.measurements[node].operator for job in self.group]
+            )
+        return self._dense_operators[node]
+
+    def measure(self, node: int, row: int) -> np.ndarray:
+        measurement = self.template.measurements[node]
+        if measurement.kind == MEAS_DENSE:
+            states = self.stacks[0][:, row]
+            operators = self._node_operators(node)
+            return np.einsum(
+                "bi,bij,bj->b", states.conj(), operators, states
+            ).real
+        if measurement.kind == MEAS_DIAGONAL:
+            states = self.stacks[0][:, row]
+            diagonals = self._node_operators(node)
+            return np.sum(diagonals.real * np.abs(states) ** 2, axis=1)
+        target = measurement.target_row
+        if measurement.kind == MEAS_PROJECTOR:
+            return self.overlap_sq_product[:, row, target]
+        if measurement.kind == MEAS_SWAP:
+            return 0.5 + 0.5 * self.overlap_sq_product[:, row, target]
+        matches = np.stack(
+            [overlap[:, row, target] for overlap in self.overlap_sq]
+        )  # (F, B)
+        if measurement.kind == MEAS_MATCH_ANY:
+            return 1.0 - np.prod(1.0 - matches, axis=0)
+        return _threshold_tail(matches, measurement.threshold)
+
+
+def _up_batched(context: _GroupContext) -> np.ndarray:
+    job = context.template
+    batch = context.batch
+    children = job.children
+    choices = [_up_choices(job, node) for node in range(job.num_nodes)]
+    weights: List[Optional[np.ndarray]] = [None] * job.num_nodes
+    for node in range(job.num_nodes - 1, -1, -1):
+        ch = children[node]
+        test = job.tests[node]
+        node_weights = np.empty((batch, len(choices[node])))
+        if not ch or test == TEST_NONE:
+            base = np.ones(batch)
+            for c in ch:
+                base = base * weights[c].sum(axis=1)
+            for i, (probability, _, _) in enumerate(choices[node]):
+                node_weights[:, i] = probability * base
+        elif test == TEST_MEASURE:
+            c = ch[0]
+            total = np.zeros(batch)
+            for j, (_, _, forwarded) in enumerate(choices[c]):
+                total += (
+                    context.measure(node, _require_row(forwarded, c)) * weights[c][:, j]
+                )
+            for i, (probability, _, _) in enumerate(choices[node]):
+                node_weights[:, i] = probability * total
+        else:  # TEST_PERM
+            for i, (probability, kept, _) in enumerate(choices[node]):
+                total = np.zeros(batch)
+                for combo in iter_product(*[range(len(choices[c])) for c in ch]):
+                    rows = [_require_row(kept, node)]
+                    term = np.ones(batch)
+                    for c, j in zip(ch, combo):
+                        rows.append(_require_row(choices[c][j][2], c))
+                        term = term * weights[c][:, j]
+                    total += context.perm_accept(rows) * term
+                node_weights[:, i] = probability * total
+        weights[node] = node_weights
+    return weights[0].sum(axis=1)
+
+
+def _down_batched(context: _GroupContext) -> np.ndarray:
+    job = context.template
+    batch = context.batch
+    children = job.children
+    weights: List[Optional[np.ndarray]] = [None] * job.num_nodes
+    for node in range(job.num_nodes - 1, -1, -1):
+        ch = children[node]
+        if not ch:
+            continue
+        slots = job.slots[node]
+        messages = []
+        for c in ch:
+            per_slot = np.empty((batch, len(slots)))
+            for s, row in enumerate(slots):
+                if not children[c]:
+                    measurement = job.measurements[c]
+                    per_slot[:, s] = (
+                        context.measure(c, row) if measurement is not None else 1.0
+                    )
+                else:
+                    kept_rows = job.slots[c]
+                    accumulated = np.zeros(batch)
+                    for j, kept_row in enumerate(kept_rows):
+                        accumulated += context.swap_accept(row, kept_row) * weights[c][:, j]
+                    per_slot[:, s] = accumulated
+            messages.append(per_slot)
+        if job.kinds[node] == NODE_FIXED:
+            value = np.ones(batch)
+            for per_slot in messages:
+                value = value * per_slot[:, 0]
+            weights[node] = value[:, None]
+        else:
+            bundle = len(slots)
+            marginal = np.zeros((batch, bundle))
+            for assignment in router_assignments(bundle):
+                term = np.ones(batch)
+                for i in range(len(ch)):
+                    term = term * messages[i][:, assignment[i]]
+                marginal[:, assignment[-1]] += term
+            weights[node] = marginal / assignment_count(bundle)
+    return weights[0].sum(axis=1)
+
+
+def tree_probabilities_batched(jobs: Sequence[TreeJob]) -> np.ndarray:
+    """Acceptance probabilities of many tree jobs, stacked by signature group."""
+    results = np.empty(len(jobs), dtype=np.float64)
+    for indices in group_tree_jobs_by_signature(jobs).values():
+        context = _GroupContext([jobs[i] for i in indices])
+        if _is_down_family(context.template):
+            values = _down_batched(context)
+        else:
+            values = _up_batched(context)
+        results[indices] = np.clip(values, 0.0, 1.0)
+    return results

@@ -35,7 +35,12 @@ REPORT_SCENARIOS = [
 ]
 
 #: Heavy sections appended when soundness experiments are requested.
-SOUNDNESS_SCENARIOS = ["soundness-scaling", "soundness-repetition"]
+SOUNDNESS_SCENARIOS = [
+    "soundness-scaling",
+    "soundness-repetition",
+    "soundness-tree",
+    "soundness-one-way-tree",
+]
 
 
 def generate_report(

@@ -23,12 +23,16 @@ from __future__ import annotations
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, List, Mapping, Optional, Sequence
 
 from repro.exceptions import ProtocolError
 from repro.experiments.crossover import crossover_sweep, find_crossover, long_path_sweep
 from repro.experiments.records import ExperimentRow, format_rows
 from repro.experiments.soundness_scaling import repetition_curve, soundness_scaling_sweep
+from repro.experiments.tree_soundness import (
+    one_way_tree_soundness_sweep,
+    tree_soundness_sweep,
+)
 from repro.experiments.table1 import measured_fgnp21_costs, table1_rows
 from repro.experiments.table2 import table2_rows, table2_verification_rows
 from repro.experiments.table3 import table3_rows, upper_vs_lower_consistency
@@ -218,4 +222,16 @@ register_scenario(
     repetition_curve,
     title="Algorithm 4 — repetition curve (r=3)",
     description="Repeated acceptance of the best single-shot cheat versus k.",
+)
+register_scenario(
+    "soundness-tree",
+    tree_soundness_sweep,
+    title="Algorithm 5 — tree-family soundness (batched strategy search)",
+    description="Best structured cheat on EQ trees over star/binary/random networks.",
+)
+register_scenario(
+    "soundness-one-way-tree",
+    one_way_tree_soundness_sweep,
+    title="Theorem 32 — one-way-tree soundness (batched strategy search)",
+    description="Best structured cheat on the forall-pairs construction per network family.",
 )

@@ -10,7 +10,7 @@ behind each row.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List
 
 from repro.bounds.lower import classical_dma_total_proof_lower_bound
 from repro.bounds.upper import (

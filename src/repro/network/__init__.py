@@ -8,11 +8,20 @@ construction of Section 3.3 with terminal truncation, so that every terminal
 becomes a leaf of the verification tree.
 """
 
-from repro.network.topology import Network, path_network, star_network, complete_network, cycle_network, random_tree_network
+from repro.network.topology import (
+    Network,
+    binary_tree_network,
+    complete_network,
+    cycle_network,
+    path_network,
+    random_tree_network,
+    star_network,
+)
 from repro.network.spanning_tree import VerificationTree, build_verification_tree
 
 __all__ = [
     "Network",
+    "binary_tree_network",
     "path_network",
     "star_network",
     "complete_network",

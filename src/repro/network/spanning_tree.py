@@ -13,7 +13,7 @@ certifies the tree; here the tree is constructed honestly by the library.)
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import networkx as nx
 
@@ -86,6 +86,31 @@ class VerificationTree:
         """Maximum number of children over internal nodes."""
         degrees = [self.tree.out_degree(node) for node in self.tree.nodes()]
         return max(degrees) if degrees else 0
+
+    def topological_order(self) -> List[NodeId]:
+        """All nodes, every parent before its children (root first).
+
+        This is the node order the tree-program compilers use: the engine's
+        :class:`~repro.engine.jobs.TreeJob` requires parents to precede their
+        children so the leaf-to-root contraction can run index-reversed.
+        """
+        return list(nx.topological_sort(self.tree))
+
+    def terminal_path(self, terminal: NodeId) -> List[NodeId]:
+        """Physical nodes on the tree path from the root to a terminal.
+
+        Shadow leaves are folded back onto the original node they mirror, so
+        the returned path can carry protocol registers on real network nodes
+        (used by the relay protocol when it runs along a spanning-tree path).
+        """
+        if terminal not in self.terminal_leaves:
+            raise TopologyError(f"{terminal!r} is not a terminal of this tree")
+        path: List[NodeId] = []
+        for node in self.path_from_root(self.terminal_leaves[terminal]):
+            physical = self.shadow_of.get(node, node)
+            if not path or path[-1] != physical:
+                path.append(physical)
+        return path
 
     def validate(self) -> None:
         """Check the structural invariants promised by the construction."""

@@ -8,8 +8,8 @@ strings such as ``"v0"`` for paths and ``"leaf3"`` for stars.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -179,6 +179,32 @@ def cycle_network(num_nodes: int, num_terminals: int = 2) -> Network:
     stride = num_nodes // num_terminals
     terminals = tuple(f"c{(i * stride) % num_nodes}" for i in range(num_terminals))
     return Network(graph, terminals)
+
+
+def binary_tree_network(depth: int, num_terminals: Optional[int] = None) -> Network:
+    """A complete binary tree of the given depth; terminals sit at the leaves.
+
+    ``num_terminals`` restricts the terminals to the first leaves in label
+    order (all ``2^depth`` leaves when omitted).
+    """
+    if depth < 1:
+        raise TopologyError("a binary tree network needs depth >= 1")
+    graph = nx.balanced_tree(2, depth)
+    relabel = {i: f"b{i}" for i in graph.nodes()}
+    graph = nx.relabel_nodes(graph, relabel)
+    leaves = sorted(
+        (node for node in graph.nodes() if graph.degree(node) == 1),
+        key=lambda name: int(name[1:]),
+    )
+    if num_terminals is None:
+        terminals: Sequence[NodeId] = leaves
+    else:
+        if num_terminals < 1 or num_terminals > len(leaves):
+            raise TopologyError(
+                f"number of terminals must be between 1 and the {len(leaves)} leaves"
+            )
+        terminals = leaves[:num_terminals]
+    return Network(graph, tuple(terminals))
 
 
 def random_tree_network(

@@ -29,11 +29,7 @@ from repro.comm.one_way import (
     ExactTransmissionOneWay,
     OneWayProtocol,
 )
-from repro.comm.problems import (
-    HammingDistanceProblem,
-    LinearThresholdXORProblem,
-    MatrixRankSumProblem,
-)
+from repro.comm.problems import HammingDistanceProblem, MatrixRankSumProblem
 from repro.exceptions import EncodingError, ProtocolError
 from repro.network.topology import Network, star_network
 from repro.protocols.from_one_way import OneWayToTreeProtocol

@@ -21,12 +21,12 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from math import ceil, log2
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.comm.problems import Problem
-from repro.engine import ChainProgram, Engine, default_engine, get_backend
+from repro.engine import Engine, TreeProgram, default_engine, get_backend
 from repro.exceptions import ProofError, ProtocolError
 from repro.network.topology import Network, NodeId
 from repro.utils.rng import RngLike, ensure_rng
@@ -130,13 +130,21 @@ class DQMAProtocol(ABC):
     """Interface of every distributed Merlin-Arthur protocol in the library.
 
     Acceptance probabilities are computed through a pluggable simulation
-    engine (:mod:`repro.engine`).  Protocols whose verification reduces to the
-    symmetrized SWAP-test chain implement :meth:`_acceptance_program`; the
-    base class then provides both the scalar :meth:`acceptance_probability`
-    and the batched :meth:`acceptance_probabilities` by delegating to the
-    engine.  Protocols with a different structure (permutation-test trees,
-    classical baselines) override :meth:`acceptance_probability` directly and
-    inherit a loop-based batch fallback.
+    engine (:mod:`repro.engine`).  Protocols whose verification reduces to a
+    symmetrized SWAP-test chain or a tree of SWAP/permutation tests implement
+    :meth:`_acceptance_program`, compiling each instance to a
+    :class:`~repro.engine.jobs.ChainProgram` / :class:`~repro.engine.jobs.
+    TreeProgram`; the base class then provides both the scalar
+    :meth:`acceptance_probability` and the batched
+    :meth:`acceptance_probabilities` by delegating to the engine, which
+    stacks every job of a batch into one backend contraction per job type.
+
+    Instances that do not compile (a different verification structure, or a
+    fan-out beyond the engine's enumeration limits) return ``None`` from
+    :meth:`_acceptance_program` and evaluate through
+    :meth:`_scalar_acceptance_probability` — either the protocol's dedicated
+    scalar implementation or, for protocols that never compile, their direct
+    :meth:`acceptance_probability` override.
     """
 
     def __init__(self, problem: Problem, network: Network):
@@ -183,14 +191,31 @@ class DQMAProtocol(ABC):
 
     def _acceptance_program(
         self, inputs: Sequence[str], proof: Optional[ProductProof]
-    ) -> Optional[ChainProgram]:
-        """The chain program computing this protocol's acceptance, if any.
+    ) -> Optional[TreeProgram]:
+        """The program computing this protocol's acceptance, if it compiles.
 
-        Chain-reducible protocols return a :class:`ChainProgram`; families
-        with a different verification structure return ``None`` and override
-        :meth:`acceptance_probability` instead.
+        Chain-reducible protocols return a :class:`ChainProgram`, tree-rooted
+        protocols a :class:`TreeProgram`; families with a different
+        verification structure (and instances beyond the engine's enumeration
+        limits) return ``None`` and evaluate through
+        :meth:`_scalar_acceptance_probability`.
         """
         return None
+
+    def acceptance_program(
+        self, inputs: Sequence[str], proof: Optional[ProductProof] = None
+    ) -> Optional[TreeProgram]:
+        """Public accessor for the compiled acceptance program (or ``None``)."""
+        return self._acceptance_program(inputs, proof)
+
+    def _scalar_acceptance_probability(
+        self, inputs: Sequence[str], proof: Optional[ProductProof]
+    ) -> float:
+        """Fallback for instances that do not compile to a program."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _acceptance_program, "
+            "_scalar_acceptance_probability or acceptance_probability"
+        )
 
     def acceptance_probability(
         self, inputs: Sequence[str], proof: Optional[ProductProof] = None
@@ -201,10 +226,7 @@ class DQMAProtocol(ABC):
         """
         program = self._acceptance_program(inputs, proof)
         if program is None:
-            raise NotImplementedError(
-                f"{type(self).__name__} must implement either _acceptance_program "
-                "or acceptance_probability"
-            )
+            return self._scalar_acceptance_probability(inputs, proof)
         return self.engine.evaluate_program(program)
 
     def _proofs_for_batch(
@@ -229,9 +251,10 @@ class DQMAProtocol(ABC):
         """Acceptance probability of every input tuple, evaluated as one batch.
 
         ``proofs`` is an optional per-item sequence (``None`` entries use the
-        honest proof).  Chain-reducible protocols stack every chain of the
-        batch into a single backend contraction; other protocols fall back to
-        a scalar loop through the engine.
+        honest proof).  Program-compiling protocols (chains *and* trees)
+        stack every job of the batch into a single backend contraction per
+        job type; other protocols fall back to a scalar loop through the
+        engine.
         """
         proofs = self._proofs_for_batch(inputs_batch, proofs)
         programs = [

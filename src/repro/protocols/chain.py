@@ -28,7 +28,7 @@ realising the supremum in the soundness definition.
 from __future__ import annotations
 
 from itertools import product as iter_product
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

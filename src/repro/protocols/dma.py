@@ -13,7 +13,7 @@ The paper's quantum advantage statements compare against classical protocols:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.comm.problems import EqualityProblem
 from repro.exceptions import ProofError, ProtocolError

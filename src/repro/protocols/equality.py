@@ -28,7 +28,19 @@ from repro.protocols.base import (
     RepeatedProtocol,
     soundness_repetitions,
 )
-from repro.engine import RIGHT_PROJECTOR, ChainJob, ChainProgram
+from repro.engine import (
+    NODE_FIXED,
+    NODE_SYM,
+    RIGHT_PROJECTOR,
+    TEST_NONE,
+    TEST_PERM,
+    ChainJob,
+    ChainProgram,
+    TreeJob,
+    TreeJobBuilder,
+    TreeProgram,
+)
+from repro.engine.jobs import MAX_PERM_TEST_ARITY
 from repro.protocols.chain import (
     chain_acceptance_operator,
     optimal_entangled_acceptance,
@@ -240,6 +252,14 @@ class EqualityTreeProtocol(DQMAProtocol):
         self._proof_nodes = [
             node for node in self.tree.nodes if node not in self._input_nodes
         ]
+        self._compile_order = self.tree.topological_order()
+        test_arities = [
+            1 + len(self.tree.children(node))
+            for node in self._compile_order
+            if self.tree.children(node)
+            and not (node in self._input_nodes and node != self.tree.root)
+        ]
+        self._max_test_arity = max(test_arities) if test_arities else 0
 
     # -- layout --------------------------------------------------------------
 
@@ -288,9 +308,82 @@ class EqualityTreeProtocol(DQMAProtocol):
         terminal_index = list(self.network.terminals).index(terminal)
         return inputs[terminal_index]
 
-    def acceptance_probability(
+    def _compile_tree_job(self, inputs: Sequence[str], register_state) -> TreeJob:
+        """Compile one instance to a :class:`TreeJob`.
+
+        ``register_state(node, slot)`` supplies the proof state of a
+        non-input node's register; input nodes carry their own fingerprints.
+        Every node with children permutation-tests its kept register against
+        what its children forward up — Algorithm 5 verbatim, but expressed
+        as an engine job instead of a pattern enumeration.
+        """
+        builder = TreeJobBuilder()
+        index_of = {}
+        root = self.tree.root
+        for node in self._compile_order:
+            parent = self.tree.parent(node)
+            parent_index = -1 if parent is None else index_of[parent]
+            has_children = bool(self.tree.children(node))
+            if node in self._input_nodes:
+                tests = TEST_PERM if node == root and has_children else TEST_NONE
+                index_of[node] = builder.add_node(
+                    parent_index,
+                    NODE_FIXED,
+                    registers=(self.fingerprints.state(self._input_of_node(node, inputs)),),
+                    test=tests,
+                )
+            else:
+                index_of[node] = builder.add_node(
+                    parent_index,
+                    NODE_SYM,
+                    registers=(register_state(node, 0), register_state(node, 1)),
+                    test=TEST_PERM if has_children else TEST_NONE,
+                )
+        return builder.build()
+
+    def _acceptance_program(
+        self, inputs: Sequence[str], proof: Optional[ProductProof]
+    ) -> Optional[TreeProgram]:
+        if self._max_test_arity > MAX_PERM_TEST_ARITY:
+            return None  # oversized fan-out: fall back to the enumerated path
+        if proof is None:
+            # Key on the raw input tuple: a hit implies an identical tuple was
+            # validated when the program was first built.
+            cache = self.engine.cache
+            key = ("eq-tree-honest-program", self, tuple(inputs))
+            program = cache.get(key)
+            if program is None:
+                inputs = self.problem.validate_inputs(inputs)
+                honest = self.fingerprints.state(inputs[0])
+                program = cache.put(
+                    key,
+                    TreeProgram.single(
+                        self._compile_tree_job(inputs, lambda node, slot: honest)
+                    ),
+                )
+            return program
+        inputs = self.problem.validate_inputs(inputs)
+        self.validate_proof(proof)
+        job = self._compile_tree_job(
+            inputs, lambda node, slot: proof.state(self._register_name(node, slot))
+        )
+        return TreeProgram.single(job)
+
+    def _scalar_acceptance_probability(
+        self, inputs: Sequence[str], proof: Optional[ProductProof]
+    ) -> float:
+        return self.enumerated_acceptance_probability(inputs, proof)
+
+    def enumerated_acceptance_probability(
         self, inputs: Sequence[str], proof: Optional[ProductProof] = None
     ) -> float:
+        """Pre-engine reference semantics: enumerate all symmetrization patterns.
+
+        Exponential in the number of non-input nodes (guarded by
+        :attr:`MAX_ENUMERATED_NODES`); kept as the independent cross-check the
+        tree-engine parity tests compare against, and as the fallback for
+        fan-outs beyond the engine's permutation-test arity limit.
+        """
         inputs = self.problem.validate_inputs(inputs)
         if proof is None:
             proof = self.honest_proof(inputs)

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.comm.problems import EqualityProblem
 from repro.exceptions import ProtocolError

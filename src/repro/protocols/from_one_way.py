@@ -15,13 +15,22 @@ from __future__ import annotations
 
 from itertools import permutations as iter_permutations
 from itertools import product as iter_product
-from math import ceil
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.comm.one_way import ExactMaskHammingOneWay, HammingSketchOneWay, OneWayProtocol
 from repro.comm.problems import ForAllPairsProblem, HammingDistanceProblem, Problem
+from repro.engine import (
+    NODE_FIXED,
+    NODE_ROUTER,
+    TEST_FANOUT,
+    TEST_NONE,
+    TreeJob,
+    TreeJobBuilder,
+    TreeProgram,
+)
+from repro.engine.jobs import MAX_ROUTER_REGISTERS
 from repro.exceptions import ProtocolError
 from repro.network.spanning_tree import VerificationTree, build_verification_tree
 from repro.network.topology import Network, NodeId, star_network
@@ -42,6 +51,15 @@ class OneWayToTreeProtocol(DQMAProtocol):
     message-sized registers.  Message registers are manipulated as lists of
     tensor factors so that one-way protocols with many-factor messages (the
     Hamming sketches) never materialise their full product state.
+
+    Each verification tree compiles to an engine
+    :class:`~repro.engine.jobs.TreeJob` (router nodes, SWAP tests down the
+    edges, the one-way measurement at the terminal leaves); the acceptance
+    program multiplies the ``t`` tree jobs.  Instances whose fan-out exceeds
+    the engine's per-node assignment limit — or whose one-way protocol cannot
+    describe its measurement as a
+    :class:`~repro.engine.jobs.MeasurementSpec` — fall back to the exact
+    joint-pattern enumeration (:meth:`enumerated_acceptance_probability`).
     """
 
     MAX_ENUMERATED_PERMUTATION_PATTERNS = 5000
@@ -56,9 +74,21 @@ class OneWayToTreeProtocol(DQMAProtocol):
         if one_way.input_length != problem.input_length:
             raise ProtocolError("one-way protocol input length does not match the problem")
         self.one_way = one_way
+        #: Fingerprint scheme behind the one-way messages, when there is one
+        #: (lets the generic fingerprint-strategy soundness search run).
+        self.fingerprints = getattr(one_way, "fingerprints", None)
         self.trees: Dict[int, VerificationTree] = {}
         for index, terminal in enumerate(network.terminals):
             self.trees[index] = build_verification_tree(network, root=terminal)
+        self._orders = {index: tree.topological_order() for index, tree in self.trees.items()}
+        self._max_router_bundle = max(
+            (
+                len(tree.children(node)) + 1
+                for index, tree in self.trees.items()
+                for node in self._internal_nodes(tree)
+            ),
+            default=0,
+        )
 
     # -- layout ----------------------------------------------------------------
 
@@ -124,9 +154,108 @@ class OneWayToTreeProtocol(DQMAProtocol):
 
     # -- acceptance ------------------------------------------------------------------
 
-    def acceptance_probability(
+    def _measurement_spec(self, y: str):
+        """Bob's leaf measurement for input ``y`` (engine-cached per input)."""
+        return self.engine.cached_operator(
+            ("one-way-accept-spec", self.one_way, y),
+            lambda: self.one_way.accept_measurement_spec(y),
+        )
+
+    def _compile_tree_job(
+        self, tree_index: int, inputs: Sequence[str], proof: ProductProof
+    ) -> Optional[TreeJob]:
+        """One verification tree as an engine :class:`TreeJob`.
+
+        The root is a fixed node holding Alice's message, internal nodes are
+        routers over their ``delta + 1`` proof registers, terminal leaves
+        carry Bob's measurement; SWAP tests follow the tree edges downwards
+        (``TEST_FANOUT``).  Returns ``None`` when a leaf measurement cannot
+        be described — the caller then falls back to the enumerated path.
+        """
+        tree = self.trees[tree_index]
+        terminal_of_leaf = {leaf: term for term, leaf in tree.terminal_leaves.items()}
+        terminal_index = {term: i for i, term in enumerate(self.network.terminals)}
+        builder = TreeJobBuilder(num_factors=len(self.one_way.factor_dims))
+        index_of: Dict[NodeId, int] = {}
+        for node in self._orders[tree_index]:
+            parent = tree.parent(node)
+            parent_index = -1 if parent is None else index_of[parent]
+            children = tree.children(node)
+            if node == tree.root:
+                root_register = tuple(self.one_way.message_factors(inputs[tree_index]))
+                index_of[node] = builder.add_node(
+                    -1,
+                    NODE_FIXED,
+                    registers=(root_register,),
+                    test=TEST_FANOUT if children else TEST_NONE,
+                )
+            elif children:
+                registers = tuple(
+                    tuple(self._register_factors(proof, tree_index, node, slot))
+                    for slot in range(len(children) + 1)
+                )
+                index_of[node] = builder.add_node(
+                    parent_index, NODE_ROUTER, registers=registers, test=TEST_FANOUT
+                )
+            else:
+                terminal = terminal_of_leaf.get(node)
+                spec = None
+                if terminal is not None:
+                    spec = self._measurement_spec(inputs[terminal_index[terminal]])
+                    if spec is None:
+                        return None
+                index_of[node] = builder.add_node(
+                    parent_index, NODE_FIXED, test=TEST_NONE, measurement=spec
+                )
+        return builder.build()
+
+    def _compile_program(
+        self, inputs: Sequence[str], proof: ProductProof
+    ) -> Optional[TreeProgram]:
+        jobs = []
+        for tree_index in self.trees:
+            job = self._compile_tree_job(tree_index, inputs, proof)
+            if job is None:
+                return None
+            jobs.append(job)
+        return TreeProgram(
+            jobs=tuple(jobs), terms=((1.0, tuple(range(len(jobs)))),)
+        )
+
+    def _acceptance_program(
+        self, inputs: Sequence[str], proof: Optional[ProductProof]
+    ) -> Optional[TreeProgram]:
+        if self._max_router_bundle > MAX_ROUTER_REGISTERS:
+            return None  # oversized fan-out: fall back to the enumerated path
+        if proof is None:
+            cache = self.engine.cache
+            key = ("ow-tree-honest-program", self, tuple(inputs))
+            program = cache.get(key)
+            if program is None:
+                inputs = self.problem.validate_inputs(inputs)
+                program = self._compile_program(inputs, self.honest_proof(inputs))
+                if program is not None:
+                    cache.put(key, program)
+            return program
+        inputs = self.problem.validate_inputs(inputs)
+        self.validate_proof(proof)
+        return self._compile_program(inputs, proof)
+
+    def _scalar_acceptance_probability(
+        self, inputs: Sequence[str], proof: Optional[ProductProof]
+    ) -> float:
+        return self.enumerated_acceptance_probability(inputs, proof)
+
+    def enumerated_acceptance_probability(
         self, inputs: Sequence[str], proof: Optional[ProductProof] = None
     ) -> float:
+        """Pre-engine reference semantics: enumerate the joint assignment space.
+
+        Exponential in the number of internal nodes (guarded by
+        :attr:`MAX_ENUMERATED_PERMUTATION_PATTERNS`); kept as the independent
+        cross-check for the tree-engine parity tests and as the fallback for
+        instances the compiler rejects.
+        """
         inputs = self.problem.validate_inputs(inputs)
         if proof is None:
             proof = self.honest_proof(inputs)

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.comm.problems import GreaterThanProblem, RankingVerificationProblem
+from repro.comm.problems import RankingVerificationProblem
 from repro.exceptions import ProtocolError
 from repro.network.spanning_tree import build_verification_tree
 from repro.network.topology import Network, NodeId, path_network, star_network

@@ -14,7 +14,7 @@ lower bounds of Klauck to obtain dQMA lower bounds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.comm.qma import QMAStarCost, qma_cost_from_qma_star
 from repro.exceptions import ProtocolError

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.comm.problems import EqualityProblem
 from repro.exceptions import ProtocolError
+from repro.network.spanning_tree import build_verification_tree
 from repro.network.topology import Network, NodeId, path_network
 from repro.engine import RIGHT_SWAP, ChainJob, ChainProgram
 from repro.protocols.base import DQMAProtocol, ProductProof, ProofRegister
@@ -42,6 +43,7 @@ class RelayEqualityProtocol(DQMAProtocol):
         relay_spacing: Optional[int] = None,
         segment_repetitions: Optional[int] = None,
         problem: Optional[EqualityProblem] = None,
+        path_nodes: Optional[List[NodeId]] = None,
     ):
         if problem is None:
             problem = EqualityProblem(fingerprints.input_length, num_inputs=2)
@@ -49,7 +51,23 @@ class RelayEqualityProtocol(DQMAProtocol):
             raise ProtocolError("fingerprint scheme and problem disagree on the input length")
         super().__init__(problem, network)
         self.fingerprints = fingerprints
-        self.path_nodes = _ordered_path_nodes(network)
+        if path_nodes is None:
+            path_nodes = _ordered_path_nodes(network)
+        else:
+            path_nodes = list(path_nodes)
+            if len(path_nodes) < 2:
+                raise ProtocolError("a relay path needs at least two nodes")
+            if len(set(path_nodes)) != len(path_nodes):
+                raise ProtocolError("the relay path must not revisit a node")
+            terminals = set(network.terminals)
+            if {path_nodes[0], path_nodes[-1]} != terminals:
+                raise ProtocolError("the relay path must join the two terminals")
+            for left, right in zip(path_nodes, path_nodes[1:]):
+                if not network.graph.has_edge(left, right):
+                    raise ProtocolError(
+                        f"relay path step ({left!r}, {right!r}) is not a network edge"
+                    )
+        self.path_nodes = path_nodes
         self.path_length = len(self.path_nodes) - 1
         n = problem.input_length
         if relay_spacing is None:
@@ -82,6 +100,40 @@ class RelayEqualityProtocol(DQMAProtocol):
             fingerprints,
             relay_spacing=relay_spacing,
             segment_repetitions=segment_repetitions,
+        )
+
+    @classmethod
+    def on_tree(
+        cls,
+        network: Network,
+        fingerprints: FingerprintScheme,
+        relay_spacing: Optional[int] = None,
+        segment_repetitions: Optional[int] = None,
+        root: Optional[NodeId] = None,
+    ) -> "RelayEqualityProtocol":
+        """The relay protocol along a spanning-tree path of a general network.
+
+        For a two-terminal network that is not itself a path (a star, a
+        binary tree, a random spanning tree, ...), the protocol runs on the
+        verification-tree path joining the terminals — the Section 3.3 tree
+        construction with shadow leaves folded back onto physical nodes —
+        and compiles to the same chain programs as the path variant.
+        """
+        if len(network.terminals) != 2:
+            raise ProtocolError("the relay protocol joins exactly two terminals")
+        first, second = network.terminals
+        start = root if root is not None else first
+        if start not in (first, second):
+            raise ProtocolError("on_tree roots the relay path at a terminal")
+        tree = build_verification_tree(network, root=start)
+        other = second if start == first else first
+        path_nodes = tree.terminal_path(other)
+        return cls(
+            network,
+            fingerprints,
+            relay_spacing=relay_spacing,
+            segment_repetitions=segment_repetitions,
+            path_nodes=path_nodes,
         )
 
     # -- layout --------------------------------------------------------------

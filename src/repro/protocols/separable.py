@@ -27,8 +27,7 @@ produce; DESIGN.md records this substitution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import ceil, log2
-from typing import Optional
+from math import log2
 
 from repro.comm.lsd import random_lsd_instance
 from repro.exceptions import ProtocolError

@@ -16,11 +16,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import ProtocolError
 from repro.network.topology import NodeId
 from repro.protocols.base import ProductProof
 from repro.protocols.equality import EqualityPathProtocol
-from repro.quantum.states import outer
 from repro.quantum.swap_test import swap_test_accept_probability_pure
 from repro.utils.rng import RngLike, ensure_rng
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
-import scipy.linalg
 
 from repro.exceptions import DimensionMismatchError
 from repro.quantum.states import density_matrix

@@ -95,6 +95,53 @@ class TestSeesaw:
         assert np.isclose(value, 0.5, atol=1e-6)
         assert np.isclose(optimal_entangled_acceptance(operator), 1.0, atol=1e-9)
 
+    def test_restarts_seeded_deterministically(self, small_operator):
+        # Regression: the same seed must reproduce the exact same optimum and
+        # achieving factors (restart initial states are drawn up front in
+        # restart-major order, independent of the optimisation interleaving).
+        first_value, first_factors = seesaw_separable_acceptance(
+            small_operator, [2, 2], restarts=5, rng=12
+        )
+        second_value, second_factors = seesaw_separable_acceptance(
+            small_operator, [2, 2], restarts=5, rng=12
+        )
+        assert first_value == second_value
+        for a, b in zip(first_factors, second_factors):
+            np.testing.assert_array_equal(a, b)
+
+    def test_batched_restarts_match_sequential_reference(self, small_operator):
+        # The lockstep (vectorized) restarts must reproduce the per-restart
+        # sequential seesaw trajectories.
+        from repro.quantum.random_states import haar_random_state
+        from repro.utils.rng import ensure_rng
+
+        dims = [2, 2]
+        restarts, iterations = 4, 30
+        generator = ensure_rng(3)
+        initial = [[haar_random_state(d, generator) for d in dims] for _ in range(restarts)]
+        best_value = -1.0
+        for restart in range(restarts):
+            factors = [vector.copy() for vector in initial[restart]]
+            value = product_acceptance(small_operator, factors)
+            for _ in range(iterations):
+                improved = False
+                for position in range(len(dims)):
+                    conditional = conditional_operator(small_operator, dims, factors, position)
+                    hermitian = (conditional + conditional.conj().T) / 2
+                    eigenvalues, eigenvectors = np.linalg.eigh(hermitian)
+                    factors[position] = eigenvectors[:, -1]
+                    new_value = min(max(eigenvalues[-1].real, 0.0), 1.0)
+                    if new_value > value + 1e-12:
+                        improved = True
+                    value = new_value
+                if not improved:
+                    break
+            best_value = max(best_value, value)
+        batched_value, _ = seesaw_separable_acceptance(
+            small_operator, dims, iterations=iterations, restarts=restarts, rng=3
+        )
+        assert np.isclose(batched_value, best_value, atol=1e-9)
+
 
 class TestSoundnessReports:
     def test_fingerprint_strategy_requires_fingerprint_protocol(self):
@@ -110,11 +157,42 @@ class TestSoundnessReports:
         assert proof is not None
         assert 0.0 <= best <= 1.0 - protocol.single_shot_soundness_gap() + 1e-9
 
+    def test_strategy_search_reports_the_achieving_label(self, tiny_fingerprints):
+        protocol = EqualityPathProtocol.on_path(1, 3, tiny_fingerprints)
+        result = fingerprint_strategy_soundness(protocol, ("0", "1"))
+        assert result.num_assignments == 2 ** 2  # 2 candidates, 2 proof nodes
+        assert result.best_strategy == "honest" or "=" in result.best_strategy
+        # The label must reproduce the reported acceptance.
+        assert protocol.acceptance_probability(
+            ("0", "1"), result.best_proof
+        ) == pytest.approx(result.best_acceptance, abs=1e-12)
+
+    def test_batched_search_matches_scalar_loop(self, tiny_fingerprints):
+        # The chunked batched evaluation must find exactly the scalar loop's
+        # optimum (first-maximum tie-breaking included).
+        protocol = EqualityPathProtocol.on_path(1, 3, tiny_fingerprints)
+        result = fingerprint_strategy_soundness(protocol, ("0", "1"), batch_size=2)
+        scalar_best = protocol.acceptance_probability(("0", "1"))
+        fingerprints = protocol.fingerprints
+        registers = protocol.proof_registers()
+        nodes = sorted({register.node for register in registers}, key=str)
+        from itertools import product as iter_product
+
+        honest = protocol.honest_proof(("0", "1"))
+        for combo in iter_product(["0", "1"], repeat=len(nodes)):
+            node_string = dict(zip(nodes, combo))
+            proof = honest
+            for register in registers:
+                proof = proof.replaced(register.name, fingerprints.state(node_string[register.node]))
+            scalar_best = max(scalar_best, protocol.acceptance_probability(("0", "1"), proof))
+        assert result.best_acceptance == pytest.approx(scalar_best, abs=1e-9)
+
     def test_report_with_seesaw(self, tiny_fingerprints):
         protocol = EqualityPathProtocol.on_path(1, 2, tiny_fingerprints)
         report = entangled_soundness_report(protocol, ("0", "1"), run_seesaw=True, rng=0)
         assert report.respects_paper_bound
         assert report.best_found_acceptance <= report.optimal_entangled_acceptance + 1e-8
+        assert report.best_strategy is not None
 
     def test_repetition_soundness(self):
         assert np.isclose(repetition_soundness(0.9, 10), 0.9**10)

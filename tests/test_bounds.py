@@ -31,7 +31,7 @@ from repro.bounds.upper import (
     separable_conversion_local_proof_upper_bound,
     trivial_classical_total_proof,
 )
-from repro.comm.problems import EqualityProblem, InnerProductProblem
+from repro.comm.problems import InnerProductProblem
 from repro.exceptions import BoundError
 
 

@@ -3,14 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.codes.linear_code import LinearCode, hadamard_code, random_linear_code, repetition_code
+from repro.codes.linear_code import hadamard_code, random_linear_code, repetition_code
 from repro.exceptions import EncodingError
-from repro.quantum.fingerprint import (
-    ExactCodeFingerprint,
-    HadamardCodeFingerprint,
-    SimulatedFingerprint,
-    fingerprint_register_qubits,
-)
+from repro.quantum.fingerprint import SimulatedFingerprint, fingerprint_register_qubits
 from repro.utils.bitstrings import all_bitstrings
 
 

@@ -228,7 +228,7 @@ class TestOperatorCache:
         cache.get_or_build("a", lambda: calls.append("a") or 1)
         cache.get_or_build("a", lambda: calls.append("a") or 1)
         assert calls == ["a"]
-        stats = cache.stats
+        stats = cache.stats()
         assert stats.hits == 1 and stats.misses == 1 and stats.entries == 1
         assert stats.hit_rate == pytest.approx(0.5)
 
@@ -239,7 +239,35 @@ class TestOperatorCache:
         assert cache.get("a") == 1  # refresh a; b is now least recent
         cache.put("c", 3)
         assert "b" not in cache and "a" in cache and "c" in cache
-        assert cache.stats.evictions == 1
+        assert cache.stats().evictions == 1
+
+    def test_lru_eviction_order(self):
+        # Entries must leave in least-recently-*used* order: both get() hits
+        # and put() refreshes move an entry to the back of the queue.
+        cache = OperatorCache(max_entries=3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        cache.get("a")      # order now: b, c, a
+        cache.put("b", 20)  # refresh:   c, a, b
+        cache.put("d", 4)   # evicts c
+        assert "c" not in cache and all(key in cache for key in ("a", "b", "d"))
+        cache.put("e", 5)   # evicts a
+        assert "a" not in cache and "b" in cache
+        cache.put("f", 6)   # evicts b
+        assert "b" not in cache and "d" in cache and "e" in cache and "f" in cache
+        stats = cache.stats()
+        assert stats.evictions == 3 and stats.entries == 3
+        assert stats.hits == 1
+
+    def test_stats_as_dict_for_benchmark_metadata(self):
+        cache = OperatorCache(max_entries=2)
+        cache.get_or_build("op", lambda: 1)
+        cache.get_or_build("op", lambda: 1)
+        exported = cache.stats().as_dict()
+        assert exported["hits"] == 1 and exported["misses"] == 1
+        assert exported["hit_rate"] == pytest.approx(0.5)
+        assert set(exported) == {"hits", "misses", "entries", "evictions", "hit_rate"}
 
     def test_cached_arrays_are_frozen(self):
         cache = OperatorCache()
@@ -254,10 +282,10 @@ class TestOperatorCache:
         protocol = EqualityPathProtocol.on_path(1, 3, small_fingerprints(1))
         protocol.use_engine(engine)
         first = protocol.acceptance_operator(("0", "1"))
-        misses = engine.cache.stats.misses
+        misses = engine.cache.stats().misses
         second = protocol.acceptance_operator(("0", "1"))
-        assert engine.cache.stats.misses == misses
-        assert engine.cache.stats.hits > 0
+        assert engine.cache.stats().misses == misses
+        assert engine.cache.stats().hits > 0
         np.testing.assert_allclose(first, second)
 
     def test_repeated_honest_evaluation_hits_program_cache(self, fingerprints3):
@@ -269,7 +297,7 @@ class TestOperatorCache:
         single = base.acceptance_probability(("101", "100"))
         assert value == pytest.approx(single**50, abs=1e-12)
         # The honest program for ("101", "100") is built once, then re-hit.
-        assert engine.cache.stats.hits > 0
+        assert engine.cache.stats().hits > 0
 
 
 class TestEngineFacade:

@@ -2,7 +2,6 @@
 
 import importlib.util
 import pathlib
-import sys
 
 import pytest
 

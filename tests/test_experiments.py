@@ -1,6 +1,5 @@
 """Tests for the experiment harness that regenerates the paper's tables."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.crossover import crossover_sweep, find_crossover, long_path_sweep, quantum_total_plain

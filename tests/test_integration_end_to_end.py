@@ -11,7 +11,6 @@ import pytest
 from repro import (
     EqualityPathProtocol,
     EqualityTreeProtocol,
-    ExactCodeFingerprint,
     GreaterThanPathProtocol,
     LSDPathProtocol,
     RankingVerificationProtocol,

@@ -1,6 +1,5 @@
 """Tests for the LOCC conversion costs (Lemma 20 / Corollary 21) and the transcript simulator."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import BoundError

@@ -9,7 +9,6 @@ The invariants mirror the paper's completeness/soundness statements:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,12 +4,10 @@ import numpy as np
 import pytest
 
 from repro.analysis.soundness import entangled_soundness_report, fingerprint_strategy_soundness
-from repro.codes.linear_code import repetition_code
 from repro.exceptions import ProofError, TopologyError
-from repro.network.topology import path_network, star_network
+from repro.network.topology import star_network
 from repro.protocols.base import ProductProof
 from repro.protocols.equality import EqualityPathProtocol
-from repro.quantum.fingerprint import ExactCodeFingerprint
 from repro.utils.bitstrings import all_bitstrings
 
 

@@ -8,7 +8,6 @@ from repro.exceptions import ProtocolError
 from repro.network.topology import complete_network, path_network, random_tree_network, star_network
 from repro.protocols.base import ProductProof
 from repro.protocols.equality import EqualityTreeProtocol
-from repro.quantum.fingerprint import ExactCodeFingerprint
 
 
 class TestLayout:
@@ -89,11 +88,14 @@ class TestSoundness:
         assert acceptance < 1.0
 
     def test_enumeration_guard(self, fingerprints3):
-        network = random_tree_network(25, 6, rng=1)
+        # The guard now lives on the enumerated reference path only: the
+        # compiled tree-program path evaluates trees of any size.
+        network = path_network(20, terminals=("v0", "v20"))
         protocol = EqualityTreeProtocol(network, fingerprints3)
-        if len(protocol._proof_nodes) > protocol.MAX_ENUMERATED_NODES:
-            with pytest.raises(ProtocolError):
-                protocol.acceptance_probability(tuple(["101"] * 6))
+        assert len(protocol._proof_nodes) > protocol.MAX_ENUMERATED_NODES
+        with pytest.raises(ProtocolError):
+            protocol.enumerated_acceptance_probability(("101", "101"))
+        assert protocol.acceptance_probability(("101", "101")) == pytest.approx(1.0, abs=1e-9)
 
 
 class TestCosts:

@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.comm.one_way import ExactMaskHammingOneWay, FingerprintEqualityOneWay
-from repro.comm.problems import EqualityProblem, ForAllPairsProblem, HammingDistanceProblem
+from repro.comm.one_way import FingerprintEqualityOneWay
+from repro.comm.problems import EqualityProblem, ForAllPairsProblem
 from repro.exceptions import ProtocolError
-from repro.network.topology import path_network, star_network
+from repro.network.topology import path_network
 from repro.protocols.from_one_way import (
     OneWayToTreeProtocol,
     forall_pairs_protocol,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.comm.problems import GreaterThanProblem
 from repro.exceptions import ProtocolError
-from repro.protocols.base import ProductProof
 from repro.protocols.greater_than import GreaterThanPathProtocol
 from repro.quantum.states import basis_state
 from repro.utils.bitstrings import all_bitstrings, bits_to_int

@@ -9,7 +9,7 @@ from repro.comm.qma import FingerprintEqualityQMAOneWay
 from repro.comm.problems import EqualityProblem
 from repro.exceptions import ProtocolError
 from repro.network.topology import path_network
-from repro.protocols.base import CostSummary, ProductProof
+from repro.protocols.base import CostSummary
 from repro.protocols.equality import EqualityPathProtocol
 from repro.protocols.greater_than import GreaterThanPathProtocol
 from repro.protocols.qma_to_dqma import LSDPathProtocol, PromiseInstanceProblem, QMAOneWayToPathProtocol
@@ -20,7 +20,6 @@ from repro.protocols.separable import (
     dqma_to_dqmasep_cost,
     dqma_to_dqmasep_cost_from_protocol,
 )
-from repro.quantum.fingerprint import ExactCodeFingerprint
 
 
 class TestLSDPathProtocol:

@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ProtocolError
-from repro.network.topology import path_network, star_network
-from repro.protocols.base import ProductProof
 from repro.protocols.ranking import RankingVerificationProtocol
 from repro.protocols.relay import RelayEqualityProtocol
 from repro.quantum.states import basis_state

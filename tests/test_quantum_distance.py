@@ -13,7 +13,7 @@ from repro.quantum.distance import (
     trace_norm,
 )
 from repro.quantum.random_states import haar_random_state, random_density_matrix
-from repro.quantum.states import basis_state, normalize, outer
+from repro.quantum.states import basis_state
 
 
 class TestTraceNorm:
