@@ -59,7 +59,10 @@ from repro.protocols import (
 from repro.quantum import (
     ExactCodeFingerprint,
     HadamardCodeFingerprint,
+    KrausChannel,
+    NoiseModel,
     SimulatedFingerprint,
+    depolarizing_channel,
     fidelity,
     trace_distance,
 )
@@ -113,6 +116,9 @@ __all__ = [
     "TrivialEqualityDMA",
     "TruncationEqualityDMA",
     "hamming_distance_protocol",
+    "KrausChannel",
+    "NoiseModel",
+    "depolarizing_channel",
     "ExactCodeFingerprint",
     "HadamardCodeFingerprint",
     "SimulatedFingerprint",

@@ -12,6 +12,9 @@ asks the simulator to evaluate from *how* the evaluation is carried out:
   tree) and :class:`TreeProgram` (a weighted sum of products of jobs, the
   shape every compiled protocol's acceptance probability takes;
   :class:`ChainProgram` is a thin subclass kept for the chain families).
+  Jobs may carry :class:`ChainNoise` / :class:`TreeNoise` channel
+  annotations (see :mod:`repro.quantum.channels`), which switch their
+  evaluation onto the backends' density-matrix path.
 * :mod:`repro.engine.tree_contraction` — the leaf-to-root contraction of
   tree jobs: a scalar reference recursion and the signature-grouped batched
   evaluation reusing the Gram-matrix stacking of the chain path.
@@ -63,11 +66,13 @@ from repro.engine.jobs import (
     TEST_NONE,
     TEST_PERM,
     ChainJob,
+    ChainNoise,
     ChainProgram,
     LeafMeasurement,
     MeasurementSpec,
     TreeJob,
     TreeJobBuilder,
+    TreeNoise,
     TreeProgram,
 )
 from repro.engine.tree_contraction import (
@@ -94,6 +99,7 @@ __all__ = [
     "TEST_PERM",
     "CacheStats",
     "ChainJob",
+    "ChainNoise",
     "ChainProgram",
     "DenseBackend",
     "Engine",
@@ -104,6 +110,7 @@ __all__ = [
     "TransferMatrixBackend",
     "TreeJob",
     "TreeJobBuilder",
+    "TreeNoise",
     "TreeProgram",
     "available_backends",
     "default_engine",

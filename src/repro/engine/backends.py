@@ -17,6 +17,18 @@ Two implementations ship with the library:
     over the batch, and measurement expectations are one more einsum.  This
     is the fast path behind ``DQMAProtocol.acceptance_probabilities``.
 
+Jobs carrying a :class:`~repro.engine.jobs.ChainNoise` / :class:`~repro.
+engine.jobs.TreeNoise` channel annotation evaluate on a density-matrix
+variant of each path: registers become densities pushed through their
+link/node channels, squared overlaps become Hilbert-Schmidt traces (the same
+stacked Gram matmul, on vectorized densities) and each test factor passes
+the readout-error flip.  The dense backend routes noisy chains through the
+degenerate-path tree of :meth:`ChainJob.to_tree_job` (the scalar density
+recursion); the transfer-matrix backend contracts whole noisy groups —
+including sweeps where every job carries a different noise strength — in
+one stacked product.  Clean jobs are untouched: an absent or structurally
+empty annotation keeps the pure-state fast path bit for bit.
+
 Backends are registered by name so experiment configuration can select them
 with a string (``"dense"`` / ``"transfer-matrix"``), following the pluggable
 launcher-configuration pattern of the related-work repositories.
@@ -42,6 +54,7 @@ from repro.engine.tree_contraction import (
     tree_probabilities_batched,
 )
 from repro.exceptions import ProtocolError
+from repro.quantum.channels import apply_channel_grid, flip_probability
 
 
 class SimulationBackend(ABC):
@@ -88,6 +101,12 @@ class DenseBackend(SimulationBackend):
 
         results = np.empty(len(jobs), dtype=np.float64)
         for index, job in enumerate(jobs):
+            if job.is_noisy:
+                # Noisy chains evaluate as their degenerate-path tree through
+                # the scalar density recursion (Kraus-sum channel application)
+                # — deliberately independent of the batched superoperator path.
+                results[index] = tree_acceptance_probability(job.to_tree_job())
+                continue
             node_pairs = [(job.pairs[j, 0], job.pairs[j, 1]) for j in range(job.num_intermediate)]
             results[index] = chain_acceptance_probability(
                 job.left, node_pairs, job.dense_right_operator()
@@ -110,8 +129,14 @@ class TransferMatrixBackend(SimulationBackend):
 
     def chain_probabilities(self, jobs: Sequence[ChainJob]) -> np.ndarray:
         results = np.empty(len(jobs), dtype=np.float64)
-        for (num_intermediate, dim, right_kind), indices in group_jobs_by_shape(jobs).items():
-            if num_intermediate == 0:
+        for (num_intermediate, dim, right_kind, noisy), indices in group_jobs_by_shape(
+            jobs
+        ).items():
+            if noisy:
+                values = self._contract_group_noisy(
+                    jobs, indices, num_intermediate, dim, right_kind
+                )
+            elif num_intermediate == 0:
                 lefts = np.stack([jobs[i].left for i in indices])
                 rights = np.stack([jobs[i].right_operator for i in indices])
                 if right_kind == RIGHT_DENSE:
@@ -210,6 +235,124 @@ class TransferMatrixBackend(SimulationBackend):
             accepts = overlaps if right_kind == RIGHT_PROJECTOR else 0.5 + 0.5 * overlaps
         return np.sum(weights * accepts, axis=1)
 
+
+    @classmethod
+    def _contract_group_noisy(
+        cls,
+        jobs: Sequence[ChainJob],
+        indices: Sequence[int],
+        num_intermediate: int,
+        dim: int,
+        right_kind: str,
+    ) -> np.ndarray:
+        """Evaluate one noisy ``(m, d, kind)`` group on stacked density rows.
+
+        Density-row layout per job: row 0 is the left state as *sent* across
+        edge 0; rows ``1 .. 2m`` the intermediate pairs in *kept* form (node
+        channel applied); rows ``2m + 1 .. 4m`` the same pairs in *sent*
+        form (outgoing edge channel on top); the last row (vector right
+        ends) is the pure measurement target.  The pure outer products and
+        target rows are built vectorized for the whole group; only the
+        channel applications loop per job (each a couple of grouped
+        ``apply_batch`` calls), since jobs of one group may carry arbitrary
+        per-job channels — a noise-strength sweep is one stack.  The
+        contraction is then the :meth:`_contract_group` transfer recursion
+        with squared overlaps replaced by the Hilbert-Schmidt trace Gram of
+        the vectorized densities, and every test factor passed through each
+        job's readout flip.
+        """
+        batch = len(indices)
+        m = num_intermediate
+        dense_end = right_kind == RIGHT_DENSE
+        num_rows = 1 + 4 * m + (0 if dense_end else 1)
+        states = np.empty((batch, 1 + 2 * m, dim), dtype=np.complex128)
+        np.stack([jobs[i].left for i in indices], out=states[:, 0])
+        if m:
+            np.stack(
+                [jobs[i].pairs for i in indices],
+                out=states[:, 1:].reshape(batch, m, 2, dim),
+            )
+        pure = states[:, :, :, None] * states.conj()[:, :, None, :]
+        stacked = np.empty((batch, num_rows, dim, dim), dtype=np.complex128)
+        kept_grid = []
+        sent_grid = []
+        for index in indices:
+            noise = jobs[index].noise
+            kept_grid.append(
+                [noise.left_channel]
+                + [noise.node_channels[node] for node in range(m) for _ in range(2)]
+            )
+            sent_grid.append(
+                [noise.edge_channels[0]]
+                + [noise.edge_channels[node + 1] for node in range(m) for _ in range(2)]
+            )
+        kept = apply_channel_grid(kept_grid, pure)
+        sent = apply_channel_grid(sent_grid, kept)
+        stacked[:, 1 : 1 + 2 * m] = kept[:, 1:]
+        stacked[:, 0] = sent[:, 0]
+        if m:
+            stacked[:, 1 + 2 * m : 1 + 4 * m] = sent[:, 1:]
+        if not dense_end:
+            targets = np.stack([jobs[i].right_operator for i in indices])
+            target_block = targets[:, :, None] * targets.conj()[:, None, :]
+            # Right-end preparation noise acts on the verifier's reference
+            # state, i.e. the measurement target density.
+            stacked[:, -1:] = apply_channel_grid(
+                [[jobs[i].noise.right_channel] for i in indices],
+                target_block[:, None],
+            )
+        eps = np.array([jobs[i].noise.readout_error for i in indices])
+        # Only O(m) Hilbert-Schmidt traces are read by the transfer
+        # recursion, so gather exactly those pairs into one einsum instead
+        # of forming the full row-by-row trace Gram.
+        rows_a: List[int] = []
+        rows_b: List[int] = []
+        if m == 0:
+            if dense_end:
+                rights = np.stack([jobs[i].right_operator for i in indices])
+                accepts = np.einsum("bij,bji->b", rights, stacked[:, 0]).real
+            else:
+                overlaps = np.einsum(
+                    "bij,bji->b", stacked[:, -1], stacked[:, 0]
+                ).real
+                accepts = overlaps if right_kind == RIGHT_PROJECTOR else 0.5 + 0.5 * overlaps
+            return flip_probability(accepts, eps)
+        rows_a += [0, 0]
+        rows_b += [1, 2]
+        for step in range(m - 1):
+            # Node j forwards its sent slot 1 - s; node j + 1 tests its kept slot s'.
+            for s in (0, 1):
+                for s_next in (0, 1):
+                    rows_a.append(2 * m + 1 + 2 * step + (1 - s))
+                    rows_b.append(1 + 2 * (step + 1) + s_next)
+        # Right end: the last node's sent slots, reversed (bit s forwards 1 - s).
+        final_rows = [4 * m, 4 * m - 1]
+        if not dense_end:
+            rows_a += [num_rows - 1, num_rows - 1]
+            rows_b += final_rows
+        traces = np.einsum(
+            "bkij,bkji->bk", stacked[:, rows_a], stacked[:, rows_b]
+        ).real
+        # Step 1: SWAP test of the transmitted left state against the kept
+        # forms of node 1 (rows 1, 2), each flipped by the readout error.
+        weights = 0.5 * flip_probability(0.5 + 0.5 * traces[:, 0:2], eps[:, None])
+        if m > 1:
+            overlaps = traces[:, 2 : 2 + 4 * (m - 1)].reshape(batch, m - 1, 2, 2)
+            transfer = 0.5 * flip_probability(
+                0.5 + 0.5 * overlaps, eps[:, None, None, None]
+            )
+            for step in range(m - 1):
+                weights = np.matmul(weights[:, None, :], transfer[:, step])[:, 0]
+        if dense_end:
+            rights = np.stack([jobs[i].right_operator for i in indices])
+            accepts = np.einsum(
+                "bij,bsji->bs", rights, stacked[:, final_rows]
+            ).real
+        else:
+            overlaps = traces[:, -2:]
+            accepts = overlaps if right_kind == RIGHT_PROJECTOR else 0.5 + 0.5 * overlaps
+        accepts = flip_probability(accepts, eps[:, None])
+        return np.sum(weights * accepts, axis=1)
 
     @classmethod
     def _contract_group_adjacent(

@@ -8,7 +8,9 @@ instances — or plain scalar callables, for the protocol families whose
 acceptance does not compile to programs.  The engine flattens every job of a
 batch into one backend call per job type, so a batch of ``B`` protocol
 invocations costs a handful of stacked contractions instead of ``B`` Python
-loops.
+loops.  Jobs carrying noise-channel annotations ride the same batches: the
+backends route them onto their density-matrix paths transparently, so a
+noise-strength sweep is just another program batch.
 
 A process-wide default engine is available through :func:`default_engine`;
 its backend is selected by the ``REPRO_BACKEND`` environment variable

@@ -88,6 +88,25 @@ Registers may be tensor products: a job carries one stacked state array per
 tensor factor, and all overlaps factorize across the stacks — which is how
 the many-factor Hamming messages ride the batched path without ever
 materialising their product states.
+
+Noise annotations
+-----------------
+
+Jobs may carry channel annotations (:class:`ChainNoise` for chains,
+:class:`TreeNoise` for trees) mapping :class:`~repro.quantum.channels.
+KrausChannel` instances onto the protocol's links (registers in transit),
+nodes (proof delivery / input preparation) and tests (a classical readout
+error flipping each accept flag).  Annotated jobs are evaluated on the
+backends' density-matrix path: every register becomes the density matrix
+obtained by pushing its pure state through the relevant channels, every
+SWAP/permutation-test factor generalizes from squared overlaps to
+Hilbert-Schmidt traces, and the same leaf-to-root / transfer contractions
+run unchanged on vectorized densities.  Jobs without annotations (or with
+structurally empty ones) stay on the pure-state fast path; the noisy flag is
+part of :attr:`ChainJob.shape_key` and :attr:`TreeJob.signature`, so clean
+and noisy jobs batch separately but noisy jobs with *different channel
+strengths* still stack into one contraction — which is what makes
+noise-strength sweeps fast.
 """
 
 from __future__ import annotations
@@ -99,6 +118,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.exceptions import DimensionMismatchError, ProtocolError
+from repro.quantum.channels import KrausChannel
 
 #: Right-end kinds of a :class:`ChainJob`.  ``dense`` carries a full
 #: ``(d, d)`` accept operator; ``projector`` carries a vector ``phi`` with
@@ -143,6 +163,153 @@ MAX_PERM_TEST_ARITY = 6
 MAX_ROUTER_REGISTERS = 6
 
 
+def _validate_channel_tuple(
+    channels: Sequence[Optional[KrausChannel]], count: int, dim: int, what: str
+) -> Tuple[Optional[KrausChannel], ...]:
+    channels = tuple(channels)
+    if len(channels) != count:
+        raise ProtocolError(f"expected {count} {what} channels, got {len(channels)}")
+    for channel in channels:
+        if channel is not None and channel.dim != dim:
+            raise DimensionMismatchError(
+                f"{what} channel {channel.name!r} acts on dimension {channel.dim}, "
+                f"registers have dimension {dim}"
+            )
+    return channels
+
+
+@dataclass(frozen=True, eq=False)
+class ChainNoise:
+    """Channel annotations of a :class:`ChainJob` (see the module docstring).
+
+    Attributes
+    ----------
+    edge_channels:
+        One optional channel per path edge, ``m + 1`` entries for a chain
+        with ``m`` intermediate nodes (edge ``j`` joins node ``j`` to node
+        ``j + 1``; node 0 is the left end).  Applied to every register sent
+        across the edge.
+    node_channels:
+        One optional channel per intermediate node, applied to both proof
+        registers delivered to it.
+    left_channel:
+        Preparation noise of the left end's own register.
+    right_channel:
+        Preparation noise of the right end's reference state — the target
+        vector of a ``projector``/``swap`` right end (matching the tree
+        family, where the root verifier's own register picks up its node
+        channel).  Dense right ends carry no prepared state; annotating one
+        raises at validation.
+    readout_error:
+        Probability that each local test's accept flag is misread (the
+        classical binary symmetric channel on the outcome).
+    """
+
+    edge_channels: Tuple[Optional[KrausChannel], ...]
+    node_channels: Tuple[Optional[KrausChannel], ...]
+    left_channel: Optional[KrausChannel] = None
+    right_channel: Optional[KrausChannel] = None
+    readout_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        error = float(self.readout_error)
+        if not 0.0 <= error <= 1.0:
+            raise ProtocolError(f"readout error must lie in [0, 1], got {error}")
+        object.__setattr__(self, "readout_error", error)
+
+    def validate(
+        self, num_intermediate: int, dim: int, right_kind: Optional[str] = None
+    ) -> None:
+        """Check the annotation against a chain of ``m`` nodes and dimension ``d``."""
+        _validate_channel_tuple(self.edge_channels, num_intermediate + 1, dim, "edge")
+        _validate_channel_tuple(self.node_channels, num_intermediate, dim, "node")
+        if self.left_channel is not None and self.left_channel.dim != dim:
+            raise DimensionMismatchError(
+                "left preparation channel has the wrong dimension"
+            )
+        if self.right_channel is not None:
+            if self.right_channel.dim != dim:
+                raise DimensionMismatchError(
+                    "right preparation channel has the wrong dimension"
+                )
+            if right_kind == RIGHT_DENSE:
+                raise ProtocolError(
+                    "preparation noise on a dense right end is not supported: "
+                    "dense accept operators carry no prepared reference state"
+                )
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when no channel is assigned and the readout is perfect."""
+        return (
+            all(channel is None for channel in self.edge_channels)
+            and all(channel is None for channel in self.node_channels)
+            and self.left_channel is None
+            and self.right_channel is None
+            and self.readout_error == 0.0
+        )
+
+    @property
+    def key(self) -> Tuple:
+        """Value-level cache key: the per-position channel keys plus readout.
+
+        Unlike a :class:`~repro.quantum.channels.NoiseModel` (whose key does
+        not say how it lands on a particular network's labels), this captures
+        exactly the channels the annotated job evaluates with — the right key
+        for caching compiled programs.
+        """
+        def channel_key(channel):
+            return None if channel is None else channel.key
+
+        return (
+            tuple(channel_key(c) for c in self.edge_channels),
+            tuple(channel_key(c) for c in self.node_channels),
+            channel_key(self.left_channel),
+            channel_key(self.right_channel),
+            self.readout_error,
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class TreeNoise:
+    """Channel annotations of a :class:`TreeJob` (up-forwarding family only).
+
+    Attributes
+    ----------
+    up_channels:
+        One optional channel per node, applied to the register the node
+        forwards to its parent (the physical link toward the root); the
+        root's entry is unused.
+    node_channels:
+        One optional channel per node, applied to every register the node
+        holds (proof delivery for symmetrized nodes, input preparation for
+        fixed leaves).
+    readout_error:
+        Probability that each local test's accept flag is misread.
+    """
+
+    up_channels: Tuple[Optional[KrausChannel], ...]
+    node_channels: Tuple[Optional[KrausChannel], ...]
+    readout_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        error = float(self.readout_error)
+        if not 0.0 <= error <= 1.0:
+            raise ProtocolError(f"readout error must lie in [0, 1], got {error}")
+        object.__setattr__(self, "readout_error", error)
+        object.__setattr__(self, "up_channels", tuple(self.up_channels))
+        object.__setattr__(self, "node_channels", tuple(self.node_channels))
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when no channel is assigned and the readout is perfect."""
+        return (
+            all(channel is None for channel in self.up_channels)
+            and all(channel is None for channel in self.node_channels)
+            and self.readout_error == 0.0
+        )
+
+
 @dataclass(frozen=True, eq=False)
 class ChainJob:
     """One symmetrized SWAP-test chain instance.
@@ -165,12 +332,17 @@ class ChainJob:
         backends can fold into the same Gram contraction as the chain).
     right_kind:
         One of ``"dense"``, ``"projector"``, ``"swap"``.
+    noise:
+        Optional :class:`ChainNoise` channel annotation; when present (and
+        not structurally empty) the job is evaluated on the density-matrix
+        path.
     """
 
     left: np.ndarray
     pairs: np.ndarray
     right_operator: np.ndarray
     right_kind: str = RIGHT_DENSE
+    noise: Optional[ChainNoise] = None
 
     @classmethod
     def from_states(
@@ -179,6 +351,7 @@ class ChainJob:
         node_pairs: Sequence[Tuple[np.ndarray, np.ndarray]],
         right_operator: np.ndarray,
         right_kind: str = RIGHT_DENSE,
+        noise: Optional[ChainNoise] = None,
     ) -> "ChainJob":
         """Build a job from the per-node ``(a_j, b_j)`` state pairs."""
         left_vec = np.asarray(left, dtype=np.complex128).reshape(-1)
@@ -196,7 +369,7 @@ class ChainJob:
                 pairs[index, 1] = b_vec
         else:
             pairs = np.zeros((0, 2, dim), dtype=np.complex128)
-        return cls.from_arrays(left_vec, pairs, right_operator, right_kind)
+        return cls.from_arrays(left_vec, pairs, right_operator, right_kind, noise=noise)
 
     @classmethod
     def from_arrays(
@@ -205,6 +378,7 @@ class ChainJob:
         pairs: np.ndarray,
         right_operator: np.ndarray,
         right_kind: str = RIGHT_DENSE,
+        noise: Optional[ChainNoise] = None,
     ) -> "ChainJob":
         """Fast constructor for callers that already hold stacked arrays.
 
@@ -224,8 +398,14 @@ class ChainJob:
             raise DimensionMismatchError(f"unknown right-end kind {right_kind!r}")
         if right_operator.shape != expected:
             raise DimensionMismatchError("right accept operator has the wrong dimension")
+        if noise is not None:
+            noise.validate(int(pairs.shape[0]), int(left.size), right_kind)
         return cls(
-            left=left, pairs=pairs, right_operator=right_operator, right_kind=right_kind
+            left=left,
+            pairs=pairs,
+            right_operator=right_operator,
+            right_kind=right_kind,
+            noise=noise,
         )
 
     def dense_right_operator(self) -> np.ndarray:
@@ -249,11 +429,21 @@ class ChainJob:
         return int(self.left.size)
 
     @property
-    def shape_key(self) -> Tuple[int, int, str]:
-        """Grouping key ``(m, d, right_kind)`` for stacked batch evaluation."""
+    def is_noisy(self) -> bool:
+        """True when the job carries a non-empty channel annotation."""
+        return self.noise is not None and not self.noise.is_trivial
+
+    @property
+    def shape_key(self) -> Tuple[int, int, str, bool]:
+        """Grouping key ``(m, d, right_kind, noisy)`` for stacked batch evaluation.
+
+        Noisy jobs group apart from clean ones (they contract vectorized
+        densities instead of state vectors), but jobs whose channels differ
+        only in strength share a group — a noise sweep is one stack.
+        """
         key = self.__dict__.get("_shape_key")
         if key is None:
-            key = (self.num_intermediate, self.dim, self.right_kind)
+            key = (self.num_intermediate, self.dim, self.right_kind, self.is_noisy)
             object.__setattr__(self, "_shape_key", key)
         return key
 
@@ -263,8 +453,11 @@ class ChainJob:
         The tree is rooted at the right end (a fixed node that measures its
         single child's forwarded register); the intermediate nodes become
         symmetrized nodes whose arity-2 permutation test *is* the SWAP test,
-        and the left end becomes a fixed leaf.  Both representations evaluate
-        to the same probability — exercised by the engine parity tests.
+        and the left end becomes a fixed leaf.  A :class:`ChainNoise`
+        annotation maps onto the equivalent :class:`TreeNoise` (edge ``j``
+        becomes the up-link of the node forwarding across it).  Both
+        representations evaluate to the same probability — exercised by the
+        engine parity tests.
         """
         builder = TreeJobBuilder()
         measurement = MeasurementSpec(
@@ -283,7 +476,28 @@ class ChainJob:
                 test=TEST_PERM,
             )
         builder.add_node(parent, NODE_FIXED, registers=((self.left,),))
-        return builder.build()
+        return builder.build(noise=self._tree_noise())
+
+    def _tree_noise(self) -> Optional["TreeNoise"]:
+        """The chain's noise annotation in tree-node order (or ``None``)."""
+        if self.noise is None:
+            return None
+        m = self.num_intermediate
+        # Tree node order: root (right end), intermediates m-1 .. 0, left leaf.
+        # The root's node channel is the right end's preparation noise: the
+        # evaluators apply a measuring node's node channel to its target row.
+        up_channels: List[Optional[KrausChannel]] = [None]
+        node_channels: List[Optional[KrausChannel]] = [self.noise.right_channel]
+        for index in range(m - 1, -1, -1):
+            up_channels.append(self.noise.edge_channels[index + 1])
+            node_channels.append(self.noise.node_channels[index])
+        up_channels.append(self.noise.edge_channels[0])
+        node_channels.append(self.noise.left_channel)
+        return TreeNoise(
+            up_channels=tuple(up_channels),
+            node_channels=tuple(node_channels),
+            readout_error=self.noise.readout_error,
+        )
 
 
 @dataclass(frozen=True, eq=False)
@@ -342,6 +556,10 @@ class TreeJob:
         ``(num_rows, d_f)``; row ``r`` across all stacks is register ``r``.
     measurements:
         Per-node optional :class:`LeafMeasurement`.
+    noise:
+        Optional :class:`TreeNoise` channel annotation; when present (and
+        not structurally empty) the job is evaluated on the density-matrix
+        path.
     """
 
     parents: Tuple[int, ...]
@@ -350,9 +568,15 @@ class TreeJob:
     slots: Tuple[Tuple[int, ...], ...]
     factors: Tuple[np.ndarray, ...]
     measurements: Tuple[Optional[LeafMeasurement], ...]
+    noise: Optional[TreeNoise] = None
 
     def __post_init__(self) -> None:
         self._validate()
+
+    @property
+    def is_noisy(self) -> bool:
+        """True when the job carries a non-empty channel annotation."""
+        return self.noise is not None and not self.noise.is_trivial
 
     @property
     def num_nodes(self) -> int:
@@ -395,6 +619,7 @@ class TreeJob:
                 self.slots,
                 tuple(stack.shape for stack in self.factors),
                 measurement_key,
+                self.is_noisy,
             )
             object.__setattr__(self, "_signature", cached)
         return cached
@@ -494,6 +719,30 @@ class TreeJob:
                     raise ProtocolError(
                         "in a fan-out (down-forwarding) job every internal node fans out"
                     )
+        if self.noise is not None and not self.noise.is_trivial:
+            if down:
+                raise ProtocolError(
+                    "noise annotations support the up-forwarding tree family only"
+                )
+            if self.num_factors != 1:
+                raise ProtocolError(
+                    "noise annotations require single-factor registers"
+                )
+            dim = int(self.factors[0].shape[1])
+            _validate_channel_tuple(self.noise.up_channels, n, dim, "up-link")
+            _validate_channel_tuple(self.noise.node_channels, n, dim, "node")
+            for node in range(n):
+                measurement = self.measurements[node]
+                if (
+                    measurement is not None
+                    and measurement.kind in (MEAS_DENSE, MEAS_DIAGONAL)
+                    and self.noise.node_channels[node] is not None
+                ):
+                    raise ProtocolError(
+                        "preparation noise on a dense/diagonal measuring node "
+                        "is not supported: its accept operator carries no "
+                        "prepared reference state"
+                    )
 
     def _validate_measurement(
         self, node: int, measurement: LeafMeasurement, num_rows: int
@@ -538,6 +787,8 @@ class TreeJobBuilder:
         self._slots: List[Tuple[int, ...]] = []
         self._measurements: List[Optional[LeafMeasurement]] = []
         self._rows: List[Tuple[np.ndarray, ...]] = []
+        self._up_channels: List[Optional[KrausChannel]] = []
+        self._node_channels: List[Optional[KrausChannel]] = []
 
     def _add_row(self, register: Union[np.ndarray, Sequence[np.ndarray]]) -> int:
         if isinstance(register, np.ndarray) and register.ndim == 1:
@@ -565,8 +816,17 @@ class TreeJobBuilder:
         registers: Sequence[Union[np.ndarray, Sequence[np.ndarray]]] = (),
         test: str = TEST_NONE,
         measurement: Optional[MeasurementSpec] = None,
+        up_channel: Optional[KrausChannel] = None,
+        node_channel: Optional[KrausChannel] = None,
     ) -> int:
-        """Append a node; returns its index (use as ``parent`` for children)."""
+        """Append a node; returns its index (use as ``parent`` for children).
+
+        ``up_channel`` is the noise of the link toward the parent (applied
+        to the register this node forwards up); ``node_channel`` the noise
+        of the node's own registers.  Any non-``None`` channel (or a
+        non-zero ``readout_error`` passed to :meth:`build`) makes the built
+        job a noisy one.
+        """
         if parent >= len(self._parents):
             raise ProtocolError("tree nodes must be added parent-first (topological order)")
         bound = None
@@ -589,16 +849,33 @@ class TreeJobBuilder:
         self._tests.append(test)
         self._slots.append(tuple(self._add_row(register) for register in registers))
         self._measurements.append(bound)
+        self._up_channels.append(up_channel)
+        self._node_channels.append(node_channel)
         return len(self._parents) - 1
 
-    def build(self) -> TreeJob:
-        """Freeze the accumulated nodes into a validated :class:`TreeJob`."""
+    def build(
+        self, noise: Optional[TreeNoise] = None, readout_error: float = 0.0
+    ) -> TreeJob:
+        """Freeze the accumulated nodes into a validated :class:`TreeJob`.
+
+        An explicit ``noise`` annotation overrides the per-node channels
+        collected by :meth:`add_node`; otherwise those channels (plus
+        ``readout_error``) are assembled into one, or omitted entirely when
+        all are empty.
+        """
         if not self._rows:
             raise ProtocolError("a tree job needs at least one register or target state")
         factors = tuple(
             np.stack([row[factor] for row in self._rows])
             for factor in range(self.num_factors)
         )
+        if noise is None:
+            assembled = TreeNoise(
+                up_channels=tuple(self._up_channels),
+                node_channels=tuple(self._node_channels),
+                readout_error=readout_error,
+            )
+            noise = None if assembled.is_trivial else assembled
         return TreeJob(
             parents=tuple(self._parents),
             kinds=tuple(self._kinds),
@@ -606,6 +883,7 @@ class TreeJobBuilder:
             slots=tuple(self._slots),
             factors=factors,
             measurements=tuple(self._measurements),
+            noise=noise,
         )
 
 
@@ -686,9 +964,9 @@ class ChainProgram(TreeProgram):
 
 def group_jobs_by_shape(
     jobs: Sequence[ChainJob],
-) -> Dict[Tuple[int, int, str], List[int]]:
-    """Indices of ``jobs`` grouped by ``(m, dim, right_kind)`` for stacking."""
-    groups: Dict[Tuple[int, int, str], List[int]] = {}
+) -> Dict[Tuple[int, int, str, bool], List[int]]:
+    """Indices of ``jobs`` grouped by ``(m, dim, right_kind, noisy)`` for stacking."""
+    groups: Dict[Tuple[int, int, str, bool], List[int]] = {}
     for index, job in enumerate(jobs):
         groups.setdefault(job.shape_key, []).append(index)
     return groups

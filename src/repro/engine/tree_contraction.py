@@ -22,11 +22,26 @@ Two evaluators share the node semantics:
     one array per tensor factor, computes every overlap of the group with a
     single batched Gram product per factor (the PR-1 chain trick), and runs
     the same leaf-to-root recursion vectorized over the batch axis.
+
+Noisy jobs (a :class:`~repro.engine.jobs.TreeNoise` annotation) evaluate on
+a density-matrix generalization of the same contraction: every register
+row becomes two density matrices — its *kept* form (node channel applied)
+and its *sent* form (up-link channel applied on top) — squared overlaps
+become Hilbert-Schmidt traces ``Tr(rho sigma)`` (computed for a whole batch
+by the same Gram matmul on vectorized densities), permutation tests use the
+cycle expansion ``Tr(P_sym rho_1 x ... x rho_k) = (1/k!) sum_pi prod_cycles
+Tr(prod rho)``, and every local test factor passes through the readout-error
+flip.  The scalar reference applies channels through their Kraus sums while
+the batched path routes through superoperators — an independent cross-check
+exercised by the noise parity tests.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+from itertools import permutations as iter_permutations
 from itertools import product as iter_product
+from math import factorial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -49,6 +64,7 @@ from repro.engine.jobs import (
     router_assignments,
 )
 from repro.exceptions import ProtocolError
+from repro.quantum.channels import apply_channel_grid, flip_probability
 
 
 def _threshold_tail(match_probabilities: np.ndarray, threshold: int) -> np.ndarray:
@@ -216,8 +232,172 @@ def _down_scalar(job: TreeJob) -> float:
     return float(min(max(float(weights[0].sum()), 0.0), 1.0))
 
 
+# --------------------------------------------------------------------------
+# Noisy (density-matrix) evaluation
+# --------------------------------------------------------------------------
+
+
+def _row_owners(job: TreeJob) -> List[Optional[int]]:
+    """The node owning each state row, for channel assignment.
+
+    Register rows belong to the node whose slots hold them; a vector
+    measurement's target row belongs to the measuring node, so that node's
+    *node channel* models preparation noise of the verifier's reference
+    state (target rows are only ever read in kept space — their sent form
+    is never used, and measuring nodes forward nothing).
+    """
+    owners: List[Optional[int]] = [None] * job.factors[0].shape[0]
+    for node, slots in enumerate(job.slots):
+        for row in slots:
+            owners[row] = node
+    for node, measurement in enumerate(job.measurements):
+        if measurement is not None and measurement.target_row is not None:
+            owners[measurement.target_row] = node
+    return owners
+
+
+@lru_cache(maxsize=32)
+def _permutation_cycle_sets(arity: int) -> Tuple[Tuple[Tuple[int, ...], ...], ...]:
+    """Cycle decomposition of every permutation of ``S_arity`` (cached)."""
+    decompositions = []
+    for permutation in iter_permutations(range(arity)):
+        seen = [False] * arity
+        cycles = []
+        for start in range(arity):
+            if seen[start]:
+                continue
+            cycle = [start]
+            seen[start] = True
+            follow = permutation[start]
+            while follow != start:
+                cycle.append(follow)
+                seen[follow] = True
+                follow = permutation[follow]
+            cycles.append(tuple(cycle))
+        decompositions.append(tuple(cycles))
+    return tuple(decompositions)
+
+
+def _mixed_perm_accept(matrices: Sequence[np.ndarray]) -> float:
+    """``Tr(P_sym rho_1 x ... x rho_k)`` via the permutation-cycle expansion.
+
+    Each permutation contributes the product, over its cycles, of the trace
+    of the densities multiplied along the cycle; length-1 cycles contribute
+    ``Tr(rho) = 1`` (channels are trace preserving).  For pure states this
+    reduces to the Gram-permanent formula of the noiseless path, and for
+    ``k = 2`` to the SWAP-test value ``1/2 + 1/2 Tr(rho sigma)``.
+    """
+    arity = len(matrices)
+    total = 0.0 + 0.0j
+    for cycles in _permutation_cycle_sets(arity):
+        term = 1.0 + 0.0j
+        for cycle in cycles:
+            if len(cycle) == 1:
+                continue
+            product = matrices[cycle[0]]
+            for index in cycle[1:]:
+                product = product @ matrices[index]
+            term *= np.trace(product)
+        total += term
+    return float(np.clip(total.real / factorial(arity), 0.0, 1.0))
+
+
+def _scalar_noisy_densities(job: TreeJob) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row *(kept, sent)* density matrices, via plain Kraus sums.
+
+    ``kept[r]`` is the register after its owner's node channel; ``sent[r]``
+    additionally passes the owner's up-link channel.  A measurement target
+    row is owned by its measuring node (see :func:`_row_owners`), so that
+    node's node channel models preparation noise of the verifier's
+    reference state; only the target's *sent* form is never used.
+    """
+    states = job.factors[0]
+    num_rows, dim = states.shape
+    owners = _row_owners(job)
+    kept = np.empty((num_rows, dim, dim), dtype=np.complex128)
+    sent = np.empty_like(kept)
+    for row in range(num_rows):
+        rho = np.outer(states[row], states[row].conj())
+        owner = owners[row]
+        if owner is not None:
+            node_channel = job.noise.node_channels[owner]
+            if node_channel is not None:
+                rho = node_channel.apply(rho)
+        kept[row] = rho
+        up_channel = job.noise.up_channels[owner] if owner is not None else None
+        sent[row] = up_channel.apply(rho) if up_channel is not None else rho
+    return kept, sent
+
+
+def _noisy_measure_value(
+    measurement: LeafMeasurement, rho: np.ndarray, kept: np.ndarray
+) -> float:
+    """One measurement accept factor on a density matrix (before readout flip)."""
+    if measurement.kind == MEAS_DENSE:
+        return float(np.trace(measurement.operator @ rho).real)
+    if measurement.kind == MEAS_DIAGONAL:
+        return float(np.sum(measurement.operator * np.diag(rho)).real)
+    match = float(np.trace(kept[measurement.target_row] @ rho).real)
+    if measurement.kind == MEAS_PROJECTOR:
+        return match
+    if measurement.kind == MEAS_SWAP:
+        return 0.5 + 0.5 * match
+    if measurement.kind == MEAS_MATCH_ANY:
+        return match
+    return float(_threshold_tail(np.array([match]), measurement.threshold))
+
+
+def _up_scalar_noisy(job: TreeJob) -> float:
+    """Scalar reference for noisy up-family jobs: densities plus readout flips."""
+    kept_densities, sent_densities = _scalar_noisy_densities(job)
+    error = job.noise.readout_error
+    children = job.children
+    choices = [_up_choices(job, node) for node in range(job.num_nodes)]
+    weights: List[Optional[List[float]]] = [None] * job.num_nodes
+    for node in range(job.num_nodes - 1, -1, -1):
+        ch = children[node]
+        test = job.tests[node]
+        node_weights: List[float] = []
+        for probability, kept, _ in choices[node]:
+            if not ch or test == TEST_NONE:
+                value = probability
+                for c in ch:
+                    value *= sum(weights[c])
+            elif test == TEST_MEASURE:
+                c = ch[0]
+                total = 0.0
+                for j, (_, _, forwarded) in enumerate(choices[c]):
+                    accept = _noisy_measure_value(
+                        job.measurements[node],
+                        sent_densities[_require_row(forwarded, c)],
+                        kept_densities,
+                    )
+                    total += flip_probability(accept, error) * weights[c][j]
+                value = probability * total
+            else:  # TEST_PERM
+                total = 0.0
+                for combo in iter_product(*[range(len(choices[c])) for c in ch]):
+                    matrices = [kept_densities[_require_row(kept, node)]]
+                    term = 1.0
+                    for c, j in zip(ch, combo):
+                        matrices.append(
+                            sent_densities[_require_row(choices[c][j][2], c)]
+                        )
+                        term *= weights[c][j]
+                    if term != 0.0:
+                        term *= flip_probability(_mixed_perm_accept(matrices), error)
+                    total += term
+                value = probability * total
+            node_weights.append(value)
+        weights[node] = node_weights
+    return float(min(max(sum(weights[0]), 0.0), 1.0))
+
+
 def tree_acceptance_probability(job: TreeJob) -> float:
     """Exact acceptance probability of one tree job (scalar reference)."""
+    if job.is_noisy:
+        # Validation restricts noisy jobs to the up-forwarding family.
+        return _up_scalar_noisy(job)
     if _is_down_family(job):
         return _down_scalar(job)
     return _up_scalar(job)
@@ -229,12 +409,27 @@ def tree_acceptance_probability(job: TreeJob) -> float:
 
 
 class _GroupContext:
-    """Stacked states and cached Gram products of one signature group."""
+    """Stacked states and cached Gram products of one signature group.
+
+    In *noisy* mode (the group's jobs carry a :class:`~repro.engine.jobs.
+    TreeNoise`) the context stacks, per job, the kept and sent density
+    matrices of every register row — ``2 R`` rows of ``d x d`` densities,
+    built through each job's own channel superoperators — and replaces the
+    squared-overlap Gram with the Hilbert-Schmidt trace Gram
+    ``Tr(rho_r rho_s)`` of the vectorized densities.  Rows ``R + r`` are the
+    sent (up-link-transformed) forms; :meth:`sent_row` maps between the
+    spaces.  All accept factors pass through the per-job readout flip.
+    """
 
     def __init__(self, group: Sequence[TreeJob]):
         self.group = group
         self.template = group[0]
         self.batch = len(group)
+        self._dense_operators: Dict[int, np.ndarray] = {}
+        self.noisy = self.template.is_noisy
+        if self.noisy:
+            self._init_noisy(group)
+            return
         num_factors = self.template.num_factors
         self.stacks = [
             np.stack([job.factors[f] for job in group]) for f in range(num_factors)
@@ -252,17 +447,80 @@ class _GroupContext:
         for extra in self.overlap_sq[1:]:
             product = product * extra
         self.overlap_sq_product = product
-        self._dense_operators: Dict[int, np.ndarray] = {}
+
+    def _init_noisy(self, group: Sequence[TreeJob]) -> None:
+        template = self.template
+        num_rows, dim = template.factors[0].shape
+        self.num_rows = num_rows
+        owners = _row_owners(template)
+        states = np.stack([job.factors[0] for job in group])
+        pure = states[:, :, :, None] * states.conj()[:, :, None, :]
+        kept_grid = [
+            [
+                None if owner is None else job.noise.node_channels[owner]
+                for owner in owners
+            ]
+            for job in group
+        ]
+        sent_grid = [
+            [
+                None if owner is None else job.noise.up_channels[owner]
+                for owner in owners
+            ]
+            for job in group
+        ]
+        densities = np.empty(
+            (self.batch, 2 * num_rows, dim, dim), dtype=np.complex128
+        )
+        kept = apply_channel_grid(kept_grid, pure)
+        densities[:, :num_rows] = kept
+        densities[:, num_rows:] = apply_channel_grid(sent_grid, kept)
+        self.densities = densities
+        vectors = densities.reshape(self.batch, 2 * num_rows, dim * dim)
+        # Tr(rho sigma) = vec(rho) . conj(vec(sigma)) for Hermitian matrices:
+        # the same batched Gram matmul as the pure path, on density rows.
+        self.trace_gram = np.matmul(vectors, vectors.conj().transpose(0, 2, 1)).real
+        self.eps = np.array([job.noise.readout_error for job in group])
+        self._cycle_traces: Dict[Tuple[int, ...], np.ndarray] = {}
+
+    def sent_row(self, row: int) -> int:
+        """The row index of a register's *sent* (up-link-transformed) form."""
+        return row + self.num_rows if self.noisy else row
 
     def swap_accept(self, row_a: int, row_b: int) -> np.ndarray:
+        if self.noisy:
+            return flip_probability(
+                0.5 + 0.5 * self.trace_gram[:, row_a, row_b], self.eps
+            )
         return 0.5 + 0.5 * self.overlap_sq_product[:, row_a, row_b]
 
+    def _cycle_trace(self, cycle_rows: Tuple[int, ...]) -> np.ndarray:
+        """``Tr(prod rho)`` along one cycle, cached under its canonical rotation."""
+        pivot = cycle_rows.index(min(cycle_rows))
+        key = cycle_rows[pivot:] + cycle_rows[:pivot]
+        cached = self._cycle_traces.get(key)
+        if cached is None:
+            product = self.densities[:, key[0]]
+            for row in key[1:]:
+                product = np.matmul(product, self.densities[:, row])
+            cached = np.trace(product, axis1=1, axis2=2)
+            self._cycle_traces[key] = cached
+        return cached
+
     def perm_accept(self, rows: Sequence[int]) -> np.ndarray:
+        if self.noisy:
+            total = np.zeros(self.batch, dtype=np.complex128)
+            for cycles in _permutation_cycle_sets(len(rows)):
+                term = np.ones(self.batch, dtype=np.complex128)
+                for cycle in cycles:
+                    if len(cycle) == 1:
+                        continue  # trace-one densities (channels preserve trace)
+                    term = term * self._cycle_trace(tuple(rows[i] for i in cycle))
+                total += term
+            accepts = np.clip(total.real / factorial(len(rows)), 0.0, 1.0)
+            return flip_probability(accepts, self.eps)
         if len(rows) == 2:
             return self.swap_accept(rows[0], rows[1])
-        from itertools import permutations as iter_permutations
-        from math import factorial
-
         total = np.zeros(self.batch, dtype=np.complex128)
         for permutation in iter_permutations(range(len(rows))):
             term = np.ones(self.batch, dtype=np.complex128)
@@ -279,6 +537,8 @@ class _GroupContext:
         return self._dense_operators[node]
 
     def measure(self, node: int, row: int) -> np.ndarray:
+        if self.noisy:
+            return self._measure_noisy(node, row)
         measurement = self.template.measurements[node]
         if measurement.kind == MEAS_DENSE:
             states = self.stacks[0][:, row]
@@ -302,6 +562,29 @@ class _GroupContext:
             return 1.0 - np.prod(1.0 - matches, axis=0)
         return _threshold_tail(matches, measurement.threshold)
 
+    def _measure_noisy(self, node: int, row: int) -> np.ndarray:
+        """Measurement factors on density rows (``row`` is in extended space)."""
+        measurement = self.template.measurements[node]
+        if measurement.kind == MEAS_DENSE:
+            operators = self._node_operators(node)
+            values = np.einsum(
+                "bij,bji->b", operators, self.densities[:, row]
+            ).real
+        elif measurement.kind == MEAS_DIAGONAL:
+            diagonals = self._node_operators(node)
+            values = np.einsum(
+                "bi,bii->b", diagonals, self.densities[:, row]
+            ).real
+        else:
+            match = self.trace_gram[:, row, measurement.target_row]
+            if measurement.kind in (MEAS_PROJECTOR, MEAS_MATCH_ANY):
+                values = match
+            elif measurement.kind == MEAS_SWAP:
+                values = 0.5 + 0.5 * match
+            else:
+                values = _threshold_tail(match[None, :], measurement.threshold)
+        return flip_probability(values, self.eps)
+
 
 def _up_batched(context: _GroupContext) -> np.ndarray:
     job = context.template
@@ -324,7 +607,8 @@ def _up_batched(context: _GroupContext) -> np.ndarray:
             total = np.zeros(batch)
             for j, (_, _, forwarded) in enumerate(choices[c]):
                 total += (
-                    context.measure(node, _require_row(forwarded, c)) * weights[c][:, j]
+                    context.measure(node, context.sent_row(_require_row(forwarded, c)))
+                    * weights[c][:, j]
                 )
             for i, (probability, _, _) in enumerate(choices[node]):
                 node_weights[:, i] = probability * total
@@ -335,7 +619,7 @@ def _up_batched(context: _GroupContext) -> np.ndarray:
                     rows = [_require_row(kept, node)]
                     term = np.ones(batch)
                     for c, j in zip(ch, combo):
-                        rows.append(_require_row(choices[c][j][2], c))
+                        rows.append(context.sent_row(_require_row(choices[c][j][2], c)))
                         term = term * weights[c][:, j]
                     total += context.perm_accept(rows) * term
                 node_weights[:, i] = probability * total

@@ -42,3 +42,7 @@ class EncodingError(ReproError):
 
 class BoundError(ReproError):
     """Raised when a bound calculator receives parameters out of its domain."""
+
+
+class ChannelError(ReproError):
+    """Raised when a noise channel is not trace preserving or misconfigured."""

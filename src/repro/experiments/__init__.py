@@ -14,11 +14,23 @@ that the ``benchmarks/`` harness prints and that ``EXPERIMENTS.md`` documents.
 * :mod:`repro.experiments.soundness_scaling` — the exact optimal cheating
   probability of the Algorithm 3 chain as a function of the path length,
   compared against the ``1 - 4/(81 r^2)`` bound of Lemma 17.
+* :mod:`repro.experiments.noise_robustness` — batched sweeps of acceptance
+  probability and decision gap versus Kraus-channel noise strength for the
+  path, tree and relay protocol families.
 * :mod:`repro.experiments.runner` — the unified scenario registry and
   :class:`ExperimentRunner` (optional process-pool parallelism) that the
   report generator and the benchmark harness route through.
+* :mod:`repro.experiments.catalog` — the registry rendered as the README's
+  scenario table (``python -m repro.experiments.catalog``).
 """
 
+from repro.experiments.catalog import scenario_catalog_markdown
+from repro.experiments.noise_robustness import (
+    channel_comparison,
+    path_noise_sweep,
+    relay_noise_sweep,
+    tree_noise_sweep,
+)
 from repro.experiments.records import ExperimentRow, format_rows
 from repro.experiments.runner import (
     ExperimentRunner,
@@ -50,4 +62,9 @@ __all__ = [
     "find_crossover",
     "long_path_sweep",
     "soundness_scaling_sweep",
+    "channel_comparison",
+    "path_noise_sweep",
+    "relay_noise_sweep",
+    "tree_noise_sweep",
+    "scenario_catalog_markdown",
 ]

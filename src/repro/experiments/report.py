@@ -10,8 +10,9 @@ Usage (command line)::
 The report routes every section through the unified
 :class:`~repro.experiments.runner.ExperimentRunner`: Tables 1-3 of the paper,
 the small-instance protocol verification, the quantum/classical crossover
-sweeps and the soundness-scaling experiment — the same content the benchmark
-harness prints, gathered in one place for lab notebooks or CI artifacts.
+sweeps, the soundness-scaling experiments and the noise-robustness sweeps —
+the same content the benchmark harness prints, gathered in one place for lab
+notebooks or CI artifacts.
 """
 
 from __future__ import annotations
@@ -42,9 +43,18 @@ SOUNDNESS_SCENARIOS = [
     "soundness-one-way-tree",
 ]
 
+#: Robustness sections: protocol degradation under the Kraus noise channels.
+NOISE_SCENARIOS = [
+    "noise-robustness-path",
+    "noise-robustness-tree",
+    "noise-robustness-relay",
+    "noise-channels",
+]
+
 
 def generate_report(
     include_soundness: bool = True,
+    include_noise: bool = True,
     parallel: bool = False,
     max_workers: Optional[int] = None,
 ) -> str:
@@ -52,6 +62,8 @@ def generate_report(
     scenarios = list(REPORT_SCENARIOS)
     if include_soundness:
         scenarios += SOUNDNESS_SCENARIOS
+    if include_noise:
+        scenarios += NOISE_SCENARIOS
     runner = ExperimentRunner(scenarios, parallel=parallel, max_workers=max_workers)
     return runner.render()
 

@@ -27,6 +27,12 @@ from typing import Callable, List, Mapping, Optional, Sequence
 
 from repro.exceptions import ProtocolError
 from repro.experiments.crossover import crossover_sweep, find_crossover, long_path_sweep
+from repro.experiments.noise_robustness import (
+    channel_comparison,
+    path_noise_sweep,
+    relay_noise_sweep,
+    tree_noise_sweep,
+)
 from repro.experiments.records import ExperimentRow, format_rows
 from repro.experiments.soundness_scaling import repetition_curve, soundness_scaling_sweep
 from repro.experiments.tree_soundness import (
@@ -234,4 +240,28 @@ register_scenario(
     one_way_tree_soundness_sweep,
     title="Theorem 32 — one-way-tree soundness (batched strategy search)",
     description="Best structured cheat on the forall-pairs construction per network family.",
+)
+register_scenario(
+    "noise-robustness-path",
+    path_noise_sweep,
+    title="Noise — Algorithm 3 equality path under depolarizing links",
+    description="Completeness and decision gap of the path protocol versus noise strength.",
+)
+register_scenario(
+    "noise-robustness-tree",
+    tree_noise_sweep,
+    title="Noise — Algorithm 5 equality tree under depolarizing links",
+    description="Completeness and decision gap of the tree protocol versus noise strength.",
+)
+register_scenario(
+    "noise-robustness-relay",
+    relay_noise_sweep,
+    title="Noise — Algorithm 6 relay protocol under depolarizing links",
+    description="Completeness and decision gap of the relay protocol versus noise strength.",
+)
+register_scenario(
+    "noise-channels",
+    channel_comparison,
+    title="Noise — channel families compared at fixed strength",
+    description="Path-protocol degradation under each Kraus channel family at one strength.",
 )

@@ -14,6 +14,12 @@ The central abstractions are
 ``RepeatedProtocol``
     Generic parallel repetition (the paper's Algorithm 4 pattern): a node of
     the repeated protocol accepts iff it accepts in every copy.
+
+Noise-capable protocols (equality on paths and trees, the relay protocol)
+additionally accept a :class:`~repro.quantum.channels.NoiseModel` and
+translate it into engine-level channel annotations when compiling their
+acceptance programs; the base class needs no noise hooks because the
+annotations live on the compiled jobs.
 """
 
 from __future__ import annotations

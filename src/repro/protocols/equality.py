@@ -7,6 +7,15 @@ verification tree, using the permutation test).  Both have perfect
 completeness; the single-shot soundness gap is ``4 / (81 r^2)`` (Lemma 17) and
 parallel repetition (Algorithm 4, :class:`repro.protocols.base.RepeatedProtocol`)
 brings the soundness error below 1/3.
+
+Both protocols accept an optional :class:`~repro.quantum.channels.NoiseModel`
+assigning Kraus channels to the network's links (registers in transit) and
+nodes (proof delivery / input preparation) plus a measurement readout error;
+a non-empty model switches the compiled jobs onto the engine's
+density-matrix path.  The entangled-adversary analyses
+(:meth:`EqualityPathProtocol.acceptance_operator` and friends) remain
+noiseless by design: they characterise the ideal protocol the noisy runs are
+compared against.
 """
 
 from __future__ import annotations
@@ -35,11 +44,13 @@ from repro.engine import (
     TEST_NONE,
     TEST_PERM,
     ChainJob,
+    ChainNoise,
     ChainProgram,
     TreeJob,
     TreeJobBuilder,
     TreeProgram,
 )
+from repro.quantum.channels import NoiseModel
 from repro.engine.jobs import MAX_PERM_TEST_ARITY
 from repro.protocols.chain import (
     chain_acceptance_operator,
@@ -75,6 +86,7 @@ class EqualityPathProtocol(DQMAProtocol):
         network: Network,
         fingerprints: FingerprintScheme,
         problem: Optional[EqualityProblem] = None,
+        noise: Optional[NoiseModel] = None,
     ):
         if problem is None:
             problem = EqualityProblem(fingerprints.input_length, num_inputs=2)
@@ -84,15 +96,52 @@ class EqualityPathProtocol(DQMAProtocol):
         self.fingerprints = fingerprints
         self.path_nodes = _ordered_path_nodes(network)
         self.path_length = len(self.path_nodes) - 1
+        self.noise = noise
+        self._chain_noise = self._build_chain_noise()
 
     # -- layout --------------------------------------------------------------
 
     @classmethod
-    def on_path(cls, input_length: int, path_length: int, fingerprints: Optional[FingerprintScheme] = None):
+    def on_path(
+        cls,
+        input_length: int,
+        path_length: int,
+        fingerprints: Optional[FingerprintScheme] = None,
+        noise: Optional[NoiseModel] = None,
+    ):
         """Convenience constructor on the standard path ``v0 .. v_r``."""
         if fingerprints is None:
             fingerprints = ExactCodeFingerprint(input_length)
-        return cls(path_network(path_length), fingerprints)
+        return cls(path_network(path_length), fingerprints, noise=noise)
+
+    def _build_chain_noise(self) -> Optional[ChainNoise]:
+        """The noise model mapped onto this path's edges and nodes (or ``None``)."""
+        if self.noise is None or self.noise.is_trivial:
+            return None
+        edges = tuple(
+            self.noise.link_channel(self.path_nodes[i], self.path_nodes[i + 1])
+            for i in range(self.path_length)
+        )
+        nodes = tuple(
+            self.noise.node_channel(self.path_nodes[i])
+            for i in range(1, self.path_length)
+        )
+        annotation = ChainNoise(
+            edge_channels=edges,
+            node_channels=nodes,
+            left_channel=self.noise.node_channel(self.path_nodes[0]),
+            right_channel=self.noise.node_channel(self.path_nodes[-1]),
+            readout_error=self.noise.readout_error,
+        )
+        annotation.validate(self.path_length - 1, self.fingerprints.dim, RIGHT_PROJECTOR)
+        return annotation
+
+    @property
+    def _noise_key(self):
+        # Keyed on the *derived* per-edge annotation, not the raw NoiseModel:
+        # the same model lands differently on differently-labeled networks,
+        # and protocols sharing an engine cache must not exchange programs.
+        return None if self._chain_noise is None else self._chain_noise.key
 
     def _register_name(self, node_index: int, slot: int) -> str:
         return f"R[{node_index},{slot}]"
@@ -143,7 +192,11 @@ class EqualityPathProtocol(DQMAProtocol):
         fingerprint = self.fingerprints.state(x)
         pairs = np.broadcast_to(fingerprint, (self.path_length - 1, 2, fingerprint.size))
         return ChainJob.from_arrays(
-            fingerprint, pairs, self.fingerprints.state(y), right_kind=RIGHT_PROJECTOR
+            fingerprint,
+            pairs,
+            self.fingerprints.state(y),
+            right_kind=RIGHT_PROJECTOR,
+            noise=self._chain_noise,
         )
 
     def _acceptance_program(
@@ -153,7 +206,13 @@ class EqualityPathProtocol(DQMAProtocol):
             # Key on the raw input tuple: a hit implies an identical tuple was
             # validated when the program was first built.
             cache = self.engine.cache
-            key = ("eq-honest-program", self.fingerprints, self.path_length, tuple(inputs))
+            key = (
+                "eq-honest-program",
+                self.fingerprints,
+                self.path_length,
+                self._noise_key,
+                tuple(inputs),
+            )
             program = cache.get(key)
             if program is None:
                 inputs = self.problem.validate_inputs(inputs)
@@ -176,6 +235,7 @@ class EqualityPathProtocol(DQMAProtocol):
                 node_pairs,
                 self.fingerprints.state(inputs[1]),
                 right_kind=RIGHT_PROJECTOR,
+                noise=self._chain_noise,
             )
         return ChainProgram.single(job)
 
@@ -237,6 +297,7 @@ class EqualityTreeProtocol(DQMAProtocol):
         fingerprints: FingerprintScheme,
         problem: Optional[EqualityProblem] = None,
         root: Optional[NodeId] = None,
+        noise: Optional[NoiseModel] = None,
     ):
         if problem is None:
             problem = EqualityProblem(fingerprints.input_length, num_inputs=network.num_terminals)
@@ -244,6 +305,7 @@ class EqualityTreeProtocol(DQMAProtocol):
             raise ProtocolError("fingerprint scheme and problem disagree on the input length")
         super().__init__(problem, network)
         self.fingerprints = fingerprints
+        self.noise = noise
         self.tree: VerificationTree = build_verification_tree(network, root=root)
         self._input_nodes = set(self.tree.terminal_leaves.values())
         self._terminal_of_input_node = {
@@ -316,14 +378,28 @@ class EqualityTreeProtocol(DQMAProtocol):
         Every node with children permutation-tests its kept register against
         what its children forward up — Algorithm 5 verbatim, but expressed
         as an engine job instead of a pattern enumeration.
+
+        A non-empty noise model annotates every node with its physical
+        link's channel (toward the parent — shadow leaves stay inside their
+        physical node and pick up no link noise) and its physical node's
+        delivery/preparation channel.
         """
         builder = TreeJobBuilder()
         index_of = {}
         root = self.tree.root
+        noise = None if self.noise is None or self.noise.is_trivial else self.noise
         for node in self._compile_order:
             parent = self.tree.parent(node)
             parent_index = -1 if parent is None else index_of[parent]
             has_children = bool(self.tree.children(node))
+            up_channel = node_channel = None
+            if noise is not None:
+                physical = self.tree.shadow_of.get(node, node)
+                node_channel = noise.node_channel(physical)
+                if parent is not None:
+                    parent_physical = self.tree.shadow_of.get(parent, parent)
+                    if parent_physical != physical:
+                        up_channel = noise.link_channel(physical, parent_physical)
             if node in self._input_nodes:
                 tests = TEST_PERM if node == root and has_children else TEST_NONE
                 index_of[node] = builder.add_node(
@@ -331,6 +407,8 @@ class EqualityTreeProtocol(DQMAProtocol):
                     NODE_FIXED,
                     registers=(self.fingerprints.state(self._input_of_node(node, inputs)),),
                     test=tests,
+                    up_channel=up_channel,
+                    node_channel=node_channel,
                 )
             else:
                 index_of[node] = builder.add_node(
@@ -338,8 +416,12 @@ class EqualityTreeProtocol(DQMAProtocol):
                     NODE_SYM,
                     registers=(register_state(node, 0), register_state(node, 1)),
                     test=TEST_PERM if has_children else TEST_NONE,
+                    up_channel=up_channel,
+                    node_channel=node_channel,
                 )
-        return builder.build()
+        return builder.build(
+            readout_error=0.0 if noise is None else noise.readout_error
+        )
 
     def _acceptance_program(
         self, inputs: Sequence[str], proof: Optional[ProductProof]
@@ -372,6 +454,13 @@ class EqualityTreeProtocol(DQMAProtocol):
     def _scalar_acceptance_probability(
         self, inputs: Sequence[str], proof: Optional[ProductProof]
     ) -> float:
+        if self.noise is not None and not self.noise.is_trivial:
+            raise ProtocolError(
+                "noisy evaluation requires engine-compilable trees; this "
+                f"instance exceeds the arity-{MAX_PERM_TEST_ARITY} "
+                "permutation-test limit and the enumerated fallback is "
+                "noiseless"
+            )
         return self.enumerated_acceptance_probability(inputs, proof)
 
     def enumerated_acceptance_probability(

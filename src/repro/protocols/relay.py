@@ -21,8 +21,9 @@ from repro.comm.problems import EqualityProblem
 from repro.exceptions import ProtocolError
 from repro.network.spanning_tree import build_verification_tree
 from repro.network.topology import Network, NodeId, path_network
-from repro.engine import RIGHT_SWAP, ChainJob, ChainProgram
+from repro.engine import RIGHT_SWAP, ChainJob, ChainNoise, ChainProgram
 from repro.protocols.base import DQMAProtocol, ProductProof, ProofRegister
+from repro.quantum.channels import NoiseModel
 from repro.protocols.chain import chain_acceptance_probability, right_end_swap_operator
 from repro.protocols.equality import _ordered_path_nodes
 from repro.quantum.fingerprint import ExactCodeFingerprint, FingerprintScheme
@@ -44,6 +45,7 @@ class RelayEqualityProtocol(DQMAProtocol):
         segment_repetitions: Optional[int] = None,
         problem: Optional[EqualityProblem] = None,
         path_nodes: Optional[List[NodeId]] = None,
+        noise: Optional[NoiseModel] = None,
     ):
         if problem is None:
             problem = EqualityProblem(fingerprints.input_length, num_inputs=2)
@@ -82,6 +84,8 @@ class RelayEqualityProtocol(DQMAProtocol):
         self.segment_repetitions = int(segment_repetitions)
         self.relay_indices = self._relay_indices()
         self.anchor_indices = [0] + self.relay_indices + [self.path_length]
+        self.noise = noise
+        self._segment_noise = self._build_segment_noise()
 
     @classmethod
     def on_path(
@@ -91,6 +95,7 @@ class RelayEqualityProtocol(DQMAProtocol):
         relay_spacing: Optional[int] = None,
         segment_repetitions: Optional[int] = None,
         fingerprints: Optional[FingerprintScheme] = None,
+        noise: Optional[NoiseModel] = None,
     ) -> "RelayEqualityProtocol":
         """Convenience constructor on the standard path ``v0 .. v_r``."""
         if fingerprints is None:
@@ -100,7 +105,46 @@ class RelayEqualityProtocol(DQMAProtocol):
             fingerprints,
             relay_spacing=relay_spacing,
             segment_repetitions=segment_repetitions,
+            noise=noise,
         )
+
+    def _build_segment_noise(self) -> List[Optional[ChainNoise]]:
+        """The noise model mapped onto each segment's chain (fingerprint legs only).
+
+        The relay registers' computational-basis measurement stays noiseless
+        (its outcome distribution is classical); the fingerprint chains
+        between consecutive anchors pick up the model's link channels, the
+        interior nodes' delivery channels, both anchors' preparation
+        channels (the right anchor's applies to the SWAP test's reference
+        state) and the readout error of each SWAP test.
+        """
+        num_segments = len(self.anchor_indices) - 1
+        if self.noise is None or self.noise.is_trivial:
+            return [None] * num_segments
+        annotations: List[Optional[ChainNoise]] = []
+        for segment in range(num_segments):
+            left_anchor = self.anchor_indices[segment]
+            right_anchor = self.anchor_indices[segment + 1]
+            edges = tuple(
+                self.noise.link_channel(self.path_nodes[i], self.path_nodes[i + 1])
+                for i in range(left_anchor, right_anchor)
+            )
+            nodes = tuple(
+                self.noise.node_channel(self.path_nodes[i])
+                for i in range(left_anchor + 1, right_anchor)
+            )
+            annotation = ChainNoise(
+                edge_channels=edges,
+                node_channels=nodes,
+                left_channel=self.noise.node_channel(self.path_nodes[left_anchor]),
+                right_channel=self.noise.node_channel(self.path_nodes[right_anchor]),
+                readout_error=self.noise.readout_error,
+            )
+            annotation.validate(
+                right_anchor - left_anchor - 1, self.fingerprints.dim, RIGHT_SWAP
+            )
+            annotations.append(annotation)
+        return annotations
 
     @classmethod
     def on_tree(
@@ -110,6 +154,7 @@ class RelayEqualityProtocol(DQMAProtocol):
         relay_spacing: Optional[int] = None,
         segment_repetitions: Optional[int] = None,
         root: Optional[NodeId] = None,
+        noise: Optional[NoiseModel] = None,
     ) -> "RelayEqualityProtocol":
         """The relay protocol along a spanning-tree path of a general network.
 
@@ -134,6 +179,7 @@ class RelayEqualityProtocol(DQMAProtocol):
             relay_spacing=relay_spacing,
             segment_repetitions=segment_repetitions,
             path_nodes=path_nodes,
+            noise=noise,
         )
 
     # -- layout --------------------------------------------------------------
@@ -274,6 +320,7 @@ class RelayEqualityProtocol(DQMAProtocol):
                         segment_pairs[(segment, copy)],
                         self.fingerprints.state(right_string),
                         right_kind=RIGHT_SWAP,
+                        noise=self._segment_noise[segment],
                     )
                 )
             return job_index[key]
@@ -303,7 +350,13 @@ class RelayEqualityProtocol(DQMAProtocol):
         shots: int = 64,
         rng: RngLike = None,
     ) -> float:
-        """Monte-Carlo estimate of the acceptance probability (samples relay outcomes)."""
+        """Monte-Carlo estimate of the acceptance probability (samples relay outcomes).
+
+        The sampling path evaluates the *noiseless* segment chains: it is the
+        large-support escape hatch for entangled relay registers, kept as the
+        ideal-protocol reference (``acceptance_probability`` honours the
+        noise model through the compiled program).
+        """
         inputs = self.problem.validate_inputs(inputs)
         if proof is None:
             proof = self.honest_proof(inputs)

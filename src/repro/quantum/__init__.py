@@ -12,8 +12,25 @@ the paper need:
 * the symmetric subspace and permutation operators (:mod:`repro.quantum.symmetric`),
 * the SWAP test and the permutation test (:mod:`repro.quantum.swap_test`,
   :mod:`repro.quantum.permutation_test`),
-* quantum fingerprints of classical strings (:mod:`repro.quantum.fingerprint`).
+* quantum fingerprints of classical strings (:mod:`repro.quantum.fingerprint`),
+* composable Kraus noise channels and per-network noise models
+  (:mod:`repro.quantum.channels`).
 """
+
+from repro.quantum.channels import (
+    CHANNEL_FAMILIES,
+    KrausChannel,
+    NoiseModel,
+    amplitude_damping_channel,
+    apply_channels,
+    bit_flip_channel,
+    channel_family,
+    dephasing_channel,
+    depolarizing_channel,
+    flip_probability,
+    identity_channel,
+    phase_flip_channel,
+)
 
 from repro.quantum.distance import (
     fidelity,
@@ -69,6 +86,18 @@ from repro.quantum.symmetric import (
 from repro.quantum.system import QuantumSystem, Register
 
 __all__ = [
+    "CHANNEL_FAMILIES",
+    "KrausChannel",
+    "NoiseModel",
+    "amplitude_damping_channel",
+    "apply_channels",
+    "bit_flip_channel",
+    "channel_family",
+    "dephasing_channel",
+    "depolarizing_channel",
+    "flip_probability",
+    "identity_channel",
+    "phase_flip_channel",
     "fidelity",
     "fuchs_van_de_graaf_bounds",
     "purity",

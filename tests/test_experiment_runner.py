@@ -96,14 +96,78 @@ class TestParallelRunner:
 
 class TestReportRoutesThroughRunner:
     def test_report_sections_are_registered_scenarios(self):
-        from repro.experiments.report import REPORT_SCENARIOS, SOUNDNESS_SCENARIOS
+        from repro.experiments.report import (
+            NOISE_SCENARIOS,
+            REPORT_SCENARIOS,
+            SOUNDNESS_SCENARIOS,
+        )
 
-        for name in REPORT_SCENARIOS + SOUNDNESS_SCENARIOS:
+        for name in REPORT_SCENARIOS + SOUNDNESS_SCENARIOS + NOISE_SCENARIOS:
             assert name in available_scenarios()
 
     def test_generate_report_has_crossover_points(self):
         from repro.experiments.report import generate_report
 
-        report = generate_report(include_soundness=False)
+        report = generate_report(include_soundness=False, include_noise=False)
         assert "Theorem 2 — crossover points" in report
         assert "crossover_n" in report
+
+
+class TestNoiseScenarios:
+    def test_noise_scenarios_registered(self):
+        names = available_scenarios()
+        for expected in (
+            "noise-robustness-path",
+            "noise-robustness-tree",
+            "noise-robustness-relay",
+            "noise-channels",
+        ):
+            assert expected in names
+
+    def test_path_sweep_rows_are_physical(self):
+        rows = run_scenario("noise-robustness-path", strengths=(0.0, 0.2, 0.4))
+        assert len(rows) == 3
+        assert rows[0].value("completeness") == pytest.approx(1.0, abs=1e-9)
+        gaps = [row.value("gap") for row in rows]
+        assert gaps[0] > gaps[1] > gaps[2] > 0.0  # noise shrinks the margin
+
+    def test_channel_comparison_covers_every_family(self):
+        rows = run_scenario("noise-channels", strength=0.3)
+        labels = {row.label for row in rows}
+        assert labels == {
+            "depolarizing",
+            "dephasing",
+            "amplitude-damping",
+            "bit-flip",
+            "phase-flip",
+        }
+        for row in rows:
+            assert 0.0 < row.value("completeness") < 1.0
+
+
+class TestScenarioCatalog:
+    def test_catalog_lists_every_scenario(self):
+        from repro.experiments.catalog import scenario_catalog_markdown
+
+        table = scenario_catalog_markdown()
+        for name in available_scenarios():
+            assert f"`{name}`" in table
+
+    def test_readme_catalog_in_sync_with_registry(self):
+        """The README embeds the generated table verbatim — names, titles,
+        descriptions; any registry edit (including deletions) fails here."""
+        import pathlib
+
+        from repro.experiments.catalog import scenario_catalog_markdown
+
+        readme = (
+            pathlib.Path(__file__).resolve().parent.parent / "README.md"
+        ).read_text(encoding="utf-8")
+        assert scenario_catalog_markdown() in readme, (
+            "README scenario catalog is out of sync with the registry — "
+            "regenerate it with `python -m repro.experiments.catalog`"
+        )
+        # Exactly one catalog table lives in the README (no stale copies).
+        from repro.experiments.catalog import CATALOG_HEADER
+
+        assert readme.count(CATALOG_HEADER) == 1

@@ -1,0 +1,86 @@
+"""Offline link checker for the repository's markdown documentation.
+
+Scans markdown files for local links — ``[text](path)`` targets that are not
+``http(s)``/``mailto`` URLs — and verifies that every referenced file exists
+relative to the file containing the link.  External URLs are *not* fetched
+(CI must stay hermetic); they are only counted.
+
+Usage::
+
+    python tools/check_links.py README.md docs/*.md
+    python tools/check_links.py            # defaults to README.md + docs/
+
+Exits non-zero when any local link is broken, printing one line per problem.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+#: Inline markdown links: [text](target) — excluding images' size suffixes etc.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Target prefixes that are not local files.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_links(path: pathlib.Path) -> Iterable[str]:
+    """Every link target in one markdown file (fenced code blocks skipped)."""
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        yield from LINK_PATTERN.findall(line)
+
+
+def check_file(path: pathlib.Path) -> Tuple[List[str], int]:
+    """Broken local targets of one file, plus its external-link count."""
+    broken = []
+    external = 0
+    for target in iter_links(path):
+        if target.startswith(EXTERNAL_PREFIXES):
+            external += 1
+            continue
+        local = target.split("#", 1)[0]
+        if not local:
+            continue
+        resolved = (path.parent / local).resolve()
+        if not resolved.exists():
+            broken.append(f"{path}: broken local link -> {target}")
+    return broken, external
+
+
+def main(argv: List[str]) -> int:
+    """Command-line entry point; returns a process exit code."""
+    if argv:
+        files = [pathlib.Path(arg) for arg in argv]
+    else:
+        root = pathlib.Path(__file__).resolve().parent.parent
+        files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    problems: List[str] = []
+    checked = externals = 0
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: file not found")
+            continue
+        broken, external = check_file(path)
+        problems.extend(broken)
+        checked += 1
+        externals += external
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(
+        f"checked {checked} file(s): {len(problems)} broken local link(s), "
+        f"{externals} external link(s) skipped"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
