@@ -7,9 +7,10 @@ string, the exact chain acceptance operator of a soundness sweep.  The
 tuple starting with a kind tag and including the owning scheme/protocol
 object, which keeps the key unambiguous across instances).
 
-Cached arrays are frozen (``writeable = False``) so that a cache hit can be
-returned without a defensive copy; callers that need a mutable array must
-copy explicitly.
+Cached arrays are frozen copies (``writeable = False``) so that a cache hit
+can be returned without a defensive copy and the caller's own array stays
+both mutable and decoupled from the cache; callers that need a mutable
+array from a hit must copy explicitly.
 """
 
 from __future__ import annotations
@@ -66,8 +67,16 @@ class OperatorCache:
 
     @staticmethod
     def _freeze(value: Any) -> Any:
+        # Freeze a *copy*, never the caller's array: flipping ``writeable``
+        # on the argument itself would silently freeze an array the caller
+        # still owns, and a frozen view would share the buffer — letting the
+        # caller mutate the cached entry through its own reference after
+        # insertion.  The copy costs one allocation per miss; the hit path
+        # stays copy-free.
         if isinstance(value, np.ndarray):
-            value.setflags(write=False)
+            frozen = value.copy()
+            frozen.setflags(write=False)
+            return frozen
         return value
 
     def get(self, key: Hashable) -> Optional[Any]:
@@ -80,13 +89,18 @@ class OperatorCache:
         return None
 
     def put(self, key: Hashable, value: Any) -> Any:
-        """Insert (or refresh) a value, evicting the least recently used entry."""
-        self._entries[key] = self._freeze(value)
+        """Insert (or refresh) a value, evicting the least recently used entry.
+
+        Returns the stored (frozen) value, so a miss hands out the same
+        read-only object every later hit will.
+        """
+        frozen = self._freeze(value)
+        self._entries[key] = frozen
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self._evictions += 1
-        return value
+        return frozen
 
     def get_or_build(self, key: Hashable, builder: Callable[[], Any]) -> Any:
         """The cached value for ``key``, building and inserting it on a miss."""

@@ -139,16 +139,36 @@ class Engine:
 
 _default_engine: Optional[Engine] = None
 
+#: Sentinel marking a default engine installed explicitly via
+#: :func:`set_default_engine` (never re-resolved from the environment).
+_EXPLICIT = object()
+
+#: The ``REPRO_BACKEND`` value the current default engine was built from, or
+#: :data:`_EXPLICIT` when :func:`set_default_engine` installed it.
+_default_engine_env: Any = None
+
 
 def default_engine() -> Engine:
-    """The process-wide engine (created on first use from ``REPRO_BACKEND``)."""
-    global _default_engine
-    if _default_engine is None:
-        _default_engine = Engine(backend=os.environ.get(BACKEND_ENV_VAR))
+    """The process-wide engine, resolved from ``REPRO_BACKEND``.
+
+    The environment variable is re-checked on every call: if it changed since
+    the engine was built (pool workers commonly export it after the parent
+    process already touched the engine), a fresh engine on the new backend
+    replaces the stale one.  An engine installed through
+    :func:`set_default_engine` is never displaced by the environment.
+    """
+    global _default_engine, _default_engine_env
+    env = os.environ.get(BACKEND_ENV_VAR)
+    if _default_engine is None or (
+        _default_engine_env is not _EXPLICIT and env != _default_engine_env
+    ):
+        _default_engine = Engine(backend=env)
+        _default_engine_env = env
     return _default_engine
 
 
 def set_default_engine(engine: Optional[Engine]) -> None:
     """Replace the process-wide engine (``None`` resets to the environment default)."""
-    global _default_engine
+    global _default_engine, _default_engine_env
     _default_engine = engine
+    _default_engine_env = _EXPLICIT if engine is not None else None

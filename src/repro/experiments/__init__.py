@@ -17,9 +17,14 @@ that the ``benchmarks/`` harness prints and that ``EXPERIMENTS.md`` documents.
 * :mod:`repro.experiments.noise_robustness` — batched sweeps of acceptance
   probability and decision gap versus Kraus-channel noise strength for the
   path, tree and relay protocol families.
+* :mod:`repro.experiments.topologies` — soundness and noise sweeps across
+  grid, ring and random-graph networks (verification-tree families).
 * :mod:`repro.experiments.runner` — the unified scenario registry and
-  :class:`ExperimentRunner` (optional process-pool parallelism) that the
-  report generator and the benchmark harness route through.
+  :class:`ExperimentRunner` (optional sharded process-pool parallelism) that
+  the report generator and the benchmark harness route through.
+* :mod:`repro.experiments.sweep` — the sweep-sharding layer:
+  :class:`SweepSpec` grid declarations, chunk planning, per-worker engine
+  reuse and merged cache statistics.
 * :mod:`repro.experiments.catalog` — the registry rendered as the README's
   scenario table (``python -m repro.experiments.catalog``).
 """
@@ -34,11 +39,14 @@ from repro.experiments.noise_robustness import (
 from repro.experiments.records import ExperimentRow, format_rows
 from repro.experiments.runner import (
     ExperimentRunner,
+    ScenarioFailure,
     available_scenarios,
     get_scenario,
     register_scenario,
     run_scenario,
 )
+from repro.experiments.sweep import SweepSpec, run_sweep_sharded
+from repro.experiments.topologies import topology_noise_sweep, topology_soundness_sweep
 from repro.experiments.table1 import table1_rows
 from repro.experiments.table2 import table2_rows, table2_verification_rows
 from repro.experiments.table3 import table3_rows, upper_vs_lower_consistency
@@ -48,6 +56,11 @@ from repro.experiments.soundness_scaling import soundness_scaling_sweep
 __all__ = [
     "ExperimentRow",
     "ExperimentRunner",
+    "ScenarioFailure",
+    "SweepSpec",
+    "run_sweep_sharded",
+    "topology_noise_sweep",
+    "topology_soundness_sweep",
     "available_scenarios",
     "get_scenario",
     "register_scenario",

@@ -31,12 +31,22 @@ def quantum_total_plain(n: int, r: int) -> float:
     return eq_local_proof_upper_bound(n, r) * max(r - 1, 1)
 
 
+def crossover_default_lengths() -> List[int]:
+    """The default input-length grid of the fixed-path crossover sweep."""
+    return [2**k for k in range(4, 22, 2)]
+
+
+def long_path_default_lengths() -> List[int]:
+    """The default input-length grid of the long-path (relay) sweep."""
+    return [2**k for k in range(6, 48, 6)]
+
+
 def crossover_sweep(
     input_lengths: Optional[Sequence[int]] = None, path_length: int = 8
 ) -> List[ExperimentRow]:
     """Total proof sizes of the three strategies over a sweep of input lengths."""
     if input_lengths is None:
-        input_lengths = [2**k for k in range(4, 22, 2)]
+        input_lengths = crossover_default_lengths()
     rows: List[ExperimentRow] = []
     for n in input_lengths:
         plain = quantum_total_plain(n, path_length)
@@ -72,7 +82,7 @@ def long_path_sweep(
     from math import ceil
 
     if input_lengths is None:
-        input_lengths = [2**k for k in range(6, 48, 6)]
+        input_lengths = long_path_default_lengths()
     rows: List[ExperimentRow] = []
     for n in input_lengths:
         r = path_multiplier * max(int(ceil(n ** (1.0 / 3.0))), 1)

@@ -26,7 +26,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.engine.core import Engine
+from repro.engine.core import Engine, default_engine
 from repro.exceptions import ProtocolError
 from repro.experiments.records import ExperimentRow
 from repro.network.topology import star_network
@@ -40,6 +40,25 @@ from repro.quantum.fingerprint import ExactCodeFingerprint
 #: benchmark harness sweeps 256 points through the same code path).
 DEFAULT_STRENGTHS = tuple(np.linspace(0.0, 0.5, 6))
 
+#: Channel families compared by the ``noise-channels`` scenario.
+DEFAULT_CHANNEL_NAMES = (
+    "depolarizing",
+    "dephasing",
+    "amplitude-damping",
+    "bit-flip",
+    "phase-flip",
+)
+
+
+def default_noise_strengths() -> List[float]:
+    """The default strength grid of the noise-robustness sweeps."""
+    return [float(strength) for strength in DEFAULT_STRENGTHS]
+
+
+def default_channel_names() -> List[str]:
+    """The default channel-family grid of the channel comparison."""
+    return list(DEFAULT_CHANNEL_NAMES)
+
 
 def _sweep_rows(
     experiment: str,
@@ -52,9 +71,12 @@ def _sweep_rows(
     """Evaluate completeness and no-instance acceptance for every noise point.
 
     All programs (every strength, both instances) are compiled first and
-    handed to the engine in a single ``evaluate_programs`` batch.
+    handed to the engine in a single ``evaluate_programs`` batch.  Without an
+    explicit ``backend`` the sweep runs on the process-wide default engine,
+    so pool workers evaluating many chunks reuse one operator cache instead
+    of rebuilding it per chunk.
     """
-    engine = Engine(backend=backend)
+    engine = default_engine() if backend is None else Engine(backend=backend)
     programs = []
     for protocol in protocols:
         protocol.use_engine(engine)
@@ -183,11 +205,14 @@ def channel_comparison(
     input_length: int = 3,
     path_length: int = 4,
     strength: float = 0.2,
+    channels: Optional[Sequence[str]] = None,
     backend: Optional[str] = None,
 ) -> List[ExperimentRow]:
     """Every channel family at one fixed strength, on the path protocol."""
+    if channels is None:
+        channels = default_channel_names()
     rows = []
-    for name in ("depolarizing", "dephasing", "amplitude-damping", "bit-flip", "phase-flip"):
+    for name in channels:
         sweep = path_noise_sweep(
             input_length,
             path_length,

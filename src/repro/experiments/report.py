@@ -4,7 +4,8 @@ Usage (command line)::
 
     python -m repro.experiments.report              # print to stdout
     python -m repro.experiments.report out.txt      # write to a file
-    python -m repro.experiments.report --parallel   # scenarios on a process pool
+    python -m repro.experiments.report --parallel   # sharded process pool
+    repro-report --parallel --scenarios table1,crossover   # explicit subset
     repro-report                                    # console script (after install)
 
 The report routes every section through the unified
@@ -41,6 +42,7 @@ SOUNDNESS_SCENARIOS = [
     "soundness-repetition",
     "soundness-tree",
     "soundness-one-way-tree",
+    "topology-soundness",
 ]
 
 #: Robustness sections: protocol degradation under the Kraus noise channels.
@@ -49,6 +51,7 @@ NOISE_SCENARIOS = [
     "noise-robustness-tree",
     "noise-robustness-relay",
     "noise-channels",
+    "topology-noise",
 ]
 
 
@@ -57,13 +60,19 @@ def generate_report(
     include_noise: bool = True,
     parallel: bool = False,
     max_workers: Optional[int] = None,
+    scenarios: Optional[List[str]] = None,
 ) -> str:
-    """Build the full text report; heavy sections can be skipped."""
-    scenarios = list(REPORT_SCENARIOS)
-    if include_soundness:
-        scenarios += SOUNDNESS_SCENARIOS
-    if include_noise:
-        scenarios += NOISE_SCENARIOS
+    """Build the full text report; heavy sections can be skipped.
+
+    An explicit ``scenarios`` list overrides the section selection entirely
+    (used by the CI parallel smoke step to exercise the pool path cheaply).
+    """
+    if scenarios is None:
+        scenarios = list(REPORT_SCENARIOS)
+        if include_soundness:
+            scenarios += SOUNDNESS_SCENARIOS
+        if include_noise:
+            scenarios += NOISE_SCENARIOS
     runner = ExperimentRunner(scenarios, parallel=parallel, max_workers=max_workers)
     return runner.render()
 
@@ -75,14 +84,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if "--parallel" in argv:
         parallel = True
         argv.remove("--parallel")
+    scenarios: Optional[List[str]] = None
+    if "--scenarios" in argv:
+        index = argv.index("--scenarios")
+        argv.pop(index)
+        if index >= len(argv):
+            sys.stderr.write("--scenarios needs a comma-separated scenario list\n")
+            return 2
+        scenarios = [name for name in argv.pop(index).split(",") if name]
     unknown = [arg for arg in argv if arg.startswith("-")]
     if unknown or len(argv) > 1:
         sys.stderr.write(
-            f"usage: repro-report [--parallel] [output-file]; "
+            f"usage: repro-report [--parallel] [--scenarios a,b,...] [output-file]; "
             f"unrecognized arguments: {unknown or argv[1:]}\n"
         )
         return 2
-    report = generate_report(parallel=parallel)
+    report = generate_report(parallel=parallel, scenarios=scenarios)
     if argv:
         with open(argv[0], "w", encoding="utf-8") as handle:
             handle.write(report)

@@ -1,11 +1,18 @@
-"""Unified experiment runner: a scenario registry with optional parallelism.
+"""Unified experiment runner: a scenario registry with sharded parallelism.
 
 Every table and figure of the paper is registered here as a named *scenario*
 (a module-level callable returning :class:`ExperimentRow` records plus a
-display title).  The :class:`ExperimentRunner` executes any subset of the
-registry — serially, or across a process pool — so the report generator, the
-benchmark harness and ad-hoc scripts all regenerate rows through one code
-path instead of each hand-rolling its own loops.
+display title).  Scenarios that are parameter sweeps additionally declare a
+:class:`~repro.experiments.sweep.SweepSpec` naming their grid, which lets the
+:class:`ExperimentRunner` parallelize at *sweep-point* granularity: grids are
+compiled into chunks, chunks are dispatched across a process pool whose
+workers each keep one engine (and operator cache) alive for their lifetime,
+and rows are reassembled in deterministic grid order — so a single 256-point
+sweep saturates the pool instead of pinning one core.
+
+Failures are isolated per scenario: a crashing builder yields a
+:class:`ScenarioFailure` entry (rendered as a failed section) instead of
+aborting the whole report.
 
 Usage::
 
@@ -15,33 +22,77 @@ Usage::
     results = runner.run()                 # OrderedDict name -> rows
     print(runner.render(results))          # formatted text tables
 
-    ExperimentRunner(parallel=True).run()  # every scenario, process pool
+    ExperimentRunner(parallel=True).run()  # every scenario, sharded pool
 """
 
 from __future__ import annotations
 
+import os
+import traceback as traceback_module
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.exceptions import ProtocolError
-from repro.experiments.crossover import crossover_sweep, find_crossover, long_path_sweep
+from repro.experiments.crossover import (
+    crossover_default_lengths,
+    crossover_sweep,
+    find_crossover,
+    long_path_default_lengths,
+    long_path_sweep,
+)
 from repro.experiments.noise_robustness import (
     channel_comparison,
+    default_channel_names,
+    default_noise_strengths,
     path_noise_sweep,
     relay_noise_sweep,
     tree_noise_sweep,
 )
 from repro.experiments.records import ExperimentRow, format_rows
-from repro.experiments.soundness_scaling import repetition_curve, soundness_scaling_sweep
+from repro.experiments.soundness_scaling import (
+    default_path_lengths,
+    default_repetition_counts,
+    repetition_curve,
+    soundness_scaling_sweep,
+)
+from repro.experiments.sweep import (
+    SweepSpec,
+    _init_sweep_worker,
+    merge_worker_stats,
+    partition_points,
+    resolve_chunk_size,
+    run_scenario_task,
+    run_sweep_chunk,
+)
+from repro.experiments.topologies import (
+    default_noise_topologies,
+    default_soundness_topologies,
+    topology_noise_sweep,
+    topology_soundness_sweep,
+)
 from repro.experiments.tree_soundness import (
+    network_zoo,
     one_way_tree_soundness_sweep,
     tree_soundness_sweep,
 )
-from repro.experiments.table1 import measured_fgnp21_costs, table1_rows
-from repro.experiments.table2 import table2_rows, table2_verification_rows
-from repro.experiments.table3 import table3_rows, upper_vs_lower_consistency
+from repro.experiments.table1 import (
+    measured_fgnp21_costs,
+    table1_default_grid,
+    table1_rows,
+)
+from repro.experiments.table2 import (
+    table2_default_grid,
+    table2_rows,
+    table2_verification_rows,
+)
+from repro.experiments.table3 import (
+    consistency_default_grid,
+    table3_default_grid,
+    table3_rows,
+    upper_vs_lower_consistency,
+)
 
 
 @dataclass(frozen=True)
@@ -53,11 +104,28 @@ class Scenario:
     title: str
     description: str = ""
     kwargs: Mapping = field(default_factory=dict)
+    #: Optional sweep declaration enabling sharded (point-level) parallelism.
+    sweep: Optional[SweepSpec] = None
 
     def run(self, **overrides) -> List[ExperimentRow]:
         """Regenerate this scenario's rows (keyword overrides reach the builder)."""
         kwargs = {**dict(self.kwargs), **overrides}
         return list(self.builder(**kwargs))
+
+    def grid_points(self, **overrides) -> Optional[List]:
+        """The sweep grid under the resolved kwargs (``None`` when unswept)."""
+        if self.sweep is None:
+            return None
+        return self.sweep.points({**dict(self.kwargs), **overrides})
+
+
+@dataclass(frozen=True)
+class ScenarioFailure:
+    """A captured per-scenario failure; sibling scenarios keep their rows."""
+
+    name: str
+    error: str
+    traceback: str = ""
 
 
 _REGISTRY: "OrderedDict[str, Scenario]" = OrderedDict()
@@ -68,12 +136,14 @@ def register_scenario(
     builder: Callable[..., List[ExperimentRow]],
     title: Optional[str] = None,
     description: str = "",
+    sweep: Optional[SweepSpec] = None,
     **kwargs,
 ) -> Scenario:
     """Register (or replace) a scenario under ``name``.
 
     ``builder`` must be a module-level callable so scenarios stay picklable
-    for the process-pool path.
+    for the process-pool path; a ``sweep`` declaration opts the scenario into
+    sharded execution (its ``grid`` callable must be module-level too).
     """
     scenario = Scenario(
         name=name,
@@ -81,6 +151,7 @@ def register_scenario(
         title=title if title is not None else name,
         description=description,
         kwargs=kwargs,
+        sweep=sweep,
     )
     _REGISTRY[name] = scenario
     return scenario
@@ -106,39 +177,128 @@ def run_scenario(name: str, **overrides) -> List[ExperimentRow]:
     return get_scenario(name).run(**overrides)
 
 
+ScenarioResult = Union[List[ExperimentRow], ScenarioFailure]
+
+
 class ExperimentRunner:
-    """Run a set of registered scenarios, serially or on a process pool."""
+    """Run a set of registered scenarios, serially or sharded across a pool.
+
+    With ``parallel=True`` every swept scenario is split into grid chunks and
+    every unswept scenario becomes one pool task; all tasks share one process
+    pool whose workers keep a single engine + operator cache alive across the
+    chunks they execute.  After a parallel run, :attr:`cache_stats` holds the
+    pool-wide merged per-worker cache counters (per-scenario attribution is
+    not possible on a shared pool — workers carry their caches from one
+    scenario's chunks into the next; for stats attributable to a single
+    sweep, use :func:`~repro.experiments.sweep.run_sweep_sharded`, which
+    runs on a dedicated pool).
+    """
 
     def __init__(
         self,
         scenarios: Optional[Sequence[str]] = None,
         parallel: bool = False,
         max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
     ):
         self.names = list(scenarios) if scenarios is not None else available_scenarios()
         for name in self.names:
             get_scenario(name)  # fail fast on unknown names
         self.parallel = bool(parallel)
         self.max_workers = max_workers
+        self.chunk_size = chunk_size
+        #: Pool-wide merged per-worker operator-cache counters of the last
+        #: parallel run (empty after serial runs).
+        self.cache_stats: Dict = {}
 
-    def run(self) -> "OrderedDict[str, List[ExperimentRow]]":
-        """Regenerate every selected scenario; results keep the selection order."""
-        if self.parallel and len(self.names) > 1:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                rows_per_scenario = list(pool.map(run_scenario, self.names))
-        else:
-            rows_per_scenario = [run_scenario(name) for name in self.names]
-        return OrderedDict(zip(self.names, rows_per_scenario))
+    def run(self) -> "OrderedDict[str, ScenarioResult]":
+        """Regenerate every selected scenario; results keep the selection order.
 
-    def render(self, results: Optional[Mapping[str, List[ExperimentRow]]] = None) -> str:
-        """Format results (running them first when not supplied) as text tables."""
+        A scenario that raises contributes a :class:`ScenarioFailure` value
+        instead of aborting its siblings.
+        """
+        self.cache_stats = {}
+        if self.parallel and self.names:
+            return self._run_pooled()
+        results: "OrderedDict[str, ScenarioResult]" = OrderedDict()
+        for name in self.names:
+            try:
+                results[name] = run_scenario(name)
+            except Exception as exc:  # broad by design: isolation is the point
+                results[name] = _failure(name, exc)
+        return results
+
+    def _run_pooled(self) -> "OrderedDict[str, ScenarioResult]":
+        workers = self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
+        results: "OrderedDict[str, ScenarioResult]" = OrderedDict()
+        with ProcessPoolExecutor(
+            max_workers=self.max_workers, initializer=_init_sweep_worker
+        ) as pool:
+            pending: "OrderedDict[str, list]" = OrderedDict()
+            for name in self.names:
+                scenario = get_scenario(name)
+                try:
+                    chunks = self._plan(scenario, workers)
+                except Exception as exc:  # broad by design: grid planning failed
+                    results[name] = _failure(name, exc)
+                    continue
+                if chunks is not None and len(chunks) > 1:
+                    pending[name] = [
+                        pool.submit(run_sweep_chunk, name, chunk) for chunk in chunks
+                    ]
+                else:
+                    pending[name] = [pool.submit(run_scenario_task, name)]
+            all_parts = []
+            for name, futures in pending.items():
+                try:
+                    parts = [future.result() for future in futures]
+                except Exception as exc:  # broad by design: isolation is the point
+                    results[name] = _failure(name, exc)
+                    continue
+                results[name] = [row for part in parts for row in part.rows]
+                all_parts.extend(parts)
+            if all_parts:
+                self.cache_stats = merge_worker_stats(all_parts)
+        # Planning failures above may have landed out of order; rebuild in
+        # selection order so callers can rely on it.
+        ordered: "OrderedDict[str, ScenarioResult]" = OrderedDict()
+        for name in self.names:
+            if name in results:
+                ordered[name] = results[name]
+        return ordered
+
+    def _plan(self, scenario: Scenario, workers: int) -> Optional[List[list]]:
+        """Chunked grid of a swept scenario, ``None`` for unswept ones."""
+        if scenario.sweep is None:
+            return None
+        points = scenario.sweep.points(dict(scenario.kwargs))
+        size = resolve_chunk_size(scenario.sweep, len(points), workers, self.chunk_size)
+        return partition_points(points, size)
+
+    def render(self, results: Optional[Mapping[str, ScenarioResult]] = None) -> str:
+        """Format results (running them first when not supplied) as text tables.
+
+        Failed scenarios render as a ``FAILED`` section carrying the error.
+        """
         if results is None:
             results = self.run()
         sections = []
         for name, rows in results.items():
             title = get_scenario(name).title
-            sections.append(f"{title}\n{'=' * len(title)}\n{format_rows(rows)}\n")
+            if isinstance(rows, ScenarioFailure):
+                body = f"FAILED: {rows.error}"
+            else:
+                body = format_rows(rows)
+            sections.append(f"{title}\n{'=' * len(title)}\n{body}\n")
         return "\n".join(sections)
+
+
+def _failure(name: str, exc: Exception) -> ScenarioFailure:
+    return ScenarioFailure(
+        name=name,
+        error=f"{type(exc).__name__}: {exc}",
+        traceback=traceback_module.format_exc(),
+    )
 
 
 # -- built-in scenarios -------------------------------------------------------
@@ -168,6 +328,7 @@ register_scenario(
     table1_rows,
     title="Table 1 — FGNP21 baselines",
     description="Formula rows of Table 1 over the default (n, r, t) grid.",
+    sweep=SweepSpec("parameter_grid", table1_default_grid),
 )
 register_scenario(
     "table1-measured",
@@ -180,6 +341,7 @@ register_scenario(
     table2_rows,
     title="Table 2 — upper bounds (n=1024, r=4, t=4, d=2)",
     description="Every upper-bound formula of Table 2 at the default parameters.",
+    sweep=SweepSpec("parameter_grid", table2_default_grid),
 )
 register_scenario(
     "table2-verify",
@@ -192,24 +354,28 @@ register_scenario(
     table3_rows,
     title="Table 3 — lower bounds (n=1024, r=4)",
     description="Every lower-bound formula of Table 3 at the default parameters.",
+    sweep=SweepSpec("parameter_grid", table3_default_grid),
 )
 register_scenario(
     "table3-consistency",
     upper_vs_lower_consistency,
     title="Table 3 — upper vs lower consistency",
     description="Upper bounds dominate lower bounds; classical eventually loses.",
+    sweep=SweepSpec("parameter_grid", consistency_default_grid),
 )
 register_scenario(
     "crossover",
     crossover_sweep,
     title="Theorem 2 — fixed-path crossover sweep (r=8)",
     description="Total proof sizes of the three strategies versus n at fixed r.",
+    sweep=SweepSpec("input_lengths", crossover_default_lengths),
 )
 register_scenario(
     "crossover-long-path",
     long_path_sweep,
     title="Theorem 2 — long-path (relay) regime",
     description="The r ~ n^(1/3) regime where relay points restore the advantage.",
+    sweep=SweepSpec("input_lengths", long_path_default_lengths),
 )
 register_scenario(
     "crossover-points",
@@ -222,46 +388,68 @@ register_scenario(
     soundness_scaling_sweep,
     title="Lemma 17 — optimal cheating vs path length",
     description="Exact optimal entangled cheating probability against the Lemma 17 bound.",
+    sweep=SweepSpec("path_lengths", default_path_lengths),
 )
 register_scenario(
     "soundness-repetition",
     repetition_curve,
     title="Algorithm 4 — repetition curve (r=3)",
     description="Repeated acceptance of the best single-shot cheat versus k.",
+    sweep=SweepSpec("repetition_counts", default_repetition_counts),
 )
 register_scenario(
     "soundness-tree",
     tree_soundness_sweep,
     title="Algorithm 5 — tree-family soundness (batched strategy search)",
     description="Best structured cheat on EQ trees over star/binary/random networks.",
+    sweep=SweepSpec("networks", network_zoo),
 )
 register_scenario(
     "soundness-one-way-tree",
     one_way_tree_soundness_sweep,
     title="Theorem 32 — one-way-tree soundness (batched strategy search)",
     description="Best structured cheat on the forall-pairs construction per network family.",
+    sweep=SweepSpec("networks", network_zoo),
+)
+register_scenario(
+    "topology-soundness",
+    topology_soundness_sweep,
+    title="Algorithm 5 — soundness across grid/ring/random-graph topologies",
+    description="Best structured cheat per general-graph topology (verification-tree families).",
+    sweep=SweepSpec("topologies", default_soundness_topologies),
 )
 register_scenario(
     "noise-robustness-path",
     path_noise_sweep,
     title="Noise — Algorithm 3 equality path under depolarizing links",
     description="Completeness and decision gap of the path protocol versus noise strength.",
+    sweep=SweepSpec("strengths", default_noise_strengths),
 )
 register_scenario(
     "noise-robustness-tree",
     tree_noise_sweep,
     title="Noise — Algorithm 5 equality tree under depolarizing links",
     description="Completeness and decision gap of the tree protocol versus noise strength.",
+    sweep=SweepSpec("strengths", default_noise_strengths),
 )
 register_scenario(
     "noise-robustness-relay",
     relay_noise_sweep,
     title="Noise — Algorithm 6 relay protocol under depolarizing links",
     description="Completeness and decision gap of the relay protocol versus noise strength.",
+    sweep=SweepSpec("strengths", default_noise_strengths),
 )
 register_scenario(
     "noise-channels",
     channel_comparison,
     title="Noise — channel families compared at fixed strength",
     description="Path-protocol degradation under each Kraus channel family at one strength.",
+    sweep=SweepSpec("channels", default_channel_names),
+)
+register_scenario(
+    "topology-noise",
+    topology_noise_sweep,
+    title="Noise — Algorithm 5 across grid/ring/random-graph topologies",
+    description="Completeness and decision gap per noisy general-graph topology at fixed strength.",
+    sweep=SweepSpec("topologies", default_noise_topologies),
 )

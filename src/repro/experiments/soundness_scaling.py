@@ -29,13 +29,23 @@ def small_fingerprints(input_length: int = 1, repetitions: int = 1) -> ExactCode
     return ExactCodeFingerprint(input_length, code=repetition_code(input_length, repetitions))
 
 
+def default_path_lengths() -> List[int]:
+    """The default path-length grid of the Lemma 17 scaling sweep."""
+    return [2, 3, 4]
+
+
+def default_repetition_counts() -> List[int]:
+    """The default repetition-count grid of the Algorithm 4 curve."""
+    return [1, 10, 50, 100, 200, 400]
+
+
 def soundness_scaling_sweep(
     path_lengths: Optional[Sequence[int]] = None,
     input_length: int = 1,
 ) -> List[ExperimentRow]:
     """Optimal cheating probability versus path length, against the Lemma 17 bound."""
     if path_lengths is None:
-        path_lengths = [2, 3, 4]
+        path_lengths = default_path_lengths()
     fingerprints = small_fingerprints(input_length)
     no_instance = ("0" * input_length, "0" * (input_length - 1) + "1")
     rows: List[ExperimentRow] = []
@@ -73,7 +83,7 @@ def repetition_curve(
     uses; the curve shows how many repetitions are needed to cross 1/3.
     """
     if repetition_counts is None:
-        repetition_counts = [1, 10, 50, 100, 200, 400]
+        repetition_counts = default_repetition_counts()
     fingerprints = small_fingerprints(input_length)
     no_instance = ("0" * input_length, "0" * (input_length - 1) + "1")
     protocol = EqualityPathProtocol.on_path(input_length, path_length, fingerprints)

@@ -1,0 +1,256 @@
+"""Sweep sharding: scenario parameter grids compiled into worker-sized chunks.
+
+The scenario registry (:mod:`repro.experiments.runner`) historically treated a
+whole scenario as the unit of parallel work, so one 256-point sweep pinned a
+single core while the rest of the pool idled.  This module makes the *sweep
+point* the unit instead:
+
+* a :class:`SweepSpec` attached to a scenario declares which builder keyword
+  carries the parameter grid (channel strengths, ``(n, r, t)`` tuples, path
+  lengths, topology descriptors) and how the default grid is derived;
+* :func:`plan_chunks` compiles the grid into contiguous chunks sized to the
+  worker count;
+* :func:`run_sweep_chunk` — the process-pool entry point — rebuilds the rows
+  of one chunk through the scenario's ordinary builder, on a worker-local
+  :class:`~repro.engine.core.Engine` that is reused (cache and all) across
+  every chunk the worker receives;
+* :func:`run_sweep_sharded` dispatches the chunks, reassembles the rows in
+  deterministic grid order, and merges the per-worker operator-cache counters
+  into one auditable stats block.
+
+Because chunks are evaluated by the same builder that serial runs call, a
+sharded sweep returns exactly the rows of the serial sweep — the parity the
+regression tests and the benchmark harness pin down.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.exceptions import ProtocolError
+from repro.experiments.records import ExperimentRow
+
+#: Chunks dispatched per worker when no explicit chunk size is given; a few
+#: chunks per worker keeps the pool load-balanced without drowning it in
+#: pickling overhead.
+CHUNKS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declares a scenario's parameter grid for sharded execution.
+
+    Attributes
+    ----------
+    grid_param:
+        Name of the builder keyword that carries the grid (``"strengths"``,
+        ``"parameter_grid"``, ``"networks"``, ...).  Dispatch works by calling
+        the scenario's builder with this keyword bound to a chunk of points.
+    grid:
+        Module-level callable returning the default grid.  It receives the
+        subset of the scenario's resolved keyword arguments its signature
+        accepts, so defaults may depend on other parameters (e.g. the
+        tree-soundness network zoo depends on ``num_terminals``).
+    chunk_size:
+        Optional fixed chunk size; when ``None`` the planner sizes chunks to
+        the worker count (:data:`CHUNKS_PER_WORKER` chunks per worker).
+    """
+
+    grid_param: str
+    grid: Callable[..., Sequence[Any]]
+    chunk_size: Optional[int] = None
+
+    def points(self, kwargs: Mapping[str, Any]) -> List[Any]:
+        """The grid points this scenario will sweep under ``kwargs``.
+
+        An explicit (non-``None``) grid in ``kwargs`` wins; otherwise the
+        declared default-grid callable produces it.
+        """
+        explicit = kwargs.get(self.grid_param)
+        if explicit is not None:
+            return list(explicit)
+        return list(self.grid(**_accepted_kwargs(self.grid, kwargs)))
+
+
+def _accepted_kwargs(function: Callable, kwargs: Mapping[str, Any]) -> Dict[str, Any]:
+    """The subset of ``kwargs`` that ``function``'s signature accepts."""
+    parameters = inspect.signature(function).parameters
+    if any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    ):
+        return dict(kwargs)
+    return {key: value for key, value in kwargs.items() if key in parameters}
+
+
+def partition_points(points: Sequence[Any], chunk_size: int) -> List[List[Any]]:
+    """Contiguous chunks of at most ``chunk_size`` points, in grid order."""
+    if chunk_size < 1:
+        raise ProtocolError("sweep chunk size must be at least 1")
+    points = list(points)
+    return [points[start : start + chunk_size] for start in range(0, len(points), chunk_size)]
+
+
+def resolve_chunk_size(
+    spec: SweepSpec, num_points: int, num_workers: int, override: Optional[int] = None
+) -> int:
+    """The chunk size for a sweep: explicit override, spec default, or planned.
+
+    The planned size aims at :data:`CHUNKS_PER_WORKER` chunks per worker so a
+    slow chunk cannot serialize the tail of the sweep.
+    """
+    if override is not None:
+        return max(int(override), 1)
+    if spec.chunk_size is not None:
+        return max(int(spec.chunk_size), 1)
+    target_chunks = max(int(num_workers), 1) * CHUNKS_PER_WORKER
+    return max(1, -(-num_points // target_chunks))
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """Rows of one evaluated chunk plus the evaluating worker's cache counters.
+
+    ``cache_stats`` is a cumulative snapshot of the worker's default-engine
+    :class:`~repro.engine.cache.OperatorCache` taken *after* the chunk ran;
+    snapshots from the same ``worker_id`` supersede each other (the counters
+    only grow), which is what :func:`merge_worker_stats` relies on.
+    """
+
+    rows: List[ExperimentRow]
+    worker_id: int
+    cache_stats: Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class ShardedSweepResult:
+    """A reassembled sharded sweep: rows in grid order plus execution metadata."""
+
+    name: str
+    rows: List[ExperimentRow]
+    num_points: int
+    num_chunks: int
+    worker_stats: Dict[str, Any] = field(default_factory=dict)
+
+
+def _init_sweep_worker() -> None:
+    """Process-pool initializer: give the worker a fresh default engine.
+
+    Forked workers inherit the parent's engine object (and its counters);
+    resetting here guarantees "one engine + one cache per worker", counted
+    from zero, so merged stats describe only work the pool actually did.
+    """
+    from repro.engine.core import set_default_engine
+
+    set_default_engine(None)
+
+
+def run_sweep_chunk(
+    name: str, points: Sequence[Any], overrides: Optional[Mapping[str, Any]] = None
+) -> ChunkResult:
+    """Evaluate one chunk of a swept scenario (the process-pool entry point).
+
+    The chunk rides the scenario's ordinary builder with the grid keyword
+    restricted to ``points``, evaluating on the worker's process-wide engine
+    so repeated chunks in one worker share the operator cache.
+    """
+    from repro.engine.core import default_engine
+    from repro.experiments.runner import get_scenario
+
+    scenario = get_scenario(name)
+    if scenario.sweep is None:
+        raise ProtocolError(f"scenario {name!r} declares no sweep grid")
+    kwargs = {**dict(scenario.kwargs), **dict(overrides or {})}
+    kwargs[scenario.sweep.grid_param] = list(points)
+    rows = list(scenario.builder(**kwargs))
+    stats = default_engine().cache.stats().as_dict()
+    return ChunkResult(rows=rows, worker_id=os.getpid(), cache_stats=stats)
+
+
+def run_scenario_task(name: str, overrides: Optional[Mapping[str, Any]] = None) -> ChunkResult:
+    """Evaluate a whole (non-swept) scenario as a single pool task."""
+    from repro.engine.core import default_engine
+    from repro.experiments.runner import get_scenario
+
+    rows = list(get_scenario(name).run(**dict(overrides or {})))
+    stats = default_engine().cache.stats().as_dict()
+    return ChunkResult(rows=rows, worker_id=os.getpid(), cache_stats=stats)
+
+
+def _progress(stats: Mapping[str, Any]) -> int:
+    return int(stats.get("hits", 0)) + int(stats.get("misses", 0))
+
+
+def merge_worker_stats(results: Sequence[ChunkResult]) -> Dict[str, Any]:
+    """Merge per-chunk cache snapshots into one per-pool stats block.
+
+    Snapshots are cumulative per worker, so only the most advanced snapshot
+    of each worker counts; the merged block sums those finals across workers
+    and therefore satisfies ``hits + misses >= entries``.
+    """
+    latest: Dict[int, Mapping[str, Any]] = {}
+    for result in results:
+        current = latest.get(result.worker_id)
+        if current is None or _progress(result.cache_stats) >= _progress(current):
+            latest[result.worker_id] = result.cache_stats
+    merged: Dict[str, Any] = {"hits": 0, "misses": 0, "entries": 0, "evictions": 0}
+    for stats in latest.values():
+        for key in ("hits", "misses", "entries", "evictions"):
+            merged[key] += int(stats.get(key, 0))
+    total = merged["hits"] + merged["misses"]
+    merged["hit_rate"] = merged["hits"] / total if total else 0.0
+    merged["workers"] = len(latest)
+    return merged
+
+
+def run_sweep_sharded(
+    name: str,
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    executor: Optional[ProcessPoolExecutor] = None,
+    **overrides,
+) -> ShardedSweepResult:
+    """Run one swept scenario with its grid chunked across a process pool.
+
+    ``overrides`` reach the builder exactly as in
+    :func:`~repro.experiments.runner.run_scenario` (an explicit grid override
+    is honoured and then chunked).  When ``executor`` is supplied the caller
+    owns its lifecycle — it must have been created with
+    :func:`_init_sweep_worker` as initializer for per-worker stats to start
+    from zero.
+    """
+    from repro.experiments.runner import get_scenario
+
+    scenario = get_scenario(name)
+    if scenario.sweep is None:
+        raise ProtocolError(f"scenario {name!r} declares no sweep grid")
+    kwargs = {**dict(scenario.kwargs), **overrides}
+    points = scenario.sweep.points(kwargs)
+    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    chunks = partition_points(
+        points, resolve_chunk_size(scenario.sweep, len(points), workers, chunk_size)
+    )
+    own_pool = executor is None
+    pool = (
+        ProcessPoolExecutor(max_workers=workers, initializer=_init_sweep_worker)
+        if own_pool
+        else executor
+    )
+    try:
+        futures = [pool.submit(run_sweep_chunk, name, chunk, overrides) for chunk in chunks]
+        results = [future.result() for future in futures]
+    finally:
+        if own_pool:
+            pool.shutdown()
+    rows = [row for result in results for row in result.rows]
+    return ShardedSweepResult(
+        name=name,
+        rows=rows,
+        num_points=len(points),
+        num_chunks=len(chunks),
+        worker_stats=merge_worker_stats(results),
+    )

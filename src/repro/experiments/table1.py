@@ -18,12 +18,17 @@ from repro.bounds.upper import (
 from repro.experiments.records import ExperimentRow
 
 
+def table1_default_grid() -> List[Tuple[int, int, int]]:
+    """The default ``(n, r, t)`` grid of Table 1 (the sweep-shard unit)."""
+    return [(64, 3, 2), (256, 3, 4), (1024, 5, 4), (4096, 5, 8)]
+
+
 def table1_rows(
     parameter_grid: Optional[Sequence[Tuple[int, int, int]]] = None,
 ) -> List[ExperimentRow]:
     """Regenerate Table 1 over a grid of ``(n, r, t)`` parameters."""
     if parameter_grid is None:
-        parameter_grid = [(64, 3, 2), (256, 3, 4), (1024, 5, 4), (4096, 5, 8)]
+        parameter_grid = table1_default_grid()
     rows: List[ExperimentRow] = []
     for n, r, t in parameter_grid:
         rows.append(

@@ -10,7 +10,7 @@ behind each row.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence, Tuple
 
 from repro.bounds.lower import classical_dma_total_proof_lower_bound
 from repro.bounds.upper import (
@@ -26,8 +26,31 @@ from repro.bounds.upper import (
 from repro.experiments.records import ExperimentRow
 
 
-def table2_rows(n: int = 1024, r: int = 4, t: int = 4, d: int = 2) -> List[ExperimentRow]:
-    """Every row of Table 2, instantiated at the given parameters."""
+def table2_default_grid(
+    n: int = 1024, r: int = 4, t: int = 4, d: int = 2
+) -> List[Tuple[int, int, int, int]]:
+    """The default ``(n, r, t, d)`` grid of Table 2 — one point unless swept."""
+    return [(n, r, t, d)]
+
+
+def table2_rows(
+    n: int = 1024,
+    r: int = 4,
+    t: int = 4,
+    d: int = 2,
+    parameter_grid: Optional[Sequence[Tuple[int, int, int, int]]] = None,
+) -> List[ExperimentRow]:
+    """Every row of Table 2 at each ``(n, r, t, d)`` point of the grid."""
+    if parameter_grid is None:
+        parameter_grid = table2_default_grid(n, r, t, d)
+    rows: List[ExperimentRow] = []
+    for point in parameter_grid:
+        rows.extend(_table2_point_rows(*point))
+    return rows
+
+
+def _table2_point_rows(n: int, r: int, t: int, d: int) -> List[ExperimentRow]:
+    """The nine formula rows of Table 2 at one parameter point."""
     bqp1_log = max(int(n).bit_length(), 1)
     qma_cost = 2.0 * bqp1_log
     dqma_cost = eq_local_proof_upper_bound(n, r) * (r + 1)

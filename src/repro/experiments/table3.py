@@ -23,8 +23,27 @@ from repro.bounds.upper import eq_local_proof_upper_bound, eq_relay_total_proof_
 from repro.experiments.records import ExperimentRow
 
 
-def table3_rows(n: int = 1024, r: int = 4) -> List[ExperimentRow]:
-    """Every row of Table 3, instantiated at the given parameters."""
+def table3_default_grid(n: int = 1024, r: int = 4) -> List[Tuple[int, int]]:
+    """The default ``(n, r)`` grid of Table 3 — one point unless swept."""
+    return [(n, r)]
+
+
+def table3_rows(
+    n: int = 1024,
+    r: int = 4,
+    parameter_grid: Optional[Sequence[Tuple[int, int]]] = None,
+) -> List[ExperimentRow]:
+    """Every row of Table 3 at each ``(n, r)`` point of the grid."""
+    if parameter_grid is None:
+        parameter_grid = table3_default_grid(n, r)
+    rows: List[ExperimentRow] = []
+    for point in parameter_grid:
+        rows.extend(_table3_point_rows(*point))
+    return rows
+
+
+def _table3_point_rows(n: int, r: int) -> List[ExperimentRow]:
+    """The seven lower-bound rows of Table 3 at one parameter point."""
     rows = [
         ExperimentRow(
             "table3",
@@ -93,6 +112,11 @@ def table3_rows(n: int = 1024, r: int = 4) -> List[ExperimentRow]:
     return rows
 
 
+def consistency_default_grid() -> List[Tuple[int, int]]:
+    """The default ``(n, r)`` grid of the upper-vs-lower consistency sweep."""
+    return [(64, 3), (256, 4), (1024, 5), (4096, 8), (2**14, 8), (2**16, 8)]
+
+
 def upper_vs_lower_consistency(
     parameter_grid: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> List[ExperimentRow]:
@@ -100,7 +124,7 @@ def upper_vs_lower_consistency(
     classical lower bound eventually dominates the quantum total cost (the advantage).
     """
     if parameter_grid is None:
-        parameter_grid = [(64, 3), (256, 4), (1024, 5), (4096, 8), (2**14, 8), (2**16, 8)]
+        parameter_grid = consistency_default_grid()
     rows: List[ExperimentRow] = []
     for n, r in parameter_grid:
         quantum_local = eq_local_proof_upper_bound(n, r)

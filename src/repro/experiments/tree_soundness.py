@@ -29,8 +29,13 @@ from repro.protocols.from_one_way import forall_pairs_protocol
 from repro.quantum.fingerprint import ExactCodeFingerprint
 
 
-def _sweep_networks(num_terminals: int = 3) -> List[Tuple[str, Network]]:
-    """The tree-family network zoo: star, complete binary tree, random tree."""
+def network_zoo(num_terminals: int = 3) -> List[Tuple[str, Network]]:
+    """The tree-family network zoo: star, complete binary tree, random tree.
+
+    This is the default grid of the tree-soundness sweeps — each
+    ``(name, network)`` pair is one sweep point, so the sharded runner can
+    chunk the zoo across workers.
+    """
     return [
         (f"star-{num_terminals}", star_network(num_terminals)),
         ("binary-depth2", binary_tree_network(2, num_terminals=num_terminals)),
@@ -54,7 +59,7 @@ def _strategy_sweep(
     """Shared sweep body: one batched strategy search per network family."""
     inputs = _no_instance(input_length, num_terminals)
     rows: List[ExperimentRow] = []
-    for name, network in networks if networks is not None else _sweep_networks(num_terminals):
+    for name, network in networks if networks is not None else network_zoo(num_terminals):
         protocol = protocol_factory(network)
         honest = protocol.acceptance_probability(inputs)
         search = fingerprint_strategy_soundness(protocol, inputs)

@@ -13,7 +13,9 @@ from repro.network.topology import (
     binary_tree_network,
     complete_network,
     cycle_network,
+    grid_network,
     path_network,
+    random_graph_network,
     random_tree_network,
     star_network,
 )
@@ -26,6 +28,8 @@ __all__ = [
     "star_network",
     "complete_network",
     "cycle_network",
+    "grid_network",
+    "random_graph_network",
     "random_tree_network",
     "VerificationTree",
     "build_verification_tree",

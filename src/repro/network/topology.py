@@ -207,6 +207,74 @@ def binary_tree_network(depth: int, num_terminals: Optional[int] = None) -> Netw
     return Network(graph, tuple(terminals))
 
 
+def grid_network(
+    rows: int, cols: int, num_terminals: Optional[int] = None
+) -> Network:
+    """A ``rows x cols`` lattice; terminals default to the grid corners.
+
+    Nodes are named ``g{row}_{col}``.  ``num_terminals`` restricts the
+    terminals to the first corners in reading order (all four — or fewer on
+    degenerate grids — when omitted).
+    """
+    if rows < 1 or cols < 1:
+        raise TopologyError("a grid network needs at least one row and one column")
+    if rows * cols < 2:
+        raise TopologyError("a grid network needs at least two nodes")
+    graph = nx.grid_2d_graph(rows, cols)
+    relabel = {(i, j): f"g{i}_{j}" for i, j in graph.nodes()}
+    graph = nx.relabel_nodes(graph, relabel)
+    corner_coords = [(0, 0), (0, cols - 1), (rows - 1, 0), (rows - 1, cols - 1)]
+    corners = []
+    for coordinate in corner_coords:
+        name = f"g{coordinate[0]}_{coordinate[1]}"
+        if name not in corners:
+            corners.append(name)
+    if num_terminals is None:
+        terminals: Sequence[NodeId] = corners
+    else:
+        if num_terminals < 1 or num_terminals > len(corners):
+            raise TopologyError(
+                f"number of terminals must be between 1 and the {len(corners)} corners"
+            )
+        terminals = corners[:num_terminals]
+    return Network(graph, tuple(terminals))
+
+
+def random_graph_network(
+    num_nodes: int,
+    num_terminals: int,
+    extra_edge_probability: float = 0.2,
+    rng: RngLike = None,
+) -> Network:
+    """A connected random graph: a random spanning tree plus chance chords.
+
+    Connectedness is guaranteed by construction (a random recursive tree
+    backbone); every non-tree pair then becomes an edge independently with
+    ``extra_edge_probability``.  Terminals are chosen uniformly at random.
+    """
+    if num_nodes < 2:
+        raise TopologyError("a random graph needs at least two nodes")
+    if num_terminals < 1 or num_terminals > num_nodes:
+        raise TopologyError("number of terminals must be between 1 and the node count")
+    if not 0.0 <= extra_edge_probability <= 1.0:
+        raise TopologyError("extra-edge probability must lie in [0, 1]")
+    generator = ensure_rng(rng)
+    graph = nx.Graph()
+    graph.add_node("t0")
+    for index in range(1, num_nodes):
+        parent = int(generator.integers(0, index))
+        graph.add_edge(f"t{parent}", f"t{index}")
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            u, v = f"t{i}", f"t{j}"
+            if not graph.has_edge(u, v) and generator.random() < extra_edge_probability:
+                graph.add_edge(u, v)
+    node_names = [f"t{i}" for i in range(num_nodes)]
+    chosen = generator.choice(num_nodes, size=num_terminals, replace=False)
+    terminals = tuple(node_names[int(i)] for i in sorted(chosen))
+    return Network(graph, terminals)
+
+
 def random_tree_network(
     num_nodes: int, num_terminals: int, rng: RngLike = None
 ) -> Network:

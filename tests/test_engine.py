@@ -275,6 +275,26 @@ class TestOperatorCache:
         with pytest.raises(ValueError):
             value[0, 0] = 5.0
 
+    def test_put_does_not_freeze_the_callers_array(self):
+        # Regression: _freeze used to flip ``writeable`` on the argument in
+        # place, silently freezing an array the caller still owns.
+        cache = OperatorCache()
+        mine = np.eye(3)
+        stored = cache.put("op", mine)
+        assert mine.flags.writeable
+        mine[0, 0] = 7.0  # caller keeps full ownership of its array
+        with pytest.raises(ValueError):
+            stored[0, 0] = 5.0  # ...while the cached value stays read-only
+        # ...and the caller's later mutation cannot poison the cached entry.
+        assert cache.get("op")[0, 0] == 1.0
+
+    def test_miss_and_hit_return_equally_frozen_values(self):
+        cache = OperatorCache()
+        first = cache.get_or_build("op", lambda: np.zeros((2, 2)))
+        second = cache.get_or_build("op", lambda: np.zeros((2, 2)))
+        assert not first.flags.writeable and not second.flags.writeable
+        np.testing.assert_array_equal(first, second)
+
     def test_engine_reuses_chain_operator_across_calls(self):
         from repro.experiments.soundness_scaling import small_fingerprints
 
@@ -306,6 +326,49 @@ class TestEngineFacade:
         sibling = engine.with_backend("dense")
         assert sibling.cache is engine.cache
         assert sibling.backend_name == "dense"
+
+
+class TestDefaultEngineEnvironment:
+    """``REPRO_BACKEND`` must be honoured even when set after first use."""
+
+    def test_env_change_after_first_use_is_picked_up(self, monkeypatch):
+        from repro.engine.core import set_default_engine
+
+        set_default_engine(None)
+        try:
+            monkeypatch.delenv("REPRO_BACKEND", raising=False)
+            first = default_engine()
+            assert first.backend_name == "transfer-matrix"
+            # Regression: the first call used to latch the env value forever,
+            # so pool workers exporting REPRO_BACKEND after import were
+            # silently ignored.
+            monkeypatch.setenv("REPRO_BACKEND", "dense")
+            assert default_engine().backend_name == "dense"
+            monkeypatch.delenv("REPRO_BACKEND")
+            assert default_engine().backend_name == "transfer-matrix"
+        finally:
+            set_default_engine(None)
+
+    def test_unchanged_env_keeps_the_same_engine(self, monkeypatch):
+        from repro.engine.core import set_default_engine
+
+        set_default_engine(None)
+        try:
+            monkeypatch.setenv("REPRO_BACKEND", "dense")
+            assert default_engine() is default_engine()
+        finally:
+            set_default_engine(None)
+
+    def test_explicit_engine_is_never_displaced_by_env(self, monkeypatch):
+        from repro.engine.core import set_default_engine
+
+        explicit = Engine(backend="dense")
+        set_default_engine(explicit)
+        try:
+            monkeypatch.setenv("REPRO_BACKEND", "transfer-matrix")
+            assert default_engine() is explicit
+        finally:
+            set_default_engine(None)
 
     def test_evaluate_programs_empty(self):
         assert Engine().evaluate_programs([]).shape == (0,)

@@ -50,3 +50,19 @@ class TestReport:
         exit_code = main([str(target)])
         assert exit_code == 0
         assert "Table 3" in target.read_text(encoding="utf-8")
+
+    def test_report_cli_scenario_subset(self, tmp_path):
+        from repro.experiments.report import main
+
+        target = tmp_path / "subset.txt"
+        exit_code = main(["--scenarios", "table1,crossover", str(target)])
+        assert exit_code == 0
+        text = target.read_text(encoding="utf-8")
+        assert "Table 1 — FGNP21 baselines" in text
+        assert "Theorem 2 — fixed-path crossover sweep" in text
+        assert "Table 3" not in text
+
+    def test_report_cli_scenarios_flag_needs_a_value(self):
+        from repro.experiments.report import main
+
+        assert main(["--scenarios"]) == 2

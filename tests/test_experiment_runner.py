@@ -7,12 +7,19 @@ from repro.experiments.crossover import crossover_sweep, long_path_sweep
 from repro.experiments.records import ExperimentRow
 from repro.experiments.runner import (
     ExperimentRunner,
+    ScenarioFailure,
     available_scenarios,
     get_scenario,
     register_scenario,
     run_scenario,
 )
-from repro.experiments.table1 import table1_rows
+from repro.experiments.sweep import (
+    SweepSpec,
+    partition_points,
+    resolve_chunk_size,
+    run_sweep_sharded,
+)
+from repro.experiments.table1 import table1_default_grid, table1_rows
 from repro.experiments.table2 import table2_rows
 from repro.experiments.table3 import table3_rows, upper_vs_lower_consistency
 
@@ -94,6 +101,136 @@ class TestParallelRunner:
         assert serial == parallel
 
 
+def _failing_builder():
+    raise RuntimeError("intentional scenario crash")
+
+
+class TestErrorIsolation:
+    """One crashing scenario must not abort the report around it."""
+
+    @pytest.fixture()
+    def with_failing_scenario(self):
+        register_scenario("failing-demo", _failing_builder, title="Failing demo")
+        try:
+            yield
+        finally:
+            from repro.experiments import runner as runner_module
+
+            runner_module._REGISTRY.pop("failing-demo", None)
+
+    def test_serial_failure_is_captured(self, with_failing_scenario):
+        runner = ExperimentRunner(["table1", "failing-demo", "table3"])
+        results = runner.run()
+        assert results["table1"] == table1_rows()
+        assert results["table3"] == table3_rows()
+        failure = results["failing-demo"]
+        assert isinstance(failure, ScenarioFailure)
+        assert "intentional scenario crash" in failure.error
+        assert "RuntimeError" in failure.traceback
+
+    def test_parallel_failure_is_captured(self, with_failing_scenario):
+        runner = ExperimentRunner(
+            ["table1", "failing-demo", "table3"], parallel=True, max_workers=2
+        )
+        results = runner.run()
+        assert list(results) == ["table1", "failing-demo", "table3"]
+        assert results["table1"] == table1_rows()
+        assert results["table3"] == table3_rows()
+        assert isinstance(results["failing-demo"], ScenarioFailure)
+        assert "intentional scenario crash" in results["failing-demo"].error
+
+    def test_render_marks_failed_sections(self, with_failing_scenario):
+        runner = ExperimentRunner(["table1", "failing-demo"])
+        text = runner.render()
+        assert "Table 1 — FGNP21 baselines" in text
+        assert "FAILED: RuntimeError: intentional scenario crash" in text
+
+
+class TestSweepSpecs:
+    def test_swept_scenarios_declare_their_grids(self):
+        for name in (
+            "table1",
+            "table2",
+            "table3",
+            "table3-consistency",
+            "crossover",
+            "crossover-long-path",
+            "soundness-scaling",
+            "soundness-repetition",
+            "soundness-tree",
+            "soundness-one-way-tree",
+            "topology-soundness",
+            "noise-robustness-path",
+            "noise-robustness-tree",
+            "noise-robustness-relay",
+            "noise-channels",
+            "topology-noise",
+        ):
+            scenario = get_scenario(name)
+            assert scenario.sweep is not None, f"{name} should declare a sweep"
+            points = scenario.grid_points()
+            assert points, f"{name} grid should be non-empty"
+
+    def test_point_scenarios_stay_unswept(self):
+        for name in ("table1-measured", "table2-verify", "crossover-points"):
+            assert get_scenario(name).sweep is None
+            assert get_scenario(name).grid_points() is None
+
+    def test_grid_points_honours_explicit_override(self):
+        scenario = get_scenario("table1")
+        assert scenario.grid_points() == table1_default_grid()
+        assert scenario.grid_points(parameter_grid=[(8, 2, 2)]) == [(8, 2, 2)]
+
+    def test_partition_points_is_contiguous_and_ordered(self):
+        assert partition_points(list(range(7)), 3) == [[0, 1, 2], [3, 4, 5], [6]]
+        assert partition_points([], 3) == []
+        with pytest.raises(ProtocolError):
+            partition_points([1], 0)
+
+    def test_resolve_chunk_size_priorities(self):
+        spec = SweepSpec("grid", list, chunk_size=5)
+        assert resolve_chunk_size(spec, 100, 4, override=7) == 7
+        assert resolve_chunk_size(spec, 100, 4) == 5
+        open_spec = SweepSpec("grid", list)
+        # 4 workers x CHUNKS_PER_WORKER chunks -> ceil(256 / 16) points per chunk
+        assert resolve_chunk_size(open_spec, 256, 4) == 16
+        assert resolve_chunk_size(open_spec, 3, 4) == 1
+
+
+class TestShardedParity:
+    """Sharded execution must be invisible in the rows it returns."""
+
+    def test_every_registered_scenario_sharded_matches_serial(self):
+        serial = ExperimentRunner().run()
+        runner = ExperimentRunner(parallel=True, max_workers=4)
+        sharded = runner.run()
+        assert list(serial) == list(sharded)
+        for name in serial:
+            assert serial[name] == sharded[name], f"{name} rows differ under sharding"
+        # Pool-wide merged per-worker cache stats are recorded and internally
+        # consistent: every cache entry was inserted on a miss.
+        stats = runner.cache_stats
+        assert stats["workers"] >= 1
+        assert stats["hits"] + stats["misses"] >= stats["entries"]
+        assert stats["hits"] >= 0 and stats["misses"] >= 0
+
+    def test_run_sweep_sharded_matches_serial_rows(self):
+        strengths = tuple(0.1 * i for i in range(6))
+        result = run_sweep_sharded(
+            "noise-robustness-path", max_workers=2, chunk_size=2, strengths=strengths
+        )
+        assert result.num_points == 6
+        assert result.num_chunks == 3
+        assert result.rows == run_scenario("noise-robustness-path", strengths=strengths)
+        stats = result.worker_stats
+        assert stats["workers"] >= 1
+        assert stats["hits"] + stats["misses"] >= stats["entries"]
+
+    def test_run_sweep_sharded_rejects_unswept_scenarios(self):
+        with pytest.raises(ProtocolError, match="declares no sweep grid"):
+            run_sweep_sharded("table1-measured")
+
+
 class TestReportRoutesThroughRunner:
     def test_report_sections_are_registered_scenarios(self):
         from repro.experiments.report import (
@@ -143,6 +280,33 @@ class TestNoiseScenarios:
         }
         for row in rows:
             assert 0.0 < row.value("completeness") < 1.0
+
+
+class TestTopologyScenarios:
+    def test_topology_scenarios_registered(self):
+        names = available_scenarios()
+        assert "topology-soundness" in names
+        assert "topology-noise" in names
+
+    def test_topology_soundness_respects_paper_bound(self):
+        rows = run_scenario(
+            "topology-soundness", topologies=[("grid", 2, 3), ("ring", 6)]
+        )
+        assert [row.label for row in rows] == ["grid-2x3", "ring-6"]
+        for row in rows:
+            assert row.value("respects_bound") is True
+            assert 0.0 <= row.value("best_found_acceptance") <= 1.0
+
+    def test_topology_noise_rows_keep_a_positive_gap(self):
+        rows = run_scenario(
+            "topology-noise",
+            topologies=[("grid", 2, 2), ("random-graph", 6, 3)],
+            strength=0.1,
+        )
+        assert [row.label for row in rows] == ["grid-2x2", "random-graph-6-s3"]
+        for row in rows:
+            assert 0.0 < row.value("completeness") < 1.0
+            assert row.value("gap") > 0.0
 
 
 class TestScenarioCatalog:

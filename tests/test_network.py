@@ -9,7 +9,9 @@ from repro.network.topology import (
     Network,
     complete_network,
     cycle_network,
+    grid_network,
     path_network,
+    random_graph_network,
     random_tree_network,
     star_network,
 )
@@ -65,6 +67,42 @@ class TestOtherTopologies:
         b = random_tree_network(10, 3, rng=5)
         assert set(a.edges) == set(b.edges)
         assert a.terminals == b.terminals
+
+    def test_grid_network_corners_are_terminals(self):
+        network = grid_network(3, 4)
+        assert network.num_nodes == 12
+        assert network.terminals == ("g0_0", "g0_3", "g2_0", "g2_3")
+        assert network.max_degree == 4
+
+    def test_grid_network_restricted_terminals(self):
+        network = grid_network(2, 2, num_terminals=3)
+        assert network.num_terminals == 3
+        with pytest.raises(TopologyError):
+            grid_network(2, 2, num_terminals=5)
+        with pytest.raises(TopologyError):
+            grid_network(1, 1)
+
+    def test_grid_network_degenerate_row(self):
+        # A 1xN grid has only two distinct corners.
+        network = grid_network(1, 4)
+        assert network.terminals == ("g0_0", "g0_3")
+
+    def test_random_graph_is_connected_and_deterministic(self):
+        a = random_graph_network(10, 3, rng=2)
+        b = random_graph_network(10, 3, rng=2)
+        assert nx.is_connected(a.graph)
+        assert set(a.edges) == set(b.edges)
+        assert a.terminals == b.terminals
+        # The tree backbone guarantees at least n - 1 edges.
+        assert len(a.edges) >= 9
+
+    def test_random_graph_rejects_bad_parameters(self):
+        with pytest.raises(TopologyError):
+            random_graph_network(1, 1)
+        with pytest.raises(TopologyError):
+            random_graph_network(5, 6)
+        with pytest.raises(TopologyError):
+            random_graph_network(5, 2, extra_edge_probability=1.5)
 
 
 class TestNetworkValidation:
