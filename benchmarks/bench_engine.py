@@ -354,6 +354,95 @@ def test_sharded_sweep_vs_scenario_parallelism(benchmark):
     assert speedup >= 2.0, f"sharded sweep only {speedup:.1f}x faster"
 
 
+def test_streaming_overhead_vs_blocking_dispatch(benchmark):
+    """Acceptance criterion: streaming consumption costs <= 5% wall-clock.
+
+    The streaming path (``as_completed`` + per-chunk progress events +
+    grid-order reassembly, i.e. today's ``run_sweep_sharded``) is timed
+    against a hand-rolled blocking dispatcher that submits the identical
+    chunk plan and collects ``future.result()`` in submission order — the
+    pre-streaming semantics.  Rows must stay byte-identical, and every chunk
+    must fire exactly one progress event.
+    """
+    import os
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.experiments.runner import get_scenario
+    from repro.experiments.sweep import (
+        _init_sweep_worker,
+        next_pool_generation,
+        partition_points,
+        resolve_chunk_size,
+        run_sweep_chunk,
+        run_sweep_sharded,
+    )
+
+    name = "noise-robustness-path"
+    strengths = tuple(np.linspace(0.0, 0.5, SHARD_POINTS))
+    overrides = dict(strengths=strengths, input_length=3, path_length=8)
+    spec = get_scenario(name).sweep
+    chunks = partition_points(
+        list(strengths), resolve_chunk_size(spec, SHARD_POINTS, SHARD_WORKERS)
+    )
+
+    def blocking_dispatch():
+        with ProcessPoolExecutor(
+            max_workers=SHARD_WORKERS,
+            initializer=_init_sweep_worker,
+            initargs=(next_pool_generation(),),
+        ) as pool:
+            futures = [
+                pool.submit(run_sweep_chunk, name, chunk, overrides) for chunk in chunks
+            ]
+            return [row for future in futures for row in future.result().rows]
+
+    events = []
+
+    def streaming_dispatch():
+        events.clear()
+        return run_sweep_sharded(
+            name, max_workers=SHARD_WORKERS, progress=events.append, **overrides
+        )
+
+    result = benchmark(streaming_dispatch)
+    record_engine_metadata(benchmark, batch_size=SHARD_POINTS)
+    assert result.ok
+    assert len(events) == result.num_chunks == len(chunks)
+    assert result.rows == blocking_dispatch()  # byte-identical reassembly
+
+    if not timing_assertions_enabled(benchmark):
+        return  # functional smoke pass: skip wall-clock comparisons
+    if (os.cpu_count() or 1) < SHARD_WORKERS:
+        emit_table(
+            "Engine — streaming overhead (skipped timing: needs >= 4 cores)",
+            [ExperimentRow("engine-stream", "cores available", {"count": os.cpu_count()})],
+        )
+        return
+
+    blocking_time = best_of(blocking_dispatch, repeats=3)
+    streaming_time = best_of(streaming_dispatch, repeats=3)
+    overhead = streaming_time / blocking_time - 1.0
+    emit_table(
+        "Engine — streaming vs blocking chunk dispatch (256 noise points)",
+        [
+            ExperimentRow(
+                "engine-stream", "blocking dispatch", {"seconds": blocking_time}
+            ),
+            ExperimentRow(
+                "engine-stream",
+                f"streaming dispatch ({len(chunks)} chunk events)",
+                {"seconds": streaming_time},
+            ),
+            ExperimentRow(
+                "engine-stream",
+                "overhead",
+                {"ratio": overhead, "target": "<= 5%"},
+            ),
+        ],
+    )
+    assert overhead <= 0.05, f"streaming dispatch {overhead:.1%} slower than blocking"
+
+
 def _random_jobs(count: int, num_intermediate: int, dim: int, seed: int = 5):
     rng = np.random.default_rng(seed)
     jobs = []

@@ -25,6 +25,10 @@ that the ``benchmarks/`` harness prints and that ``EXPERIMENTS.md`` documents.
 * :mod:`repro.experiments.sweep` — the sweep-sharding layer:
   :class:`SweepSpec` grid declarations, chunk planning, per-worker engine
   reuse and merged cache statistics.
+* :mod:`repro.experiments.streaming` — streaming chunk consumption:
+  per-chunk progress events, chunk-level failure isolation and fail-fast
+  cancellation shared by the runner's pooled/async paths and
+  :func:`run_sweep_sharded`.
 * :mod:`repro.experiments.catalog` — the registry rendered as the README's
   scenario table (``python -m repro.experiments.catalog``).
 """
@@ -39,11 +43,20 @@ from repro.experiments.noise_robustness import (
 from repro.experiments.records import ExperimentRow, format_rows
 from repro.experiments.runner import (
     ExperimentRunner,
+    PartialScenarioResult,
     ScenarioFailure,
     available_scenarios,
+    failed_scenarios,
     get_scenario,
     register_scenario,
     run_scenario,
+)
+from repro.experiments.streaming import (
+    ChunkEvent,
+    ChunkFailure,
+    PrintProgressListener,
+    ProgressListener,
+    SweepAborted,
 )
 from repro.experiments.sweep import SweepSpec, run_sweep_sharded
 from repro.experiments.topologies import topology_noise_sweep, topology_soundness_sweep
@@ -54,10 +67,17 @@ from repro.experiments.crossover import crossover_sweep, find_crossover, long_pa
 from repro.experiments.soundness_scaling import soundness_scaling_sweep
 
 __all__ = [
+    "ChunkEvent",
+    "ChunkFailure",
     "ExperimentRow",
     "ExperimentRunner",
+    "PartialScenarioResult",
+    "PrintProgressListener",
+    "ProgressListener",
     "ScenarioFailure",
+    "SweepAborted",
     "SweepSpec",
+    "failed_scenarios",
     "run_sweep_sharded",
     "topology_noise_sweep",
     "topology_soundness_sweep",

@@ -6,7 +6,14 @@ Usage (command line)::
     python -m repro.experiments.report out.txt      # write to a file
     python -m repro.experiments.report --parallel   # sharded process pool
     repro-report --parallel --scenarios table1,crossover   # explicit subset
+    repro-report --progress                         # per-chunk progress on stderr
     repro-report                                    # console script (after install)
+
+The exit code reflects the report's health: any scenario that failed (fully
+or in part) makes ``main`` return 1 with a stderr summary, so CI can rely on
+the exit status instead of grepping the rendered text for ``FAILED`` markers.
+``--progress`` (implies ``--parallel``) streams one line per completed sweep
+chunk to stderr while the report is being regenerated.
 
 The report routes every section through the unified
 :class:`~repro.experiments.runner.ExperimentRunner`: Tables 1-3 of the paper,
@@ -19,9 +26,10 @@ notebooks or CI artifacts.
 from __future__ import annotations
 
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import ExperimentRunner, failed_scenarios
+from repro.experiments.streaming import PrintProgressListener, Progress
 
 #: Report sections, in order; each is a registered runner scenario.
 REPORT_SCENARIOS = [
@@ -55,17 +63,21 @@ NOISE_SCENARIOS = [
 ]
 
 
-def generate_report(
+def generate_report_status(
     include_soundness: bool = True,
     include_noise: bool = True,
     parallel: bool = False,
     max_workers: Optional[int] = None,
     scenarios: Optional[List[str]] = None,
-) -> str:
-    """Build the full text report; heavy sections can be skipped.
+    progress: Progress = None,
+) -> Tuple[str, List[str]]:
+    """Build the text report plus the names of scenarios that failed.
 
     An explicit ``scenarios`` list overrides the section selection entirely
-    (used by the CI parallel smoke step to exercise the pool path cheaply).
+    (used by the CI parallel smoke step to exercise the pool path cheaply);
+    ``progress`` receives a chunk event per completed pool chunk on the
+    parallel path.  Failed names cover both full :class:`ScenarioFailure`
+    sections and partially-failed sweeps that lost chunks.
     """
     if scenarios is None:
         scenarios = list(REPORT_SCENARIOS)
@@ -73,17 +85,53 @@ def generate_report(
             scenarios += SOUNDNESS_SCENARIOS
         if include_noise:
             scenarios += NOISE_SCENARIOS
-    runner = ExperimentRunner(scenarios, parallel=parallel, max_workers=max_workers)
-    return runner.render()
+    runner = ExperimentRunner(
+        scenarios, parallel=parallel, max_workers=max_workers, progress=progress
+    )
+    results = runner.run()
+    return runner.render(results), failed_scenarios(results)
+
+
+def generate_report(
+    include_soundness: bool = True,
+    include_noise: bool = True,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+    scenarios: Optional[List[str]] = None,
+    progress: Progress = None,
+) -> str:
+    """Build the full text report; heavy sections can be skipped.
+
+    See :func:`generate_report_status` for the variant that also reports
+    which scenarios failed (the CLI uses it to derive its exit code).
+    """
+    report, _ = generate_report_status(
+        include_soundness=include_soundness,
+        include_noise=include_noise,
+        parallel=parallel,
+        max_workers=max_workers,
+        scenarios=scenarios,
+        progress=progress,
+    )
+    return report
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Command-line entry point."""
+    """Command-line entry point.
+
+    Returns 0 on a clean report, 1 when any scenario failed (with a stderr
+    summary naming the failed sections), 2 on usage errors.
+    """
     argv = list(sys.argv[1:] if argv is None else argv)
     parallel = False
     if "--parallel" in argv:
         parallel = True
         argv.remove("--parallel")
+    progress: Progress = None
+    if "--progress" in argv:
+        argv.remove("--progress")
+        parallel = True  # chunk events only exist on the pooled path
+        progress = PrintProgressListener(sys.stderr)
     scenarios: Optional[List[str]] = None
     if "--scenarios" in argv:
         index = argv.index("--scenarios")
@@ -95,16 +143,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     unknown = [arg for arg in argv if arg.startswith("-")]
     if unknown or len(argv) > 1:
         sys.stderr.write(
-            f"usage: repro-report [--parallel] [--scenarios a,b,...] [output-file]; "
-            f"unrecognized arguments: {unknown or argv[1:]}\n"
+            f"usage: repro-report [--parallel] [--progress] [--scenarios a,b,...] "
+            f"[output-file]; unrecognized arguments: {unknown or argv[1:]}\n"
         )
         return 2
-    report = generate_report(parallel=parallel, scenarios=scenarios)
+    report, failed = generate_report_status(
+        parallel=parallel, scenarios=scenarios, progress=progress
+    )
     if argv:
         with open(argv[0], "w", encoding="utf-8") as handle:
             handle.write(report)
     else:
         sys.stdout.write(report)
+    if failed:
+        sys.stderr.write(
+            f"repro-report: {len(failed)} scenario(s) FAILED: {', '.join(failed)}\n"
+        )
+        return 1
     return 0
 
 

@@ -10,9 +10,14 @@ workers each keep one engine (and operator cache) alive for their lifetime,
 and rows are reassembled in deterministic grid order — so a single 256-point
 sweep saturates the pool instead of pinning one core.
 
-Failures are isolated per scenario: a crashing builder yields a
-:class:`ScenarioFailure` entry (rendered as a failed section) instead of
-aborting the whole report.
+Failures are isolated per *chunk* on the pooled path: a crashing chunk is
+recorded as a :class:`~repro.experiments.streaming.ChunkFailure` while its
+siblings keep their rows (a :class:`PartialScenarioResult`); a scenario with
+no surviving chunks — or a serial crash — yields a :class:`ScenarioFailure`
+entry (rendered as a failed section) instead of aborting the whole report.
+Chunk futures are consumed as they complete, with per-chunk progress events
+and optional fail-fast cancellation; ``stream()``/``run_async()`` expose the
+same execution asynchronously for service embedding.
 
 Usage::
 
@@ -27,14 +32,24 @@ Usage::
 
 from __future__ import annotations
 
-import os
+import asyncio
 import traceback as traceback_module
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ProtocolError
+from repro.experiments.streaming import (
+    ChunkCollector,
+    ChunkEvent,
+    ChunkFailure,
+    ChunkTask,
+    Progress,
+    aiter_chunk_events,
+    iter_chunk_events,
+    pool_worker_count,
+)
 from repro.experiments.crossover import (
     crossover_default_lengths,
     crossover_sweep,
@@ -58,13 +73,15 @@ from repro.experiments.soundness_scaling import (
     soundness_scaling_sweep,
 )
 from repro.experiments.sweep import (
+    ChunkResult,
     SweepSpec,
     _init_sweep_worker,
     merge_worker_stats,
+    next_pool_generation,
     partition_points,
     resolve_chunk_size,
     run_scenario_task,
-    run_sweep_chunk,
+    submit_sweep_chunks,
 )
 from repro.experiments.topologies import (
     default_noise_topologies,
@@ -121,11 +138,31 @@ class Scenario:
 
 @dataclass(frozen=True)
 class ScenarioFailure:
-    """A captured per-scenario failure; sibling scenarios keep their rows."""
+    """A captured per-scenario failure; sibling scenarios keep their rows.
+
+    On the pooled path ``chunk_failures`` carries the underlying per-chunk
+    failures (every chunk of the scenario failed — a scenario with surviving
+    chunks becomes a :class:`PartialScenarioResult` instead).
+    """
 
     name: str
     error: str
     traceback: str = ""
+    chunk_failures: Tuple[ChunkFailure, ...] = ()
+
+
+@dataclass(frozen=True)
+class PartialScenarioResult:
+    """A scenario whose chunks partially failed: surviving rows + failures.
+
+    ``rows`` holds the completed chunks' rows in grid order (the failed
+    chunks' spans are missing); ``failures`` records one
+    :class:`~repro.experiments.streaming.ChunkFailure` per failed chunk.
+    """
+
+    name: str
+    rows: List[ExperimentRow]
+    failures: Tuple[ChunkFailure, ...] = ()
 
 
 _REGISTRY: "OrderedDict[str, Scenario]" = OrderedDict()
@@ -177,7 +214,18 @@ def run_scenario(name: str, **overrides) -> List[ExperimentRow]:
     return get_scenario(name).run(**overrides)
 
 
-ScenarioResult = Union[List[ExperimentRow], ScenarioFailure]
+ScenarioResult = Union[List[ExperimentRow], PartialScenarioResult, ScenarioFailure]
+
+
+def failed_scenarios(results: Mapping[str, ScenarioResult]) -> List[str]:
+    """Names of scenarios that failed fully or partially, in result order."""
+    failed = []
+    for name, value in results.items():
+        if isinstance(value, ScenarioFailure):
+            failed.append(name)
+        elif isinstance(value, PartialScenarioResult) and value.failures:
+            failed.append(name)
+    return failed
 
 
 class ExperimentRunner:
@@ -192,6 +240,20 @@ class ExperimentRunner:
     scenario's chunks into the next; for stats attributable to a single
     sweep, use :func:`~repro.experiments.sweep.run_sweep_sharded`, which
     runs on a dedicated pool).
+
+    The pooled path is *streaming*: chunk futures are consumed as they
+    complete, every settled chunk fires a
+    :class:`~repro.experiments.streaming.ChunkEvent` at ``progress``, and
+    the chunk — not the scenario — is the unit of failure.  A scenario with
+    some failed chunks keeps its surviving rows as a
+    :class:`PartialScenarioResult`; only a scenario with *no* surviving
+    chunks degrades to a :class:`ScenarioFailure`.  ``fail_fast=True``
+    instead cancels all outstanding chunks on the first failure and raises
+    :class:`~repro.experiments.streaming.SweepAborted`.  Rows are always
+    reassembled in deterministic grid order, byte-identical to serial runs,
+    regardless of chunk completion order.  For service embedding,
+    :meth:`stream` exposes the same execution as an async generator of
+    events and :meth:`run_async` as an awaitable returning the result map.
     """
 
     def __init__(
@@ -200,6 +262,8 @@ class ExperimentRunner:
         parallel: bool = False,
         max_workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        progress: Progress = None,
+        fail_fast: bool = False,
     ):
         self.names = list(scenarios) if scenarios is not None else available_scenarios()
         for name in self.names:
@@ -207,9 +271,15 @@ class ExperimentRunner:
         self.parallel = bool(parallel)
         self.max_workers = max_workers
         self.chunk_size = chunk_size
+        #: Chunk-event listener (or bare callable) for pooled runs.
+        self.progress = progress
+        #: Cancel outstanding chunks and raise on the first chunk failure.
+        self.fail_fast = bool(fail_fast)
         #: Pool-wide merged per-worker operator-cache counters of the last
         #: parallel run (empty after serial runs).
         self.cache_stats: Dict = {}
+        #: Results of the last :meth:`stream`/:meth:`run_async` execution.
+        self.last_results: Optional["OrderedDict[str, ScenarioResult]"] = None
 
     def run(self) -> "OrderedDict[str, ScenarioResult]":
         """Regenerate every selected scenario; results keep the selection order.
@@ -229,43 +299,91 @@ class ExperimentRunner:
         return results
 
     def _run_pooled(self) -> "OrderedDict[str, ScenarioResult]":
-        workers = self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
-        results: "OrderedDict[str, ScenarioResult]" = OrderedDict()
-        with ProcessPoolExecutor(
-            max_workers=self.max_workers, initializer=_init_sweep_worker
-        ) as pool:
-            pending: "OrderedDict[str, list]" = OrderedDict()
-            for name in self.names:
-                scenario = get_scenario(name)
-                try:
-                    chunks = self._plan(scenario, workers)
-                except Exception as exc:  # broad by design: grid planning failed
-                    results[name] = _failure(name, exc)
-                    continue
-                if chunks is not None and len(chunks) > 1:
-                    pending[name] = [
-                        pool.submit(run_sweep_chunk, name, chunk) for chunk in chunks
-                    ]
-                else:
-                    pending[name] = [pool.submit(run_scenario_task, name)]
-            all_parts = []
-            for name, futures in pending.items():
-                try:
-                    parts = [future.result() for future in futures]
-                except Exception as exc:  # broad by design: isolation is the point
-                    results[name] = _failure(name, exc)
-                    continue
-                results[name] = [row for part in parts for row in part.rows]
-                all_parts.extend(parts)
-            if all_parts:
-                self.cache_stats = merge_worker_stats(all_parts)
-        # Planning failures above may have landed out of order; rebuild in
-        # selection order so callers can rely on it.
-        ordered: "OrderedDict[str, ScenarioResult]" = OrderedDict()
+        with self._make_pool() as pool:
+            tasks, prefailed = self._submit(pool)
+            assembly = _PoolAssembly(tasks, prefailed)
+            for event in iter_chunk_events(
+                tasks, progress=self.progress, fail_fast=self.fail_fast
+            ):
+                assembly.record(event)
+            results, self.cache_stats = assembly.finish(self.names)
+        return results
+
+    async def stream(self):
+        """Run the pooled path, yielding a ChunkEvent per settled chunk.
+
+        An async generator for service embedding: the event loop stays free
+        between chunk completions.  After exhaustion the assembled results
+        (same mapping :meth:`run` returns) are in :attr:`last_results` and
+        the merged cache counters in :attr:`cache_stats`.  The pooled
+        machinery is used regardless of :attr:`parallel` — streaming is
+        inherently pool-based.
+        """
+        self.cache_stats = {}
+        self.last_results = None
+        pool = self._make_pool()
+        try:
+            tasks, prefailed = self._submit(pool)
+            assembly = _PoolAssembly(tasks, prefailed)
+            async for event in aiter_chunk_events(
+                tasks, progress=self.progress, fail_fast=self.fail_fast
+            ):
+                assembly.record(event)
+                yield event
+            self.last_results, self.cache_stats = assembly.finish(self.names)
+        finally:
+            # Shut down off-loop: a chunk may still be running (early break,
+            # fail_fast abort), and shutdown(wait=True) would otherwise stall
+            # every other coroutine until that chunk finishes.
+            await asyncio.to_thread(
+                lambda: pool.shutdown(wait=True, cancel_futures=True)
+            )
+
+    async def run_async(self) -> "OrderedDict[str, ScenarioResult]":
+        """Awaitable pooled run: drains :meth:`stream`, returns the results."""
+        async for _ in self.stream():
+            pass
+        assert self.last_results is not None  # stream() assembled on exhaustion
+        return self.last_results
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            initializer=_init_sweep_worker,
+            initargs=(next_pool_generation(),),
+        )
+
+    def _submit(self, pool: ProcessPoolExecutor):
+        """Submit every scenario's chunks; returns (tasks, planning failures).
+
+        Chunk planning derives its worker count from the pool actually
+        constructed (not ``os.cpu_count()``): the executor's default can
+        differ under cgroup limits or newer interpreters, and mis-planned
+        chunks would over- or under-shard the grid.
+        """
+        workers = pool_worker_count(pool)
+        tasks: List[ChunkTask] = []
+        prefailed: Dict[str, ScenarioFailure] = {}
         for name in self.names:
-            if name in results:
-                ordered[name] = results[name]
-        return ordered
+            scenario = get_scenario(name)
+            try:
+                chunks = self._plan(scenario, workers)
+            except Exception as exc:  # broad by design: grid planning failed
+                prefailed[name] = _failure(name, exc)
+                continue
+            if chunks is not None and len(chunks) > 1:
+                tasks.extend(submit_sweep_chunks(pool, name, chunks))
+            else:
+                tasks.append(
+                    ChunkTask(
+                        future=pool.submit(run_scenario_task, name),
+                        scenario=name,
+                        chunk_index=0,
+                        num_chunks=1,
+                        num_points=sum(len(chunk) for chunk in chunks or []),
+                    )
+                )
+        return tasks, prefailed
 
     def _plan(self, scenario: Scenario, workers: int) -> Optional[List[list]]:
         """Chunked grid of a swept scenario, ``None`` for unswept ones."""
@@ -287,6 +405,13 @@ class ExperimentRunner:
             title = get_scenario(name).title
             if isinstance(rows, ScenarioFailure):
                 body = f"FAILED: {rows.error}"
+            elif isinstance(rows, PartialScenarioResult):
+                notes = "\n".join(
+                    f"FAILED: chunk {failure.chunk_index + 1}/{failure.num_chunks}: "
+                    f"{failure.error}"
+                    for failure in rows.failures
+                )
+                body = f"{format_rows(rows.rows)}\n{notes}"
             else:
                 body = format_rows(rows)
             sections.append(f"{title}\n{'=' * len(title)}\n{body}\n")
@@ -299,6 +424,57 @@ def _failure(name: str, exc: Exception) -> ScenarioFailure:
         error=f"{type(exc).__name__}: {exc}",
         traceback=traceback_module.format_exc(),
     )
+
+
+class _PoolAssembly:
+    """Accumulates chunk events into per-scenario results, in grid order.
+
+    Completion order is irrelevant: every completed chunk lands in its
+    scenario's indexed slot, and :meth:`finish` concatenates the slots in
+    chunk order — so streaming reassembly is byte-identical to the blocking
+    path (and to serial runs).  Cache snapshots are merged over *every*
+    completed chunk, including survivors of partially-failed scenarios, so
+    pool work is never undercounted.
+    """
+
+    def __init__(self, tasks: Sequence[ChunkTask], prefailed: Mapping[str, ScenarioFailure]):
+        self._collectors: Dict[str, ChunkCollector] = {}
+        self._prefailed = dict(prefailed)
+        for task in tasks:
+            self._collectors.setdefault(task.scenario, ChunkCollector(task.num_chunks))
+
+    def record(self, event: ChunkEvent) -> None:
+        self._collectors[event.scenario].record(event)
+
+    def finish(self, names: Sequence[str]):
+        """The (results, merged cache stats) of the run, in selection order."""
+        results: "OrderedDict[str, ScenarioResult]" = OrderedDict()
+        parts: List[ChunkResult] = []
+        for name in names:
+            if name in self._prefailed:
+                results[name] = self._prefailed[name]
+                continue
+            collector = self._collectors.get(name)
+            if collector is None:
+                continue
+            completed = collector.completed
+            parts.extend(completed)
+            failures = tuple(collector.failures)
+            if not failures:
+                results[name] = collector.rows()
+            elif completed:
+                results[name] = PartialScenarioResult(
+                    name=name, rows=collector.rows(), failures=failures
+                )
+            else:
+                results[name] = ScenarioFailure(
+                    name=name,
+                    error=failures[0].error,
+                    traceback=failures[0].traceback,
+                    chunk_failures=failures,
+                )
+        cache_stats = merge_worker_stats(parts) if parts else {}
+        return results, cache_stats
 
 
 # -- built-in scenarios -------------------------------------------------------

@@ -14,9 +14,11 @@ point* the unit instead:
   of one chunk through the scenario's ordinary builder, on a worker-local
   :class:`~repro.engine.core.Engine` that is reused (cache and all) across
   every chunk the worker receives;
-* :func:`run_sweep_sharded` dispatches the chunks, reassembles the rows in
-  deterministic grid order, and merges the per-worker operator-cache counters
-  into one auditable stats block.
+* :func:`run_sweep_sharded` dispatches the chunks, consumes them as they
+  complete (streaming progress events, per-chunk failure isolation and
+  optional fail-fast abort via :mod:`repro.experiments.streaming`),
+  reassembles the rows in deterministic grid order, and merges the
+  per-worker operator-cache counters into one auditable stats block.
 
 Because chunks are evaluated by the same builder that serial runs call, a
 sharded sweep returns exactly the rows of the serial sweep — the parity the
@@ -26,13 +28,23 @@ regression tests and the benchmark harness pin down.
 from __future__ import annotations
 
 import inspect
+import itertools
 import os
+import uuid
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ProtocolError
 from repro.experiments.records import ExperimentRow
+from repro.experiments.streaming import (
+    ChunkCollector,
+    ChunkFailure,
+    ChunkTask,
+    Progress,
+    iter_chunk_events,
+    pool_worker_count,
+)
 
 #: Chunks dispatched per worker when no explicit chunk size is given; a few
 #: chunks per worker keeps the pool load-balanced without drowning it in
@@ -119,31 +131,82 @@ class ChunkResult:
     :class:`~repro.engine.cache.OperatorCache` taken *after* the chunk ran;
     snapshots from the same ``worker_id`` supersede each other (the counters
     only grow), which is what :func:`merge_worker_stats` relies on.
+    ``worker_id`` is the per-worker token minted by :func:`_init_sweep_worker`
+    (pool generation + pid), so two pools — or a respawned worker reusing a
+    pid — can never alias each other's snapshots.
     """
 
     rows: List[ExperimentRow]
-    worker_id: int
+    worker_id: str
     cache_stats: Dict[str, Any]
 
 
 @dataclass(frozen=True)
 class ShardedSweepResult:
-    """A reassembled sharded sweep: rows in grid order plus execution metadata."""
+    """A reassembled sharded sweep: rows in grid order plus execution metadata.
+
+    ``failures`` holds one :class:`~repro.experiments.streaming.ChunkFailure`
+    per failed chunk; ``rows`` then carries the surviving chunks' rows (still
+    in grid order, with the failed chunks' spans missing).
+    """
 
     name: str
     rows: List[ExperimentRow]
     num_points: int
     num_chunks: int
     worker_stats: Dict[str, Any] = field(default_factory=dict)
+    failures: Tuple[ChunkFailure, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether every chunk completed."""
+        return not self.failures
 
 
-def _init_sweep_worker() -> None:
-    """Process-pool initializer: give the worker a fresh default engine.
+#: Monotonic pool-generation counter (parent process); each constructed pool
+#: draws one generation so worker tokens stay unique across pools even when
+#: the OS reuses pids.
+_POOL_GENERATIONS = itertools.count(1)
+
+#: This process's worker token, set by :func:`_init_sweep_worker`.
+_WORKER_TOKEN: Optional[str] = None
+
+
+def next_pool_generation() -> int:
+    """Mint a fresh pool generation (pass via ``initargs`` to the pool)."""
+    return next(_POOL_GENERATIONS)
+
+
+def worker_token() -> str:
+    """This process's worker token (generation + pid).
+
+    Falls back to a generation-0 token when :func:`_init_sweep_worker` never
+    ran (e.g. a chunk entry point called in-process), which still separates
+    the caller from any real pool worker.
+    """
+    if _WORKER_TOKEN is not None:
+        return _WORKER_TOKEN
+    return f"g0-p{os.getpid()}"
+
+
+def _init_sweep_worker(generation: Optional[int] = None) -> None:
+    """Process-pool initializer: fresh default engine + a per-worker token.
 
     Forked workers inherit the parent's engine object (and its counters);
     resetting here guarantees "one engine + one cache per worker", counted
     from zero, so merged stats describe only work the pool actually did.
+    The minted ``generation + pid`` token keys the worker's cache snapshots:
+    keying by bare pid would let a second pool (or a respawned worker) that
+    happens to reuse a pid collide with — and drop — another worker's
+    counters under :func:`merge_worker_stats`'s most-advanced-snapshot rule.
+    A caller-built pool that omits ``initargs=(next_pool_generation(),)``
+    gets a random token component instead, so even that path cannot alias
+    workers across pools.
     """
+    global _WORKER_TOKEN
+
+    marker = f"g{generation}" if generation is not None else f"u{uuid.uuid4().hex[:8]}"
+    _WORKER_TOKEN = f"{marker}-p{os.getpid()}"
     from repro.engine.core import set_default_engine
 
     set_default_engine(None)
@@ -168,7 +231,26 @@ def run_sweep_chunk(
     kwargs[scenario.sweep.grid_param] = list(points)
     rows = list(scenario.builder(**kwargs))
     stats = default_engine().cache.stats().as_dict()
-    return ChunkResult(rows=rows, worker_id=os.getpid(), cache_stats=stats)
+    return ChunkResult(rows=rows, worker_id=worker_token(), cache_stats=stats)
+
+
+def submit_sweep_chunks(
+    pool: ProcessPoolExecutor,
+    name: str,
+    chunks: Sequence[Sequence[Any]],
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> List[ChunkTask]:
+    """Submit one scenario's chunks as streaming-tagged pool tasks."""
+    return [
+        ChunkTask(
+            future=pool.submit(run_sweep_chunk, name, chunk, overrides),
+            scenario=name,
+            chunk_index=index,
+            num_chunks=len(chunks),
+            num_points=len(chunk),
+        )
+        for index, chunk in enumerate(chunks)
+    ]
 
 
 def run_scenario_task(name: str, overrides: Optional[Mapping[str, Any]] = None) -> ChunkResult:
@@ -178,7 +260,7 @@ def run_scenario_task(name: str, overrides: Optional[Mapping[str, Any]] = None) 
 
     rows = list(get_scenario(name).run(**dict(overrides or {})))
     stats = default_engine().cache.stats().as_dict()
-    return ChunkResult(rows=rows, worker_id=os.getpid(), cache_stats=stats)
+    return ChunkResult(rows=rows, worker_id=worker_token(), cache_stats=stats)
 
 
 def _progress(stats: Mapping[str, Any]) -> int:
@@ -188,11 +270,12 @@ def _progress(stats: Mapping[str, Any]) -> int:
 def merge_worker_stats(results: Sequence[ChunkResult]) -> Dict[str, Any]:
     """Merge per-chunk cache snapshots into one per-pool stats block.
 
-    Snapshots are cumulative per worker, so only the most advanced snapshot
-    of each worker counts; the merged block sums those finals across workers
-    and therefore satisfies ``hits + misses >= entries``.
+    Snapshots are cumulative per worker (keyed by the generation+pid token,
+    so pid reuse across pools cannot alias two workers), so only the most
+    advanced snapshot of each worker counts; the merged block sums those
+    finals across workers and therefore satisfies ``hits + misses >= entries``.
     """
-    latest: Dict[int, Mapping[str, Any]] = {}
+    latest: Dict[str, Mapping[str, Any]] = {}
     for result in results:
         current = latest.get(result.worker_id)
         if current is None or _progress(result.cache_stats) >= _progress(current):
@@ -212,6 +295,8 @@ def run_sweep_sharded(
     max_workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     executor: Optional[ProcessPoolExecutor] = None,
+    progress: Progress = None,
+    fail_fast: bool = False,
     **overrides,
 ) -> ShardedSweepResult:
     """Run one swept scenario with its grid chunked across a process pool.
@@ -222,6 +307,14 @@ def run_sweep_sharded(
     owns its lifecycle — it must have been created with
     :func:`_init_sweep_worker` as initializer for per-worker stats to start
     from zero.
+
+    Chunks are consumed as they complete: every settled chunk fires a
+    :class:`~repro.experiments.streaming.ChunkEvent` at ``progress``, rows
+    are reassembled in grid order regardless of completion order, and a
+    failing chunk is recorded as a :class:`ChunkFailure` on the result (its
+    siblings keep their rows) — unless ``fail_fast=True``, which cancels the
+    outstanding chunks and raises
+    :class:`~repro.experiments.streaming.SweepAborted` instead.
     """
     from repro.experiments.runner import get_scenario
 
@@ -230,27 +323,36 @@ def run_sweep_sharded(
         raise ProtocolError(f"scenario {name!r} declares no sweep grid")
     kwargs = {**dict(scenario.kwargs), **overrides}
     points = scenario.sweep.points(kwargs)
-    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
-    chunks = partition_points(
-        points, resolve_chunk_size(scenario.sweep, len(points), workers, chunk_size)
-    )
     own_pool = executor is None
     pool = (
-        ProcessPoolExecutor(max_workers=workers, initializer=_init_sweep_worker)
+        ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_sweep_worker,
+            initargs=(next_pool_generation(),),
+        )
         if own_pool
         else executor
     )
     try:
-        futures = [pool.submit(run_sweep_chunk, name, chunk, overrides) for chunk in chunks]
-        results = [future.result() for future in futures]
+        # Plan against the pool actually constructed: its default worker
+        # count can differ from os.cpu_count() (cgroup limits, 3.13's
+        # process_cpu_count), and a supplied executor has its own width.
+        workers = pool_worker_count(pool)
+        chunks = partition_points(
+            points, resolve_chunk_size(scenario.sweep, len(points), workers, chunk_size)
+        )
+        tasks = submit_sweep_chunks(pool, name, chunks, overrides)
+        collector = ChunkCollector(len(chunks))
+        for event in iter_chunk_events(tasks, progress=progress, fail_fast=fail_fast):
+            collector.record(event)
     finally:
         if own_pool:
             pool.shutdown()
-    rows = [row for result in results for row in result.rows]
     return ShardedSweepResult(
         name=name,
-        rows=rows,
+        rows=collector.rows(),
         num_points=len(points),
         num_chunks=len(chunks),
-        worker_stats=merge_worker_stats(results),
+        worker_stats=merge_worker_stats(collector.completed),
+        failures=tuple(collector.failures),
     )

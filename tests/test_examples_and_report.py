@@ -66,3 +66,58 @@ class TestReport:
         from repro.experiments.report import main
 
         assert main(["--scenarios"]) == 2
+
+    def test_report_cli_exits_nonzero_on_failed_section(self, tmp_path, capsys):
+        from repro.experiments.report import main
+        from repro.experiments.runner import register_scenario
+
+        register_scenario(
+            "report-failing-demo", _failing_report_builder, title="Failing report demo"
+        )
+        try:
+            target = tmp_path / "failed.txt"
+            exit_code = main(["--scenarios", "report-failing-demo,table1", str(target)])
+        finally:
+            from repro.experiments import runner as runner_module
+
+            runner_module._REGISTRY.pop("report-failing-demo", None)
+        assert exit_code == 1
+        err = capsys.readouterr().err
+        assert "report-failing-demo" in err
+        assert "FAILED" in err
+        text = target.read_text(encoding="utf-8")
+        # The report itself is still written in full, failed section included.
+        assert "FAILED: RuntimeError: intentional report crash" in text
+        assert "Table 1 — FGNP21 baselines" in text
+
+    def test_report_cli_progress_streams_chunk_lines(self, tmp_path, capsys):
+        from repro.experiments.report import main
+
+        target = tmp_path / "progress.txt"
+        exit_code = main(["--progress", "--scenarios", "table1", str(target)])
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        assert "table1 chunk" in err
+        assert "Table 1 — FGNP21 baselines" in target.read_text(encoding="utf-8")
+
+    def test_generate_report_status_reports_failed_names(self):
+        from repro.experiments.report import generate_report_status
+        from repro.experiments.runner import register_scenario
+
+        register_scenario(
+            "report-failing-demo", _failing_report_builder, title="Failing report demo"
+        )
+        try:
+            report, failed = generate_report_status(
+                scenarios=["table1", "report-failing-demo"]
+            )
+        finally:
+            from repro.experiments import runner as runner_module
+
+            runner_module._REGISTRY.pop("report-failing-demo", None)
+        assert failed == ["report-failing-demo"]
+        assert "FAILED:" in report
+
+
+def _failing_report_builder():
+    raise RuntimeError("intentional report crash")

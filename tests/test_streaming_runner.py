@@ -1,0 +1,389 @@
+"""Tests for the streaming execution layer: chunk-level completion and failure.
+
+Builders live at module level so the forked pool workers can resolve their
+registered scenarios; the fixtures register/unregister them around each test.
+"""
+
+import asyncio
+import io
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.experiments.records import ExperimentRow
+from repro.experiments.runner import (
+    ExperimentRunner,
+    PartialScenarioResult,
+    ScenarioFailure,
+    failed_scenarios,
+    register_scenario,
+    run_scenario,
+)
+from repro.experiments.streaming import (
+    ChunkEvent,
+    ChunkFailure,
+    PrintProgressListener,
+    SweepAborted,
+    pool_worker_count,
+)
+from repro.experiments.sweep import (
+    ChunkResult,
+    SweepSpec,
+    _init_sweep_worker,
+    merge_worker_stats,
+    next_pool_generation,
+    run_sweep_sharded,
+    worker_token,
+)
+from repro.experiments.table1 import table1_rows
+
+
+def _staggered_grid():
+    return [4, 3, 2, 1]
+
+
+def _staggered_sweep(delays=None):
+    """Sleeps longest on the *first* grid points, so later chunks finish first."""
+    values = list(delays) if delays is not None else _staggered_grid()
+    rows = []
+    for value in values:
+        time.sleep(0.03 * value)
+        rows.append(ExperimentRow("staggered", f"delay-{value}", {"value": value}))
+    return rows
+
+
+def _poison_grid():
+    return ["a", "b", "poison", "c"]
+
+
+def _poisoned_sweep(values=None):
+    resolved = list(values) if values is not None else _poison_grid()
+    rows = []
+    for value in resolved:
+        if value == "poison":
+            raise RuntimeError(f"poisoned point {value!r}")
+        rows.append(ExperimentRow("poisoned", value, {"value": value}))
+    return rows
+
+
+def _all_poison_grid():
+    return ["poison", "poison"]
+
+
+def _unregister(*names):
+    from repro.experiments import runner as runner_module
+
+    for name in names:
+        runner_module._REGISTRY.pop(name, None)
+
+
+@pytest.fixture()
+def staggered_scenario():
+    register_scenario(
+        "streaming-staggered",
+        _staggered_sweep,
+        title="Staggered delays",
+        sweep=SweepSpec("delays", _staggered_grid, chunk_size=1),
+    )
+    try:
+        yield "streaming-staggered"
+    finally:
+        _unregister("streaming-staggered")
+
+
+@pytest.fixture()
+def poisoned_scenario():
+    register_scenario(
+        "streaming-poisoned",
+        _poisoned_sweep,
+        title="Poisoned sweep",
+        sweep=SweepSpec("values", _poison_grid, chunk_size=1),
+    )
+    try:
+        yield "streaming-poisoned"
+    finally:
+        _unregister("streaming-poisoned")
+
+
+@pytest.fixture()
+def all_poison_scenario():
+    register_scenario(
+        "streaming-all-poison",
+        _poisoned_sweep,
+        title="All chunks poisoned",
+        sweep=SweepSpec("values", _all_poison_grid, chunk_size=1),
+        values=None,
+    )
+    try:
+        yield "streaming-all-poison"
+    finally:
+        _unregister("streaming-all-poison")
+
+
+class TestCompletionOrderIndependence:
+    """Rows must land in grid order no matter when their chunks finish."""
+
+    def test_rows_reassemble_in_grid_order(self, staggered_scenario):
+        events = []
+        runner = ExperimentRunner(
+            [staggered_scenario], parallel=True, max_workers=4, progress=events.append
+        )
+        results = runner.run()
+        assert results[staggered_scenario] == run_scenario(staggered_scenario)
+        assert [row.label for row in results[staggered_scenario]] == [
+            "delay-4",
+            "delay-3",
+            "delay-2",
+            "delay-1",
+        ]
+        # One event per chunk, with a monotone run-wide completion counter.
+        assert len(events) == 4
+        assert [event.completed for event in events] == [1, 2, 3, 4]
+        assert all(event.total == 4 and event.ok for event in events)
+        assert {event.chunk_index for event in events} == {0, 1, 2, 3}
+
+    def test_sharded_sweep_matches_serial_rows(self, staggered_scenario):
+        result = run_sweep_sharded(staggered_scenario, max_workers=4)
+        assert result.ok
+        assert result.rows == run_scenario(staggered_scenario)
+
+
+class TestChunkFailureIsolation:
+    def test_partial_failure_keeps_sibling_rows(self, poisoned_scenario):
+        runner = ExperimentRunner(
+            [poisoned_scenario, "table1"], parallel=True, max_workers=2
+        )
+        results = runner.run()
+        partial = results[poisoned_scenario]
+        assert isinstance(partial, PartialScenarioResult)
+        assert [row.label for row in partial.rows] == ["a", "b", "c"]
+        assert len(partial.failures) == 1
+        failure = partial.failures[0]
+        assert isinstance(failure, ChunkFailure)
+        assert failure.chunk_index == 2
+        assert failure.num_chunks == 4
+        assert "RuntimeError: poisoned point" in failure.error
+        # The healthy sibling scenario is untouched.
+        assert results["table1"] == table1_rows()
+        assert failed_scenarios(results) == [poisoned_scenario]
+        # Cache stats merge the *surviving* chunks' work, not nothing.
+        assert runner.cache_stats["workers"] >= 1
+
+    def test_partial_failure_renders_rows_and_failed_marker(self, poisoned_scenario):
+        runner = ExperimentRunner([poisoned_scenario], parallel=True, max_workers=2)
+        text = runner.render()
+        assert "FAILED: chunk 3/4: RuntimeError" in text
+        assert "a" in text and "c" in text  # surviving rows still rendered
+
+    def test_all_chunks_failed_degrades_to_scenario_failure(self, all_poison_scenario):
+        runner = ExperimentRunner([all_poison_scenario], parallel=True, max_workers=2)
+        results = runner.run()
+        failure = results[all_poison_scenario]
+        assert isinstance(failure, ScenarioFailure)
+        assert "RuntimeError: poisoned point" in failure.error
+        assert len(failure.chunk_failures) == 2
+        assert failed_scenarios(results) == [all_poison_scenario]
+
+    def test_run_sweep_sharded_records_chunk_failures(self, poisoned_scenario):
+        result = run_sweep_sharded(poisoned_scenario, max_workers=2)
+        assert not result.ok
+        assert [row.label for row in result.rows] == ["a", "b", "c"]
+        assert len(result.failures) == 1
+        assert result.failures[0].chunk_index == 2
+        assert result.worker_stats["workers"] >= 1
+
+
+class TestFailFast:
+    def test_runner_fail_fast_aborts(self, poisoned_scenario):
+        runner = ExperimentRunner(
+            [poisoned_scenario], parallel=True, max_workers=2, fail_fast=True
+        )
+        with pytest.raises(SweepAborted) as excinfo:
+            runner.run()
+        assert excinfo.value.failure.scenario == poisoned_scenario
+        assert "RuntimeError: poisoned point" in excinfo.value.failure.error
+
+    def test_run_sweep_sharded_fail_fast_aborts(self, poisoned_scenario):
+        with pytest.raises(SweepAborted):
+            run_sweep_sharded(poisoned_scenario, max_workers=2, fail_fast=True)
+
+
+class TestAsyncApi:
+    def test_run_async_matches_serial(self):
+        names = ["table1", "table3"]
+        runner = ExperimentRunner(names, parallel=True, max_workers=2)
+        results = asyncio.run(runner.run_async())
+        assert results == ExperimentRunner(names).run()
+        assert runner.last_results is results
+        assert runner.cache_stats["workers"] >= 1
+
+    def test_stream_yields_chunk_events(self):
+        runner = ExperimentRunner(["table1"], parallel=True, max_workers=2)
+
+        async def collect():
+            return [event async for event in runner.stream()]
+
+        events = asyncio.run(collect())
+        assert events
+        assert all(isinstance(event, ChunkEvent) for event in events)
+        assert events[-1].completed == events[-1].total == len(events)
+        assert runner.last_results["table1"] == run_scenario("table1")
+
+    def test_stream_isolates_chunk_failures(self, poisoned_scenario):
+        runner = ExperimentRunner([poisoned_scenario], parallel=True, max_workers=2)
+
+        async def collect():
+            return [event async for event in runner.stream()]
+
+        events = asyncio.run(collect())
+        assert sum(1 for event in events if not event.ok) == 1
+        partial = runner.last_results[poisoned_scenario]
+        assert isinstance(partial, PartialScenarioResult)
+        assert [row.label for row in partial.rows] == ["a", "b", "c"]
+
+
+class TestWorkerTokens:
+    """Snapshots key by generation+pid so pid reuse cannot drop counters."""
+
+    def test_merge_distinguishes_pid_reuse_across_pools(self):
+        first = ChunkResult(
+            rows=[],
+            worker_id="g1-p100",
+            cache_stats={"hits": 5, "misses": 5, "entries": 3, "evictions": 0},
+        )
+        # Same pid, later pool generation, *less* progress: the old bare-pid
+        # keying would have dropped one of the two under the >= rule.
+        second = ChunkResult(
+            rows=[],
+            worker_id="g2-p100",
+            cache_stats={"hits": 2, "misses": 1, "entries": 1, "evictions": 0},
+        )
+        merged = merge_worker_stats([first, second])
+        assert merged["workers"] == 2
+        assert merged["hits"] == 7
+        assert merged["misses"] == 6
+        assert merged["entries"] == 4
+
+    def test_init_sweep_worker_mints_generation_token(self):
+        import repro.experiments.sweep as sweep_module
+
+        previous = sweep_module._WORKER_TOKEN
+        try:
+            _init_sweep_worker(7)
+            assert worker_token() == f"g7-p{os.getpid()}"
+        finally:
+            sweep_module._WORKER_TOKEN = previous
+
+    def test_worker_token_falls_back_outside_pools(self):
+        import repro.experiments.sweep as sweep_module
+
+        previous = sweep_module._WORKER_TOKEN
+        try:
+            sweep_module._WORKER_TOKEN = None
+            assert worker_token() == f"g0-p{os.getpid()}"
+        finally:
+            sweep_module._WORKER_TOKEN = previous
+
+    def test_pool_generations_are_unique(self):
+        assert next_pool_generation() != next_pool_generation()
+
+
+class TestPoolSizePlanning:
+    """Chunk planning must follow the constructed pool, not os.cpu_count()."""
+
+    def test_pool_worker_count_reads_constructed_pool(self):
+        with ProcessPoolExecutor(max_workers=3) as pool:
+            assert pool_worker_count(pool) == 3
+
+    def test_pool_worker_count_falls_back_without_pool_width(self):
+        class Opaque:
+            pass
+
+        assert pool_worker_count(Opaque()) == (os.cpu_count() or 1)
+
+    def test_chunk_planning_follows_actual_pool_width(self, monkeypatch):
+        seen = {}
+        original = ExperimentRunner._plan
+
+        def spy(self, scenario, workers):
+            seen["workers"] = workers
+            return original(self, scenario, workers)
+
+        monkeypatch.setattr(ExperimentRunner, "_plan", spy)
+        runner = ExperimentRunner(["table1"], parallel=True, max_workers=2)
+        results = runner.run()
+        assert results["table1"] == table1_rows()
+        assert seen["workers"] == 2
+
+    def test_supplied_executor_drives_sharded_planning(self, monkeypatch):
+        import repro.experiments.sweep as sweep_module
+
+        seen = {}
+        original = sweep_module.resolve_chunk_size
+
+        def spy(spec, num_points, num_workers, override=None):
+            seen["workers"] = num_workers
+            return original(spec, num_points, num_workers, override)
+
+        monkeypatch.setattr(sweep_module, "resolve_chunk_size", spy)
+        with ProcessPoolExecutor(
+            max_workers=2,
+            initializer=_init_sweep_worker,
+            initargs=(next_pool_generation(),),
+        ) as pool:
+            result = run_sweep_sharded(
+                "noise-robustness-path",
+                executor=pool,
+                strengths=(0.0, 0.1, 0.2, 0.3),
+            )
+        assert seen["workers"] == 2
+        assert result.num_points == 4
+
+
+class TestProgressListeners:
+    def test_print_listener_formats_completed_and_failed_chunks(self):
+        stream = io.StringIO()
+        listener = PrintProgressListener(stream)
+        listener.on_chunk(
+            ChunkEvent(
+                scenario="demo",
+                chunk_index=0,
+                num_chunks=2,
+                num_rows=3,
+                worker_id="g1-p9",
+                cache_delta={"hits": 2, "misses": 1},
+                completed=1,
+                total=4,
+            )
+        )
+        listener.on_chunk(
+            ChunkEvent(
+                scenario="demo",
+                chunk_index=1,
+                num_chunks=2,
+                num_rows=0,
+                worker_id="",
+                failure=ChunkFailure(
+                    scenario="demo",
+                    chunk_index=1,
+                    num_chunks=2,
+                    num_points=1,
+                    error="RuntimeError: boom",
+                ),
+                completed=2,
+                total=4,
+            )
+        )
+        text = stream.getvalue()
+        assert "[1/4] demo chunk 1/2: 3 rows (worker g1-p9, +2 hits, +1 misses)" in text
+        assert "[2/4] demo chunk 2/2: FAILED RuntimeError: boom" in text
+
+    def test_bare_callable_receives_events_with_cache_deltas(self, staggered_scenario):
+        events = []
+        run_sweep_sharded(staggered_scenario, max_workers=2, progress=events.append)
+        assert len(events) == 4
+        for event in events:
+            assert event.scenario == staggered_scenario
+            assert set(event.cache_delta) == {"hits", "misses", "entries"}
