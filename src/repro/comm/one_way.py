@@ -74,6 +74,18 @@ class OneWayProtocol(ABC):
     # -- concrete ----------------------------------------------------------
 
     @property
+    def cache_token(self):
+        """A stable value identity for engine operator-cache keys.
+
+        Protocols whose behaviour is fully determined by explicit parameters
+        override this with a hashable tuple, so cached operators keyed on the
+        token match across processes (operator-pack warm starts).  The base
+        fallback is the instance itself — identity semantics, safe for any
+        subclass, but never matching after pickling.
+        """
+        return self
+
+    @property
     def message_qubits(self) -> float:
         """Number of qubits of the message register."""
         return float(log2(self.message_dim))
@@ -146,6 +158,10 @@ class FingerprintEqualityOneWay(OneWayProtocol):
     def __init__(self, fingerprints: FingerprintScheme):
         super().__init__(fingerprints.input_length)
         self.fingerprints = fingerprints
+
+    @property
+    def cache_token(self):
+        return ("ow-eq", self.fingerprints.cache_token)
 
     @property
     def message_dim(self) -> int:
@@ -254,6 +270,18 @@ class HammingSketchOneWay(OneWayProtocol):
         self._seed = int(seed)
         self._masks = self._build_masks()
         self.threshold_count = self._threshold_count()
+
+    @property
+    def cache_token(self):
+        # Masks and thresholds derive deterministically from these fields.
+        return (
+            "ow-ham-sketch",
+            self.input_length,
+            self.distance_bound,
+            self.num_sketches,
+            self._seed,
+            self.fingerprints.cache_token,
+        )
 
     # -- construction ------------------------------------------------------
 
@@ -431,6 +459,16 @@ class ExactMaskHammingOneWay(OneWayProtocol):
             raise ProtocolError("fingerprint scheme input length mismatch")
         self.fingerprints = fingerprints
         self.masks = self._build_masks()
+
+    @property
+    def cache_token(self):
+        # Masks enumerate all <= d erasures: a pure function of (n, d).
+        return (
+            "ow-ham-any",
+            self.input_length,
+            self.distance_bound,
+            self.fingerprints.cache_token,
+        )
 
     def _build_masks(self) -> List[Tuple[int, ...]]:
         from itertools import combinations

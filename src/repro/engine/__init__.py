@@ -26,7 +26,9 @@ asks the simulator to evaluate from *how* the evaluation is carried out:
 * :mod:`repro.engine.cache` — a bounded :class:`OperatorCache` for SWAP
   projectors, acceptance operators, measurement operators and compiled
   honest-proof programs, keyed by protocol layout and input; its
-  :meth:`~OperatorCache.stats` counters are surfaced in benchmark metadata.
+  :meth:`~OperatorCache.stats` counters are surfaced in benchmark metadata,
+  and :class:`OperatorPack` snapshots (digest-verified, read-only) ship a
+  warm cache to fresh pool workers so they stop re-warming hot operators.
 * :mod:`repro.engine.core` — the :class:`Engine` facade protocols talk to:
   it owns a backend and an operator cache, evaluates single programs and
   batches of programs (flattening mixed chain/tree job batches into one
@@ -46,7 +48,7 @@ from repro.engine.backends import (
     get_backend,
     register_backend,
 )
-from repro.engine.cache import CacheStats, OperatorCache
+from repro.engine.cache import CacheStats, OperatorCache, OperatorPack
 from repro.engine.core import Engine, default_engine, set_default_engine
 from repro.engine.jobs import (
     MEAS_DENSE,
@@ -106,6 +108,7 @@ __all__ = [
     "LeafMeasurement",
     "MeasurementSpec",
     "OperatorCache",
+    "OperatorPack",
     "SimulationBackend",
     "TransferMatrixBackend",
     "TreeJob",

@@ -1,0 +1,248 @@
+"""Measured per-point cost model driving adaptive chunk scheduling.
+
+Static chunk planning splits every grid into equal-*count* chunks, which
+load-balances badly on heterogeneous grids: a chunk of large-topology or
+noisy points can take orders of magnitude longer than a chunk of cheap
+formula points, so one expensive chunk serializes the tail of the sweep
+while the cheap chunks finish instantly.  This module supplies the missing
+measurement layer:
+
+* :func:`point_signature` maps a sweep point to a coarse structural key —
+  numbers that encode *sizes* (path lengths, terminal counts, grid
+  dimensions) keep their value, continuous parameters (noise strengths)
+  collapse to one bucket — so points expected to cost the same share a
+  cost entry;
+* :class:`CostModel` keeps an exponentially-weighted moving average of
+  measured seconds-per-point per ``(scenario, signature)`` pair, updated
+  from per-chunk wall times recorded by the sharding layer;
+* the model persists as a small JSON *cost book* under the working
+  directory (``.repro_costbook.json``, overridable via the
+  ``REPRO_COST_BOOK`` environment variable), so the second run of a sweep
+  plans from the first run's measurements.
+
+The planner itself (:func:`repro.experiments.sweep.plan_chunks`) consumes
+the per-point predictions; this module never decides chunking, it only
+measures and predicts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+#: Environment variable overriding the cost-book location.
+COST_BOOK_ENV_VAR = "REPRO_COST_BOOK"
+
+#: Default cost-book filename (relative to the working directory).
+DEFAULT_COST_BOOK = ".repro_costbook.json"
+
+#: EWMA smoothing factor: weight of the newest observation.
+DEFAULT_ALPHA = 0.3
+
+#: Cost-book schema version (bumped on incompatible layout changes).
+_BOOK_VERSION = 1
+
+
+def cost_book_path(path: Optional[str] = None) -> str:
+    """Resolve the cost-book location: explicit path, env var, or default."""
+    if path is not None:
+        return str(path)
+    return os.environ.get(COST_BOOK_ENV_VAR) or DEFAULT_COST_BOOK
+
+
+def point_signature(point: Any) -> str:
+    """A coarse structural signature grouping points of comparable cost.
+
+    Integers keep their value (they encode problem sizes: path lengths,
+    terminal counts, grid dimensions), floats collapse to one bucket
+    (continuous parameters such as noise strengths sweep over values of
+    identical cost), strings keep their value (channel families differ in
+    Kraus-operator count), and tuples/lists recurse element-wise — so
+    ``("grid", 2, 3)`` and ``("grid", 4, 4)`` land in different entries
+    while 256 depolarizing strengths share one.
+    """
+    if isinstance(point, bool):
+        return f"b{int(point)}"
+    if isinstance(point, (int, np.integer)):
+        return f"i{int(point)}"
+    if isinstance(point, (float, np.floating)):
+        return "f"
+    if isinstance(point, str):
+        return f"s:{point}"
+    if isinstance(point, (tuple, list)):
+        return "(" + ",".join(point_signature(item) for item in point) + ")"
+    name = type(point).__name__
+    try:
+        return f"o:{name}[{len(point)}]"  # sized objects: networks, grids
+    except TypeError:
+        return f"o:{name}"
+
+
+@dataclass
+class CostEntry:
+    """EWMA seconds-per-point of one ``(scenario, signature)`` pair."""
+
+    ewma: float
+    samples: int = 1
+
+    def update(self, seconds_per_point: float, alpha: float) -> None:
+        self.ewma = alpha * float(seconds_per_point) + (1.0 - alpha) * self.ewma
+        self.samples += 1
+
+
+@dataclass
+class CostModel:
+    """Per-scenario EWMA cost entries keyed by sweep-point signature.
+
+    ``observe`` feeds measured chunk wall times back into the entries;
+    ``predict_points`` produces per-point cost estimates for the planner,
+    falling back to the scenario's mean rate for signatures never measured
+    and to ``None`` (caller uses the static planner) for scenarios with no
+    history at all.
+    """
+
+    alpha: float = DEFAULT_ALPHA
+    scenarios: Dict[str, Dict[str, CostEntry]] = field(default_factory=dict)
+
+    # -- measurement ---------------------------------------------------------
+
+    def observe(self, scenario: str, points: Sequence[Any], seconds: float) -> None:
+        """Record one chunk's wall time against its points' signatures.
+
+        The chunk's seconds are attributed evenly per point (chunks tend to
+        be signature-homogeneous once adaptive planning kicks in, and the
+        EWMA washes out mixed-chunk attribution error across runs).
+        """
+        points = list(points)
+        if not points or seconds < 0.0:
+            return
+        per_point = float(seconds) / len(points)
+        entries = self.scenarios.setdefault(scenario, {})
+        for point in points:
+            signature = point_signature(point)
+            entry = entries.get(signature)
+            if entry is None:
+                entries[signature] = CostEntry(ewma=per_point)
+            else:
+                entry.update(per_point, self.alpha)
+
+    # -- prediction ----------------------------------------------------------
+
+    def has_history(self, scenario: str) -> bool:
+        """Whether any cost entry exists for ``scenario``."""
+        return bool(self.scenarios.get(scenario))
+
+    def predict(self, scenario: str, point: Any) -> Optional[float]:
+        """Predicted seconds for one point, or ``None`` without any history."""
+        entries = self.scenarios.get(scenario)
+        if not entries:
+            return None
+        entry = entries.get(point_signature(point))
+        if entry is not None:
+            return entry.ewma
+        return self.mean_rate(scenario)
+
+    def mean_rate(self, scenario: str) -> Optional[float]:
+        """Mean seconds-per-point across the scenario's entries."""
+        entries = self.scenarios.get(scenario)
+        if not entries:
+            return None
+        return sum(entry.ewma for entry in entries.values()) / len(entries)
+
+    def predict_points(
+        self, scenario: str, points: Sequence[Any]
+    ) -> Optional[List[float]]:
+        """Per-point cost predictions for a grid, or ``None`` without history.
+
+        Signatures never measured fall back to the scenario's mean rate, so
+        one probe measurement is enough to plan a whole mixed grid.
+        """
+        if not self.has_history(scenario):
+            return None
+        fallback = self.mean_rate(scenario) or 0.0
+        predictions = []
+        entries = self.scenarios[scenario]
+        for point in points:
+            entry = entries.get(point_signature(point))
+            predictions.append(entry.ewma if entry is not None else fallback)
+        return predictions
+
+    # -- persistence ---------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable cost-book form."""
+        return {
+            "version": _BOOK_VERSION,
+            "alpha": self.alpha,
+            "scenarios": {
+                scenario: {
+                    signature: {"ewma": entry.ewma, "samples": entry.samples}
+                    for signature, entry in entries.items()
+                }
+                for scenario, entries in self.scenarios.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CostModel":
+        """Rebuild a model from :meth:`as_dict` output (tolerant of junk)."""
+        model = cls(alpha=float(data.get("alpha", DEFAULT_ALPHA)))
+        scenarios = data.get("scenarios")
+        if not isinstance(scenarios, Mapping):
+            return model
+        for scenario, entries in scenarios.items():
+            if not isinstance(entries, Mapping):
+                continue
+            parsed: Dict[str, CostEntry] = {}
+            for signature, entry in entries.items():
+                try:
+                    parsed[str(signature)] = CostEntry(
+                        ewma=float(entry["ewma"]),
+                        samples=int(entry.get("samples", 1)),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue
+            if parsed:
+                model.scenarios[str(scenario)] = parsed
+        return model
+
+    @classmethod
+    def load(cls, path: Optional[str] = None) -> "CostModel":
+        """Load the cost book (missing or corrupt files start a fresh model)."""
+        resolved = cost_book_path(path)
+        try:
+            with open(resolved, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return cls()
+        if not isinstance(data, dict) or data.get("version") != _BOOK_VERSION:
+            return cls()
+        return cls.from_dict(data)
+
+    def save(self, path: Optional[str] = None) -> str:
+        """Persist the cost book atomically; returns the resolved path.
+
+        Failures to write (read-only working dir) are swallowed — the cost
+        model is an optimization, never a correctness dependency.
+        """
+        resolved = cost_book_path(path)
+        try:
+            directory = os.path.dirname(os.path.abspath(resolved))
+            fd, temp_path = tempfile.mkstemp(
+                prefix=".costbook-", suffix=".tmp", dir=directory
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(self.as_dict(), handle, indent=1, sort_keys=True)
+                os.replace(temp_path, resolved)
+            except BaseException:
+                os.unlink(temp_path)
+                raise
+        except OSError:
+            pass
+        return resolved

@@ -7,6 +7,8 @@ Usage (command line)::
     python -m repro.experiments.report --parallel   # sharded process pool
     repro-report --parallel --scenarios table1,crossover   # explicit subset
     repro-report --progress                         # per-chunk progress on stderr
+    repro-report --parallel --chunk-size 8          # pin the static chunk plan
+    repro-report --parallel --no-adaptive           # disable the cost model
     repro-report                                    # console script (after install)
 
 The exit code reflects the report's health: any scenario that failed (fully
@@ -14,6 +16,15 @@ or in part) makes ``main`` return 1 with a stderr summary, so CI can rely on
 the exit status instead of grepping the rendered text for ``FAILED`` markers.
 ``--progress`` (implies ``--parallel``) streams one line per completed sweep
 chunk to stderr while the report is being regenerated.
+
+Chunk-plan precedence on the parallel path, highest first: ``--chunk-size N``
+pins every sweep to static N-point chunks; a scenario's own
+``SweepSpec.chunk_size`` pins that scenario; otherwise the cost-model
+adaptive planner sizes variable-width chunks from recorded history (see
+:mod:`repro.experiments.costmodel`), falling back to the static equal-count
+plan for scenarios with no history.  ``--no-adaptive`` removes the adaptive
+tier entirely — no cost-book reads *or* writes — leaving only the static
+planner.
 
 The report routes every section through the unified
 :class:`~repro.experiments.runner.ExperimentRunner`: Tables 1-3 of the paper,
@@ -70,13 +81,18 @@ def generate_report_status(
     max_workers: Optional[int] = None,
     scenarios: Optional[List[str]] = None,
     progress: Progress = None,
+    chunk_size: Optional[int] = None,
+    adaptive: bool = True,
 ) -> Tuple[str, List[str]]:
     """Build the text report plus the names of scenarios that failed.
 
     An explicit ``scenarios`` list overrides the section selection entirely
     (used by the CI parallel smoke step to exercise the pool path cheaply);
     ``progress`` receives a chunk event per completed pool chunk on the
-    parallel path.  Failed names cover both full :class:`ScenarioFailure`
+    parallel path.  ``chunk_size`` pins static equal-count chunks for every
+    sweep (overriding per-scenario ``SweepSpec`` defaults and the adaptive
+    planner); ``adaptive=False`` disables cost-model planning and recording
+    entirely.  Failed names cover both full :class:`ScenarioFailure`
     sections and partially-failed sweeps that lost chunks.
     """
     if scenarios is None:
@@ -86,7 +102,12 @@ def generate_report_status(
         if include_noise:
             scenarios += NOISE_SCENARIOS
     runner = ExperimentRunner(
-        scenarios, parallel=parallel, max_workers=max_workers, progress=progress
+        scenarios,
+        parallel=parallel,
+        max_workers=max_workers,
+        progress=progress,
+        chunk_size=chunk_size,
+        adaptive=adaptive,
     )
     results = runner.run()
     return runner.render(results), failed_scenarios(results)
@@ -99,6 +120,8 @@ def generate_report(
     max_workers: Optional[int] = None,
     scenarios: Optional[List[str]] = None,
     progress: Progress = None,
+    chunk_size: Optional[int] = None,
+    adaptive: bool = True,
 ) -> str:
     """Build the full text report; heavy sections can be skipped.
 
@@ -112,6 +135,8 @@ def generate_report(
         max_workers=max_workers,
         scenarios=scenarios,
         progress=progress,
+        chunk_size=chunk_size,
+        adaptive=adaptive,
     )
     return report
 
@@ -132,6 +157,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv.remove("--progress")
         parallel = True  # chunk events only exist on the pooled path
         progress = PrintProgressListener(sys.stderr)
+    adaptive = True
+    if "--no-adaptive" in argv:
+        adaptive = False
+        argv.remove("--no-adaptive")
+    chunk_size: Optional[int] = None
+    if "--chunk-size" in argv:
+        index = argv.index("--chunk-size")
+        argv.pop(index)
+        if index >= len(argv):
+            sys.stderr.write("--chunk-size needs a positive integer\n")
+            return 2
+        raw = argv.pop(index)
+        try:
+            chunk_size = int(raw)
+        except ValueError:
+            chunk_size = 0
+        if chunk_size < 1:
+            sys.stderr.write(f"--chunk-size needs a positive integer, got {raw!r}\n")
+            return 2
     scenarios: Optional[List[str]] = None
     if "--scenarios" in argv:
         index = argv.index("--scenarios")
@@ -144,11 +188,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if unknown or len(argv) > 1:
         sys.stderr.write(
             f"usage: repro-report [--parallel] [--progress] [--scenarios a,b,...] "
-            f"[output-file]; unrecognized arguments: {unknown or argv[1:]}\n"
+            f"[--chunk-size N] [--no-adaptive] [output-file]; "
+            f"unrecognized arguments: {unknown or argv[1:]}\n"
         )
         return 2
     report, failed = generate_report_status(
-        parallel=parallel, scenarios=scenarios, progress=progress
+        parallel=parallel,
+        scenarios=scenarios,
+        progress=progress,
+        chunk_size=chunk_size,
+        adaptive=adaptive,
     )
     if argv:
         with open(argv[0], "w", encoding="utf-8") as handle:

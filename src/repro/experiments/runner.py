@@ -72,13 +72,17 @@ from repro.experiments.soundness_scaling import (
     repetition_curve,
     soundness_scaling_sweep,
 )
+from repro.experiments.costmodel import CostModel
 from repro.experiments.sweep import (
+    CHUNKS_PER_WORKER,
+    MIN_POINTS_PER_CHUNK,
     ChunkResult,
     SweepSpec,
     _init_sweep_worker,
     merge_worker_stats,
     next_pool_generation,
     partition_points,
+    plan_chunks,
     resolve_chunk_size,
     run_scenario_task,
     submit_sweep_chunks,
@@ -264,6 +268,9 @@ class ExperimentRunner:
         chunk_size: Optional[int] = None,
         progress: Progress = None,
         fail_fast: bool = False,
+        adaptive: bool = True,
+        cost_book: Optional[str] = None,
+        operator_pack=None,
     ):
         self.names = list(scenarios) if scenarios is not None else available_scenarios()
         for name in self.names:
@@ -275,11 +282,27 @@ class ExperimentRunner:
         self.progress = progress
         #: Cancel outstanding chunks and raise on the first chunk failure.
         self.fail_fast = bool(fail_fast)
+        #: Plan swept scenarios from cost-book history when available (an
+        #: explicit ``chunk_size`` — here or on the SweepSpec — still pins
+        #: the static plan; ``adaptive=False`` disables the cost model
+        #: entirely, including measurement recording).
+        self.adaptive = bool(adaptive)
+        #: Cost-book location override (``None``: ``REPRO_COST_BOOK`` env
+        #: var, then ``.repro_costbook.json`` in the working directory).
+        self.cost_book = cost_book
+        #: Optional :class:`~repro.engine.cache.OperatorPack` seeding every
+        #: pool worker's operator cache at initialization.
+        self.operator_pack = operator_pack
         #: Pool-wide merged per-worker operator-cache counters of the last
         #: parallel run (empty after serial runs).
         self.cache_stats: Dict = {}
         #: Results of the last :meth:`stream`/:meth:`run_async` execution.
         self.last_results: Optional["OrderedDict[str, ScenarioResult]"] = None
+        #: Grid chunks planned for each swept scenario in the last pooled
+        #: run (scenario name -> list of point chunks); cost observations
+        #: are attributed through it.
+        self._chunk_plans: Dict[str, List[list]] = {}
+        self._cost_model: Optional[CostModel] = None
 
     def run(self) -> "OrderedDict[str, ScenarioResult]":
         """Regenerate every selected scenario; results keep the selection order.
@@ -307,6 +330,7 @@ class ExperimentRunner:
             ):
                 assembly.record(event)
             results, self.cache_stats = assembly.finish(self.names)
+        self._record_costs(assembly)
         return results
 
     async def stream(self):
@@ -331,6 +355,7 @@ class ExperimentRunner:
                 assembly.record(event)
                 yield event
             self.last_results, self.cache_stats = assembly.finish(self.names)
+            self._record_costs(assembly)
         finally:
             # Shut down off-loop: a chunk may still be running (early break,
             # fail_fast abort), and shutdown(wait=True) would otherwise stall
@@ -350,7 +375,7 @@ class ExperimentRunner:
         return ProcessPoolExecutor(
             max_workers=self.max_workers,
             initializer=_init_sweep_worker,
-            initargs=(next_pool_generation(),),
+            initargs=(next_pool_generation(), self.operator_pack),
         )
 
     def _submit(self, pool: ProcessPoolExecutor):
@@ -359,20 +384,30 @@ class ExperimentRunner:
         Chunk planning derives its worker count from the pool actually
         constructed (not ``os.cpu_count()``): the executor's default can
         differ under cgroup limits or newer interpreters, and mis-planned
-        chunks would over- or under-shard the grid.
+        chunks would over- or under-shard the grid.  With :attr:`adaptive`
+        on, scenarios with cost-book history get variable-width chunks of
+        roughly equal predicted wall time; the rest get the static plan
+        (the shared pool submits everything up front, so the in-run probe
+        mode is :func:`~repro.experiments.sweep.run_sweep_sharded`'s —
+        here a cold scenario is simply measured for the next run).
         """
         workers = pool_worker_count(pool)
+        self._cost_model = CostModel.load(self.cost_book) if self.adaptive else None
+        self._chunk_plans = {}
         tasks: List[ChunkTask] = []
         prefailed: Dict[str, ScenarioFailure] = {}
         for name in self.names:
             scenario = get_scenario(name)
             try:
-                chunks = self._plan(scenario, workers)
+                chunks, predicted = self._plan(scenario, workers)
             except Exception as exc:  # broad by design: grid planning failed
                 prefailed[name] = _failure(name, exc)
                 continue
             if chunks is not None and len(chunks) > 1:
-                tasks.extend(submit_sweep_chunks(pool, name, chunks))
+                self._chunk_plans[name] = chunks
+                tasks.extend(
+                    submit_sweep_chunks(pool, name, chunks, predicted=predicted)
+                )
             else:
                 tasks.append(
                     ChunkTask(
@@ -385,13 +420,50 @@ class ExperimentRunner:
                 )
         return tasks, prefailed
 
-    def _plan(self, scenario: Scenario, workers: int) -> Optional[List[list]]:
-        """Chunked grid of a swept scenario, ``None`` for unswept ones."""
+    def _plan(self, scenario: Scenario, workers: int):
+        """(chunks, predicted wall times) of a swept scenario's grid.
+
+        Returns ``(None, None)`` for unswept scenarios.  Precedence: an
+        explicit chunk size (constructor or SweepSpec) pins the static
+        equal-count plan; otherwise cost-book history drives variable-width
+        chunks; a scenario with no history falls back to the static plan.
+        """
         if scenario.sweep is None:
-            return None
+            return None, None
         points = scenario.sweep.points(dict(scenario.kwargs))
+        pinned = self.chunk_size is not None or scenario.sweep.chunk_size is not None
+        model = self._cost_model
+        if not pinned and model is not None:
+            costs = model.predict_points(scenario.name, points)
+            if costs is not None:
+                chunks = plan_chunks(
+                    points,
+                    costs,
+                    target_chunks=max(workers, 1) * CHUNKS_PER_WORKER,
+                    min_points=MIN_POINTS_PER_CHUNK,
+                )
+                predicted = [
+                    sum(model.predict(scenario.name, point) or 0.0 for point in chunk)
+                    for chunk in chunks
+                ]
+                return chunks, predicted
         size = resolve_chunk_size(scenario.sweep, len(points), workers, self.chunk_size)
-        return partition_points(points, size)
+        return partition_points(points, size), None
+
+    def _record_costs(self, assembly: "_PoolAssembly") -> None:
+        """Feed measured chunk wall times back into the cost book."""
+        model = self._cost_model
+        if model is None:
+            return
+        observed = 0
+        for scenario, chunk_index, seconds in assembly.timings:
+            chunks = self._chunk_plans.get(scenario)
+            if chunks is None or not 0 <= chunk_index < len(chunks):
+                continue
+            model.observe(scenario, chunks[chunk_index], seconds)
+            observed += 1
+        if observed:
+            model.save(self.cost_book)
 
     def render(self, results: Optional[Mapping[str, ScenarioResult]] = None) -> str:
         """Format results (running them first when not supplied) as text tables.
@@ -440,11 +512,16 @@ class _PoolAssembly:
     def __init__(self, tasks: Sequence[ChunkTask], prefailed: Mapping[str, ScenarioFailure]):
         self._collectors: Dict[str, ChunkCollector] = {}
         self._prefailed = dict(prefailed)
+        #: Measured ``(scenario, chunk_index, seconds)`` of completed sweep
+        #: chunks, for cost-book feedback after the run.
+        self.timings: List[Tuple[str, int, float]] = []
         for task in tasks:
             self._collectors.setdefault(task.scenario, ChunkCollector(task.num_chunks))
 
     def record(self, event: ChunkEvent) -> None:
         self._collectors[event.scenario].record(event)
+        if event.ok and event.num_chunks > 1 and event.seconds > 0.0:
+            self.timings.append((event.scenario, event.chunk_index, event.seconds))
 
     def finish(self, names: Sequence[str]):
         """The (results, merged cache stats) of the run, in selection order."""

@@ -39,13 +39,19 @@ from repro.exceptions import ProtocolError
 
 @dataclass(frozen=True)
 class ChunkTask:
-    """One submitted chunk: the pool future plus its place in the plan."""
+    """One submitted chunk: the pool future plus its place in the plan.
+
+    ``predicted_seconds`` carries the cost model's wall-time prediction for
+    the chunk (``None`` under static planning), surfaced on the chunk's
+    event so listeners can report predicted-vs-actual cost.
+    """
 
     future: Future
     scenario: str
     chunk_index: int
     num_chunks: int
     num_points: int = 0
+    predicted_seconds: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -69,6 +75,11 @@ class ChunkEvent:
     ``cache_delta`` holds the evaluating worker's operator-cache counter
     growth since its previous chunk (first chunk: the full snapshot), and
     ``completed``/``total`` count settled chunks across the whole run.
+    ``seconds`` is the chunk's measured in-worker wall time (builder call
+    only, no pool overhead) and ``predicted_seconds`` the cost model's
+    prediction from planning time (``None`` under static planning) — the
+    pair feeds the cost book and the progress lines' predicted-vs-actual
+    readout.
     """
 
     scenario: str
@@ -81,6 +92,8 @@ class ChunkEvent:
     failure: Optional[ChunkFailure] = None
     completed: int = 0
     total: int = 0
+    seconds: float = 0.0
+    predicted_seconds: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -135,8 +148,11 @@ class PrintProgressListener(ProgressListener):
             delta = event.cache_delta
             line = (
                 f"{prefix}: {event.num_rows} rows (worker {event.worker_id}, "
-                f"+{delta.get('hits', 0)} hits, +{delta.get('misses', 0)} misses)"
+                f"+{delta.get('hits', 0)} hits, +{delta.get('misses', 0)} misses) "
+                f"{event.seconds:.3f}s"
             )
+            if event.predicted_seconds is not None:
+                line += f" (predicted {event.predicted_seconds:.3f}s)"
         self._stream.write(line + "\n")
         self._stream.flush()
 
@@ -228,6 +244,8 @@ class _ChunkEventStream:
                 result=result,
                 completed=self.completed,
                 total=self.total,
+                seconds=float(getattr(result, "seconds", 0.0)),
+                predicted_seconds=task.predicted_seconds,
             )
             abort = None
         else:

@@ -8,21 +8,33 @@ point* the unit instead:
 * a :class:`SweepSpec` attached to a scenario declares which builder keyword
   carries the parameter grid (channel strengths, ``(n, r, t)`` tuples, path
   lengths, topology descriptors) and how the default grid is derived;
-* :func:`plan_chunks` compiles the grid into contiguous chunks sized to the
-  worker count;
+* the planners compile the grid into contiguous chunks: the static
+  equal-count fallback (:func:`resolve_chunk_size` + :func:`partition_points`)
+  and the cost-model-driven :func:`plan_chunks`, which sizes *variable-width*
+  chunks so every chunk carries roughly equal **predicted wall time** — the
+  fix for heterogeneous grids, where one expensive equal-count chunk would
+  serialize the tail of the sweep;
 * :func:`run_sweep_chunk` — the process-pool entry point — rebuilds the rows
   of one chunk through the scenario's ordinary builder, on a worker-local
   :class:`~repro.engine.core.Engine` that is reused (cache and all) across
-  every chunk the worker receives;
-* :func:`run_sweep_sharded` dispatches the chunks, consumes them as they
-  complete (streaming progress events, per-chunk failure isolation and
-  optional fail-fast abort via :mod:`repro.experiments.streaming`),
+  every chunk the worker receives, timing the builder call so measured
+  per-point costs flow back into the cost book
+  (:mod:`repro.experiments.costmodel`);
+* :func:`run_sweep_sharded` plans (from cost-book history, from in-run probe
+  chunks on cold grids, or statically), dispatches the chunks, consumes them
+  as they complete (streaming progress events, per-chunk failure isolation
+  and optional fail-fast abort via :mod:`repro.experiments.streaming`),
   reassembles the rows in deterministic grid order, and merges the
-  per-worker operator-cache counters into one auditable stats block.
+  per-worker operator-cache counters into one auditable stats block; an
+  :class:`~repro.engine.cache.OperatorPack` can warm-start every worker's
+  cache so the pool stops re-warming identical hot operators once per
+  worker.
 
-Because chunks are evaluated by the same builder that serial runs call, a
-sharded sweep returns exactly the rows of the serial sweep — the parity the
-regression tests and the benchmark harness pin down.
+Because chunks are evaluated by the same builder that serial runs call —
+and chunks are always *contiguous grid slices* regardless of which planner
+sized them — a sharded sweep returns exactly the rows of the serial sweep
+under any chunking; that parity is what the regression tests and the
+benchmark harness pin down.
 """
 
 from __future__ import annotations
@@ -30,12 +42,15 @@ from __future__ import annotations
 import inspect
 import itertools
 import os
+import time
 import uuid
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.engine.cache import OperatorPack
 from repro.exceptions import ProtocolError
+from repro.experiments.costmodel import CostModel
 from repro.experiments.records import ExperimentRow
 from repro.experiments.streaming import (
     ChunkCollector,
@@ -50,6 +65,15 @@ from repro.experiments.streaming import (
 #: chunks per worker keeps the pool load-balanced without drowning it in
 #: pickling overhead.
 CHUNKS_PER_WORKER = 4
+
+#: Minimum points per *planned* chunk (explicit ``chunk_size`` overrides are
+#: honoured verbatim): tiny sweeps used to shatter into 1-point chunks whose
+#: per-chunk pool overhead (pickling, dispatch, result transport) dominates
+#: the work itself.
+MIN_POINTS_PER_CHUNK = 2
+
+#: Points per probe chunk when a cold grid is measured in-run.
+PROBE_CHUNK_POINTS = 2
 
 
 @dataclass(frozen=True)
@@ -113,14 +137,90 @@ def resolve_chunk_size(
     """The chunk size for a sweep: explicit override, spec default, or planned.
 
     The planned size aims at :data:`CHUNKS_PER_WORKER` chunks per worker so a
-    slow chunk cannot serialize the tail of the sweep.
+    slow chunk cannot serialize the tail of the sweep, but never drops below
+    :data:`MIN_POINTS_PER_CHUNK` points (clamped to the grid size): a tiny
+    sweep split into 1-point chunks pays more in per-chunk pool overhead
+    than the points cost to evaluate.  Explicit sizes (the ``override``
+    argument or a pinned ``spec.chunk_size``) are honoured verbatim — a
+    caller that pins 1-point chunks gets 1-point chunks.
     """
     if override is not None:
         return max(int(override), 1)
     if spec.chunk_size is not None:
         return max(int(spec.chunk_size), 1)
     target_chunks = max(int(num_workers), 1) * CHUNKS_PER_WORKER
-    return max(1, -(-num_points // target_chunks))
+    floor = min(MIN_POINTS_PER_CHUNK, max(int(num_points), 1))
+    return max(floor, -(-num_points // target_chunks))
+
+
+def plan_chunks(
+    points: Sequence[Any],
+    costs: Optional[Sequence[float]] = None,
+    target_chunks: int = 1,
+    min_points: int = 1,
+) -> List[List[Any]]:
+    """Contiguous variable-width chunks equalizing *predicted* wall time.
+
+    ``costs`` carries one predicted cost per point (any non-negative unit);
+    the planner walks the grid in order, cutting a chunk boundary whenever
+    the running cost reaches an equal share of the remaining total — so an
+    expensive stretch of the grid yields narrow chunks and a cheap stretch
+    yields wide ones, and every chunk lands near ``total / target_chunks``
+    predicted seconds.  Chunks are always contiguous slices in grid order,
+    which is what keeps sharded reassembly byte-identical to serial runs.
+
+    With ``costs=None`` (or all-equal costs) the plan degenerates to the
+    static equal-count split.  Every chunk gets at least ``min_points``
+    points (except the last, which takes whatever remains).
+    """
+    points = list(points)
+    num_points = len(points)
+    if num_points == 0:
+        return []
+    min_points = max(1, int(min_points))
+    target = max(1, min(int(target_chunks), -(-num_points // min_points)))
+    if costs is None:
+        return partition_points(points, max(min_points, -(-num_points // target)))
+    if len(costs) != num_points:
+        raise ProtocolError(
+            f"plan_chunks needs one cost per point: {len(costs)} costs for "
+            f"{num_points} points"
+        )
+    # Zero/negative predictions would let a chunk swallow the whole tail;
+    # clamp to a tiny positive cost so every point advances the budget.
+    floor_cost = max(max(costs) * 1e-6, 1e-12)
+    clamped = [max(float(cost), floor_cost) for cost in costs]
+    chunks: List[List[Any]] = []
+    start = 0
+    remaining_cost = sum(clamped)
+    for slots_left in range(target, 0, -1):
+        if start >= num_points:
+            break
+        if slots_left == 1:
+            chunks.append(points[start:])
+            start = num_points
+            break
+        ideal = remaining_cost / slots_left
+        # Leave at least min_points for each remaining slot (the final slot
+        # takes the tail, so it is exempt from the floor).
+        max_end = max(start + 1, num_points - (slots_left - 1) * min_points)
+        end = start
+        accumulated = 0.0
+        while end < max_end:
+            cost = clamped[end]
+            if end - start >= min_points and accumulated + cost > ideal:
+                # Cut wherever lands closer to the equal share.
+                if (accumulated + cost - ideal) > (ideal - accumulated):
+                    break
+                accumulated += cost
+                end += 1
+                break
+            accumulated += cost
+            end += 1
+        chunks.append(points[start:end])
+        remaining_cost -= accumulated
+        start = end
+    return chunks
 
 
 @dataclass(frozen=True)
@@ -134,11 +234,20 @@ class ChunkResult:
     ``worker_id`` is the per-worker token minted by :func:`_init_sweep_worker`
     (pool generation + pid), so two pools — or a respawned worker reusing a
     pid — can never alias each other's snapshots.
+
+    ``seconds`` is the in-worker wall time of the builder call (the cost
+    model's raw measurement — pool dispatch overhead excluded by design);
+    ``num_points`` the number of grid points the chunk carried; ``pack`` an
+    operator pack exported after the chunk ran, when the caller requested
+    one (probe chunks under warm-start).
     """
 
     rows: List[ExperimentRow]
     worker_id: str
     cache_stats: Dict[str, Any]
+    seconds: float = 0.0
+    num_points: int = 0
+    pack: Optional[OperatorPack] = None
 
 
 @dataclass(frozen=True)
@@ -189,7 +298,9 @@ def worker_token() -> str:
     return f"g0-p{os.getpid()}"
 
 
-def _init_sweep_worker(generation: Optional[int] = None) -> None:
+def _init_sweep_worker(
+    generation: Optional[int] = None, pack: Optional[OperatorPack] = None
+) -> None:
     """Process-pool initializer: fresh default engine + a per-worker token.
 
     Forked workers inherit the parent's engine object (and its counters);
@@ -202,24 +313,43 @@ def _init_sweep_worker(generation: Optional[int] = None) -> None:
     A caller-built pool that omits ``initargs=(next_pool_generation(),)``
     gets a random token component instead, so even that path cannot alias
     workers across pools.
+
+    A ``pack`` shipped through ``initargs`` seeds the fresh worker's
+    operator cache before any chunk runs (counted as ``preloaded``, never
+    as misses), so every worker starts warm instead of independently
+    re-building the same hot operators.
     """
     global _WORKER_TOKEN
 
     marker = f"g{generation}" if generation is not None else f"u{uuid.uuid4().hex[:8]}"
     _WORKER_TOKEN = f"{marker}-p{os.getpid()}"
-    from repro.engine.core import set_default_engine
+    from repro.engine.core import default_engine, set_default_engine
 
     set_default_engine(None)
+    if pack is not None:
+        default_engine().cache.preload(pack)
 
 
 def run_sweep_chunk(
-    name: str, points: Sequence[Any], overrides: Optional[Mapping[str, Any]] = None
+    name: str,
+    points: Sequence[Any],
+    overrides: Optional[Mapping[str, Any]] = None,
+    pack: Optional[OperatorPack] = None,
+    export_pack: bool = False,
 ) -> ChunkResult:
     """Evaluate one chunk of a swept scenario (the process-pool entry point).
 
     The chunk rides the scenario's ordinary builder with the grid keyword
     restricted to ``points``, evaluating on the worker's process-wide engine
-    so repeated chunks in one worker share the operator cache.
+    so repeated chunks in one worker share the operator cache.  The builder
+    call is timed (in-worker wall time, the cost model's raw measurement).
+
+    A ``pack`` argument seeds the worker's cache before the builder runs
+    (keys the worker already owns are skipped) — the mid-run shipping path
+    for pools whose workers were initialized before the pack existed; with
+    ``export_pack=True`` the worker snapshots its cache *after* the chunk
+    into ``ChunkResult.pack`` (how probe chunks produce the warm-start pack
+    for the rest of the sweep).
     """
     from repro.engine.core import default_engine
     from repro.experiments.runner import get_scenario
@@ -229,9 +359,21 @@ def run_sweep_chunk(
         raise ProtocolError(f"scenario {name!r} declares no sweep grid")
     kwargs = {**dict(scenario.kwargs), **dict(overrides or {})}
     kwargs[scenario.sweep.grid_param] = list(points)
+    engine = default_engine()
+    if pack is not None:
+        engine.cache.preload(pack)
+    start = time.perf_counter()
     rows = list(scenario.builder(**kwargs))
-    stats = default_engine().cache.stats().as_dict()
-    return ChunkResult(rows=rows, worker_id=worker_token(), cache_stats=stats)
+    seconds = time.perf_counter() - start
+    stats = engine.cache.stats().as_dict()
+    return ChunkResult(
+        rows=rows,
+        worker_id=worker_token(),
+        cache_stats=stats,
+        seconds=seconds,
+        num_points=len(list(points)),
+        pack=engine.cache.export_pack(source=worker_token()) if export_pack else None,
+    )
 
 
 def submit_sweep_chunks(
@@ -239,15 +381,30 @@ def submit_sweep_chunks(
     name: str,
     chunks: Sequence[Sequence[Any]],
     overrides: Optional[Mapping[str, Any]] = None,
+    predicted: Optional[Sequence[Optional[float]]] = None,
+    pack: Optional[OperatorPack] = None,
+    export_pack: bool = False,
+    index_offset: int = 0,
+    total_chunks: Optional[int] = None,
 ) -> List[ChunkTask]:
-    """Submit one scenario's chunks as streaming-tagged pool tasks."""
+    """Submit one scenario's chunks as streaming-tagged pool tasks.
+
+    ``predicted`` attaches the planner's per-chunk wall-time predictions to
+    the tasks (surfaced on their events); ``index_offset``/``total_chunks``
+    place a later submission wave (probe re-planning) after an earlier one
+    in the scenario's global chunk numbering.
+    """
+    total = total_chunks if total_chunks is not None else index_offset + len(chunks)
     return [
         ChunkTask(
-            future=pool.submit(run_sweep_chunk, name, chunk, overrides),
+            future=pool.submit(
+                run_sweep_chunk, name, chunk, overrides, pack, export_pack
+            ),
             scenario=name,
-            chunk_index=index,
-            num_chunks=len(chunks),
+            chunk_index=index_offset + index,
+            num_chunks=total,
             num_points=len(chunk),
+            predicted_seconds=None if predicted is None else predicted[index],
         )
         for index, chunk in enumerate(chunks)
     ]
@@ -258,13 +415,21 @@ def run_scenario_task(name: str, overrides: Optional[Mapping[str, Any]] = None) 
     from repro.engine.core import default_engine
     from repro.experiments.runner import get_scenario
 
+    start = time.perf_counter()
     rows = list(get_scenario(name).run(**dict(overrides or {})))
+    seconds = time.perf_counter() - start
     stats = default_engine().cache.stats().as_dict()
-    return ChunkResult(rows=rows, worker_id=worker_token(), cache_stats=stats)
+    return ChunkResult(
+        rows=rows, worker_id=worker_token(), cache_stats=stats, seconds=seconds
+    )
 
 
 def _progress(stats: Mapping[str, Any]) -> int:
     return int(stats.get("hits", 0)) + int(stats.get("misses", 0))
+
+
+#: Counter keys summed across workers by :func:`merge_worker_stats`.
+_MERGED_COUNTERS = ("hits", "misses", "entries", "evictions", "preloaded", "pack_hits")
 
 
 def merge_worker_stats(results: Sequence[ChunkResult]) -> Dict[str, Any]:
@@ -274,20 +439,33 @@ def merge_worker_stats(results: Sequence[ChunkResult]) -> Dict[str, Any]:
     so pid reuse across pools cannot alias two workers), so only the most
     advanced snapshot of each worker counts; the merged block sums those
     finals across workers and therefore satisfies ``hits + misses >= entries``.
+    ``preloaded``/``pack_hits`` ride along, so a pack-seeded pool's saved
+    re-warming is visible in the merged block.
     """
     latest: Dict[str, Mapping[str, Any]] = {}
     for result in results:
         current = latest.get(result.worker_id)
         if current is None or _progress(result.cache_stats) >= _progress(current):
             latest[result.worker_id] = result.cache_stats
-    merged: Dict[str, Any] = {"hits": 0, "misses": 0, "entries": 0, "evictions": 0}
+    merged: Dict[str, Any] = {key: 0 for key in _MERGED_COUNTERS}
     for stats in latest.values():
-        for key in ("hits", "misses", "entries", "evictions"):
+        for key in _MERGED_COUNTERS:
             merged[key] += int(stats.get(key, 0))
     total = merged["hits"] + merged["misses"]
     merged["hit_rate"] = merged["hits"] / total if total else 0.0
     merged["workers"] = len(latest)
     return merged
+
+
+def _predicted_chunk_costs(
+    model: Optional[CostModel], name: str, chunks: Sequence[Sequence[Any]]
+) -> Optional[List[Optional[float]]]:
+    """Per-chunk predicted wall times (``None`` without any history)."""
+    if model is None or not model.has_history(name):
+        return None
+    return [
+        sum(model.predict(name, point) or 0.0 for point in chunk) for chunk in chunks
+    ]
 
 
 def run_sweep_sharded(
@@ -297,6 +475,10 @@ def run_sweep_sharded(
     executor: Optional[ProcessPoolExecutor] = None,
     progress: Progress = None,
     fail_fast: bool = False,
+    adaptive: bool = True,
+    cost_book: Optional[str] = None,
+    operator_pack: Optional[OperatorPack] = None,
+    warm_start: bool = False,
     **overrides,
 ) -> ShardedSweepResult:
     """Run one swept scenario with its grid chunked across a process pool.
@@ -308,12 +490,33 @@ def run_sweep_sharded(
     :func:`_init_sweep_worker` as initializer for per-worker stats to start
     from zero.
 
+    **Planning** follows a strict precedence: an explicit ``chunk_size``
+    argument or a pinned ``SweepSpec.chunk_size`` forces the static
+    equal-count plan (reproducible pinned runs); otherwise, with
+    ``adaptive=True`` (the default), the cost book supplies measured
+    per-point costs and :func:`plan_chunks` sizes variable-width chunks of
+    roughly equal predicted wall time.  A cold grid (no cost-book history)
+    first dispatches a wave of small *probe* chunks — one per worker — and
+    re-plans the remaining points from the measured rates; grids too small
+    to be worth probing, and runs with ``adaptive=False``, use the static
+    plan.  Every completed chunk's measured wall time feeds back into the
+    cost book (EWMA per scenario + point signature), so the *next* run
+    plans from history immediately.
+
+    **Warm start**: an ``operator_pack`` seeds every pool worker's operator
+    cache at initialization (own pools; supplied executors receive it
+    per-chunk), and ``warm_start=True`` additionally has probe chunks
+    export their caches so the re-planned remainder of a *cold* run ships
+    the first finished probe's pack to all other workers.
+
     Chunks are consumed as they complete: every settled chunk fires a
-    :class:`~repro.experiments.streaming.ChunkEvent` at ``progress``, rows
-    are reassembled in grid order regardless of completion order, and a
-    failing chunk is recorded as a :class:`ChunkFailure` on the result (its
-    siblings keep their rows) — unless ``fail_fast=True``, which cancels the
-    outstanding chunks and raises
+    :class:`~repro.experiments.streaming.ChunkEvent` at ``progress``
+    (carrying measured and predicted seconds), rows are reassembled in grid
+    order regardless of completion order — chunks are contiguous grid
+    slices under every planner, so the rows are byte-identical to a serial
+    run — and a failing chunk is recorded as a :class:`ChunkFailure` on the
+    result (its siblings keep their rows) — unless ``fail_fast=True``,
+    which cancels the outstanding chunks and raises
     :class:`~repro.experiments.streaming.SweepAborted` instead.
     """
     from repro.experiments.runner import get_scenario
@@ -323,36 +526,130 @@ def run_sweep_sharded(
         raise ProtocolError(f"scenario {name!r} declares no sweep grid")
     kwargs = {**dict(scenario.kwargs), **overrides}
     points = scenario.sweep.points(kwargs)
+    pinned = chunk_size is not None or scenario.sweep.chunk_size is not None
+    model = CostModel.load(cost_book) if adaptive else None
     own_pool = executor is None
     pool = (
         ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_init_sweep_worker,
-            initargs=(next_pool_generation(),),
+            initargs=(next_pool_generation(), operator_pack),
         )
         if own_pool
         else executor
     )
+    # A supplied executor's workers were initialized by the caller, so a
+    # pack cannot ride initargs — ship it with every chunk instead (workers
+    # adopt it once; later preloads skip already-present keys).
+    chunk_pack = operator_pack if not own_pool else None
+    collectors: List[ChunkCollector] = []
+    observed = 0
+
+    def _drain(tasks: List[ChunkTask], chunk_points: Dict[int, List[Any]], size: int):
+        # Completed chunks feed the cost model as they settle, so a probe
+        # phase's measurements are already folded in when re-planning runs.
+        nonlocal observed
+        collector = ChunkCollector(size)
+        collectors.append(collector)
+        for event in iter_chunk_events(tasks, progress=progress, fail_fast=fail_fast):
+            collector.record(event)
+            if event.ok and model is not None and event.chunk_index in chunk_points:
+                model.observe(name, chunk_points[event.chunk_index], event.seconds)
+                observed += 1
+        return collector
+
     try:
         # Plan against the pool actually constructed: its default worker
         # count can differ from os.cpu_count() (cgroup limits, 3.13's
         # process_cpu_count), and a supplied executor has its own width.
         workers = pool_worker_count(pool)
-        chunks = partition_points(
-            points, resolve_chunk_size(scenario.sweep, len(points), workers, chunk_size)
+        target_chunks = max(workers, 1) * CHUNKS_PER_WORKER
+        costs = None if model is None or pinned else model.predict_points(name, points)
+        probe_span = workers * PROBE_CHUNK_POINTS
+        use_probe = (
+            not pinned
+            and model is not None
+            and costs is None
+            and len(points) > 2 * probe_span  # tiny grids: probing buys nothing
         )
-        tasks = submit_sweep_chunks(pool, name, chunks, overrides)
-        collector = ChunkCollector(len(chunks))
-        for event in iter_chunk_events(tasks, progress=progress, fail_fast=fail_fast):
-            collector.record(event)
+        if use_probe:
+            probe_chunks = partition_points(points[:probe_span], PROBE_CHUNK_POINTS)
+            probe_tasks = submit_sweep_chunks(
+                pool,
+                name,
+                probe_chunks,
+                overrides,
+                pack=chunk_pack,
+                export_pack=warm_start and operator_pack is None,
+            )
+            probe_map = {i: list(chunk) for i, chunk in enumerate(probe_chunks)}
+            probe_collector = _drain(probe_tasks, probe_map, len(probe_chunks))
+            pack = chunk_pack
+            if warm_start and pack is None:
+                pack = next(
+                    (r.pack for r in probe_collector.completed if r.pack is not None),
+                    None,
+                )
+            remaining = points[probe_span:]
+            main_chunks = plan_chunks(
+                remaining,
+                model.predict_points(name, remaining),
+                target_chunks=max(workers, target_chunks - len(probe_chunks)),
+                min_points=MIN_POINTS_PER_CHUNK,
+            )
+            total = len(probe_chunks) + len(main_chunks)
+            main_tasks = submit_sweep_chunks(
+                pool,
+                name,
+                main_chunks,
+                overrides,
+                predicted=_predicted_chunk_costs(model, name, main_chunks),
+                pack=pack,
+                index_offset=len(probe_chunks),
+                total_chunks=total,
+            )
+            main_map = {
+                len(probe_chunks) + i: list(chunk)
+                for i, chunk in enumerate(main_chunks)
+            }
+            _drain(main_tasks, main_map, total)
+            num_chunks = total
+        else:
+            if costs is not None:
+                chunks = plan_chunks(
+                    points,
+                    costs,
+                    target_chunks=target_chunks,
+                    min_points=MIN_POINTS_PER_CHUNK,
+                )
+            else:
+                chunks = partition_points(
+                    points,
+                    resolve_chunk_size(scenario.sweep, len(points), workers, chunk_size),
+                )
+            tasks = submit_sweep_chunks(
+                pool,
+                name,
+                chunks,
+                overrides,
+                predicted=_predicted_chunk_costs(model, name, chunks),
+                pack=chunk_pack,
+            )
+            _drain(tasks, {i: list(chunk) for i, chunk in enumerate(chunks)}, len(chunks))
+            num_chunks = len(chunks)
     finally:
         if own_pool:
             pool.shutdown()
+    if model is not None and observed:
+        model.save(cost_book)
+    completed = [result for collector in collectors for result in collector.completed]
     return ShardedSweepResult(
         name=name,
-        rows=collector.rows(),
+        rows=[row for collector in collectors for row in collector.rows()],
         num_points=len(points),
-        num_chunks=len(chunks),
-        worker_stats=merge_worker_stats(collector.completed),
-        failures=tuple(collector.failures),
+        num_chunks=num_chunks,
+        worker_stats=merge_worker_stats(completed),
+        failures=tuple(
+            failure for collector in collectors for failure in collector.failures
+        ),
     )

@@ -179,7 +179,7 @@ class EqualityPathProtocol(DQMAProtocol):
     def _right_operator(self, y: str) -> np.ndarray:
         """The right end's fingerprint measurement ``|h_y><h_y|`` (engine-cached)."""
         return self.engine.cached_operator(
-            ("eq-right", self.fingerprints, y),
+            ("eq-right", self.fingerprints.cache_token, y),
             lambda: outer(self.fingerprints.state(y)),
         )
 
@@ -208,7 +208,7 @@ class EqualityPathProtocol(DQMAProtocol):
             cache = self.engine.cache
             key = (
                 "eq-honest-program",
-                self.fingerprints,
+                self.fingerprints.cache_token,
                 self.path_length,
                 self._noise_key,
                 tuple(inputs),
@@ -254,7 +254,8 @@ class EqualityPathProtocol(DQMAProtocol):
             )
 
         return self.engine.cached_operator(
-            ("eq-chain-operator", self.fingerprints, self.path_length, tuple(inputs)), build
+            ("eq-chain-operator", self.fingerprints.cache_token, self.path_length, tuple(inputs)),
+            build,
         )
 
     def optimal_cheating_probability(self, inputs: Sequence[str]) -> float:

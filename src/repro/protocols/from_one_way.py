@@ -157,7 +157,7 @@ class OneWayToTreeProtocol(DQMAProtocol):
     def _measurement_spec(self, y: str):
         """Bob's leaf measurement for input ``y`` (engine-cached per input)."""
         return self.engine.cached_operator(
-            ("one-way-accept-spec", self.one_way, y),
+            ("one-way-accept-spec", self.one_way.cache_token, y),
             lambda: self.one_way.accept_measurement_spec(y),
         )
 

@@ -28,9 +28,10 @@ Three interchangeable schemes are provided:
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
 from math import ceil, log2
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -79,6 +80,23 @@ class FingerprintScheme(ABC):
         """A guaranteed upper bound on ``|<h_x|h_y>|`` over distinct strings."""
 
     # -- concrete ----------------------------------------------------------
+
+    @property
+    def cache_token(self) -> Tuple:
+        """A stable value identity for engine operator-cache keys.
+
+        Two scheme instances that produce identical fingerprints share a
+        token, even across processes — which is what lets operator packs
+        exported by one process score cache hits in another (the default
+        object identity would never match after pickling).  Subclasses must
+        surface *every* parameter that affects the fingerprint states
+        through :meth:`_token_fields`.
+        """
+        return ("fp", type(self).__qualname__, self.input_length, *self._token_fields())
+
+    def _token_fields(self) -> Tuple:
+        """Scheme-specific state determining the fingerprints (for the token)."""
+        return ()
 
     @property
     def num_qubits(self) -> float:
@@ -136,6 +154,12 @@ class ExactCodeFingerprint(FingerprintScheme):
             )
         self.code = code
 
+    def _token_fields(self) -> tuple:
+        # The states are a pure function of the generator matrix.
+        generator = np.ascontiguousarray(self.code.generator, dtype=np.int64)
+        digest = hashlib.sha256(generator.tobytes()).hexdigest()[:16]
+        return (self.code.codeword_length, digest)
+
     @property
     def dim(self) -> int:
         return 2 * self.code.codeword_length
@@ -181,6 +205,10 @@ class SimulatedFingerprint(FingerprintScheme):
         self._num_qubits = int(num_qubits)
         self._seed = int(seed)
 
+    def _token_fields(self) -> tuple:
+        # States are derived deterministically from (seed, n, register size).
+        return (self._num_qubits, self._seed)
+
     @property
     def dim(self) -> int:
         return 2**self._num_qubits
@@ -194,8 +222,6 @@ class SimulatedFingerprint(FingerprintScheme):
         return min(0.9, 4.0 / np.sqrt(self.dim))
 
     def _build_state(self, x: str) -> np.ndarray:
-        import hashlib
-
         payload = f"{self._seed}:{self.input_length}:{x}".encode("utf-8")
         digest = int.from_bytes(hashlib.sha256(payload).digest()[:4], "big")
         generator = np.random.default_rng(digest)

@@ -267,7 +267,16 @@ class TestOperatorCache:
         exported = cache.stats().as_dict()
         assert exported["hits"] == 1 and exported["misses"] == 1
         assert exported["hit_rate"] == pytest.approx(0.5)
-        assert set(exported) == {"hits", "misses", "entries", "evictions", "hit_rate"}
+        assert set(exported) == {
+            "hits",
+            "misses",
+            "entries",
+            "evictions",
+            "hit_rate",
+            "preloaded",
+            "pack_hits",
+        }
+        assert exported["preloaded"] == 0 and exported["pack_hits"] == 0
 
     def test_cached_arrays_are_frozen(self):
         cache = OperatorCache()

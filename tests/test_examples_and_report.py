@@ -100,6 +100,52 @@ class TestReport:
         assert "table1 chunk" in err
         assert "Table 1 — FGNP21 baselines" in target.read_text(encoding="utf-8")
 
+    def test_report_cli_chunk_size_pins_the_static_plan(self, tmp_path, capsys):
+        from repro.experiments.report import main
+
+        target = tmp_path / "pinned.txt"
+        exit_code = main(
+            ["--progress", "--chunk-size", "3", "--scenarios", "table1", str(target)]
+        )
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        # 4 grid points pinned to 3-point chunks: exactly 2 chunks streamed.
+        assert "table1 chunk 1/2" in err and "table1 chunk 2/2" in err
+        assert "Table 1 — FGNP21 baselines" in target.read_text(encoding="utf-8")
+
+    def test_report_cli_chunk_size_rejects_bad_values(self, capsys):
+        from repro.experiments.report import main
+
+        assert main(["--chunk-size"]) == 2
+        assert main(["--chunk-size", "0"]) == 2
+        assert main(["--chunk-size", "banana"]) == 2
+        assert "--chunk-size needs a positive integer" in capsys.readouterr().err
+
+    def test_report_cli_no_adaptive_skips_the_cost_book(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.experiments.costmodel import COST_BOOK_ENV_VAR
+        from repro.experiments.report import main
+
+        book = tmp_path / "cli-book.json"
+        monkeypatch.setenv(COST_BOOK_ENV_VAR, str(book))
+        target = tmp_path / "no-adaptive.txt"
+        exit_code = main(
+            ["--parallel", "--no-adaptive", "--scenarios", "table1", str(target)]
+        )
+        assert exit_code == 0
+        assert not book.exists()
+        # With adaptive on (the default) the same run records measurements.
+        exit_code = main(["--parallel", "--scenarios", "table1", str(target)])
+        assert exit_code == 0
+        assert book.exists()
+
+    def test_report_cli_rejects_unknown_flags(self, capsys):
+        from repro.experiments.report import main
+
+        assert main(["--bogus"]) == 2
+        assert "unrecognized arguments" in capsys.readouterr().err
+
     def test_generate_report_status_reports_failed_names(self):
         from repro.experiments.report import generate_report_status
         from repro.experiments.runner import register_scenario

@@ -194,7 +194,9 @@ class TestSweepSpecs:
         open_spec = SweepSpec("grid", list)
         # 4 workers x CHUNKS_PER_WORKER chunks -> ceil(256 / 16) points per chunk
         assert resolve_chunk_size(open_spec, 256, 4) == 16
-        assert resolve_chunk_size(open_spec, 3, 4) == 1
+        # Tiny sweeps are floored at MIN_POINTS_PER_CHUNK so planned chunks
+        # never degenerate to single points across many workers.
+        assert resolve_chunk_size(open_spec, 3, 4) == 2
 
 
 class TestShardedParity:

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""CI smoke for cost-model adaptive chunk scheduling.
+
+Runs one sharded sweep twice against the same cost book — a *cold* run (no
+book on disk: the probe wave measures the grid and seeds the book) followed
+by a *warm* run (chunks planned from the recorded history, events carrying
+wall-time predictions) — and checks that:
+
+* both sharded runs return rows byte-identical to the serial sweep,
+* the cold run writes per-scenario history into the cost book,
+* the warm run's chunk events carry ``predicted_seconds``,
+* the merged per-worker cache counters stay consistent.
+
+A machine-readable summary (chunk plans, per-chunk measured/predicted
+seconds, worker cache counters) is written to ``--metadata`` so CI can
+upload it next to the cost book as a build artifact.
+
+The cost book path comes from ``--book``, the ``REPRO_COST_BOOK``
+environment variable, or the default ``.repro_costbook.json``; the script
+deletes it first so the first run is genuinely cold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.experiments.costmodel import CostModel, cost_book_path
+from repro.experiments.runner import run_scenario
+from repro.experiments.sweep import run_sweep_sharded
+
+SCENARIO = "noise-robustness-path"
+
+
+def _fail(message: str) -> None:
+    sys.stderr.write(f"adaptive_smoke: FAILED: {message}\n")
+    raise SystemExit(1)
+
+
+def _event_summary(events) -> List[dict]:
+    return [
+        {
+            "chunk": f"{event.chunk_index + 1}/{event.num_chunks}",
+            "rows": event.num_rows,
+            "ok": event.ok,
+            "seconds": event.seconds,
+            "predicted_seconds": event.predicted_seconds,
+        }
+        for event in events
+    ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--points", type=int, default=16, help="size of the noise-strength grid"
+    )
+    parser.add_argument(
+        "--book", default=None, help="cost book path (default: REPRO_COST_BOOK)"
+    )
+    parser.add_argument(
+        "--metadata", default=None, help="write a JSON run summary to this path"
+    )
+    args = parser.parse_args(argv)
+
+    book = cost_book_path(args.book)
+    if os.path.exists(book):
+        os.remove(book)  # guarantee the first run is cold
+
+    strengths = tuple(float(s) for s in np.linspace(0.0, 0.5, args.points))
+    overrides = dict(strengths=strengths)
+
+    serial_rows = run_scenario(SCENARIO, **overrides)
+
+    cold_events: list = []
+    cold = run_sweep_sharded(
+        SCENARIO,
+        max_workers=args.workers,
+        cost_book=book,
+        progress=cold_events.append,
+        **overrides,
+    )
+    if not cold.ok:
+        _fail(f"cold run recorded chunk failures: {cold.failures}")
+    if cold.rows != serial_rows:
+        _fail("cold sharded rows differ from the serial sweep")
+    if not CostModel.load(book).has_history(SCENARIO):
+        _fail(f"cold run left no history for {SCENARIO!r} in {book}")
+
+    warm_events: list = []
+    warm = run_sweep_sharded(
+        SCENARIO,
+        max_workers=args.workers,
+        cost_book=book,
+        progress=warm_events.append,
+        **overrides,
+    )
+    if not warm.ok:
+        _fail(f"warm run recorded chunk failures: {warm.failures}")
+    if warm.rows != serial_rows:
+        _fail("warm sharded rows differ from the serial sweep")
+    if not any(event.predicted_seconds is not None for event in warm_events):
+        _fail("warm run planned without cost-book predictions")
+    stats = warm.worker_stats
+    if stats["hits"] + stats["misses"] < stats["entries"]:
+        _fail(f"inconsistent merged worker cache counters: {stats}")
+
+    summary = {
+        "scenario": SCENARIO,
+        "workers": args.workers,
+        "grid_points": len(strengths),
+        "rows": len(warm.rows),
+        "cost_book": book,
+        "cold": {
+            "num_chunks": cold.num_chunks,
+            "worker_stats": dict(cold.worker_stats),
+            "events": _event_summary(cold_events),
+        },
+        "warm": {
+            "num_chunks": warm.num_chunks,
+            "worker_stats": dict(warm.worker_stats),
+            "events": _event_summary(warm_events),
+        },
+    }
+    if args.metadata:
+        with open(args.metadata, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+
+    print(
+        f"adaptive_smoke: OK — {len(warm.rows)} rows byte-identical across "
+        f"serial / cold ({cold.num_chunks} chunks) / warm ({warm.num_chunks} "
+        f"chunks, history-planned); cost book at {book}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
