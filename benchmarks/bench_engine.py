@@ -6,7 +6,9 @@ contractions) must be at least 5x faster than 64 scalar
 ``acceptance_probability`` calls on the reference dense backend for the chain
 families, and at least 3x faster for the tree families (the ``TreeProgram``
 path); a 256-point depolarizing-noise sweep through the density-matrix
-evaluation path must be at least 3x faster batched than scalar; and the
+evaluation path must be at least 3x faster batched than scalar (and at least
+1.5x faster again in the complex64 contraction dtype, within the 1e-5
+dtype-parity tolerance of the complex128 rows); and the
 batched fingerprint-strategy soundness search must match the scalar loop's
 optimum to 1e-9 on a 1024-assignment sweep while running measurably faster;
 and a sharded 256-point sweep (the strength grid chunked across 4 pool
@@ -86,6 +88,7 @@ def test_batched_vs_scalar_speedup(benchmark):
             ExperimentRow("engine", "acceptance_probabilities (transfer-matrix)", {"seconds": batched_time}),
             ExperimentRow("engine", "speedup vs dense scalar", {"ratio": speedup, "target": ">= 5x"}),
         ],
+        artifact="engine",
     )
     assert speedup >= 5.0, f"batched evaluation only {speedup:.1f}x faster"
 
@@ -134,6 +137,7 @@ def test_tree_batched_vs_scalar_speedup(benchmark):
             ExperimentRow("engine-tree", "acceptance_probabilities (transfer-matrix)", {"seconds": batched_time}),
             ExperimentRow("engine-tree", "speedup vs dense scalar", {"ratio": speedup, "target": ">= 3x"}),
         ],
+        artifact="engine",
     )
     assert speedup >= 3.0, f"batched tree evaluation only {speedup:.1f}x faster"
 
@@ -191,6 +195,7 @@ def test_batched_soundness_search_speedup(benchmark):
             ExperimentRow("soundness-search", "batched search", {"seconds": batched_time}),
             ExperimentRow("soundness-search", "speedup", {"ratio": speedup, "target": "> 1x (measurably faster)"}),
         ],
+        artifact="engine",
     )
     assert speedup >= 1.5, f"batched soundness search only {speedup:.2f}x faster"
 
@@ -267,8 +272,61 @@ def test_noisy_sweep_batched_vs_scalar_speedup(benchmark):
             ExperimentRow("engine-noise", "evaluate_programs (transfer-matrix)", {"seconds": batched_time}),
             ExperimentRow("engine-noise", "speedup vs dense scalar", {"ratio": speedup, "target": ">= 3x"}),
         ],
+        artifact="engine",
     )
     assert speedup >= 3.0, f"batched noisy sweep only {speedup:.1f}x faster"
+
+
+def test_dtype_fast_path_speedup(benchmark):
+    """Acceptance criterion: >= 1.5x for complex64 on the 256-point noise sweep.
+
+    The reduced-precision contraction path (``TransferMatrixBackend(dtype=
+    "complex64")``) halves the bandwidth of the density-row pipeline — the
+    outer products, channel grids and Hilbert-Schmidt trace gathers that
+    dominate the noisy sweep — while the transfer recursion and probability
+    accumulation stay host float64.  The rows must agree with the complex128
+    reference engine within the 1e-5 dtype-parity tolerance.
+    """
+    from repro.engine import parity_tolerance
+    from repro.quantum.channels import NoiseModel
+
+    strengths = np.linspace(0.0, 0.5, NOISE_POINTS)
+
+    def factory(strength):
+        return EqualityPathProtocol.on_path(
+            2,
+            6,
+            NOISE_FINGERPRINTS,
+            noise=NoiseModel.depolarizing(strength, NOISE_FINGERPRINTS.dim),
+        )
+
+    programs = _noisy_sweep_programs(factory, strengths)
+    reference_engine = Engine(backend=TransferMatrixBackend(dtype="complex128"))
+    fast_engine = Engine(backend=TransferMatrixBackend(dtype="complex64"))
+
+    fast_values = benchmark(fast_engine.evaluate_programs, programs)
+    record_engine_metadata(benchmark, batch_size=NOISE_POINTS, engine=fast_engine)
+    reference_values = reference_engine.evaluate_programs(programs)
+    np.testing.assert_allclose(
+        fast_values, reference_values, atol=parity_tolerance("complex64")
+    )
+
+    if not timing_assertions_enabled(benchmark):
+        return  # functional smoke pass: skip wall-clock comparisons
+
+    reference_time = best_of(lambda: reference_engine.evaluate_programs(programs))
+    fast_time = best_of(lambda: fast_engine.evaluate_programs(programs))
+    speedup = reference_time / fast_time
+    emit_table(
+        "Engine — complex64 fast path vs complex128 (256 noise points, r=6)",
+        [
+            ExperimentRow("engine-dtype", "evaluate_programs (complex128)", {"seconds": reference_time}),
+            ExperimentRow("engine-dtype", "evaluate_programs (complex64)", {"seconds": fast_time}),
+            ExperimentRow("engine-dtype", "speedup complex64 vs complex128", {"ratio": speedup, "target": ">= 1.5x"}),
+        ],
+        artifact="engine",
+    )
+    assert speedup >= 1.5, f"complex64 fast path only {speedup:.1f}x faster"
 
 
 SHARD_POINTS = 256
@@ -325,6 +383,7 @@ def test_sharded_sweep_vs_scenario_parallelism(benchmark):
         emit_table(
             "Engine — sharded sweep (skipped timing: needs >= 4 cores)",
             [ExperimentRow("engine-shard", "cores available", {"count": os.cpu_count()})],
+            artifact="engine",
         )
         return  # 4 workers on fewer cores cannot show a parallel speedup
 
@@ -353,6 +412,7 @@ def test_sharded_sweep_vs_scenario_parallelism(benchmark):
             ),
             ExperimentRow("engine-shard", "speedup", {"ratio": speedup, "target": ">= 2x"}),
         ],
+        artifact="engine",
     )
     assert speedup >= 2.0, f"sharded sweep only {speedup:.1f}x faster"
 
@@ -419,6 +479,7 @@ def test_streaming_overhead_vs_blocking_dispatch(benchmark):
         emit_table(
             "Engine — streaming overhead (skipped timing: needs >= 4 cores)",
             [ExperimentRow("engine-stream", "cores available", {"count": os.cpu_count()})],
+            artifact="engine",
         )
         return
 
@@ -442,6 +503,7 @@ def test_streaming_overhead_vs_blocking_dispatch(benchmark):
                 {"ratio": overhead, "target": "<= 5%"},
             ),
         ],
+        artifact="engine",
     )
     assert overhead <= 0.05, f"streaming dispatch {overhead:.1%} slower than blocking"
 
@@ -546,6 +608,7 @@ def test_adaptive_vs_static_chunk_scheduling(benchmark, tmp_path):
         emit_table(
             "Engine — adaptive scheduling (skipped timing: needs >= 4 cores)",
             [ExperimentRow("engine-adaptive", "cores available", {"count": os.cpu_count()})],
+            artifact="engine",
         )
         return  # an oversubscribed pool cannot show a balancing speedup
 
@@ -580,6 +643,7 @@ def test_adaptive_vs_static_chunk_scheduling(benchmark, tmp_path):
                 "engine-adaptive", "speedup", {"ratio": speedup, "target": ">= 1.3x"}
             ),
         ],
+        artifact="engine",
     )
     assert speedup >= 1.3, f"adaptive scheduling only {speedup:.2f}x faster"
 
@@ -651,6 +715,7 @@ def test_warm_start_operator_pack(benchmark, tmp_path):
                 },
             ),
         ],
+        artifact="engine",
     )
 
 

@@ -4,17 +4,36 @@ Every benchmark module regenerates one table or figure of the paper: it
 computes the rows once, prints them (so that ``pytest benchmarks/
 --benchmark-only -s`` shows the regenerated table), and benchmarks the
 underlying computation.
+
+Tables emitted with an ``artifact`` name are additionally collected into a
+JSON perf-trajectory file (``BENCH_<artifact>.json``, written next to this
+file at session end) so CI can upload scenario -> seconds/speedup rows and
+track them across commits.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 import time
-from typing import Callable, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.records import ExperimentRow, format_rows
 
 _printed_headers = set()
+
+#: artifact name -> list of row dicts collected by :func:`emit_table`.
+_artifact_rows: Dict[str, List[dict]] = {}
+
+#: Environment variables that pin BLAS/OpenMP thread pools; recorded in
+#: benchmark metadata so saved trajectories are comparable across machines.
+_THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+)
 
 
 def best_of(function: Callable[[], object], repeats: int = 7) -> float:
@@ -43,33 +62,67 @@ def record_engine_metadata(
     batch_size: Optional[int] = None,
     engine=None,
 ) -> None:
-    """Attach the simulation-backend name, batch size and cache counters.
+    """Attach the backend description, batch size, host info and cache counters.
 
     The values land in the ``extra_info`` block of ``BENCH_*.json`` exports,
     so saved trajectories can compare dense versus transfer-matrix backends,
     correlate timings with the evaluated batch size, and audit the operator
-    cache's hit/miss/eviction behaviour across runs.  Benchmarks that drive a
-    private :class:`~repro.engine.Engine` pass it explicitly so the recorded
-    cache counters describe the cache that actually did the work.
+    cache's hit/miss/eviction behaviour across runs.  The backend's
+    :meth:`~repro.engine.backends.SimulationBackend.describe` block records
+    the array module, device and contraction dtype that produced the
+    numbers; CPU count and the BLAS/OpenMP thread pins make trajectories
+    comparable across machines.  Benchmarks that drive a private
+    :class:`~repro.engine.Engine` pass it explicitly so the recorded cache
+    counters describe the cache that actually did the work.
     """
     from repro.engine import default_engine
+    from repro.engine.kernels import einsum_path_cache_info
 
     extra = getattr(benchmark, "extra_info", None)
     if extra is None:  # benchmark fixture disabled
         return
     if engine is None:
         engine = default_engine()
+    description = engine.backend.describe()
     extra["backend"] = backend if backend is not None else engine.backend_name
+    extra["array_module"] = description["array_module"]
+    extra["device"] = description["device"]
+    extra["dtype"] = description["dtype"]
+    extra["cpu_count"] = os.cpu_count()
+    extra["thread_env"] = {
+        name: os.environ.get(name) for name in _THREAD_ENV_VARS
+    }
     if batch_size is not None:
         extra["batch_size"] = int(batch_size)
     extra["operator_cache"] = engine.cache.stats().as_dict()
+    extra["einsum_path_cache"] = einsum_path_cache_info()
 
 
-def emit_table(title: str, rows: Sequence[ExperimentRow]) -> None:
-    """Print a regenerated table exactly once per session."""
+def emit_table(
+    title: str, rows: Sequence[ExperimentRow], artifact: Optional[str] = None
+) -> None:
+    """Print a regenerated table exactly once per session.
+
+    With ``artifact`` set, the rows also join the ``BENCH_<artifact>.json``
+    perf-trajectory file written at session end (scenario -> metrics dicts,
+    one entry per emitted row).
+    """
     if title in _printed_headers:
         return
     _printed_headers.add(title)
+    if artifact is not None:
+        _artifact_rows.setdefault(artifact, []).extend(
+            {"scenario": row.experiment, "label": row.label, **row.values}
+            for row in rows
+        )
     banner = "=" * len(title)
     sys.stdout.write(f"\n{title}\n{banner}\n{format_rows(rows)}\n")
     sys.stdout.flush()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the collected perf-trajectory artifacts (one JSON per name)."""
+    for artifact, rows in _artifact_rows.items():
+        path = Path(__file__).parent / f"BENCH_{artifact}.json"
+        path.write_text(json.dumps({"rows": rows}, indent=2) + "\n", encoding="utf-8")
+        sys.stdout.write(f"\nwrote {path} ({len(rows)} rows)\n")

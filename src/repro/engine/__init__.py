@@ -15,14 +15,28 @@ asks the simulator to evaluate from *how* the evaluation is carried out:
   Jobs may carry :class:`ChainNoise` / :class:`TreeNoise` channel
   annotations (see :mod:`repro.quantum.channels`), which switch their
   evaluation onto the backends' density-matrix path.
+* :mod:`repro.engine.array_ops` — the :class:`ArrayModule` protocol (a
+  minimal numpy-like namespace: ``asarray`` / ``einsum`` / ``matmul`` /
+  ``stack`` / ``conj`` / ``to_numpy``) with a numpy default, a
+  transfer-counting mock device, and torch / cupy adapters registered only
+  when those libraries are importable; plus the contraction dtype policy
+  (``REPRO_DTYPE``, :func:`resolve_dtype`, :func:`parity_tolerance`) and
+  device selection (``REPRO_DEVICE``).
+* :mod:`repro.engine.kernels` — the device-agnostic contraction kernels:
+  stacked chain-Gram products, the vectorized symmetrization transfer
+  recursion, noisy superoperator grid application and the signature-grouped
+  tree contraction primitives, all pure functions of ``(xp, dtype)`` with
+  per-(equation, shape-signature) einsum paths precomputed and cached.
 * :mod:`repro.engine.tree_contraction` — the leaf-to-root contraction of
   tree jobs: a scalar reference recursion and the signature-grouped batched
   evaluation reusing the Gram-matrix stacking of the chain path.
 * :mod:`repro.engine.backends` — the :class:`SimulationBackend` interface,
   the :class:`DenseBackend` reference implementation (scalar, one job at a
   time) and the :class:`TransferMatrixBackend` which evaluates *batches* of
-  chains and trees with stacked einsum contractions, plus a string-keyed
-  backend registry.
+  chains and trees through the kernel layer (with
+  :class:`MockDeviceTransferMatrixBackend` and — when available —
+  ``transfer-matrix-torch`` / ``transfer-matrix-cupy`` variants), plus a
+  string-keyed backend registry.
 * :mod:`repro.engine.cache` — a bounded :class:`OperatorCache` for SWAP
   projectors, acceptance operators, measurement operators and compiled
   honest-proof programs, keyed by protocol layout and input; its
@@ -40,9 +54,23 @@ the ``REPRO_BACKEND`` environment variable) or have one injected with
 :meth:`repro.protocols.base.DQMAProtocol.use_engine`.
 """
 
+from repro.engine.array_ops import (
+    ArrayModule,
+    MockDeviceModule,
+    available_array_modules,
+    get_array_module,
+    module_available,
+    parity_tolerance,
+    register_array_module,
+    resolve_dtype,
+    to_host,
+)
 from repro.engine.backends import (
+    CupyTransferMatrixBackend,
     DenseBackend,
+    MockDeviceTransferMatrixBackend,
     SimulationBackend,
+    TorchTransferMatrixBackend,
     TransferMatrixBackend,
     available_backends,
     get_backend,
@@ -99,27 +127,39 @@ __all__ = [
     "TEST_MEASURE",
     "TEST_NONE",
     "TEST_PERM",
+    "ArrayModule",
     "CacheStats",
     "ChainJob",
     "ChainNoise",
     "ChainProgram",
+    "CupyTransferMatrixBackend",
     "DenseBackend",
     "Engine",
     "LeafMeasurement",
     "MeasurementSpec",
+    "MockDeviceModule",
+    "MockDeviceTransferMatrixBackend",
     "OperatorCache",
     "OperatorPack",
     "SimulationBackend",
+    "TorchTransferMatrixBackend",
     "TransferMatrixBackend",
     "TreeJob",
     "TreeJobBuilder",
     "TreeNoise",
     "TreeProgram",
+    "available_array_modules",
     "available_backends",
     "default_engine",
+    "get_array_module",
     "get_backend",
+    "module_available",
+    "parity_tolerance",
+    "register_array_module",
     "register_backend",
+    "resolve_dtype",
     "set_default_engine",
+    "to_host",
     "tree_acceptance_probability",
     "tree_probabilities_batched",
 ]

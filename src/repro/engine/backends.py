@@ -1,6 +1,6 @@
 """Simulation backends: how batches of chain and tree jobs are evaluated.
 
-Two implementations ship with the library:
+Two evaluation strategies ship with the library:
 
 :class:`DenseBackend`
     The reference semantics: every job is contracted one at a time — chains
@@ -11,11 +11,30 @@ Two implementations ship with the library:
 
 :class:`TransferMatrixBackend`
     Groups chain jobs by shape ``(m, d)`` and tree jobs by structure
-    signature, and evaluates each group with stacked einsum/matmul
-    contractions: all SWAP-test overlaps of a group are computed in a couple
-    of batched Gram products, the symmetrization recursion runs vectorized
-    over the batch, and measurement expectations are one more einsum.  This
-    is the fast path behind ``DQMAProtocol.acceptance_probabilities``.
+    signature, and evaluates each group through the device-agnostic
+    contraction kernels of :mod:`repro.engine.kernels`: all SWAP-test
+    overlaps of a group are computed in a couple of batched Gram products,
+    the symmetrization recursion runs vectorized over the batch, and
+    measurement expectations are one more einsum.  This is the fast path
+    behind ``DQMAProtocol.acceptance_probabilities``.
+
+The transfer-matrix evaluation is parameterized by an
+:class:`~repro.engine.array_ops.ArrayModule` and a contraction dtype, so the
+same grouping/recursion code runs on any registered array namespace:
+
+* ``"transfer-matrix"`` — numpy, the default.
+* ``"transfer-matrix-torch"`` / ``"transfer-matrix-cupy"`` — the torch /
+  cupy adapters, registered only when the library is importable; the device
+  is selected by ``REPRO_DEVICE`` (e.g. ``cuda``).
+* ``"transfer-matrix-mock"`` — the transfer-counting mock device, always
+  registered (it is numpy underneath) so adapter plumbing is testable
+  without a GPU.
+
+The contraction dtype comes from ``REPRO_DTYPE`` (or the ``dtype=``
+constructor argument): ``complex128`` is the parity reference, ``complex64``
+the fast path — final probabilities always accumulate in host float64, and
+the parity tests enforce the per-dtype tolerance schedule of
+:func:`~repro.engine.array_ops.parity_tolerance`.
 
 Jobs carrying a :class:`~repro.engine.jobs.ChainNoise` / :class:`~repro.
 engine.jobs.TreeNoise` channel annotation evaluate on a density-matrix
@@ -30,31 +49,36 @@ one stacked product.  Clean jobs are untouched: an absent or structurally
 empty annotation keeps the pure-state fast path bit for bit.
 
 Backends are registered by name so experiment configuration can select them
-with a string (``"dense"`` / ``"transfer-matrix"``), following the pluggable
-launcher-configuration pattern of the related-work repositories.
+with a string (``"dense"`` / ``"transfer-matrix"`` / ``"transfer-matrix-
+torch"``), following the one-interface/many-backends launcher pattern of the
+related-work repositories.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple, Type, Union
+from typing import Callable, Dict, List, Optional, Sequence, Type, Union
 
 import numpy as np
 
+from repro.engine.array_ops import (
+    ArrayModule,
+    get_array_module,
+    module_available,
+    resolve_dtype,
+)
 from repro.engine.jobs import (
     RIGHT_DENSE,
-    RIGHT_PROJECTOR,
     ChainJob,
     TreeJob,
     group_jobs_by_shape,
 )
+from repro.engine import kernels
 from repro.engine.tree_contraction import (
     tree_acceptance_probability,
     tree_probabilities_batched,
 )
 from repro.exceptions import ProtocolError
-from repro.quantum.channels import apply_channel_grid, flip_probability
 
 
 class SimulationBackend(ABC):
@@ -84,6 +108,19 @@ class SimulationBackend(ABC):
     def tree_probability(self, job: TreeJob) -> float:
         """Acceptance probability of a single tree job."""
         return float(self.tree_probabilities([job])[0])
+
+    def describe(self) -> Dict[str, str]:
+        """Dispatch metadata: backend, array module, device and dtype names.
+
+        Recorded in benchmark metadata so saved perf trajectories state
+        which namespace/device/dtype produced each number.
+        """
+        return {
+            "backend": self.name,
+            "array_module": "numpy",
+            "device": "cpu",
+            "dtype": "complex128",
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
@@ -115,12 +152,42 @@ class DenseBackend(SimulationBackend):
 
 
 class TransferMatrixBackend(SimulationBackend):
-    """Batched backend: stacked transfer-matrix contraction per job shape."""
+    """Batched backend: stacked transfer-matrix contraction per job shape.
+
+    The grouping and recursion logic is array-namespace-agnostic: the heavy
+    per-group contractions run through :mod:`repro.engine.kernels` on this
+    backend's :class:`~repro.engine.array_ops.ArrayModule` (``array_module``
+    constructor argument, or the class default) in the configured
+    contraction dtype (``dtype=`` argument > ``REPRO_DTYPE`` > complex128).
+    """
 
     name = "transfer-matrix"
 
+    #: Array-module registry name instantiated by default; device subclasses
+    #: (torch / cupy / mock) override this single attribute.
+    array_module = "numpy"
+
+    def __init__(
+        self,
+        array_module: Union[str, ArrayModule, None] = None,
+        dtype: Union[str, np.dtype, type, None] = None,
+        device: Optional[str] = None,
+    ):
+        if array_module is None:
+            array_module = type(self).array_module
+        self.xp = get_array_module(array_module, device=device)
+        self.dtype = resolve_dtype(dtype)
+
+    def describe(self) -> Dict[str, str]:
+        return {
+            "backend": self.name,
+            "array_module": self.xp.name,
+            "device": self.xp.device,
+            "dtype": np.dtype(self.dtype).name,
+        }
+
     def tree_probabilities(self, jobs: Sequence[TreeJob]) -> np.ndarray:
-        return tree_probabilities_batched(jobs)
+        return tree_probabilities_batched(jobs, xp=self.xp, dtype=self.dtype)
 
     #: Chains whose state stack fits in this many rows use the one-shot Gram
     #: product; longer chains switch to per-step adjacent contractions, since
@@ -137,70 +204,47 @@ class TransferMatrixBackend(SimulationBackend):
                     jobs, indices, num_intermediate, dim, right_kind
                 )
             elif num_intermediate == 0:
-                lefts = np.stack([jobs[i].left for i in indices])
-                rights = np.stack([jobs[i].right_operator for i in indices])
-                if right_kind == RIGHT_DENSE:
-                    values = (
-                        (lefts.conj() * np.matmul(rights, lefts[..., None])[..., 0])
-                        .sum(axis=-1)
-                        .real
-                    )
-                else:
-                    overlaps = np.abs((rights.conj() * lefts).sum(axis=-1)) ** 2
-                    values = (
-                        overlaps if right_kind == RIGHT_PROJECTOR else 0.5 + 0.5 * overlaps
-                    )
+                values = kernels.chain_terminal_probabilities(
+                    self.xp,
+                    self.dtype,
+                    np.stack([jobs[i].left for i in indices]),
+                    np.stack([jobs[i].right_operator for i in indices]),
+                    right_kind,
+                )
             elif 2 * num_intermediate + 2 <= self.GRAM_MAX_ROWS:
                 values = self._contract_group(jobs, indices, num_intermediate, dim, right_kind)
             else:
-                values = self._contract_group_adjacent(
-                    jobs, indices, num_intermediate, right_kind
+                values = kernels.chain_adjacent_probabilities(
+                    self.xp,
+                    self.dtype,
+                    np.stack([jobs[i].left for i in indices]),
+                    np.stack([jobs[i].pairs for i in indices]),
+                    np.stack([jobs[i].right_operator for i in indices]),
+                    num_intermediate,
+                    right_kind,
                 )
             results[indices] = np.clip(values, 0.0, 1.0)
         return results
 
-    @staticmethod
-    @lru_cache(maxsize=128)
-    def _transfer_indices(num_intermediate: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Gram-row indices of (incoming, target) states for every chain step.
-
-        Row 0 of the stacked state matrix is the left state; rows ``1 + 2j``
-        and ``2 + 2j`` are slots 0/1 of intermediate node ``j``.  Step ``j``
-        (``j >= 1``) tests the register forwarded by node ``j - 1`` under
-        symmetrization bit ``s`` (its slot ``1 - s``) against slot ``n`` of
-        node ``j``.
-        """
-        steps = np.arange(1, num_intermediate)
-        incoming = 1 + 2 * (steps - 1)[:, None] + (1 - np.arange(2))[None, :]
-        targets = 1 + 2 * steps[:, None] + np.arange(2)[None, :]
-        return incoming, targets
-
-    @classmethod
     def _contract_group(
-        cls,
+        self,
         jobs: Sequence[ChainJob],
         indices: Sequence[int],
         num_intermediate: int,
         dim: int,
         right_kind: str,
     ) -> np.ndarray:
-        """Evaluate one ``(m, d, kind)`` group of chains in stacked contractions.
+        """Assemble one ``(m, d, kind)`` group's host stacks and contract.
 
-        All SWAP-test overlaps of the group come from one batched Gram-matrix
-        product of the stacked states; ``weights[b, s]`` then carries the
-        joint weight of all symmetrization patterns whose latest bit is ``s``
-        (``s = 0``: the node kept slot 0 and forwards slot 1), exactly as in
-        the scalar recursion — but for every job of the batch at once.  For
-        the rank-one-structured right ends the measurement vector rides along
-        as one more row of the Gram stack, so the whole chain (tests *and*
-        final measurement) is a single batched matmul plus gathers.
+        Row 0 of the state stack is the left state, rows 1 .. 2m the
+        intermediate pairs, and (structured ends) the measurement vector
+        last — stacked straight into place on the host; the Gram product
+        and transfer recursion run in :func:`repro.engine.kernels.
+        chain_gram_probabilities` on this backend's array module.
         """
         batch = len(indices)
         dense_end = right_kind == RIGHT_DENSE
         num_rows = 2 * num_intermediate + (1 if dense_end else 2)
-        # One preallocated state stack per group: row 0 is the left state,
-        # rows 1 .. 2m the intermediate pairs, and (structured ends) the
-        # measurement vector last — stacked straight into place.
         stacked = np.empty((batch, num_rows, dim), dtype=np.complex128)
         np.stack([jobs[i].left for i in indices], out=stacked[:, 0])
         np.stack(
@@ -209,62 +253,34 @@ class TransferMatrixBackend(SimulationBackend):
                 batch, num_intermediate, 2, dim
             ),
         )
+        rights = None
         if dense_end:
             rights = np.stack([jobs[i].right_operator for i in indices])
         else:
             np.stack([jobs[i].right_operator for i in indices], out=stacked[:, -1])
-        gram = np.abs(np.matmul(stacked.conj(), stacked.transpose(0, 2, 1))) ** 2
-        # Step 1: SWAP test of the left state against both slots of node 1.
-        weights = 0.5 * (0.5 + 0.5 * gram[:, 0, 1:3])  # (B, 2)
-        if num_intermediate > 1:
-            incoming, targets = cls._transfer_indices(num_intermediate)
-            overlaps = gram[:, incoming[:, :, None], targets[:, None, :]]
-            transfer = 0.5 * (0.5 + 0.5 * overlaps)  # (B, m-1, 2, 2)
-            for step in range(num_intermediate - 1):
-                weights = np.matmul(weights[:, None, :], transfer[:, step])[:, 0]
-        # Right end: acceptance on the forwarded state (rows 2m / 2m - 1 are
-        # the reversed slots of the last intermediate node).
-        if dense_end:
-            final_states = stacked[:, [2 * num_intermediate, 2 * num_intermediate - 1]]
-            accepts = (
-                (np.matmul(final_states.conj(), rights) * final_states).sum(axis=-1).real
-            )
-        else:
-            phi_row = 2 * num_intermediate + 1
-            overlaps = gram[:, phi_row, [2 * num_intermediate, 2 * num_intermediate - 1]]
-            accepts = overlaps if right_kind == RIGHT_PROJECTOR else 0.5 + 0.5 * overlaps
-        return np.sum(weights * accepts, axis=1)
+        return kernels.chain_gram_probabilities(
+            self.xp, self.dtype, stacked, rights, num_intermediate, right_kind
+        )
 
-
-    @classmethod
     def _contract_group_noisy(
-        cls,
+        self,
         jobs: Sequence[ChainJob],
         indices: Sequence[int],
         num_intermediate: int,
         dim: int,
         right_kind: str,
     ) -> np.ndarray:
-        """Evaluate one noisy ``(m, d, kind)`` group on stacked density rows.
+        """Assemble one noisy group's states and channel grids, then contract.
 
-        Density-row layout per job: row 0 is the left state as *sent* across
-        edge 0; rows ``1 .. 2m`` the intermediate pairs in *kept* form (node
-        channel applied); rows ``2m + 1 .. 4m`` the same pairs in *sent*
-        form (outgoing edge channel on top); the last row (vector right
-        ends) is the pure measurement target.  The pure outer products and
-        target rows are built vectorized for the whole group; only the
-        channel applications loop per job (each a couple of grouped
-        ``apply_batch`` calls), since jobs of one group may carry arbitrary
-        per-job channels — a noise-strength sweep is one stack.  The
-        contraction is then the :meth:`_contract_group` transfer recursion
-        with squared overlaps replaced by the Hilbert-Schmidt trace Gram of
-        the vectorized densities, and every test factor passed through each
-        job's readout flip.
+        The pure states and per-job channel grids are gathered here (jobs of
+        one group may carry arbitrary per-job channels — a noise-strength
+        sweep is one stack); the density build, grid application, trace
+        gathering and flipped transfer recursion are
+        :func:`repro.engine.kernels.noisy_chain_probabilities`.
         """
         batch = len(indices)
         m = num_intermediate
         dense_end = right_kind == RIGHT_DENSE
-        num_rows = 1 + 4 * m + (0 if dense_end else 1)
         states = np.empty((batch, 1 + 2 * m, dim), dtype=np.complex128)
         np.stack([jobs[i].left for i in indices], out=states[:, 0])
         if m:
@@ -272,8 +288,6 @@ class TransferMatrixBackend(SimulationBackend):
                 [jobs[i].pairs for i in indices],
                 out=states[:, 1:].reshape(batch, m, 2, dim),
             )
-        pure = states[:, :, :, None] * states.conj()[:, :, None, :]
-        stacked = np.empty((batch, num_rows, dim, dim), dtype=np.complex128)
         kept_grid = []
         sent_grid = []
         for index in indices:
@@ -286,124 +300,70 @@ class TransferMatrixBackend(SimulationBackend):
                 [noise.edge_channels[0]]
                 + [noise.edge_channels[node + 1] for node in range(m) for _ in range(2)]
             )
-        kept = apply_channel_grid(kept_grid, pure)
-        sent = apply_channel_grid(sent_grid, kept)
-        stacked[:, 1 : 1 + 2 * m] = kept[:, 1:]
-        stacked[:, 0] = sent[:, 0]
-        if m:
-            stacked[:, 1 + 2 * m : 1 + 4 * m] = sent[:, 1:]
+        right_grid = None
         if not dense_end:
-            targets = np.stack([jobs[i].right_operator for i in indices])
-            target_block = targets[:, :, None] * targets.conj()[:, None, :]
-            # Right-end preparation noise acts on the verifier's reference
-            # state, i.e. the measurement target density.
-            stacked[:, -1:] = apply_channel_grid(
-                [[jobs[i].noise.right_channel] for i in indices],
-                target_block[:, None],
-            )
-        eps = np.array([jobs[i].noise.readout_error for i in indices])
-        # Only O(m) Hilbert-Schmidt traces are read by the transfer
-        # recursion, so gather exactly those pairs into one einsum instead
-        # of forming the full row-by-row trace Gram.
-        rows_a: List[int] = []
-        rows_b: List[int] = []
-        if m == 0:
-            if dense_end:
-                rights = np.stack([jobs[i].right_operator for i in indices])
-                accepts = np.einsum("bij,bji->b", rights, stacked[:, 0]).real
-            else:
-                overlaps = np.einsum(
-                    "bij,bji->b", stacked[:, -1], stacked[:, 0]
-                ).real
-                accepts = overlaps if right_kind == RIGHT_PROJECTOR else 0.5 + 0.5 * overlaps
-            return flip_probability(accepts, eps)
-        rows_a += [0, 0]
-        rows_b += [1, 2]
-        for step in range(m - 1):
-            # Node j forwards its sent slot 1 - s; node j + 1 tests its kept slot s'.
-            for s in (0, 1):
-                for s_next in (0, 1):
-                    rows_a.append(2 * m + 1 + 2 * step + (1 - s))
-                    rows_b.append(1 + 2 * (step + 1) + s_next)
-        # Right end: the last node's sent slots, reversed (bit s forwards 1 - s).
-        final_rows = [4 * m, 4 * m - 1]
-        if not dense_end:
-            rows_a += [num_rows - 1, num_rows - 1]
-            rows_b += final_rows
-        traces = np.einsum(
-            "bkij,bkji->bk", stacked[:, rows_a], stacked[:, rows_b]
-        ).real
-        # Step 1: SWAP test of the transmitted left state against the kept
-        # forms of node 1 (rows 1, 2), each flipped by the readout error.
-        weights = 0.5 * flip_probability(0.5 + 0.5 * traces[:, 0:2], eps[:, None])
-        if m > 1:
-            overlaps = traces[:, 2 : 2 + 4 * (m - 1)].reshape(batch, m - 1, 2, 2)
-            transfer = 0.5 * flip_probability(
-                0.5 + 0.5 * overlaps, eps[:, None, None, None]
-            )
-            for step in range(m - 1):
-                weights = np.matmul(weights[:, None, :], transfer[:, step])[:, 0]
-        if dense_end:
-            rights = np.stack([jobs[i].right_operator for i in indices])
-            accepts = np.einsum(
-                "bij,bsji->bs", rights, stacked[:, final_rows]
-            ).real
-        else:
-            overlaps = traces[:, -2:]
-            accepts = overlaps if right_kind == RIGHT_PROJECTOR else 0.5 + 0.5 * overlaps
-        accepts = flip_probability(accepts, eps[:, None])
-        return np.sum(weights * accepts, axis=1)
-
-    @classmethod
-    def _contract_group_adjacent(
-        cls,
-        jobs: Sequence[ChainJob],
-        indices: Sequence[int],
-        num_intermediate: int,
-        right_kind: str,
-    ) -> np.ndarray:
-        """Long-chain path: batched overlaps of adjacent nodes only, O(m d) per job."""
-        lefts = np.stack([jobs[i].left for i in indices])
-        pairs = np.stack([jobs[i].pairs for i in indices])  # (B, m, 2, d)
+            right_grid = [[jobs[i].noise.right_channel] for i in indices]
         rights = np.stack([jobs[i].right_operator for i in indices])
-        first_overlaps = (
-            np.abs(np.matmul(pairs[:, 0].conj(), lefts[..., None])[..., 0]) ** 2
+        eps = np.array([jobs[i].noise.readout_error for i in indices])
+        return kernels.noisy_chain_probabilities(
+            self.xp,
+            self.dtype,
+            states,
+            kept_grid,
+            sent_grid,
+            right_grid,
+            rights,
+            eps,
+            m,
+            right_kind,
         )
-        weights = 0.5 * (0.5 + 0.5 * first_overlaps)  # (B, 2)
-        if num_intermediate > 1:
-            # incoming[b, j, s]: the state node j+1 receives when node j's
-            # symmetrization bit is s (node j's reversed slot order).
-            incoming = pairs[:, :-1, ::-1, :]
-            targets = pairs[:, 1:]
-            overlaps = (
-                np.abs(np.matmul(incoming.conj(), targets.transpose(0, 1, 3, 2))) ** 2
-            )
-            transfer = 0.5 * (0.5 + 0.5 * overlaps)  # (B, m-1, 2, 2)
-            for step in range(num_intermediate - 1):
-                weights = np.matmul(weights[:, None, :], transfer[:, step])[:, 0]
-        final_states = pairs[:, -1, ::-1, :]  # (B, 2, d)
-        if right_kind == RIGHT_DENSE:
-            accepts = (
-                (np.matmul(final_states.conj(), rights) * final_states).sum(axis=-1).real
-            )
-        else:
-            overlaps = (
-                np.abs(np.matmul(final_states.conj(), rights[..., None])[..., 0]) ** 2
-            )
-            accepts = overlaps if right_kind == RIGHT_PROJECTOR else 0.5 + 0.5 * overlaps
-        return np.sum(weights * accepts, axis=1)
 
 
-_BACKENDS: Dict[str, Type[SimulationBackend]] = {}
+class MockDeviceTransferMatrixBackend(TransferMatrixBackend):
+    """Transfer-matrix contraction on the transfer-counting mock device.
+
+    Numerically identical to the numpy backend (same kernels, numpy math
+    underneath) while its ``xp`` counts every host<->device transfer — the
+    test double proving adapter plumbing without a GPU.
+    """
+
+    name = "transfer-matrix-mock"
+    array_module = "mock"
 
 
-def register_backend(backend_class: Type[SimulationBackend]) -> Type[SimulationBackend]:
-    """Register a backend class under its ``name`` (usable as a decorator)."""
-    name = backend_class.name
+class TorchTransferMatrixBackend(TransferMatrixBackend):
+    """Transfer-matrix contraction through torch (``REPRO_DEVICE`` selects)."""
+
+    name = "transfer-matrix-torch"
+    array_module = "torch"
+
+
+class CupyTransferMatrixBackend(TransferMatrixBackend):
+    """Transfer-matrix contraction through cupy (CUDA)."""
+
+    name = "transfer-matrix-cupy"
+    array_module = "cupy"
+
+
+BackendFactory = Callable[[], SimulationBackend]
+
+_BACKENDS: Dict[str, BackendFactory] = {}
+
+
+def register_backend(
+    backend: Union[Type[SimulationBackend], BackendFactory],
+    name: Optional[str] = None,
+) -> Union[Type[SimulationBackend], BackendFactory]:
+    """Register a backend class or zero-argument factory (usable as decorator).
+
+    Classes register under their ``name`` attribute; bare factories must
+    pass ``name=`` explicitly.
+    """
+    name = name or getattr(backend, "name", "")
     if not name:
         raise ProtocolError("simulation backends must define a non-empty name")
-    _BACKENDS[name] = backend_class
-    return backend_class
+    _BACKENDS[name] = backend
+    return backend
 
 
 def available_backends() -> List[str]:
@@ -418,12 +378,21 @@ def get_backend(backend: Union[str, SimulationBackend, None]) -> SimulationBacke
     if isinstance(backend, SimulationBackend):
         return backend
     try:
-        return _BACKENDS[backend]()
+        factory = _BACKENDS[backend]
     except KeyError:
         raise ProtocolError(
             f"unknown simulation backend {backend!r}; available: {available_backends()}"
         ) from None
+    return factory()
 
 
 register_backend(DenseBackend)
 register_backend(TransferMatrixBackend)
+register_backend(MockDeviceTransferMatrixBackend)
+# Device adapters register only when their library is importable, so the
+# default environment stays dependency-free and ``available_backends()``
+# reflects what can actually run here.
+if module_available("torch"):
+    register_backend(TorchTransferMatrixBackend)
+if module_available("cupy"):
+    register_backend(CupyTransferMatrixBackend)

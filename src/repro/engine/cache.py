@@ -31,6 +31,8 @@ from typing import Any, Callable, Hashable, Optional, Tuple
 
 import numpy as np
 
+from repro.engine.array_ops import to_host
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -142,7 +144,11 @@ class OperatorCache:
         # still owns, and a frozen view would share the buffer — letting the
         # caller mutate the cached entry through its own reference after
         # insertion.  The copy costs one allocation per miss; the hit path
-        # stays copy-free.
+        # stays copy-free.  Device-resident arrays (torch/cupy tensors, mock
+        # device arrays) are pulled back to host numpy first: cached
+        # operators and exported packs are always plain host-side arrays,
+        # whichever backend built them.
+        value = to_host(value)
         if isinstance(value, np.ndarray):
             frozen = value.copy()
             frozen.setflags(write=False)

@@ -14,7 +14,10 @@ noise-strength sweep is just another program batch.
 
 A process-wide default engine is available through :func:`default_engine`;
 its backend is selected by the ``REPRO_BACKEND`` environment variable
-(``"transfer-matrix"`` when unset).
+(``"transfer-matrix"`` when unset), and the contraction dtype / device of
+array-module backends by ``REPRO_DTYPE`` / ``REPRO_DEVICE`` (see
+:mod:`repro.engine.array_ops`).  All three are re-checked on every
+:func:`default_engine` call so pool workers pick up changes.
 """
 
 from __future__ import annotations
@@ -157,26 +160,36 @@ _default_engine: Optional[Engine] = None
 #: :func:`set_default_engine` (never re-resolved from the environment).
 _EXPLICIT = object()
 
-#: The ``REPRO_BACKEND`` value the current default engine was built from, or
-#: :data:`_EXPLICIT` when :func:`set_default_engine` installed it.
+#: The ``(REPRO_BACKEND, REPRO_DTYPE, REPRO_DEVICE)`` triple the current
+#: default engine was built from, or :data:`_EXPLICIT` when
+#: :func:`set_default_engine` installed it.
 _default_engine_env: Any = None
 
 
-def default_engine() -> Engine:
-    """The process-wide engine, resolved from ``REPRO_BACKEND``.
+def _engine_env() -> tuple:
+    return (
+        os.environ.get(BACKEND_ENV_VAR),
+        os.environ.get("REPRO_DTYPE"),
+        os.environ.get("REPRO_DEVICE"),
+    )
 
-    The environment variable is re-checked on every call: if it changed since
-    the engine was built (pool workers commonly export it after the parent
-    process already touched the engine), a fresh engine on the new backend
-    replaces the stale one.  An engine installed through
-    :func:`set_default_engine` is never displaced by the environment.
+
+def default_engine() -> Engine:
+    """The process-wide engine, resolved from ``REPRO_BACKEND`` and friends.
+
+    The ``REPRO_BACKEND`` / ``REPRO_DTYPE`` / ``REPRO_DEVICE`` variables are
+    re-checked on every call: if any changed since the engine was built (pool
+    workers commonly export them after the parent process already touched the
+    engine), a fresh engine on the new configuration replaces the stale one.
+    An engine installed through :func:`set_default_engine` is never displaced
+    by the environment.
     """
     global _default_engine, _default_engine_env
-    env = os.environ.get(BACKEND_ENV_VAR)
+    env = _engine_env()
     if _default_engine is None or (
         _default_engine_env is not _EXPLICIT and env != _default_engine_env
     ):
-        _default_engine = Engine(backend=env)
+        _default_engine = Engine(backend=env[0])
         _default_engine_env = env
     return _default_engine
 

@@ -21,7 +21,11 @@ Two evaluators share the node semantics:
     Groups jobs by structure signature, stacks each group's registers into
     one array per tensor factor, computes every overlap of the group with a
     single batched Gram product per factor (the PR-1 chain trick), and runs
-    the same leaf-to-root recursion vectorized over the batch axis.
+    the same leaf-to-root recursion vectorized over the batch axis.  The
+    Gram products route through :mod:`repro.engine.kernels`, so they run on
+    any :class:`~repro.engine.array_ops.ArrayModule` (numpy / torch / cupy /
+    the transfer-counting mock) in the configured contraction dtype; the
+    recursion itself accumulates in host float64.
 
 Noisy jobs (a :class:`~repro.engine.jobs.TreeNoise` annotation) evaluate on
 a density-matrix generalization of the same contraction: every register
@@ -46,6 +50,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.array_ops import ArrayModule, get_array_module, resolve_dtype
 from repro.engine.jobs import (
     MEAS_DENSE,
     MEAS_DIAGONAL,
@@ -63,8 +68,9 @@ from repro.engine.jobs import (
     group_tree_jobs_by_signature,
     router_assignments,
 )
+from repro.engine import kernels
 from repro.exceptions import ProtocolError
-from repro.quantum.channels import apply_channel_grid, flip_probability
+from repro.quantum.channels import flip_probability
 
 
 def _threshold_tail(match_probabilities: np.ndarray, threshold: int) -> np.ndarray:
@@ -411,6 +417,12 @@ def tree_acceptance_probability(job: TreeJob) -> float:
 class _GroupContext:
     """Stacked states and cached Gram products of one signature group.
 
+    The heavy per-group products — the squared-overlap Grams per tensor
+    factor, the Hilbert-Schmidt trace Gram of the noisy path, the dense
+    measurement einsum — run through :mod:`repro.engine.kernels` on the
+    supplied array module in the supplied contraction dtype; everything the
+    recursion reads afterwards is host float64.
+
     In *noisy* mode (the group's jobs carry a :class:`~repro.engine.jobs.
     TreeNoise`) the context stacks, per job, the kept and sent density
     matrices of every register row — ``2 R`` rows of ``d x d`` densities,
@@ -421,10 +433,17 @@ class _GroupContext:
     spaces.  All accept factors pass through the per-job readout flip.
     """
 
-    def __init__(self, group: Sequence[TreeJob]):
+    def __init__(
+        self,
+        group: Sequence[TreeJob],
+        xp: Optional[ArrayModule] = None,
+        dtype: Optional[np.dtype] = None,
+    ):
         self.group = group
         self.template = group[0]
         self.batch = len(group)
+        self.xp = get_array_module(xp)
+        self.dtype = resolve_dtype(dtype)
         self._dense_operators: Dict[int, np.ndarray] = {}
         self.noisy = self.template.is_noisy
         if self.noisy:
@@ -434,15 +453,9 @@ class _GroupContext:
         self.stacks = [
             np.stack([job.factors[f] for job in group]) for f in range(num_factors)
         ]
-        if num_factors == 1:
-            self.cgram = np.matmul(self.stacks[0].conj(), self.stacks[0].transpose(0, 2, 1))
-            self.overlap_sq = [np.abs(self.cgram) ** 2]
-        else:
-            self.cgram = None
-            self.overlap_sq = [
-                np.abs(np.matmul(stack.conj(), stack.transpose(0, 2, 1))) ** 2
-                for stack in self.stacks
-            ]
+        self.overlap_sq, self.cgram = kernels.batched_overlap_grams(
+            self.xp, self.dtype, self.stacks
+        )
         product = self.overlap_sq[0]
         for extra in self.overlap_sq[1:]:
             product = product * extra
@@ -453,7 +466,9 @@ class _GroupContext:
         num_rows, dim = template.factors[0].shape
         self.num_rows = num_rows
         owners = _row_owners(template)
-        states = np.stack([job.factors[0] for job in group])
+        states = np.stack([job.factors[0] for job in group]).astype(
+            self.dtype, copy=False
+        )
         pure = states[:, :, :, None] * states.conj()[:, :, None, :]
         kept_grid = [
             [
@@ -470,16 +485,15 @@ class _GroupContext:
             for job in group
         ]
         densities = np.empty(
-            (self.batch, 2 * num_rows, dim, dim), dtype=np.complex128
+            (self.batch, 2 * num_rows, dim, dim), dtype=self.dtype
         )
-        kept = apply_channel_grid(kept_grid, pure)
+        kept = kernels.apply_noise_grid(kept_grid, pure, self.dtype)
         densities[:, :num_rows] = kept
-        densities[:, num_rows:] = apply_channel_grid(sent_grid, kept)
+        densities[:, num_rows:] = kernels.apply_noise_grid(sent_grid, kept, self.dtype)
         self.densities = densities
-        vectors = densities.reshape(self.batch, 2 * num_rows, dim * dim)
         # Tr(rho sigma) = vec(rho) . conj(vec(sigma)) for Hermitian matrices:
         # the same batched Gram matmul as the pure path, on density rows.
-        self.trace_gram = np.matmul(vectors, vectors.conj().transpose(0, 2, 1)).real
+        self.trace_gram = kernels.batched_trace_gram(self.xp, self.dtype, densities)
         self.eps = np.array([job.noise.readout_error for job in group])
         self._cycle_traces: Dict[Tuple[int, ...], np.ndarray] = {}
 
@@ -543,9 +557,9 @@ class _GroupContext:
         if measurement.kind == MEAS_DENSE:
             states = self.stacks[0][:, row]
             operators = self._node_operators(node)
-            return np.einsum(
-                "bi,bij,bj->b", states.conj(), operators, states
-            ).real
+            return kernels.batched_measure_dense(
+                self.xp, self.dtype, states, operators
+            )
         if measurement.kind == MEAS_DIAGONAL:
             states = self.stacks[0][:, row]
             diagonals = self._node_operators(node)
@@ -670,11 +684,17 @@ def _down_batched(context: _GroupContext) -> np.ndarray:
     return weights[0].sum(axis=1)
 
 
-def tree_probabilities_batched(jobs: Sequence[TreeJob]) -> np.ndarray:
+def tree_probabilities_batched(
+    jobs: Sequence[TreeJob],
+    xp: Optional[ArrayModule] = None,
+    dtype: Optional[np.dtype] = None,
+) -> np.ndarray:
     """Acceptance probabilities of many tree jobs, stacked by signature group."""
+    xp = get_array_module(xp)
+    dtype = resolve_dtype(dtype)
     results = np.empty(len(jobs), dtype=np.float64)
     for indices in group_tree_jobs_by_signature(jobs).values():
-        context = _GroupContext([jobs[i] for i in indices])
+        context = _GroupContext([jobs[i] for i in indices], xp=xp, dtype=dtype)
         if _is_down_family(context.template):
             values = _down_batched(context)
         else:

@@ -9,6 +9,8 @@ Usage (command line)::
     repro-report --progress                         # per-chunk progress on stderr
     repro-report --parallel --chunk-size 8          # pin the static chunk plan
     repro-report --parallel --no-adaptive           # disable the cost model
+    repro-report --backend transfer-matrix-torch    # pick the simulation backend
+    repro-report --dtype complex64                  # reduced-precision fast path
     repro-report                                    # console script (after install)
 
 The exit code reflects the report's health: any scenario that failed (fully
@@ -26,6 +28,11 @@ plan for scenarios with no history.  ``--no-adaptive`` removes the adaptive
 tier entirely — no cost-book reads *or* writes — leaving only the static
 planner.
 
+``--backend`` and ``--dtype`` select the simulation backend and contraction
+dtype; they win over the ``REPRO_BACKEND`` / ``REPRO_DTYPE`` environment
+variables by exporting the chosen values, so pool workers on the parallel
+path inherit the selection (see :mod:`repro.engine.array_ops`).
+
 The report routes every section through the unified
 :class:`~repro.experiments.runner.ExperimentRunner`: Tables 1-3 of the paper,
 the small-instance protocol verification, the quantum/classical crossover
@@ -36,6 +43,7 @@ notebooks or CI artifacts.
 
 from __future__ import annotations
 
+import os
 import sys
 from typing import List, Optional, Tuple
 
@@ -184,11 +192,46 @@ def main(argv: Optional[List[str]] = None) -> int:
             sys.stderr.write("--scenarios needs a comma-separated scenario list\n")
             return 2
         scenarios = [name for name in argv.pop(index).split(",") if name]
+    # --backend / --dtype win over REPRO_BACKEND / REPRO_DTYPE (the same
+    # precedence --chunk-size has over the cost model): they are exported to
+    # the environment so pool workers inherit the selection.
+    if "--backend" in argv:
+        index = argv.index("--backend")
+        argv.pop(index)
+        if index >= len(argv):
+            sys.stderr.write("--backend needs a backend name\n")
+            return 2
+        backend = argv.pop(index)
+        from repro.engine.backends import available_backends
+
+        if backend not in available_backends():
+            sys.stderr.write(
+                f"unknown backend {backend!r}; available: {available_backends()}\n"
+            )
+            return 2
+        os.environ["REPRO_BACKEND"] = backend
+    if "--dtype" in argv:
+        index = argv.index("--dtype")
+        argv.pop(index)
+        if index >= len(argv):
+            sys.stderr.write("--dtype needs complex64 or complex128\n")
+            return 2
+        raw = argv.pop(index)
+        from repro.engine.array_ops import resolve_dtype
+        from repro.exceptions import ProtocolError
+
+        try:
+            resolved = resolve_dtype(raw)
+        except ProtocolError as error:
+            sys.stderr.write(f"{error}\n")
+            return 2
+        os.environ["REPRO_DTYPE"] = resolved.name
     unknown = [arg for arg in argv if arg.startswith("-")]
     if unknown or len(argv) > 1:
         sys.stderr.write(
             f"usage: repro-report [--parallel] [--progress] [--scenarios a,b,...] "
-            f"[--chunk-size N] [--no-adaptive] [output-file]; "
+            f"[--chunk-size N] [--no-adaptive] [--backend NAME] [--dtype DTYPE] "
+            f"[output-file]; "
             f"unrecognized arguments: {unknown or argv[1:]}\n"
         )
         return 2

@@ -346,11 +346,17 @@ def _depolarizing_action(densities: np.ndarray, strengths, dim: int) -> np.ndarr
     :meth:`_ClosedFormDepolarizing.apply_batch` and both depolarizing paths
     of :func:`apply_channel_grid`.
     """
-    strengths = np.asarray(strengths, dtype=np.float64)
+    # Match the density dtype so a complex64 contraction stays complex64:
+    # float64 strengths (or a float64 identity) would silently upcast the
+    # whole stack back to complex128 and defeat the reduced-precision path.
+    real = np.float32 if densities.dtype == np.complex64 else np.float64
+    strengths = np.asarray(strengths, dtype=real)
     if strengths.ndim:
         strengths = strengths[:, None, None]
     traces = np.trace(densities, axis1=-2, axis2=-1)[..., None, None]
-    return (1.0 - strengths) * densities + (strengths / dim) * traces * np.eye(dim)
+    return (1.0 - strengths) * densities + (strengths / dim) * traces * np.eye(
+        dim, dtype=real
+    )
 
 
 def _depolarizing_kraus(p: float, dim: int) -> Tuple[np.ndarray, ...]:
@@ -515,8 +521,14 @@ def apply_channel_grid(
     depolarizing sweep applies all of its channels in a single vectorized
     expression.  As with :func:`apply_channels`, the input array itself is
     returned (treat as read-only) when every entry is trivial.
+
+    A ``complex64`` input stays ``complex64`` throughout (the engine's
+    reduced-precision fast path); every other input is promoted to
+    ``complex128`` as before.
     """
-    densities = np.asarray(densities, dtype=np.complex128)
+    densities = np.asarray(densities)
+    if densities.dtype != np.complex64:
+        densities = np.asarray(densities, dtype=np.complex128)
     batch, rows, dim = densities.shape[0], densities.shape[1], densities.shape[2]
     if len(grid) != batch:
         raise DimensionMismatchError(f"got {len(grid)} channel rows for batch {batch}")
