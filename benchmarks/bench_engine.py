@@ -10,7 +10,9 @@ evaluation path must be at least 3x faster batched than scalar (and at least
 1.5x faster again in the complex64 contraction dtype, within the 1e-5
 dtype-parity tolerance of the complex128 rows); and the
 batched fingerprint-strategy soundness search must match the scalar loop's
-optimum to 1e-9 on a 1024-assignment sweep while running measurably faster;
+optimum to 1e-9 on a 1024-assignment sweep while running measurably faster
+(and at least 3x faster than the dense batch-size-1 reference when the same
+search runs under a NoiseModel on the density-matrix path);
 and a sharded 256-point sweep (the strength grid chunked across 4 pool
 workers) must beat scenario-level parallelism by at least 2x with 1e-12 row
 parity; a cost-model-planned run of a skewed sweep (warm cost book) must
@@ -275,6 +277,61 @@ def test_noisy_sweep_batched_vs_scalar_speedup(benchmark):
         artifact="engine",
     )
     assert speedup >= 3.0, f"batched noisy sweep only {speedup:.1f}x faster"
+
+
+def test_noisy_soundness_search_batched_vs_scalar_speedup(benchmark):
+    """Acceptance criterion: >= 3x batched speedup on a noisy strategy sweep.
+
+    257 strategies (honest + 4 candidate strings over 4 path nodes) searched
+    *under* a depolarizing NoiseModel with readout error: every strategy
+    batch evaluates on the engine's density-matrix path via the protocol's
+    ``with_noise`` sibling.  The scalar side is the same search pinned to the
+    dense backend at ``batch_size=1`` — one Kraus-sum density recursion per
+    strategy, the pre-batching semantics.
+    """
+    from repro.quantum.channels import NoiseModel
+
+    noise = NoiseModel.depolarizing(0.2, NOISE_FINGERPRINTS.dim, readout_error=0.02)
+    inputs = ("11", "10")
+    candidates = ["11", "10", "01", "00"]
+
+    def batched_search():
+        protocol = EqualityPathProtocol.on_path(2, 5, NOISE_FINGERPRINTS)
+        return fingerprint_strategy_soundness(
+            protocol, inputs, candidate_strings=candidates, noise=noise
+        )
+
+    def scalar_search():
+        protocol = EqualityPathProtocol.on_path(2, 5, NOISE_FINGERPRINTS)
+        protocol.use_engine(Engine(backend="dense"))
+        return fingerprint_strategy_soundness(
+            protocol, inputs, candidate_strings=candidates, batch_size=1, noise=noise
+        )
+
+    result = benchmark(batched_search)
+    record_engine_metadata(benchmark, batch_size=result.num_assignments + 1)
+    assert result.num_assignments == 4**4
+
+    scalar_result = scalar_search()
+    assert abs(result.best_acceptance - scalar_result.best_acceptance) <= 1e-9
+    assert result.best_strategy == scalar_result.best_strategy
+
+    if not timing_assertions_enabled(benchmark):
+        return  # functional smoke pass: skip wall-clock comparisons
+
+    scalar_time = best_of(scalar_search, repeats=1)
+    batched_time = best_of(batched_search, repeats=3)
+    speedup = scalar_time / batched_time
+    emit_table(
+        "Soundness — batched vs scalar noisy strategy search (257 strategies, r=5)",
+        [
+            ExperimentRow("noisy-soundness-search", "scalar search (dense, batch=1)", {"seconds": scalar_time}),
+            ExperimentRow("noisy-soundness-search", "batched search (transfer-matrix)", {"seconds": batched_time}),
+            ExperimentRow("noisy-soundness-search", "speedup vs dense scalar", {"ratio": speedup, "target": ">= 3x"}),
+        ],
+        artifact="engine",
+    )
+    assert speedup >= 3.0, f"batched noisy soundness search only {speedup:.1f}x faster"
 
 
 def test_dtype_fast_path_speedup(benchmark):

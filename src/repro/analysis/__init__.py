@@ -21,6 +21,7 @@ from repro.analysis.soundness import (
     StrategySearchResult,
     entangled_soundness_report,
     fingerprint_strategy_soundness,
+    paper_bound_slack,
     repetition_soundness,
 )
 
@@ -31,5 +32,6 @@ __all__ = [
     "StrategySearchResult",
     "entangled_soundness_report",
     "fingerprint_strategy_soundness",
+    "paper_bound_slack",
     "repetition_soundness",
 ]

@@ -11,13 +11,32 @@ fixed, each step being an exact eigenvector computation) with random restarts.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import DimensionMismatchError
+from repro.quantum.channels import KrausChannel, apply_channels_adjoint
 from repro.quantum.random_states import haar_random_state
 from repro.utils.rng import RngLike, ensure_rng
+
+
+def _with_channels(
+    operator: np.ndarray,
+    dims: Sequence[int],
+    channels: Optional[Sequence[Optional[KrausChannel]]],
+) -> np.ndarray:
+    """Fold per-factor delivery channels into the acceptance operator.
+
+    With channels the adversary optimises ``tr(E (C_1(rho_1) (x) ...))`` —
+    the proof the prover *sends* is noiseless, but each factor passes its
+    channel before the verifier measures.  In the Heisenberg picture that is
+    the noiseless optimisation of ``(C_1^+ (x) ...)(E)``, so the seesaw and
+    the random search run unchanged on the conjugated operator.
+    """
+    if channels is None:
+        return operator
+    return apply_channels_adjoint(operator, dims, channels)
 
 
 def _validate(operator: np.ndarray, dims: Sequence[int]) -> Tuple[np.ndarray, List[int]]:
@@ -135,6 +154,7 @@ def seesaw_separable_acceptance(
     iterations: int = 30,
     restarts: int = 8,
     rng: RngLike = None,
+    channels: Optional[Sequence[Optional[KrausChannel]]] = None,
 ) -> Tuple[float, List[np.ndarray]]:
     """Lower bound on the best separable-proof acceptance, with the achieving proof.
 
@@ -149,8 +169,13 @@ def seesaw_separable_acceptance(
     and each eigen step is one stacked ``np.linalg.eigh`` over the still-active
     restarts instead of a Python loop.  A restart leaves the active set after
     a full sweep without improvement, exactly as in the scalar recursion.
+
+    ``channels`` (one optional Kraus channel per factor) models noisy proof
+    delivery: the search then maximises the *noisy* acceptance over the pure
+    product proofs the prover sends (see :func:`_with_channels`).
     """
     op, dims = _validate(operator, dims)
+    op = _with_channels(op, dims, channels)
     generator = ensure_rng(rng)
     k = len(dims)
     num_restarts = max(restarts, 1)
@@ -189,9 +214,15 @@ def random_product_search(
     dims: Sequence[int],
     samples: int = 200,
     rng: RngLike = None,
+    channels: Optional[Sequence[Optional[KrausChannel]]] = None,
 ) -> float:
-    """Best acceptance found by sampling Haar-random product proofs."""
+    """Best acceptance found by sampling Haar-random product proofs.
+
+    ``channels`` folds per-factor delivery noise into the operator, exactly
+    as in :func:`seesaw_separable_acceptance`.
+    """
     op, dims = _validate(operator, dims)
+    op = _with_channels(op, dims, channels)
     generator = ensure_rng(rng)
     best = 0.0
     for _ in range(max(samples, 1)):

@@ -79,6 +79,9 @@ NOISE_SCENARIOS = [
     "noise-robustness-relay",
     "noise-channels",
     "topology-noise",
+    "noisy-soundness-channels",
+    "noisy-soundness-path-length",
+    "noisy-soundness-collapse",
 ]
 
 

@@ -65,6 +65,14 @@ from repro.experiments.noise_robustness import (
     relay_noise_sweep,
     tree_noise_sweep,
 )
+from repro.experiments.noisy_soundness import (
+    channel_family_soundness_sweep,
+    default_channel_strength_points,
+    default_collapse_strengths,
+    default_noisy_path_lengths,
+    gap_collapse_sweep,
+    path_length_soundness_sweep,
+)
 from repro.experiments.records import ExperimentRow, format_rows
 from repro.experiments.soundness_scaling import (
     default_path_lengths,
@@ -670,6 +678,27 @@ register_scenario(
     title="Algorithm 5 — soundness across grid/ring/random-graph topologies",
     description="Best structured cheat per general-graph topology (verification-tree families).",
     sweep=SweepSpec("topologies", default_soundness_topologies),
+)
+register_scenario(
+    "noisy-soundness-channels",
+    channel_family_soundness_sweep,
+    title="Noise — best structured cheat per channel family (batched search)",
+    description="Batched strategy search under NoiseModel across Kraus channel families.",
+    sweep=SweepSpec("points", default_channel_strength_points),
+)
+register_scenario(
+    "noisy-soundness-path-length",
+    path_length_soundness_sweep,
+    title="Noise — best structured cheat vs path length (depolarizing 0.15)",
+    description="Noisy strategy search across path lengths against each Lemma 17 bound.",
+    sweep=SweepSpec("path_lengths", default_noisy_path_lengths),
+)
+register_scenario(
+    "noisy-soundness-collapse",
+    gap_collapse_sweep,
+    title="Noise — honest-vs-cheat gap collapse against the Lemma 17 bound",
+    description="Strength at which the best noisy cheat crosses the noiseless paper bound.",
+    sweep=SweepSpec("strengths", default_collapse_strengths),
 )
 register_scenario(
     "noise-robustness-path",

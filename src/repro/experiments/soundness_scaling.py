@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.analysis.soundness import paper_bound_slack
 from repro.codes.linear_code import repetition_code
 from repro.experiments.records import ExperimentRow
 from repro.protocols.equality import EqualityPathProtocol
@@ -62,7 +63,7 @@ def soundness_scaling_sweep(
                     "optimal_entangled_acceptance": optimal,
                     "honest_proof_acceptance": honest,
                     "paper_bound": bound,
-                    "respects_bound": optimal <= bound + 1e-9,
+                    "respects_bound": optimal <= bound + paper_bound_slack(),
                     "gap_achieved": 1.0 - optimal,
                     "gap_required": protocol.single_shot_soundness_gap(),
                 },

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from repro.analysis.soundness import fingerprint_strategy_soundness
+from repro.analysis.soundness import fingerprint_strategy_soundness, paper_bound_slack
 from repro.comm.one_way import FingerprintEqualityOneWay
 from repro.comm.problems import EqualityProblem
 from repro.experiments.records import ExperimentRow
@@ -74,7 +74,7 @@ def _strategy_sweep(
                     "best_strategy": search.best_strategy,
                     "strategies_searched": search.num_assignments + 1,
                     "paper_bound": bound,
-                    "respects_bound": search.best_acceptance <= bound + 1e-9,
+                    "respects_bound": search.best_acceptance <= bound + paper_bound_slack(),
                 },
             )
         )

@@ -178,6 +178,19 @@ class DQMAProtocol(ABC):
             self._engine = Engine(backend=get_backend(engine))
         return self
 
+    def with_noise(self, noise) -> "DQMAProtocol":
+        """A sibling protocol evaluating under the given noise model.
+
+        Noise-capable protocols override this to rebuild themselves with the
+        model mapped onto their network (sharing the injected engine); the
+        noisy-soundness analyses rely on it to move strategy batches onto the
+        engine's density-matrix path.
+        """
+        raise ProtocolError(
+            f"{type(self).__name__} does not support noise models; "
+            "noisy evaluation needs a protocol with a with_noise override"
+        )
+
     # -- abstract ----------------------------------------------------------
 
     @abstractmethod
@@ -394,6 +407,12 @@ class RepeatedProtocol(DQMAProtocol):
     @staticmethod
     def _copy_name(name: str, copy: int) -> str:
         return f"{name}#rep{copy}"
+
+    def with_noise(self, noise) -> "RepeatedProtocol":
+        """Parallel repetition of the noisy sibling (copies stay independent)."""
+        repeated = RepeatedProtocol(self.base.with_noise(noise), self.repetitions)
+        repeated._engine = self._engine
+        return repeated
 
     def proof_registers(self) -> List[ProofRegister]:
         registers = []

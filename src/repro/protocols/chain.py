@@ -241,6 +241,112 @@ def chain_acceptance_operator(
     return reduced
 
 
+def _compose_channels(first, second):
+    """``second`` after ``first`` where either may be ``None`` (identity)."""
+    if first is None:
+        return second
+    if second is None:
+        return first
+    return first.then(second)
+
+
+def noisy_chain_acceptance_operator(
+    left_state: np.ndarray,
+    register_dim: int,
+    num_intermediate: int,
+    right_accept_operator: np.ndarray,
+    noise,
+) -> np.ndarray:
+    """The exact acceptance operator of the *noisy* chain on the proof space.
+
+    Same proof space and register order as :func:`chain_acceptance_operator`,
+    but every register passes its :class:`~repro.engine.jobs.ChainNoise`
+    channels before the tests and every test outcome is flipped with the
+    annotation's readout error: per symmetrization pattern the clean pattern
+    projector is replaced by a tensor product of *flipped* accept elements
+    (``(1-2e) P + e I`` per SWAP test, likewise for the right measurement)
+    and conjugated by the adjoint of each register's channel chain — the
+    Heisenberg picture of the engine's density-matrix evaluation, so
+    ``tr(E rho)`` matches the scalar Kraus-sum reference on every product
+    proof while remaining valid for entangled ones.
+
+    ``right_accept_operator`` is the right end's accept element *after*
+    reference preparation; fold any ``right_channel`` into it before calling
+    (the operator acts on the incoming register, so preparation noise of the
+    reference state cannot be applied here).
+    """
+    from repro.quantum.channels import apply_channels_adjoint, flip_probability
+
+    left = _as_ket(left_state)
+    dim = int(register_dim)
+    if left.size != dim:
+        raise DimensionMismatchError("left state dimension must equal the register dimension")
+    operator = np.asarray(right_accept_operator, dtype=np.complex128)
+    if operator.shape != (dim, dim):
+        raise DimensionMismatchError("right accept operator has the wrong dimension")
+    if num_intermediate < 0:
+        raise ProtocolError("number of intermediate nodes must be non-negative")
+    noise.validate(num_intermediate, dim)
+    if noise.right_channel is not None:
+        raise ProtocolError(
+            "fold the right end's preparation channel into the accept element "
+            "before building the noisy acceptance operator"
+        )
+    error = noise.readout_error
+    left_chain = _compose_channels(noise.left_channel, noise.edge_channels[0])
+
+    if num_intermediate == 0:
+        rho = np.outer(left, np.conj(left))
+        if left_chain is not None:
+            rho = left_chain.apply(rho)
+        accept = float(np.trace(operator @ rho).real)
+        return np.array([[flip_probability(accept, error)]], dtype=np.complex128)
+
+    total_registers = 2 * num_intermediate + 1
+    total_dim = dim**total_registers
+    if total_dim > 4096:
+        raise ProtocolError(
+            f"noisy chain acceptance operator would have dimension {total_dim}; "
+            "restrict to smaller instances (the memory and time costs grow as "
+            "the cube of this dimension)"
+        )
+
+    swap = swap_unitary(dim)
+    eye_pair = np.eye(dim * dim, dtype=np.complex128)
+    eye_single = np.eye(dim, dtype=np.complex128)
+    flipped_swap = (1.0 - 2.0 * error) * swap_test_projector(dim) + error * eye_pair
+    flipped_right = (1.0 - 2.0 * error) * operator + error * eye_single
+
+    accept_base = np.array([[1.0 + 0.0j]])
+    for _ in range(num_intermediate):
+        accept_base = np.kron(accept_base, flipped_swap)
+    accept_base = np.kron(accept_base, flipped_right)
+
+    dims = [dim] * total_registers
+    full = np.zeros((total_dim, total_dim), dtype=np.complex128)
+    for pattern in iter_product((0, 1), repeat=num_intermediate):
+        unitary = np.array([[1.0 + 0.0j]])
+        unitary = np.kron(unitary, eye_single)
+        for bit in pattern:
+            unitary = np.kron(unitary, swap if bit else eye_pair)
+        conjugated = unitary.conj().T @ accept_base @ unitary
+        # Physical register order (L, a_1, b_1, ..., a_m, b_m): node j's
+        # delivery channel hits both of its registers, the forwarded one
+        # (slot 1 when the pattern keeps slot 0, and vice versa) additionally
+        # crosses the next edge; the left register always crosses edge 0.
+        channels = [left_chain]
+        for index, bit in enumerate(pattern):
+            kept = noise.node_channels[index]
+            forwarded = _compose_channels(kept, noise.edge_channels[index + 1])
+            channels += [forwarded, kept] if bit else [kept, forwarded]
+        full += apply_channels_adjoint(conjugated, dims, channels)
+    full /= 2**num_intermediate
+
+    proof_dim = dim ** (2 * num_intermediate)
+    tensor = full.reshape(dim, proof_dim, dim, proof_dim)
+    return np.einsum("i,ijbk,b->jk", np.conj(left), tensor, left)
+
+
 def optimal_entangled_acceptance(acceptance_operator: np.ndarray) -> float:
     """Largest eigenvalue of an acceptance operator: the optimal cheating probability."""
     operator = np.asarray(acceptance_operator, dtype=np.complex128)

@@ -20,6 +20,7 @@ compared against.
 
 from __future__ import annotations
 
+from dataclasses import replace as dataclass_replace
 from itertools import product as iter_product
 from math import ceil
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -54,6 +55,7 @@ from repro.quantum.channels import NoiseModel
 from repro.engine.jobs import MAX_PERM_TEST_ARITY
 from repro.protocols.chain import (
     chain_acceptance_operator,
+    noisy_chain_acceptance_operator,
     optimal_entangled_acceptance,
 )
 from repro.quantum.fingerprint import ExactCodeFingerprint, FingerprintScheme
@@ -113,6 +115,19 @@ class EqualityPathProtocol(DQMAProtocol):
         if fingerprints is None:
             fingerprints = ExactCodeFingerprint(input_length)
         return cls(path_network(path_length), fingerprints, noise=noise)
+
+    def with_noise(self, noise: Optional[NoiseModel]) -> "EqualityPathProtocol":
+        """A sibling protocol with ``noise`` mapped onto this path (engine shared).
+
+        The noisy-soundness analyses use this to re-evaluate an existing
+        protocol's strategy batches on the engine's density-matrix path
+        without re-deriving the layout.
+        """
+        sibling = type(self)(
+            self.network, self.fingerprints, problem=self.problem, noise=noise
+        )
+        sibling._engine = self._engine
+        return sibling
 
     def _build_chain_noise(self) -> Optional[ChainNoise]:
         """The noise model mapped onto this path's edges and nodes (or ``None``)."""
@@ -258,6 +273,46 @@ class EqualityPathProtocol(DQMAProtocol):
             build,
         )
 
+    def noisy_acceptance_operator(self, inputs: Sequence[str]) -> np.ndarray:
+        """Acceptance operator of the *noisy* protocol (small instances).
+
+        Falls back to :meth:`acceptance_operator` when the protocol carries
+        no noise; otherwise the chain's channels are folded into the clean
+        operator in the Heisenberg picture (see
+        :func:`repro.protocols.chain.noisy_chain_acceptance_operator`), the
+        right end's preparation channel acting on its reference projector.
+        Its largest eigenvalue is the optimal *entangled* cheating
+        probability under the noise model.
+        """
+        if self._chain_noise is None:
+            return self.acceptance_operator(inputs)
+        inputs = self.problem.validate_inputs(inputs)
+
+        def build() -> np.ndarray:
+            right = outer(self.fingerprints.state(inputs[1]))
+            annotation = self._chain_noise
+            if annotation.right_channel is not None:
+                right = annotation.right_channel.apply(right)
+                annotation = dataclass_replace(annotation, right_channel=None)
+            return noisy_chain_acceptance_operator(
+                self.fingerprints.state(inputs[0]),
+                self.fingerprints.dim,
+                self.path_length - 1,
+                right,
+                annotation,
+            )
+
+        return self.engine.cached_operator(
+            (
+                "eq-chain-noisy-operator",
+                self.fingerprints.cache_token,
+                self.path_length,
+                self._noise_key,
+                tuple(inputs),
+            ),
+            build,
+        )
+
     def optimal_cheating_probability(self, inputs: Sequence[str]) -> float:
         """Maximum acceptance over all (entangled) proofs — the soundness supremum."""
         return optimal_entangled_acceptance(self.acceptance_operator(inputs))
@@ -325,6 +380,18 @@ class EqualityTreeProtocol(DQMAProtocol):
         self._max_test_arity = max(test_arities) if test_arities else 0
 
     # -- layout --------------------------------------------------------------
+
+    def with_noise(self, noise: Optional[NoiseModel]) -> "EqualityTreeProtocol":
+        """A sibling protocol with ``noise`` on this network's verification tree."""
+        sibling = type(self)(
+            self.network,
+            self.fingerprints,
+            problem=self.problem,
+            root=self.tree.root,
+            noise=noise,
+        )
+        sibling._engine = self._engine
+        return sibling
 
     def _register_name(self, node: NodeId, slot: int) -> str:
         return f"R[{node},{slot}]"

@@ -108,6 +108,20 @@ class RelayEqualityProtocol(DQMAProtocol):
             noise=noise,
         )
 
+    def with_noise(self, noise: Optional[NoiseModel]) -> "RelayEqualityProtocol":
+        """A sibling protocol with ``noise`` on this relay path (engine shared)."""
+        sibling = type(self)(
+            self.network,
+            self.fingerprints,
+            relay_spacing=self.relay_spacing,
+            segment_repetitions=self.segment_repetitions,
+            problem=self.problem,
+            path_nodes=list(self.path_nodes),
+            noise=noise,
+        )
+        sibling._engine = self._engine
+        return sibling
+
     def _build_segment_noise(self) -> List[Optional[ChainNoise]]:
         """The noise model mapped onto each segment's chain (fingerprint legs only).
 

@@ -190,8 +190,13 @@ class KrausChannel:
         """True when the channel acts as the identity map (cached check)."""
         cached = self.__dict__.get("_is_identity")
         if cached is None:
+            # rtol must be zero: np.allclose's default 1e-5 relative slack
+            # would classify any channel weaker than ~1e-5 as the identity
+            # and silently drop its noise from every evaluation path.
             cached = bool(
-                np.allclose(self.superoperator(), np.eye(self.dim**2), atol=1e-12)
+                np.allclose(
+                    self.superoperator(), np.eye(self.dim**2), rtol=0.0, atol=1e-12
+                )
             )
             object.__setattr__(self, "_is_identity", cached)
         return cached
@@ -574,6 +579,52 @@ def apply_channel_grid(
             output[depolarizing_rows], depolarizing_strengths, dim
         )
     return output.reshape(batch, rows, dim, dim)
+
+
+def apply_channels_adjoint(
+    operator: np.ndarray,
+    dims: Sequence[int],
+    channels: Sequence[Optional[KrausChannel]],
+) -> np.ndarray:
+    """Heisenberg-picture conjugation ``E -> (C_1^+ (x) ... (x) C_k^+)(E)``.
+
+    For an accept element ``E`` on a tensor-product space and one optional
+    channel per factor, the returned operator ``E'`` satisfies
+    ``tr(E . (C_1 (x) ... (x) C_k)(rho)) = tr(E' rho)`` for *every* joint
+    state ``rho`` (entangled or not): the adjoint of each channel,
+    ``C^+(E) = sum_k K_k^+ E K_k``, is applied to ``E`` on that factor's
+    axes.  The adversarial analyses use this to fold delivery/transmission
+    noise into an acceptance operator before optimizing over noiseless
+    proofs.
+    """
+    dims = [int(d) for d in dims]
+    total = int(np.prod(dims)) if dims else 1
+    op = np.asarray(operator, dtype=np.complex128)
+    if op.shape != (total, total):
+        raise DimensionMismatchError(
+            f"operator shape {op.shape} does not match factor dimensions {dims}"
+        )
+    if len(channels) != len(dims):
+        raise DimensionMismatchError(
+            f"got {len(channels)} channels for {len(dims)} tensor factors"
+        )
+    for position, channel in enumerate(channels):
+        if channel is None or channel.is_identity:
+            continue
+        dim = dims[position]
+        if channel.dim != dim:
+            raise DimensionMismatchError(
+                f"channel {channel.name!r} acts on dimension {channel.dim}, "
+                f"factor {position} has dimension {dim}"
+            )
+        pre = int(np.prod(dims[:position])) if position else 1
+        post = int(np.prod(dims[position + 1 :])) if position + 1 < len(dims) else 1
+        stack = np.stack(channel.kraus)
+        tensor = op.reshape(pre, dim, post, pre, dim, post)
+        op = np.einsum(
+            "kca,PcQReS,keb->PaQRbS", stack.conj(), tensor, stack, optimize=True
+        ).reshape(total, total)
+    return op
 
 
 def _empty_mapping() -> Mapping:

@@ -189,6 +189,71 @@ class TestTransferAccounting:
         assert description["dtype"] == "complex64"
 
 
+#: Channel families of the noisy-soundness parity rows.
+NOISY_SEARCH_CHANNELS = ("depolarizing", "dephasing", "amplitude-damping")
+
+
+def _noisy_search_model(channel):
+    from repro.quantum.channels import channel_family
+
+    return NoiseModel.uniform_link(
+        channel_family(channel)(0.2, NOISE_FINGERPRINTS.dim), readout_error=0.02
+    )
+
+
+def _noisy_search(engine, channel, batch_size):
+    """The batched noisy strategy search on a clean protocol + noise= threading."""
+    from repro.analysis.soundness import fingerprint_strategy_soundness
+
+    protocol = EqualityPathProtocol.on_path(2, 4, NOISE_FINGERPRINTS)
+    protocol.use_engine(engine)
+    return fingerprint_strategy_soundness(
+        protocol,
+        ("11", "10"),
+        candidate_strings=("11", "10", "01"),
+        batch_size=batch_size,
+        noise=_noisy_search_model(channel),
+    )
+
+
+@pytest.mark.parametrize("channel", NOISY_SEARCH_CHANNELS)
+@pytest.mark.parametrize("dtype", ["complex64", "complex128"])
+@pytest.mark.parametrize(
+    "backend", ["transfer-matrix", "transfer-matrix-mock"]
+)
+class TestNoisySoundnessParity:
+    """Batched noisy strategy search versus the scalar dense Kraus-sum reference.
+
+    The dense side evaluates every strategy one job at a time (batch size 1)
+    through definitional Kraus sums; the batched side runs the same search
+    through stacked superoperator contractions.  Agreement at the dtype's
+    parity tolerance pins the whole noise=... threading path per channel
+    family.
+    """
+
+    def test_search_matches_scalar_dense_reference(self, channel, dtype, backend):
+        batched = _noisy_search(
+            Engine(backend=BACKENDS[backend](dtype)), channel, batch_size=256
+        )
+        scalar = _noisy_search(Engine(backend="dense"), channel, batch_size=1)
+        assert batched.num_assignments == scalar.num_assignments == 27
+        np.testing.assert_allclose(
+            batched.best_acceptance,
+            scalar.best_acceptance,
+            atol=parity_tolerance(dtype),
+        )
+
+
+@pytest.mark.parametrize("channel", NOISY_SEARCH_CHANNELS)
+def test_noisy_search_labels_match_across_batch_sizes(channel):
+    """Same backend, different chunking: byte-identical winner labels."""
+    engine = Engine(backend=TransferMatrixBackend(dtype="complex128"))
+    chunked = _noisy_search(engine, channel, batch_size=4)
+    whole = _noisy_search(engine, channel, batch_size=256)
+    assert chunked.best_strategy == whole.best_strategy
+    assert chunked.best_acceptance == whole.best_acceptance
+
+
 @requires_torch
 @pytest.mark.parametrize("dtype", ["complex64", "complex128"])
 @pytest.mark.parametrize("family", sorted(FAMILIES))

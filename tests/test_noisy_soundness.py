@@ -1,0 +1,342 @@
+"""Noise-aware adversarial soundness: the ``noise=`` threading end to end.
+
+Covers the full path from :func:`fingerprint_strategy_soundness(...,
+noise=...)` down to the engine's density-matrix contraction: equivalence
+with protocols constructed noisy, the ``with_noise`` siblings of every
+protocol family, the Heisenberg-picture noisy acceptance operator against
+the engine's scalar Kraus-sum numbers, dtype-derived paper-bound slack,
+pickle/byte stability of the result dataclasses through the sharded pool,
+and the registered ``noisy-soundness-*`` sweep scenarios.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis.soundness import (
+    SoundnessReport,
+    entangled_soundness_report,
+    fingerprint_strategy_soundness,
+    paper_bound_slack,
+)
+from repro.comm.one_way import FingerprintEqualityOneWay
+from repro.comm.problems import EqualityProblem
+from repro.engine import Engine, TransferMatrixBackend
+from repro.exceptions import ProtocolError
+from repro.experiments.noisy_soundness import (
+    channel_family_soundness_sweep,
+    collapse_strength,
+    gap_collapse_sweep,
+    path_length_soundness_sweep,
+)
+from repro.experiments.soundness_scaling import small_fingerprints
+from repro.experiments.runner import run_scenario
+from repro.experiments.sweep import run_sweep_sharded
+from repro.network.topology import path_network, star_network
+from repro.protocols.base import ProductProof, RepeatedProtocol
+from repro.protocols.equality import EqualityPathProtocol, EqualityTreeProtocol
+from repro.protocols.from_one_way import OneWayToTreeProtocol
+from repro.protocols.relay import RelayEqualityProtocol
+from repro.quantum.channels import NoiseModel, channel_family
+from repro.quantum.fingerprint import ExactCodeFingerprint
+
+FINGERPRINTS = ExactCodeFingerprint(2, rng=11)
+CHANNELS = ("depolarizing", "dephasing", "amplitude-damping")
+NO_INSTANCE = ("11", "10")
+
+
+def _model(channel, strength=0.2, readout_error=0.02):
+    return NoiseModel.uniform_link(
+        channel_family(channel)(strength, FINGERPRINTS.dim), readout_error
+    )
+
+
+def _path_protocol(noise=None):
+    return EqualityPathProtocol.on_path(2, 4, FINGERPRINTS, noise=noise)
+
+
+class TestNoiseThreading:
+    """``noise=`` must be exactly equivalent to constructing the protocol noisy."""
+
+    @pytest.mark.parametrize("channel", CHANNELS)
+    def test_search_matches_noisily_constructed_protocol(self, channel):
+        noise = _model(channel)
+        threaded = fingerprint_strategy_soundness(
+            _path_protocol(), NO_INSTANCE, noise=noise
+        )
+        direct = fingerprint_strategy_soundness(_path_protocol(noise), NO_INSTANCE)
+        assert threaded.best_strategy == direct.best_strategy
+        np.testing.assert_allclose(
+            threaded.best_acceptance, direct.best_acceptance, atol=1e-12
+        )
+
+    def test_trivial_noise_keeps_the_pure_state_path(self):
+        clean = fingerprint_strategy_soundness(_path_protocol(), NO_INSTANCE)
+        trivial = fingerprint_strategy_soundness(
+            _path_protocol(), NO_INSTANCE, noise=NoiseModel()
+        )
+        assert trivial.best_strategy == clean.best_strategy
+        assert trivial.best_acceptance == clean.best_acceptance
+
+    def test_zero_strength_noise_reproduces_noiseless_numbers(self):
+        # Zero-strength channels force the density path, which must agree
+        # with the pure-state evaluation to reference precision.
+        clean = fingerprint_strategy_soundness(_path_protocol(), NO_INSTANCE)
+        zero = fingerprint_strategy_soundness(
+            _path_protocol(), NO_INSTANCE, noise=_model("depolarizing", 0.0, 0.0)
+        )
+        np.testing.assert_allclose(zero.best_acceptance, clean.best_acceptance, atol=1e-9)
+
+    @pytest.mark.parametrize("channel", CHANNELS)
+    def test_noise_threading_in_entangled_report(self, channel):
+        noise = _model(channel)
+        report = entangled_soundness_report(_path_protocol(), NO_INSTANCE, noise=noise)
+        direct = entangled_soundness_report(_path_protocol(noise), NO_INSTANCE)
+        np.testing.assert_allclose(
+            report.honest_acceptance, direct.honest_acceptance, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            report.best_found_acceptance, direct.best_found_acceptance, atol=1e-12
+        )
+        # The paper bound stays the noiseless protocol's Lemma 17 bound (r=4).
+        assert report.paper_bound == pytest.approx(1.0 - 4.0 / (81.0 * 4.0**2))
+
+
+class TestWithNoise:
+    def test_path_sibling_evaluates_noisily_and_shares_the_engine(self):
+        engine = Engine(backend=TransferMatrixBackend())
+        protocol = _path_protocol().use_engine(engine)
+        noise = _model("depolarizing")
+        sibling = protocol.with_noise(noise)
+        assert sibling is not protocol
+        assert sibling.engine is engine
+        direct = _path_protocol(noise).use_engine(engine)
+        np.testing.assert_allclose(
+            sibling.acceptance_probability(NO_INSTANCE),
+            direct.acceptance_probability(NO_INSTANCE),
+            atol=1e-12,
+        )
+
+    def test_tree_and_relay_siblings(self):
+        noise = _model("dephasing")
+        tree = EqualityTreeProtocol(star_network(3), FINGERPRINTS)
+        tree_inputs = ("11", "11", "10")
+        np.testing.assert_allclose(
+            tree.with_noise(noise).acceptance_probability(tree_inputs),
+            EqualityTreeProtocol(
+                star_network(3), FINGERPRINTS, noise=noise
+            ).acceptance_probability(tree_inputs),
+            atol=1e-12,
+        )
+        relay = RelayEqualityProtocol.on_path(
+            2, 4, relay_spacing=2, segment_repetitions=1, fingerprints=FINGERPRINTS
+        )
+        np.testing.assert_allclose(
+            relay.with_noise(noise).acceptance_probability(NO_INSTANCE),
+            RelayEqualityProtocol.on_path(
+                2,
+                4,
+                relay_spacing=2,
+                segment_repetitions=1,
+                fingerprints=FINGERPRINTS,
+                noise=noise,
+            ).acceptance_probability(NO_INSTANCE),
+            atol=1e-12,
+        )
+
+    def test_repeated_protocol_wraps_its_base(self):
+        noise = _model("depolarizing")
+        repeated = RepeatedProtocol(_path_protocol(), 2)
+        sibling = repeated.with_noise(noise)
+        assert isinstance(sibling, RepeatedProtocol)
+        assert sibling.repetitions == 2
+        np.testing.assert_allclose(
+            sibling.acceptance_probability(NO_INSTANCE),
+            _path_protocol(noise).acceptance_probability(NO_INSTANCE) ** 2,
+            atol=1e-12,
+        )
+
+    def test_unsupported_protocol_raises_protocol_error(self):
+        one_way = OneWayToTreeProtocol(
+            EqualityProblem(2),
+            path_network(2),
+            FingerprintEqualityOneWay(FINGERPRINTS),
+        )
+        with pytest.raises(ProtocolError, match="does not support noise models"):
+            one_way.with_noise(_model("depolarizing"))
+        with pytest.raises(ProtocolError, match="does not support noise models"):
+            fingerprint_strategy_soundness(
+                one_way, NO_INSTANCE, noise=_model("depolarizing")
+            )
+
+
+class TestNoisyAcceptanceOperator:
+    """The Heisenberg-picture operator against the engine's scalar numbers."""
+
+    @staticmethod
+    def _small_protocol(noise):
+        # Single-bit repetition-code fingerprints (dim 2) keep the joint
+        # operator at 2^4 = 16 dimensions for a length-3 path.
+        return EqualityPathProtocol.on_path(1, 3, small_fingerprints(1), noise=noise)
+
+    def test_operator_matches_engine_on_every_product_proof(self):
+        noise = NoiseModel.depolarizing(0.15, 2, readout_error=0.03)
+        protocol = self._small_protocol(noise)
+        inputs = ("1", "0")
+        operator = protocol.noisy_acceptance_operator(inputs)
+        registers = protocol.proof_registers()
+        total = 2 ** len(registers)
+        assert operator.shape == (total, total)
+        # Hermitian with spectrum inside [0, 1] (a valid POVM element).
+        np.testing.assert_allclose(operator, operator.conj().T, atol=1e-12)
+        eigenvalues = np.linalg.eigvalsh(operator)
+        assert eigenvalues[0] >= -1e-9 and eigenvalues[-1] <= 1.0 + 1e-9
+        # tr(E |phi><phi|) equals the engine's density evaluation for every
+        # computational-basis product proof.
+        honest = protocol.honest_proof(inputs)
+        for bits in range(total):
+            states = {name: honest.state(name) for name in honest.register_names}
+            for index, register in enumerate(registers):
+                state = np.zeros(2, dtype=complex)
+                state[(bits >> index) & 1] = 1.0
+                states[register.name] = state
+            proof = ProductProof(states)
+            via_engine = protocol.acceptance_probability(inputs, proof)
+            joint = np.array([1.0 + 0.0j])
+            for register in registers:
+                joint = np.kron(joint, proof.state(register.name))
+            via_operator = float(np.real(joint.conj() @ operator @ joint))
+            np.testing.assert_allclose(via_operator, via_engine, atol=1e-9)
+
+    def test_noiseless_annotation_falls_back_to_pure_operator(self):
+        protocol = self._small_protocol(None)
+        inputs = ("1", "0")
+        np.testing.assert_allclose(
+            protocol.noisy_acceptance_operator(inputs),
+            protocol.acceptance_operator(inputs),
+            atol=1e-12,
+        )
+
+    def test_entangled_report_is_self_consistent_under_noise(self):
+        noise = NoiseModel.depolarizing(0.15, 2, readout_error=0.03)
+        report = entangled_soundness_report(
+            self._small_protocol(None), ("1", "0"), noise=noise, run_seesaw=True, rng=5
+        )
+        assert report.optimal_entangled_acceptance is not None
+        # The entangled optimum dominates every product strategy found.
+        assert (
+            report.optimal_entangled_acceptance
+            >= report.best_found_acceptance - 1e-9
+        )
+        assert report.bound_slack == paper_bound_slack("complex128")
+
+
+class TestPaperBoundSlack:
+    def test_dtype_derived_slack(self):
+        assert paper_bound_slack("complex128") == pytest.approx(1e-9)
+        assert paper_bound_slack("complex64") == pytest.approx(1e-5)
+
+    def test_default_follows_environment_dtype(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DTYPE", raising=False)
+        assert paper_bound_slack() == pytest.approx(1e-9)
+        monkeypatch.setenv("REPRO_DTYPE", "complex64")
+        assert paper_bound_slack() == pytest.approx(1e-5)
+
+    def test_report_slack_is_dtype_aware(self, monkeypatch):
+        # A violation of 1e-7 is rounding noise in complex64 but a genuine
+        # violation in complex128.
+        def report(slack):
+            return SoundnessReport(
+                inputs=NO_INSTANCE,
+                honest_acceptance=0.1,
+                best_found_acceptance=0.5 + 1e-7,
+                optimal_entangled_acceptance=None,
+                paper_bound=0.5,
+                bound_slack=slack,
+            )
+
+        assert not report(paper_bound_slack("complex128")).respects_paper_bound
+        assert report(paper_bound_slack("complex64")).respects_paper_bound
+        # bound_slack=None defers to the environment's dtype at check time.
+        monkeypatch.setenv("REPRO_DTYPE", "complex64")
+        assert report(None).respects_paper_bound
+        monkeypatch.setenv("REPRO_DTYPE", "complex128")
+        assert not report(None).respects_paper_bound
+
+    def test_report_builder_pins_the_evaluating_backend_dtype(self):
+        engine = Engine(backend=TransferMatrixBackend(dtype="complex64"))
+        protocol = _path_protocol().use_engine(engine)
+        report = entangled_soundness_report(protocol, NO_INSTANCE)
+        assert report.bound_slack == paper_bound_slack("complex64")
+
+
+class TestPickleStability:
+    """Result dataclasses must survive the process pool byte-identically."""
+
+    def test_strategy_search_result_roundtrip(self):
+        result = fingerprint_strategy_soundness(
+            _path_protocol(), NO_INSTANCE, noise=_model("depolarizing")
+        )
+        restored = pickle.loads(pickle.dumps(result))
+        assert restored.best_strategy == result.best_strategy
+        assert restored.best_acceptance == result.best_acceptance
+        assert restored.num_assignments == result.num_assignments
+        # Re-running the identical search pickles to the identical bytes.
+        rerun = fingerprint_strategy_soundness(
+            _path_protocol(), NO_INSTANCE, noise=_model("depolarizing")
+        )
+        assert pickle.dumps(rerun) == pickle.dumps(result)
+
+    def test_soundness_report_roundtrip(self):
+        report = entangled_soundness_report(
+            _path_protocol(), NO_INSTANCE, noise=_model("dephasing")
+        )
+        restored = pickle.loads(pickle.dumps(report))
+        assert restored == report
+        assert restored.bound_slack == report.bound_slack
+        assert restored.respects_paper_bound == report.respects_paper_bound
+
+
+class TestNoisySoundnessScenarios:
+    def test_channel_sweep_covers_every_family(self):
+        rows = channel_family_soundness_sweep(
+            points=[(name, 0.2) for name in CHANNELS]
+        )
+        assert [row.values["channel"] for row in rows] == list(CHANNELS)
+        for row in rows:
+            assert 0.0 <= row.values["best_found_acceptance"] <= 1.0
+            assert row.values["best_found_acceptance"] >= row.values["honest_acceptance"] - 1e-9
+            assert row.values["strategies_searched"] == 10
+
+    def test_path_length_sweep_checks_each_lemma17_bound(self):
+        rows = path_length_soundness_sweep(path_lengths=[2, 3])
+        for row, r in zip(rows, (2, 3)):
+            assert row.values["paper_bound"] == pytest.approx(1.0 - 4.0 / (81.0 * r**2))
+            assert row.values["respects_bound"]
+
+    def test_collapse_sweep_margins_are_monotone_against_the_bound(self):
+        rows = gap_collapse_sweep(strengths=[0.0, 0.2, 0.4])
+        margins = [row.values["bound_margin"] for row in rows]
+        # Depolarizing noise only damps the cheat on this instance, so the
+        # margin to the (fixed) noiseless bound grows with the strength.
+        assert margins == sorted(margins)
+        assert collapse_strength(rows) is None
+
+    def test_sharded_noisy_sweep_is_byte_identical_to_serial(self):
+        strengths = [0.0, 0.1, 0.2, 0.3]
+        sharded = run_sweep_sharded(
+            "noisy-soundness-collapse",
+            max_workers=2,
+            chunk_size=2,
+            strengths=strengths,
+        )
+        serial = run_scenario("noisy-soundness-collapse", strengths=strengths)
+        assert sharded.num_chunks == 2
+        assert sharded.rows == serial
+        # Byte-identical per row (the list-level pickle differs only in memo
+        # references to objects shared across rows within one process).
+        for chunked_row, serial_row in zip(sharded.rows, serial):
+            assert pickle.dumps(chunked_row) == pickle.dumps(serial_row)
+        # The winner labels crossed the pool intact.
+        assert all("v1=" in row.values["best_strategy"] for row in serial)
