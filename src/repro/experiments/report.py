@@ -11,6 +11,7 @@ Usage (command line)::
     repro-report --parallel --no-adaptive           # disable the cost model
     repro-report --backend transfer-matrix-torch    # pick the simulation backend
     repro-report --dtype complex64                  # reduced-precision fast path
+    repro-report --launcher threads                 # pick the chunk-dispatch backend
     repro-report                                    # console script (after install)
 
 The exit code reflects the report's health: any scenario that failed (fully
@@ -32,6 +33,10 @@ planner.
 dtype; they win over the ``REPRO_BACKEND`` / ``REPRO_DTYPE`` environment
 variables by exporting the chosen values, so pool workers on the parallel
 path inherit the selection (see :mod:`repro.engine.array_ops`).
+``--launcher`` picks the chunk-dispatch backend from the launcher registry
+(``serial`` / ``threads`` / ``process-pool`` / ``subprocess``, see
+:mod:`repro.experiments.launchers`), implies ``--parallel``, and wins over
+``REPRO_LAUNCHER`` the same way.
 
 The report routes every section through the unified
 :class:`~repro.experiments.runner.ExperimentRunner`: Tables 1-3 of the paper,
@@ -94,6 +99,7 @@ def generate_report_status(
     progress: Progress = None,
     chunk_size: Optional[int] = None,
     adaptive: bool = True,
+    launcher=None,
 ) -> Tuple[str, List[str]]:
     """Build the text report plus the names of scenarios that failed.
 
@@ -119,6 +125,7 @@ def generate_report_status(
         progress=progress,
         chunk_size=chunk_size,
         adaptive=adaptive,
+        launcher=launcher,
     )
     results = runner.run()
     return runner.render(results), failed_scenarios(results)
@@ -133,6 +140,7 @@ def generate_report(
     progress: Progress = None,
     chunk_size: Optional[int] = None,
     adaptive: bool = True,
+    launcher=None,
 ) -> str:
     """Build the full text report; heavy sections can be skipped.
 
@@ -148,6 +156,7 @@ def generate_report(
         progress=progress,
         chunk_size=chunk_size,
         adaptive=adaptive,
+        launcher=launcher,
     )
     return report
 
@@ -229,12 +238,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             sys.stderr.write(f"{error}\n")
             return 2
         os.environ["REPRO_DTYPE"] = resolved.name
+    # --launcher wins over REPRO_LAUNCHER the same way, and implies
+    # --parallel: chunk dispatch only exists on the pooled path.
+    launcher: Optional[str] = None
+    if "--launcher" in argv:
+        index = argv.index("--launcher")
+        argv.pop(index)
+        if index >= len(argv):
+            sys.stderr.write("--launcher needs a launcher name\n")
+            return 2
+        raw = argv.pop(index)
+        from repro.exceptions import ProtocolError
+        from repro.experiments.launchers import resolve_launcher_name
+
+        try:
+            launcher = resolve_launcher_name(raw)
+        except ProtocolError as error:
+            sys.stderr.write(f"{error}\n")
+            return 2
+        os.environ["REPRO_LAUNCHER"] = launcher
+        parallel = True
     unknown = [arg for arg in argv if arg.startswith("-")]
     if unknown or len(argv) > 1:
         sys.stderr.write(
             f"usage: repro-report [--parallel] [--progress] [--scenarios a,b,...] "
             f"[--chunk-size N] [--no-adaptive] [--backend NAME] [--dtype DTYPE] "
-            f"[output-file]; "
+            f"[--launcher NAME] [output-file]; "
             f"unrecognized arguments: {unknown or argv[1:]}\n"
         )
         return 2
@@ -244,6 +273,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         progress=progress,
         chunk_size=chunk_size,
         adaptive=adaptive,
+        launcher=launcher,
     )
     if argv:
         with open(argv[0], "w", encoding="utf-8") as handle:

@@ -35,11 +35,11 @@ from __future__ import annotations
 import asyncio
 import traceback as traceback_module
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ProtocolError
+from repro.experiments.launchers import Launcher, get_launcher
 from repro.experiments.streaming import (
     ChunkCollector,
     ChunkEvent,
@@ -86,9 +86,7 @@ from repro.experiments.sweep import (
     MIN_POINTS_PER_CHUNK,
     ChunkResult,
     SweepSpec,
-    _init_sweep_worker,
     merge_worker_stats,
-    next_pool_generation,
     partition_points,
     plan_chunks,
     resolve_chunk_size,
@@ -244,14 +242,23 @@ class ExperimentRunner:
     """Run a set of registered scenarios, serially or sharded across a pool.
 
     With ``parallel=True`` every swept scenario is split into grid chunks and
-    every unswept scenario becomes one pool task; all tasks share one process
-    pool whose workers keep a single engine + operator cache alive across the
-    chunks they execute.  After a parallel run, :attr:`cache_stats` holds the
-    pool-wide merged per-worker cache counters (per-scenario attribution is
-    not possible on a shared pool — workers carry their caches from one
-    scenario's chunks into the next; for stats attributable to a single
-    sweep, use :func:`~repro.experiments.sweep.run_sweep_sharded`, which
-    runs on a dedicated pool).
+    every unswept scenario becomes one dispatch task; all tasks share one
+    :class:`~repro.experiments.launchers.Launcher` (``launcher`` names a
+    registered backend — ``serial`` / ``threads`` / ``process-pool`` /
+    ``subprocess`` — or passes a caller-owned instance; ``None`` resolves
+    ``REPRO_LAUNCHER``, defaulting to the process pool, whose workers keep a
+    single engine + operator cache alive across the chunks they execute).
+    After a parallel run, :attr:`cache_stats` holds the merged per-worker
+    cache counters (per-scenario attribution is not possible on a shared
+    launcher — workers carry their caches from one scenario's chunks into
+    the next; for stats attributable to a single sweep, use
+    :func:`~repro.experiments.sweep.run_sweep_sharded`, which runs on a
+    dedicated launcher).
+
+    ``overrides`` maps scenario names to builder keyword overrides (the
+    sweep service's submission payload rides this): they reach serial runs,
+    grid planning, and dispatched chunks alike, so an overridden grid is
+    chunked exactly like a declared one.
 
     The pooled path is *streaming*: chunk futures are consumed as they
     complete, every settled chunk fires a
@@ -279,6 +286,8 @@ class ExperimentRunner:
         adaptive: bool = True,
         cost_book: Optional[str] = None,
         operator_pack=None,
+        launcher: Union[str, Launcher, None] = None,
+        overrides: Optional[Mapping[str, Mapping]] = None,
     ):
         self.names = list(scenarios) if scenarios is not None else available_scenarios()
         for name in self.names:
@@ -286,6 +295,15 @@ class ExperimentRunner:
         self.parallel = bool(parallel)
         self.max_workers = max_workers
         self.chunk_size = chunk_size
+        #: Launcher backend name, caller-owned instance, or ``None``
+        #: (``REPRO_LAUNCHER`` env var, then the process-pool default).
+        self.launcher = launcher
+        #: Per-scenario builder keyword overrides (scenario name -> kwargs).
+        self.overrides: Dict[str, Dict] = {
+            name: dict(value) for name, value in dict(overrides or {}).items()
+        }
+        for name in self.overrides:
+            get_scenario(name)  # fail fast on unknown override targets
         #: Chunk-event listener (or bare callable) for pooled runs.
         self.progress = progress
         #: Cancel outstanding chunks and raise on the first chunk failure.
@@ -324,20 +342,24 @@ class ExperimentRunner:
         results: "OrderedDict[str, ScenarioResult]" = OrderedDict()
         for name in self.names:
             try:
-                results[name] = run_scenario(name)
+                results[name] = run_scenario(name, **self.overrides.get(name, {}))
             except Exception as exc:  # broad by design: isolation is the point
                 results[name] = _failure(name, exc)
         return results
 
     def _run_pooled(self) -> "OrderedDict[str, ScenarioResult]":
-        with self._make_pool() as pool:
-            tasks, prefailed = self._submit(pool)
+        launcher, own = self._make_launcher()
+        try:
+            tasks, prefailed = self._submit(launcher)
             assembly = _PoolAssembly(tasks, prefailed)
             for event in iter_chunk_events(
                 tasks, progress=self.progress, fail_fast=self.fail_fast
             ):
                 assembly.record(event)
             results, self.cache_stats = assembly.finish(self.names)
+        finally:
+            if own:
+                launcher.shutdown(wait=True, cancel_futures=True)
         self._record_costs(assembly)
         return results
 
@@ -353,9 +375,9 @@ class ExperimentRunner:
         """
         self.cache_stats = {}
         self.last_results = None
-        pool = self._make_pool()
+        launcher, own = self._make_launcher()
         try:
-            tasks, prefailed = self._submit(pool)
+            tasks, prefailed = self._submit(launcher)
             assembly = _PoolAssembly(tasks, prefailed)
             async for event in aiter_chunk_events(
                 tasks, progress=self.progress, fail_fast=self.fail_fast
@@ -368,9 +390,10 @@ class ExperimentRunner:
             # Shut down off-loop: a chunk may still be running (early break,
             # fail_fast abort), and shutdown(wait=True) would otherwise stall
             # every other coroutine until that chunk finishes.
-            await asyncio.to_thread(
-                lambda: pool.shutdown(wait=True, cancel_futures=True)
-            )
+            if own:
+                await asyncio.to_thread(
+                    lambda: launcher.shutdown(wait=True, cancel_futures=True)
+                )
 
     async def run_async(self) -> "OrderedDict[str, ScenarioResult]":
         """Awaitable pooled run: drains :meth:`stream`, returns the results."""
@@ -379,25 +402,31 @@ class ExperimentRunner:
         assert self.last_results is not None  # stream() assembled on exhaustion
         return self.last_results
 
-    def _make_pool(self) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(
-            max_workers=self.max_workers,
-            initializer=_init_sweep_worker,
-            initargs=(next_pool_generation(), self.operator_pack),
+    def _make_launcher(self) -> Tuple[Launcher, bool]:
+        """The run's launcher plus whether this runner owns its shutdown."""
+        if isinstance(self.launcher, Launcher):
+            return self.launcher, False
+        return (
+            get_launcher(
+                self.launcher,
+                max_workers=self.max_workers,
+                operator_pack=self.operator_pack,
+            ),
+            True,
         )
 
-    def _submit(self, pool: ProcessPoolExecutor):
+    def _submit(self, pool: Launcher):
         """Submit every scenario's chunks; returns (tasks, planning failures).
 
-        Chunk planning derives its worker count from the pool actually
-        constructed (not ``os.cpu_count()``): the executor's default can
-        differ under cgroup limits or newer interpreters, and mis-planned
-        chunks would over- or under-shard the grid.  With :attr:`adaptive`
-        on, scenarios with cost-book history get variable-width chunks of
+        Chunk planning derives its worker count from the launcher actually
+        constructed (not ``os.cpu_count()``): a pool's default can differ
+        under cgroup limits or newer interpreters, and mis-planned chunks
+        would over- or under-shard the grid.  With :attr:`adaptive` on,
+        scenarios with cost-book history get variable-width chunks of
         roughly equal predicted wall time; the rest get the static plan
-        (the shared pool submits everything up front, so the in-run probe
-        mode is :func:`~repro.experiments.sweep.run_sweep_sharded`'s —
-        here a cold scenario is simply measured for the next run).
+        (the shared launcher submits everything up front, so the in-run
+        probe mode is :func:`~repro.experiments.sweep.run_sweep_sharded`'s
+        — here a cold scenario is simply measured for the next run).
         """
         workers = pool_worker_count(pool)
         self._cost_model = CostModel.load(self.cost_book) if self.adaptive else None
@@ -406,6 +435,7 @@ class ExperimentRunner:
         prefailed: Dict[str, ScenarioFailure] = {}
         for name in self.names:
             scenario = get_scenario(name)
+            overrides = self.overrides.get(name)
             try:
                 chunks, predicted = self._plan(scenario, workers)
             except Exception as exc:  # broad by design: grid planning failed
@@ -414,12 +444,14 @@ class ExperimentRunner:
             if chunks is not None and len(chunks) > 1:
                 self._chunk_plans[name] = chunks
                 tasks.extend(
-                    submit_sweep_chunks(pool, name, chunks, predicted=predicted)
+                    submit_sweep_chunks(
+                        pool, name, chunks, overrides, predicted=predicted
+                    )
                 )
             else:
                 tasks.append(
                     ChunkTask(
-                        future=pool.submit(run_scenario_task, name),
+                        future=pool.submit_chunk(run_scenario_task, name, overrides),
                         scenario=name,
                         chunk_index=0,
                         num_chunks=1,
@@ -438,7 +470,9 @@ class ExperimentRunner:
         """
         if scenario.sweep is None:
             return None, None
-        points = scenario.sweep.points(dict(scenario.kwargs))
+        points = scenario.sweep.points(
+            {**dict(scenario.kwargs), **self.overrides.get(scenario.name, {})}
+        )
         pinned = self.chunk_size is not None or scenario.sweep.chunk_size is not None
         model = self._cost_model
         if not pinned and model is not None:

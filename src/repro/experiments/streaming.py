@@ -169,6 +169,30 @@ def as_listener(progress: Progress) -> ProgressListener:
     return _CallbackListener(progress)
 
 
+def effective_cpu_count() -> int:
+    """CPUs actually *available to this process*, not merely installed.
+
+    Prefers ``os.process_cpu_count()`` (3.13+), then the scheduler-affinity
+    mask (which reflects cgroup/cpuset limits on Linux CI runners), and only
+    then ``os.cpu_count()`` — the machine-wide count that over-reports
+    inside containers.
+    """
+    counter = getattr(os, "process_cpu_count", None)  # 3.13+
+    if counter is not None:
+        count = counter()
+        if count:
+            return int(count)
+    affinity = getattr(os, "sched_getaffinity", None)  # cgroup/cpuset-aware
+    if affinity is not None:
+        try:
+            count = len(affinity(0))
+        except OSError:  # pragma: no cover - platform-dependent
+            count = 0
+        if count:
+            return count
+    return os.cpu_count() or 1
+
+
 def pool_worker_count(pool: Any) -> int:
     """The number of workers the executor was *actually* constructed with.
 
@@ -176,12 +200,18 @@ def pool_worker_count(pool: Any) -> int:
     ``ProcessPoolExecutor``'s default worker count is not necessarily
     ``os.cpu_count()`` (e.g. ``os.process_cpu_count()`` on 3.13, or a
     cgroup-limited CI runner), so the count is read off the constructed pool
-    rather than re-derived.
+    (or, for a :class:`~repro.experiments.launchers.Launcher`, asked of the
+    launcher) rather than re-derived.  Opaque executors without a
+    ``_max_workers`` attribute fall back to :func:`effective_cpu_count` —
+    the process-available count, not the machine-wide one.
     """
+    counter = getattr(pool, "worker_count", None)
+    if callable(counter):
+        return int(counter())
     width = getattr(pool, "_max_workers", None)
     if width:
         return int(width)
-    return os.cpu_count() or 1
+    return effective_cpu_count()
 
 
 class ChunkCollector:

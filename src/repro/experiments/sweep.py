@@ -40,17 +40,22 @@ benchmark harness pin down.
 from __future__ import annotations
 
 import inspect
-import itertools
-import os
 import time
-import uuid
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.engine.cache import OperatorPack
 from repro.exceptions import ProtocolError
 from repro.experiments.costmodel import CostModel
+from repro.experiments.launchers import (
+    ExecutorLauncher,
+    Launcher,
+    get_launcher,
+    init_sweep_worker,
+    next_pool_generation,
+    worker_token,
+)
 from repro.experiments.records import ExperimentRow
 from repro.experiments.streaming import (
     ChunkCollector,
@@ -60,6 +65,31 @@ from repro.experiments.streaming import (
     iter_chunk_events,
     pool_worker_count,
 )
+
+#: Back-compat alias: the initializer moved to
+#: :mod:`repro.experiments.launchers` with the rest of the worker-token
+#: machinery; caller-built pools keep importing it from here.
+_init_sweep_worker = init_sweep_worker
+
+__all__ = [  # noqa: F822 - re-exports keep the pre-launcher import surface
+    "CHUNKS_PER_WORKER",
+    "MIN_POINTS_PER_CHUNK",
+    "PROBE_CHUNK_POINTS",
+    "ChunkResult",
+    "ShardedSweepResult",
+    "SweepSpec",
+    "_init_sweep_worker",
+    "merge_worker_stats",
+    "next_pool_generation",
+    "partition_points",
+    "plan_chunks",
+    "resolve_chunk_size",
+    "run_scenario_task",
+    "run_sweep_chunk",
+    "run_sweep_sharded",
+    "submit_sweep_chunks",
+    "worker_token",
+]
 
 #: Chunks dispatched per worker when no explicit chunk size is given; a few
 #: chunks per worker keeps the pool load-balanced without drowning it in
@@ -272,64 +302,6 @@ class ShardedSweepResult:
         return not self.failures
 
 
-#: Monotonic pool-generation counter (parent process); each constructed pool
-#: draws one generation so worker tokens stay unique across pools even when
-#: the OS reuses pids.
-_POOL_GENERATIONS = itertools.count(1)
-
-#: This process's worker token, set by :func:`_init_sweep_worker`.
-_WORKER_TOKEN: Optional[str] = None
-
-
-def next_pool_generation() -> int:
-    """Mint a fresh pool generation (pass via ``initargs`` to the pool)."""
-    return next(_POOL_GENERATIONS)
-
-
-def worker_token() -> str:
-    """This process's worker token (generation + pid).
-
-    Falls back to a generation-0 token when :func:`_init_sweep_worker` never
-    ran (e.g. a chunk entry point called in-process), which still separates
-    the caller from any real pool worker.
-    """
-    if _WORKER_TOKEN is not None:
-        return _WORKER_TOKEN
-    return f"g0-p{os.getpid()}"
-
-
-def _init_sweep_worker(
-    generation: Optional[int] = None, pack: Optional[OperatorPack] = None
-) -> None:
-    """Process-pool initializer: fresh default engine + a per-worker token.
-
-    Forked workers inherit the parent's engine object (and its counters);
-    resetting here guarantees "one engine + one cache per worker", counted
-    from zero, so merged stats describe only work the pool actually did.
-    The minted ``generation + pid`` token keys the worker's cache snapshots:
-    keying by bare pid would let a second pool (or a respawned worker) that
-    happens to reuse a pid collide with — and drop — another worker's
-    counters under :func:`merge_worker_stats`'s most-advanced-snapshot rule.
-    A caller-built pool that omits ``initargs=(next_pool_generation(),)``
-    gets a random token component instead, so even that path cannot alias
-    workers across pools.
-
-    A ``pack`` shipped through ``initargs`` seeds the fresh worker's
-    operator cache before any chunk runs (counted as ``preloaded``, never
-    as misses), so every worker starts warm instead of independently
-    re-building the same hot operators.
-    """
-    global _WORKER_TOKEN
-
-    marker = f"g{generation}" if generation is not None else f"u{uuid.uuid4().hex[:8]}"
-    _WORKER_TOKEN = f"{marker}-p{os.getpid()}"
-    from repro.engine.core import default_engine, set_default_engine
-
-    set_default_engine(None)
-    if pack is not None:
-        default_engine().cache.preload(pack)
-
-
 def run_sweep_chunk(
     name: str,
     points: Sequence[Any],
@@ -377,7 +349,7 @@ def run_sweep_chunk(
 
 
 def submit_sweep_chunks(
-    pool: ProcessPoolExecutor,
+    pool: Union[Launcher, Executor],
     name: str,
     chunks: Sequence[Sequence[Any]],
     overrides: Optional[Mapping[str, Any]] = None,
@@ -387,17 +359,20 @@ def submit_sweep_chunks(
     index_offset: int = 0,
     total_chunks: Optional[int] = None,
 ) -> List[ChunkTask]:
-    """Submit one scenario's chunks as streaming-tagged pool tasks.
+    """Submit one scenario's chunks as streaming-tagged launcher tasks.
 
-    ``predicted`` attaches the planner's per-chunk wall-time predictions to
-    the tasks (surfaced on their events); ``index_offset``/``total_chunks``
-    place a later submission wave (probe re-planning) after an earlier one
-    in the scenario's global chunk numbering.
+    ``pool`` is a :class:`~repro.experiments.launchers.Launcher` (a raw
+    executor is adapted on the fly).  ``predicted`` attaches the planner's
+    per-chunk wall-time predictions to the tasks (surfaced on their
+    events); ``index_offset``/``total_chunks`` place a later submission
+    wave (probe re-planning) after an earlier one in the scenario's global
+    chunk numbering.
     """
+    launcher = pool if isinstance(pool, Launcher) else ExecutorLauncher(pool)
     total = total_chunks if total_chunks is not None else index_offset + len(chunks)
     return [
         ChunkTask(
-            future=pool.submit(
+            future=launcher.submit_chunk(
                 run_sweep_chunk, name, chunk, overrides, pack, export_pack
             ),
             scenario=name,
@@ -472,7 +447,8 @@ def run_sweep_sharded(
     name: str,
     max_workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
-    executor: Optional[ProcessPoolExecutor] = None,
+    executor: Optional[Executor] = None,
+    launcher: Union[str, Launcher, None] = None,
     progress: Progress = None,
     fail_fast: bool = False,
     adaptive: bool = True,
@@ -481,14 +457,21 @@ def run_sweep_sharded(
     warm_start: bool = False,
     **overrides,
 ) -> ShardedSweepResult:
-    """Run one swept scenario with its grid chunked across a process pool.
+    """Run one swept scenario with its grid chunked across a launcher.
 
     ``overrides`` reach the builder exactly as in
     :func:`~repro.experiments.runner.run_scenario` (an explicit grid override
-    is honoured and then chunked).  When ``executor`` is supplied the caller
-    owns its lifecycle — it must have been created with
+    is honoured and then chunked).
+
+    **Dispatch** goes through a
+    :class:`~repro.experiments.launchers.Launcher`: ``launcher`` names a
+    registered backend (``serial`` / ``threads`` / ``process-pool`` /
+    ``subprocess``; ``None`` falls back to ``REPRO_LAUNCHER`` then the
+    process-pool default) or passes an already-constructed instance, whose
+    lifecycle then stays with the caller.  The legacy ``executor`` argument
+    still accepts a caller-owned pool — it must have been created with
     :func:`_init_sweep_worker` as initializer for per-worker stats to start
-    from zero.
+    from zero — and is mutually exclusive with ``launcher``.
 
     **Planning** follows a strict precedence: an explicit ``chunk_size``
     argument or a pinned ``SweepSpec.chunk_size`` forces the static
@@ -524,24 +507,25 @@ def run_sweep_sharded(
     scenario = get_scenario(name)
     if scenario.sweep is None:
         raise ProtocolError(f"scenario {name!r} declares no sweep grid")
+    if executor is not None and launcher is not None:
+        raise ProtocolError("pass either executor= or launcher=, not both")
     kwargs = {**dict(scenario.kwargs), **overrides}
     points = scenario.sweep.points(kwargs)
     pinned = chunk_size is not None or scenario.sweep.chunk_size is not None
     model = CostModel.load(cost_book) if adaptive else None
-    own_pool = executor is None
-    pool = (
-        ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_init_sweep_worker,
-            initargs=(next_pool_generation(), operator_pack),
+    own_pool = executor is None and not isinstance(launcher, Launcher)
+    if executor is not None:
+        pool: Launcher = ExecutorLauncher(executor)
+    else:
+        pool = get_launcher(
+            launcher, max_workers=max_workers, operator_pack=operator_pack
         )
-        if own_pool
-        else executor
-    )
-    # A supplied executor's workers were initialized by the caller, so a
-    # pack cannot ride initargs — ship it with every chunk instead (workers
-    # adopt it once; later preloads skip already-present keys).
-    chunk_pack = operator_pack if not own_pool else None
+    # A launcher constructed here received the pack and delivers it to its
+    # own workers; a caller-owned launcher or executor was initialized by
+    # the caller, so the pack cannot ride initialization — ship it with
+    # every chunk instead (workers adopt it once; later preloads skip
+    # already-present keys).
+    chunk_pack = operator_pack if not (own_pool and pool.pack_delivered) else None
     collectors: List[ChunkCollector] = []
     observed = 0
 

@@ -1,0 +1,43 @@
+"""The sweep job service: submit sweeps, stream chunk progress, fetch rows.
+
+This package promotes :meth:`ExperimentRunner.stream` from a library API to
+a long-running service:
+
+* :mod:`repro.service.jobs` — job records, states, the JSON-lines job
+  journal, and the wire serialization of experiment rows;
+* :mod:`repro.service.server` — :class:`SweepService`, an asyncio JSON-lines
+  server accepting sweep submissions (scenario names + builder overrides +
+  launcher choice), running each as a streamed
+  :class:`~repro.experiments.runner.ExperimentRunner` job, and broadcasting
+  per-chunk progress to watchers; ``repro-serve`` console entry point;
+* :mod:`repro.service.client` — :class:`SweepClient`, the synchronous
+  client; ``repro-submit`` console entry point.
+
+Rows delivered through the service are the scenario builders' own rows —
+byte-identical to a direct serial run under every launcher backend, which
+``tools/service_smoke.py`` pins in CI.
+"""
+
+from repro.service.client import SweepClient
+from repro.service.jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobJournal,
+    JobRecord,
+    row_from_dict,
+    row_to_dict,
+)
+from repro.service.server import DEFAULT_HOST, DEFAULT_PORT, SweepService
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobJournal",
+    "JobRecord",
+    "SweepClient",
+    "SweepService",
+    "row_from_dict",
+    "row_to_dict",
+]

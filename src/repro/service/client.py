@@ -1,0 +1,277 @@
+"""The synchronous sweep-service client and the ``repro-submit`` CLI.
+
+:class:`SweepClient` speaks the server's one-line-JSON-request /
+JSON-lines-response protocol over a plain TCP socket — one connection per
+request, so a stuck watcher never wedges an unrelated status poll.  Watch
+generators yield the server's payload dicts verbatim (``{"type": "chunk"}``
+progress lines, then one terminal ``{"type": "job"}`` line carrying the job
+summary, serialized rows, and the rendered tables); ``{"type": "error"}``
+replies surface as :class:`~repro.exceptions.ProtocolError`.
+
+``repro-submit`` (see :func:`main`) submits one batch and follows it to a
+terminal state: chunk progress on stderr, rendered tables on stdout, the
+full results payload optionally dumped to ``--json`` for parity checks.
+Exit status: ``0`` done, ``1`` partial/failed/cancelled, ``2`` bad usage or
+an unreachable server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+from repro.exceptions import ProtocolError
+from repro.experiments.launchers import resolve_launcher_name
+from repro.service.jobs import TERMINAL_STATES, row_from_dict
+from repro.service.server import DEFAULT_HOST, DEFAULT_PORT
+
+
+class SweepClient:
+    """A blocking client for one :class:`~repro.service.server.SweepService`."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        timeout: Optional[float] = None,
+    ):
+        self.host = host
+        self.port = port
+        #: Socket timeout in seconds (``None``: block until the server talks;
+        #: watch streams can legitimately sit idle while chunks compute).
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _connect(self, request: Mapping[str, Any]):
+        """Open a connection, send one request line, return the reply stream."""
+        try:
+            sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        except OSError as error:
+            raise ProtocolError(
+                f"cannot reach sweep service at {self.host}:{self.port}: {error}"
+            ) from None
+        stream = sock.makefile("rwb")
+        sock.close()  # the makefile dups the underlying socket
+        stream.write(json.dumps(request).encode("utf-8") + b"\n")
+        stream.flush()
+        return stream
+
+    @staticmethod
+    def _decode(line: bytes) -> Dict[str, Any]:
+        payload = json.loads(line)
+        if payload.get("type") == "error":
+            raise ProtocolError(str(payload.get("error")))
+        return payload
+
+    def request(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        """One request, one reply line."""
+        with self._connect(request) as stream:
+            line = stream.readline()
+        if not line:
+            raise ProtocolError("sweep service closed the connection mid-reply")
+        return self._decode(line)
+
+    def _stream(self, request: Mapping[str, Any]) -> Iterator[Dict[str, Any]]:
+        """One request, reply lines until the terminal ``job`` payload."""
+        with self._connect(request) as stream:
+            for line in stream:
+                payload = self._decode(line)
+                yield payload
+                if payload.get("type") == "job":
+                    return
+        raise ProtocolError("sweep service closed the connection mid-stream")
+
+    # -- operations ----------------------------------------------------------
+
+    def submit(
+        self,
+        scenarios: List[str],
+        overrides: Optional[Mapping[str, Mapping]] = None,
+        launcher: Optional[str] = None,
+        fail_fast: bool = False,
+    ) -> Dict[str, Any]:
+        """Fire-and-forget submission; returns the queued job's summary."""
+        reply = self.request(
+            {
+                "op": "submit",
+                "scenarios": list(scenarios),
+                "overrides": dict(overrides or {}),
+                "launcher": launcher,
+                "fail_fast": bool(fail_fast),
+                "watch": False,
+            }
+        )
+        return reply["job"]
+
+    def submit_and_watch(
+        self,
+        scenarios: List[str],
+        overrides: Optional[Mapping[str, Mapping]] = None,
+        launcher: Optional[str] = None,
+        fail_fast: bool = False,
+    ) -> Iterator[Dict[str, Any]]:
+        """Submit and follow: yields ``submitted``, ``chunk``\\ s, then ``job``."""
+        return self._stream(
+            {
+                "op": "submit",
+                "scenarios": list(scenarios),
+                "overrides": dict(overrides or {}),
+                "launcher": launcher,
+                "fail_fast": bool(fail_fast),
+                "watch": True,
+            }
+        )
+
+    def watch(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Follow an existing job (terminal jobs yield their final line only)."""
+        return self._stream({"op": "watch", "job_id": job_id})
+
+    def run(
+        self,
+        scenarios: List[str],
+        overrides: Optional[Mapping[str, Mapping]] = None,
+        launcher: Optional[str] = None,
+        fail_fast: bool = False,
+    ) -> Dict[str, Any]:
+        """Submit, wait for the terminal state, return the final payload."""
+        final: Dict[str, Any] = {}
+        for payload in self.submit_and_watch(scenarios, overrides, launcher, fail_fast):
+            if payload.get("type") == "job":
+                final = payload
+        if not final:
+            raise ProtocolError("watch stream ended without a terminal job payload")
+        return final
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request({"op": "status", "job_id": job_id})["job"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self.request({"op": "jobs"})["jobs"]
+
+    def cancel(self, job_id: str) -> bool:
+        """``True`` when the cancel landed before the job went terminal."""
+        return bool(self.request({"op": "cancel", "job_id": job_id})["cancelled"])
+
+    def ping(self) -> Dict[str, Any]:
+        """Liveness probe; the reply lists the server's registered launchers."""
+        return self.request({"op": "ping"})
+
+
+def rows_from_results(results: List[Mapping[str, Any]]):
+    """Rebuild every delivered row from a terminal payload's ``results``.
+
+    Returns ``{scenario: [ExperimentRow, ...]}`` — the parity-check helper
+    used by the smoke tool and tests.
+    """
+    return {
+        entry["scenario"]: [row_from_dict(row) for row in entry.get("rows", [])]
+        for entry in results
+    }
+
+
+def _progress_line(payload: Mapping[str, Any]) -> str:
+    status = "ok" if payload.get("ok") else f"FAILED ({payload.get('error')})"
+    return (
+        f"[{payload.get('completed')}/{payload.get('total')}] "
+        f"{payload.get('scenario')} chunk {payload.get('chunk_index')}"
+        f"/{payload.get('num_chunks')}: {status}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``repro-submit``: submit one sweep batch and follow it to the end."""
+    parser = argparse.ArgumentParser(
+        prog="repro-submit", description="Submit sweep jobs to repro-serve."
+    )
+    parser.add_argument("scenarios", nargs="+", help="registered scenario names")
+    parser.add_argument("--host", default=DEFAULT_HOST)
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument(
+        "--launcher",
+        default=None,
+        help="chunk-dispatch backend for this job (wins over the server default)",
+    )
+    parser.add_argument(
+        "--overrides",
+        default=None,
+        metavar="JSON",
+        help='per-scenario builder overrides, e.g. \'{"table1": {"repetitions": 2}}\'',
+    )
+    parser.add_argument("--fail-fast", action="store_true")
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_path",
+        help="dump the terminal payload (job + results) to PATH",
+    )
+    parser.add_argument(
+        "--no-watch",
+        action="store_true",
+        help="submit and print the job id without following progress",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-chunk progress lines"
+    )
+    args = parser.parse_args(argv)
+
+    overrides: Dict[str, Any] = {}
+    if args.overrides:
+        try:
+            overrides = json.loads(args.overrides)
+        except json.JSONDecodeError as error:
+            print(f"repro-submit: bad --overrides JSON: {error}", file=sys.stderr)
+            return 2
+        if not isinstance(overrides, dict):
+            print("repro-submit: --overrides must be a JSON object", file=sys.stderr)
+            return 2
+    if args.launcher is not None:
+        try:
+            resolve_launcher_name(args.launcher)
+        except ProtocolError as error:
+            print(f"repro-submit: {error}", file=sys.stderr)
+            return 2
+
+    client = SweepClient(args.host, args.port)
+    try:
+        if args.no_watch:
+            job = client.submit(
+                args.scenarios, overrides, args.launcher, args.fail_fast
+            )
+            print(job["job_id"])
+            return 0
+        final: Dict[str, Any] = {}
+        for payload in client.submit_and_watch(
+            args.scenarios, overrides, args.launcher, args.fail_fast
+        ):
+            kind = payload.get("type")
+            if kind == "submitted":
+                print(f"submitted {payload['job']['job_id']}", file=sys.stderr)
+            elif kind == "chunk" and not args.quiet:
+                print(_progress_line(payload), file=sys.stderr)
+            elif kind == "job":
+                final = payload
+    except ProtocolError as error:
+        print(f"repro-submit: {error}", file=sys.stderr)
+        return 2
+
+    job = final.get("job", {})
+    state = job.get("state")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(final, handle, indent=2)
+    render = final.get("render")
+    if render:
+        print(render)
+    print(f"job {job.get('job_id')}: {state}", file=sys.stderr)
+    if state not in TERMINAL_STATES:  # pragma: no cover - server contract
+        return 2
+    return 0 if state == "done" else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    raise SystemExit(main())

@@ -1,0 +1,175 @@
+"""Job records, states, the journal, and row serialization for the service.
+
+A *job* is one submitted sweep batch: scenario names, per-scenario builder
+overrides, and a launcher choice.  The server tracks it through the state
+machine ``queued -> running -> done | partial | failed | cancelled``
+(``partial`` mirrors :class:`~repro.experiments.runner.PartialScenarioResult`
+— some chunks failed but surviving rows were kept) and appends every
+transition and chunk event to a :class:`JobJournal`, a JSON-lines file that
+survives the process and doubles as the CI smoke artifact.
+
+Rows cross the wire as plain dicts (:func:`row_to_dict` /
+:func:`row_from_dict`).  Values are already JSON-safe scalars by the
+:class:`~repro.experiments.records.ExperimentRow` contract; numpy scalars
+that builders occasionally smuggle in are converted to their Python
+equivalents, which compare equal — so a reconstructed row still equals the
+original and the parity checks in the smoke tool stay exact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.experiments.records import ExperimentRow
+from repro.experiments.runner import (
+    PartialScenarioResult,
+    ScenarioFailure,
+    ScenarioResult,
+)
+
+#: Job lifecycle states, in rough order of appearance.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+PARTIAL = "partial"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+JOB_STATES = (QUEUED, RUNNING, DONE, PARTIAL, FAILED, CANCELLED)
+
+#: States a job can never leave.
+TERMINAL_STATES = (DONE, PARTIAL, FAILED, CANCELLED)
+
+
+def _json_value(value: Any) -> Any:
+    """A JSON-serializable twin of one row value (numpy scalars unwrapped)."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def row_to_dict(row: ExperimentRow) -> Dict[str, Any]:
+    """One row as a JSON-safe dict (the wire format)."""
+    return {
+        "experiment": row.experiment,
+        "label": row.label,
+        "values": {key: _json_value(value) for key, value in row.values.items()},
+    }
+
+
+def row_from_dict(payload: Mapping[str, Any]) -> ExperimentRow:
+    """Rebuild an :class:`ExperimentRow` from its wire dict."""
+    return ExperimentRow(
+        experiment=payload["experiment"],
+        label=payload["label"],
+        values=dict(payload.get("values", {})),
+    )
+
+
+def scenario_result_payload(name: str, value: ScenarioResult) -> Dict[str, Any]:
+    """One scenario's result as a wire dict: status, rows, failures."""
+    if isinstance(value, ScenarioFailure):
+        return {
+            "scenario": name,
+            "status": "failed",
+            "rows": [],
+            "error": value.error,
+            "failures": [failure.error for failure in value.chunk_failures],
+        }
+    if isinstance(value, PartialScenarioResult):
+        return {
+            "scenario": name,
+            "status": "partial",
+            "rows": [row_to_dict(row) for row in value.rows],
+            "failures": [failure.error for failure in value.failures],
+        }
+    return {
+        "scenario": name,
+        "status": "ok",
+        "rows": [row_to_dict(row) for row in value],
+        "failures": [],
+    }
+
+
+def results_payload(results: Mapping[str, ScenarioResult]) -> List[Dict[str, Any]]:
+    """Every scenario result of a finished job, in result order."""
+    return [scenario_result_payload(name, value) for name, value in results.items()]
+
+
+@dataclass
+class JobRecord:
+    """One submitted sweep batch and everything known about its progress."""
+
+    job_id: str
+    scenarios: List[str]
+    overrides: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    launcher: Optional[str] = None
+    fail_fast: bool = False
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    chunks_completed: int = 0
+    chunks_total: int = 0
+    #: Scenarios that failed fully or partially (terminal states only).
+    failed_scenarios: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job reached a state it can never leave."""
+        return self.state in TERMINAL_STATES
+
+    def summary(self) -> Dict[str, Any]:
+        """The record as a JSON-safe dict (the wire/journal format)."""
+        return asdict(self)
+
+
+class JobJournal:
+    """Append-only JSON-lines journal of job transitions and chunk events.
+
+    One line per entry, each stamped with a wall-clock ``ts``; ``path=None``
+    disables persistence (entries are dropped).  The journal is the
+    service's durable record: after a crash or shutdown it still tells
+    which jobs ran, how far they got, and how they ended — and the CI
+    smoke step uploads it as the run's artifact.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        if path:
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+
+    def record(self, entry: Mapping[str, Any]) -> None:
+        """Append one entry (no-op without a path)."""
+        if not self.path:
+            return
+        stamped = {"ts": time.time(), **entry}
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(stamped) + "\n")
+
+    @staticmethod
+    def read(path: str) -> List[Dict[str, Any]]:
+        """Parse a journal file back into its entries (junk lines skipped)."""
+        entries = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+        return entries

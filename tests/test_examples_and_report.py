@@ -146,6 +146,55 @@ class TestReport:
         assert main(["--bogus"]) == 2
         assert "unrecognized arguments" in capsys.readouterr().err
 
+    def test_report_cli_launcher_selects_backend_and_exports_env(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        from repro.experiments.report import main
+
+        monkeypatch.setenv("REPRO_LAUNCHER", "process-pool")
+        target = tmp_path / "launcher.txt"
+        exit_code = main(
+            ["--launcher", "serial", "--scenarios", "table1", str(target)]
+        )
+        assert exit_code == 0
+        # The flag wins over REPRO_LAUNCHER by exporting the chosen backend
+        # (the --backend/--dtype precedence idiom).
+        assert os.environ["REPRO_LAUNCHER"] == "serial"
+        assert "Table 1 — FGNP21 baselines" in target.read_text(encoding="utf-8")
+
+    def test_report_cli_launcher_implies_parallel(self, tmp_path, monkeypatch):
+        import repro.experiments.report as report_module
+
+        seen = {}
+        original = report_module.generate_report_status
+
+        def spy(**kwargs):
+            seen.update(kwargs)
+            return original(**kwargs)
+
+        monkeypatch.setattr(report_module, "generate_report_status", spy)
+        # setenv (not delenv) so monkeypatch restores the pre-test state even
+        # though main() exports the flag's value into the environment.
+        monkeypatch.setenv("REPRO_LAUNCHER", "process-pool")
+        target = tmp_path / "implied.txt"
+        exit_code = report_module.main(
+            ["--launcher", "serial", "--scenarios", "table1-measured", str(target)]
+        )
+        assert exit_code == 0
+        assert seen["parallel"] is True
+        assert seen["launcher"] == "serial"
+
+    def test_report_cli_launcher_rejects_bad_usage(self, capsys, monkeypatch):
+        from repro.experiments.report import main
+
+        monkeypatch.delenv("REPRO_LAUNCHER", raising=False)
+        assert main(["--launcher", "bogus"]) == 2
+        assert "unknown launcher" in capsys.readouterr().err
+        assert main(["--launcher"]) == 2
+        assert "--launcher needs a launcher name" in capsys.readouterr().err
+
     def test_generate_report_status_reports_failed_names(self):
         from repro.experiments.report import generate_report_status
         from repro.experiments.runner import register_scenario

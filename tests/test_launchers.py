@@ -1,0 +1,321 @@
+"""Launcher registry, worker-token, and cross-backend parity tests.
+
+The parity matrix is the load-bearing suite: every registered backend must
+produce rows byte-identical to a serial run on a representative subset
+(a swept scenario, an unswept scenario, and a noisy sweep), and must keep
+the chunk-failure-isolation contract (surviving chunks' rows survive).
+
+Builders live at module level so forked pool workers can resolve their
+registered scenarios.  The ``subprocess`` backend spawns *fresh*
+interpreters, which only see scenarios registered at import time — its
+failure-isolation test therefore poisons a built-in scenario through an
+override instead of a test-local registration.
+"""
+
+import os
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.experiments.launchers import (
+    DEFAULT_LAUNCHER,
+    LAUNCHER_ENV_VAR,
+    Launcher,
+    SerialLauncher,
+    SubprocessLauncher,
+    ThreadLauncher,
+    available_launchers,
+    get_launcher,
+    mint_worker_token,
+    resolve_launcher_name,
+    worker_token,
+)
+from repro.experiments.records import ExperimentRow
+from repro.experiments.runner import (
+    ExperimentRunner,
+    PartialScenarioResult,
+    register_scenario,
+    run_scenario,
+)
+from repro.experiments.streaming import effective_cpu_count, pool_worker_count
+from repro.experiments.sweep import SweepSpec, run_sweep_sharded
+
+#: The representative parity subset: one swept scenario (table1 shards its
+#: parameter grid), one unswept scenario (table1-measured dispatches as a
+#: single task), one noisy sweep (shrunk to two strengths to stay cheap).
+PARITY_SCENARIOS = ["table1", "table1-measured", "noise-robustness-path"]
+PARITY_OVERRIDES = {"noise-robustness-path": {"strengths": (0.0, 0.1)}}
+
+
+def _poison_grid():
+    return ["a", "b", "poison", "c"]
+
+
+def _poisoned_sweep(values=None):
+    resolved = list(values) if values is not None else _poison_grid()
+    rows = []
+    for value in resolved:
+        if value == "poison":
+            raise RuntimeError(f"poisoned point {value!r}")
+        rows.append(ExperimentRow("poisoned", value, {"value": value}))
+    return rows
+
+
+@pytest.fixture()
+def poisoned_scenario():
+    register_scenario(
+        "launcher-poisoned",
+        _poisoned_sweep,
+        title="Poisoned sweep",
+        sweep=SweepSpec("values", _poison_grid, chunk_size=1),
+    )
+    try:
+        yield "launcher-poisoned"
+    finally:
+        from repro.experiments import runner as runner_module
+
+        runner_module._REGISTRY.pop("launcher-poisoned", None)
+
+
+@pytest.fixture(scope="module")
+def serial_baseline():
+    """The ground truth every backend must reproduce byte-identically."""
+    runner = ExperimentRunner(PARITY_SCENARIOS, overrides=PARITY_OVERRIDES)
+    return runner.run()
+
+
+class TestLauncherParityMatrix:
+    """Every registered backend reproduces the serial rows exactly."""
+
+    def test_matrix_covers_every_registered_launcher(self):
+        assert set(available_launchers()) == {
+            "serial",
+            "threads",
+            "process-pool",
+            "subprocess",
+        }
+
+    @pytest.mark.parametrize(
+        "name", ["serial", "threads", "process-pool", "subprocess"]
+    )
+    def test_launcher_rows_match_serial(self, name, serial_baseline):
+        runner = ExperimentRunner(
+            PARITY_SCENARIOS,
+            parallel=True,
+            max_workers=2,
+            launcher=name,
+            overrides=PARITY_OVERRIDES,
+        )
+        results = runner.run()
+        assert dict(results) == dict(serial_baseline)
+        assert runner.cache_stats["workers"] >= 1
+
+    @pytest.mark.parametrize("name", ["serial", "threads", "process-pool"])
+    def test_partial_failure_isolation_per_launcher(self, name, poisoned_scenario):
+        runner = ExperimentRunner(
+            [poisoned_scenario], parallel=True, max_workers=2, launcher=name
+        )
+        results = runner.run()
+        partial = results[poisoned_scenario]
+        assert isinstance(partial, PartialScenarioResult)
+        assert [row.label for row in partial.rows] == ["a", "b", "c"]
+        assert len(partial.failures) == 1
+        assert "RuntimeError: poisoned point" in partial.failures[0].error
+
+    def test_subprocess_partial_failure_isolation(self):
+        # Fresh interpreters only know import-time scenarios, so the poison
+        # rides an override: a non-numeric strength blows up its own chunk
+        # inside the child while the healthy chunk's rows survive.
+        result = run_sweep_sharded(
+            "noise-robustness-path",
+            launcher="subprocess",
+            max_workers=2,
+            chunk_size=1,
+            strengths=(0.0, "poison"),
+        )
+        assert not result.ok
+        assert len(result.failures) == 1
+        healthy = run_scenario("noise-robustness-path", strengths=(0.0,))
+        assert result.rows == healthy
+
+    def test_sharded_sweep_accepts_launcher_instance(self):
+        launcher = ThreadLauncher(max_workers=2)
+        try:
+            result = run_sweep_sharded("table1", launcher=launcher)
+        finally:
+            launcher.shutdown()
+        assert result.ok
+        assert result.rows == run_scenario("table1")
+
+    def test_sharded_sweep_rejects_executor_and_launcher_together(self):
+        launcher = SerialLauncher()
+        with pytest.raises(ProtocolError, match="not both"):
+            run_sweep_sharded("table1", executor=launcher, launcher=launcher)
+
+
+class TestLauncherRegistry:
+    def test_explicit_name_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv(LAUNCHER_ENV_VAR, "threads")
+        assert resolve_launcher_name("serial") == "serial"
+
+    def test_environment_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv(LAUNCHER_ENV_VAR, "serial")
+        assert resolve_launcher_name() == "serial"
+
+    def test_default_is_the_process_pool(self, monkeypatch):
+        monkeypatch.delenv(LAUNCHER_ENV_VAR, raising=False)
+        assert resolve_launcher_name() == DEFAULT_LAUNCHER == "process-pool"
+
+    def test_unknown_names_are_rejected(self, monkeypatch):
+        with pytest.raises(ProtocolError, match="unknown launcher"):
+            resolve_launcher_name("bogus")
+        monkeypatch.setenv(LAUNCHER_ENV_VAR, "bogus")
+        with pytest.raises(ProtocolError, match="unknown launcher"):
+            resolve_launcher_name()
+
+    def test_get_launcher_passes_instances_through(self):
+        launcher = SerialLauncher()
+        assert get_launcher(launcher) is launcher
+
+    def test_get_launcher_constructs_fresh_backends(self, monkeypatch):
+        monkeypatch.delenv(LAUNCHER_ENV_VAR, raising=False)
+        first = get_launcher("serial")
+        second = get_launcher("serial")
+        assert isinstance(first, SerialLauncher)
+        assert first is not second
+        env_backed = get_launcher()
+        try:
+            assert env_backed.name == "process-pool"
+        finally:
+            env_backed.shutdown()
+
+
+class TestWorkerTokenCollisions:
+    """In-process launchers must never alias each other's snapshot domains."""
+
+    def test_two_serial_launchers_mint_distinct_tokens(self):
+        first, second = SerialLauncher(), SerialLauncher()
+        token_of = lambda launcher: launcher.submit_chunk(worker_token).result()
+        assert token_of(first) != token_of(second)
+        # ...and neither collides with the bare-process fallback token.
+        assert worker_token() not in {token_of(first), token_of(second)}
+
+    def test_serial_and_thread_launchers_mint_distinct_tokens(self):
+        serial = SerialLauncher()
+        threads = ThreadLauncher(max_workers=2)
+        try:
+            serial_token = serial.submit_chunk(worker_token).result()
+            thread_token = threads.submit_chunk(worker_token).result()
+        finally:
+            threads.shutdown()
+        assert serial_token != thread_token
+
+    def test_thread_launcher_reports_one_snapshot_domain(self):
+        # All threads share one engine + cache: per-thread tokens would
+        # double-count the shared counters under merge_worker_stats.
+        launcher = ThreadLauncher(max_workers=2)
+        try:
+            tokens = {
+                launcher.submit_chunk(worker_token).result() for _ in range(8)
+            }
+        finally:
+            launcher.shutdown()
+        assert len(tokens) == 1
+
+    def test_subprocess_children_mint_per_chunk_tokens(self):
+        launcher = SubprocessLauncher(max_workers=2)
+        try:
+            first = launcher.submit_chunk(worker_token).result()
+            second = launcher.submit_chunk(worker_token).result()
+        finally:
+            launcher.shutdown()
+        assert first != second
+        assert first.split("-")[0] == second.split("-")[0]  # same generation
+
+    def test_mint_worker_token_is_generation_unique(self):
+        assert mint_worker_token() != mint_worker_token()
+
+    def test_launcher_binding_does_not_leak_into_the_caller(self):
+        before = worker_token()
+        SerialLauncher().submit_chunk(worker_token).result()
+        assert worker_token() == before
+
+
+class TestSubprocessBoundary:
+    def test_child_exception_propagates_to_the_parent(self):
+        launcher = SubprocessLauncher(max_workers=1)
+        try:
+            future = launcher.submit_chunk(run_scenario, "no-such-scenario")
+            with pytest.raises(ProtocolError, match="unknown experiment scenario"):
+                future.result()
+        finally:
+            launcher.shutdown()
+
+    def test_child_result_crosses_the_pickle_boundary(self):
+        launcher = SubprocessLauncher(max_workers=1)
+        try:
+            rows = launcher.submit_chunk(run_scenario, "table1-measured").result()
+        finally:
+            launcher.shutdown()
+        assert rows == run_scenario("table1-measured")
+
+
+class TestCpuDetection:
+    """pool_worker_count must not trust os.cpu_count() on cgroup-limited hosts."""
+
+    def test_effective_count_prefers_process_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "process_cpu_count", lambda: 5, raising=False)
+        assert effective_cpu_count() == 5
+
+    def test_effective_count_falls_back_to_affinity(self, monkeypatch):
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 1, 2}, raising=False
+        )
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert effective_cpu_count() == 3
+
+    def test_effective_count_last_resort_is_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 7)
+        assert effective_cpu_count() == 7
+
+    def test_pool_worker_count_fallback_is_affinity_aware(self, monkeypatch):
+        class Opaque:
+            pass
+
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0}, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert pool_worker_count(Opaque()) == 1
+
+    def test_pool_worker_count_prefers_launcher_worker_count(self):
+        launcher = ThreadLauncher(max_workers=3)
+        try:
+            assert pool_worker_count(launcher) == 3
+        finally:
+            launcher.shutdown()
+
+    def test_launcher_widths_are_reported(self):
+        assert SerialLauncher().worker_count() == 1
+        subproc = SubprocessLauncher(max_workers=2)
+        try:
+            assert subproc.worker_count() == 2
+        finally:
+            subproc.shutdown()
+
+
+class TestLauncherContract:
+    def test_base_launcher_is_abstract(self):
+        launcher = Launcher()
+        with pytest.raises(NotImplementedError):
+            launcher.submit_chunk(print)
+        with pytest.raises(NotImplementedError):
+            launcher.worker_count()
+
+    def test_context_manager_shuts_down(self):
+        with ThreadLauncher(max_workers=1) as launcher:
+            assert launcher.submit_chunk(worker_token).result()
+        with pytest.raises(RuntimeError):
+            launcher.submit_chunk(worker_token)

@@ -267,24 +267,24 @@ class TestWorkerTokens:
         assert merged["entries"] == 4
 
     def test_init_sweep_worker_mints_generation_token(self):
-        import repro.experiments.sweep as sweep_module
+        import repro.experiments.launchers as launchers_module
 
-        previous = sweep_module._WORKER_TOKEN
+        previous = launchers_module._PROCESS_TOKEN
         try:
             _init_sweep_worker(7)
             assert worker_token() == f"g7-p{os.getpid()}"
         finally:
-            sweep_module._WORKER_TOKEN = previous
+            launchers_module.set_process_worker_token(previous)
 
     def test_worker_token_falls_back_outside_pools(self):
-        import repro.experiments.sweep as sweep_module
+        import repro.experiments.launchers as launchers_module
 
-        previous = sweep_module._WORKER_TOKEN
+        previous = launchers_module._PROCESS_TOKEN
         try:
-            sweep_module._WORKER_TOKEN = None
+            launchers_module.set_process_worker_token(None)
             assert worker_token() == f"g0-p{os.getpid()}"
         finally:
-            sweep_module._WORKER_TOKEN = previous
+            launchers_module.set_process_worker_token(previous)
 
     def test_pool_generations_are_unique(self):
         assert next_pool_generation() != next_pool_generation()

@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""CI smoke for the sweep job service, end to end over the real socket.
+
+The script proves the full serving path with real processes:
+
+* starts ``repro-serve`` (as a child interpreter) on an ephemeral port with
+  a JSON-lines job journal,
+* submits a small sweep batch through the TCP client, streams its chunk
+  events, and checks the job reaches ``done`` with every chunk accounted
+  for,
+* checks the delivered rows are byte-identical to a direct in-process run
+  of the same scenarios (the launcher-independence guarantee, through the
+  wire),
+* re-submits through the ``repro-submit`` CLI and checks its exit status
+  and ``--json`` dump agree,
+* shuts the server down (SIGINT) and checks it exits 0 and the journal
+  recorded the full lifecycle of both jobs.
+
+The journal survives at ``--journal`` for CI to upload as the run's
+artifact.  ``--launcher`` picks the chunk-dispatch backend for both
+submissions (default: the server's default, the process pool).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import select
+import signal
+import subprocess
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.runner import run_scenario
+from repro.service import JobJournal, SweepClient
+from repro.service.client import rows_from_results
+
+SCENARIOS = ["table1", "noise-robustness-path"]
+OVERRIDES = {"noise-robustness-path": {"strengths": [0.0, 0.1, 0.2, 0.3]}}
+
+_BANNER = re.compile(r"listening on ([\d.]+):(\d+)")
+
+
+def _fail(message: str) -> None:
+    sys.stderr.write(f"service_smoke: FAILED: {message}\n")
+    raise SystemExit(1)
+
+
+def _read_banner(server: subprocess.Popen, deadline: float) -> tuple:
+    """Parse host/port off the repro-serve banner line, with a time limit."""
+    buffered = b""
+    stream = server.stdout
+    while time.monotonic() < deadline:
+        if server.poll() is not None:
+            _fail(f"repro-serve exited at startup with status {server.returncode}")
+        ready, _, _ = select.select([stream], [], [], 0.25)
+        if not ready:
+            continue
+        buffered += stream.readline()
+        match = _BANNER.search(buffered.decode("utf-8", "replace"))
+        if match:
+            return match.group(1), int(match.group(2))
+    _fail("repro-serve printed no listening banner within the time limit")
+
+
+def _direct_rows() -> dict:
+    return {
+        name: run_scenario(name, **OVERRIDES.get(name, {})) for name in SCENARIOS
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument(
+        "--launcher", default=None, help="chunk-dispatch backend for the jobs"
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--journal", default="service-journal.jsonl", help="journal artifact path"
+    )
+    parser.add_argument("--timeout", type=float, default=600.0)
+    args = parser.parse_args(argv)
+    deadline = time.monotonic() + args.timeout
+
+    # -c entry points mirror the installed repro-serve/repro-submit console
+    # scripts without requiring an install (and without runpy re-executing a
+    # module the service package already imported).
+    serve_entry = (
+        "import sys; from repro.service.server import main; "
+        "sys.exit(main(sys.argv[1:]))"
+    )
+    submit_entry = (
+        "import sys; from repro.service.client import main; "
+        "sys.exit(main(sys.argv[1:]))"
+    )
+    command = [
+        sys.executable,
+        "-c",
+        serve_entry,
+        "--port",
+        "0",
+        "--journal",
+        args.journal,
+        "--max-workers",
+        str(args.workers),
+    ]
+    if args.launcher:
+        command += ["--launcher", args.launcher]
+    server = subprocess.Popen(command, stdout=subprocess.PIPE)
+    try:
+        host, port = _read_banner(server, deadline)
+        client = SweepClient(host, port, timeout=args.timeout)
+
+        # -- pass 1: the client library, streaming chunk events --------------
+        chunk_events = []
+        final = {}
+        for payload in client.submit_and_watch(
+            SCENARIOS, overrides=OVERRIDES, launcher=args.launcher
+        ):
+            if payload["type"] == "chunk":
+                chunk_events.append(payload)
+            elif payload["type"] == "job":
+                final = payload
+        job = final.get("job") or _fail("stream ended without a terminal payload")
+        if job["state"] != "done":
+            _fail(f"job ended {job['state']!r}: {job.get('error')}")
+        if not chunk_events:
+            _fail("no chunk events were streamed before the terminal payload")
+        counters = [event["completed"] for event in chunk_events]
+        if counters != list(range(1, len(chunk_events) + 1)):
+            _fail(f"chunk completion counter is not monotone: {counters}")
+        if job["chunks_completed"] != job["chunks_total"] or not job["chunks_total"]:
+            _fail(f"chunk accounting is off: {job}")
+
+        direct = _direct_rows()
+        delivered = rows_from_results(final["results"])
+        if delivered != direct:
+            _fail("service rows differ from the direct in-process run")
+
+        # -- pass 2: the repro-submit CLI, exit status + --json dump ---------
+        dump = args.journal + ".submit.json"
+        cli = [
+            sys.executable,
+            "-c",
+            submit_entry,
+            *SCENARIOS,
+            "--host",
+            host,
+            "--port",
+            str(port),
+            "--overrides",
+            json.dumps(OVERRIDES),
+            "--json",
+            dump,
+            "--quiet",
+        ]
+        if args.launcher:
+            cli += ["--launcher", args.launcher]
+        completed = subprocess.run(cli, timeout=max(1.0, deadline - time.monotonic()))
+        if completed.returncode != 0:
+            _fail(f"repro-submit exited with status {completed.returncode}")
+        with open(dump, "r", encoding="utf-8") as handle:
+            dumped = json.load(handle)
+        if rows_from_results(dumped["results"]) != direct:
+            _fail("repro-submit --json rows differ from the direct run")
+    finally:
+        if server.poll() is None:
+            server.send_signal(signal.SIGINT)
+        try:
+            server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()
+        server.stdout.close()
+    if server.returncode != 0:
+        _fail(f"repro-serve exited with status {server.returncode} on SIGINT")
+
+    entries = JobJournal.read(args.journal)
+    states = [entry["state"] for entry in entries if entry["type"] == "state"]
+    if states.count("queued") != 2 or states.count("done") != 2:
+        _fail(f"journal missed a job lifecycle: {states}")
+    if not any(entry["type"] == "chunk" for entry in entries):
+        _fail("journal recorded no chunk events")
+    events = [entry["event"] for entry in entries if entry["type"] == "service"]
+    if events != ["started", "stopped"]:
+        _fail(f"journal missed the service lifecycle: {events}")
+
+    total_rows = sum(len(rows) for rows in direct.values())
+    print(
+        f"service_smoke: OK — 2 jobs done over {host}:{port} "
+        f"({len(chunk_events)} chunk events streamed, {total_rows} rows "
+        f"byte-identical to the direct run; journal at {args.journal})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
