@@ -126,3 +126,10 @@ __all__ = [
     "trace_distance",
     "__version__",
 ]
+
+# Arm the runtime sanitizer when REPRO_SANITIZE is truthy (no-op otherwise).
+# Pool and subprocess workers inherit the variable through the environment,
+# so every dispatch path sanitizes itself on import.
+from repro.lint.sanitize import install_from_env as _install_sanitizer_from_env
+
+_install_sanitizer_from_env()

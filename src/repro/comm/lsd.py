@@ -17,6 +17,7 @@ QMA one-way verification protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from hashlib import sha256
 from math import sqrt
 from typing import Optional, Tuple
 
@@ -50,6 +51,26 @@ class LinearSubspaceDistanceInstance:
     def ambient_dimension(self) -> int:
         """The ambient dimension ``m``."""
         return int(self.alice_basis.shape[0])
+
+    @property
+    def cache_token(self) -> Tuple:
+        """A stable value identity for engine operator-cache keys.
+
+        Two instances with identical (orthonormalized) bases share a token,
+        even across processes — matching the contract of
+        :attr:`repro.quantum.fingerprint.FingerprintScheme.cache_token`.
+        The digest is computed once per instance and memoized (the dataclass
+        is frozen, so the bases never change after construction).
+        """
+        token = getattr(self, "_cache_token", None)
+        if token is None:
+            digest = sha256()
+            for basis in (self.alice_basis, self.bob_basis):
+                digest.update(str(basis.shape).encode("ascii"))
+                digest.update(np.ascontiguousarray(basis).tobytes())
+            token = ("lsd-instance", self.ambient_dimension, digest.hexdigest())
+            object.__setattr__(self, "_cache_token", token)
+        return token
 
     @property
     def input_qubits(self) -> float:

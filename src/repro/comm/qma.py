@@ -22,7 +22,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from math import log2
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -131,6 +131,22 @@ class QMAOneWayProtocol(ABC):
     # -- concrete ----------------------------------------------------------
 
     @property
+    def cache_token(self) -> Tuple:
+        """A stable value identity for engine operator-cache keys.
+
+        Two protocol objects with identical behaviour must share a token so
+        cached Bob accept operators (and exported operator packs) hit across
+        processes; an id()-derived or raw-object key would never match after
+        pickling.  Concrete protocols must override this with a token built
+        from their defining content.
+        """
+        raise NotImplementedError(
+            f"{type(self).__qualname__} must define cache_token (a value-stable "
+            "tuple derived from the protocol's content) to flow into engine "
+            "operator-cache keys"
+        )
+
+    @property
     def proof_qubits(self) -> float:
         """Number of qubits of the proof register."""
         return float(log2(self.proof_dim))
@@ -186,6 +202,10 @@ class LSDQMAOneWay(QMAOneWayProtocol):
         self._dim = instance.ambient_dimension
 
     @property
+    def cache_token(self) -> Tuple:
+        return ("lsd-qma", self.instance.cache_token)
+
+    @property
     def proof_dim(self) -> int:
         return self._dim
 
@@ -218,6 +238,10 @@ class FingerprintEqualityQMAOneWay(QMAOneWayProtocol):
 
     def __init__(self, fingerprints) -> None:
         self.fingerprints = fingerprints
+
+    @property
+    def cache_token(self) -> Tuple:
+        return ("fp-eq-qma", self.fingerprints.cache_token)
 
     @property
     def proof_dim(self) -> int:

@@ -41,12 +41,12 @@ mock device arrays) and returns the host ``np.ndarray``.
 from __future__ import annotations
 
 import importlib.util
-import os
 from typing import Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.exceptions import ProtocolError
+from repro.utils.env import env_str
 
 #: Environment variable selecting the device of device-capable modules
 #: (e.g. ``cuda`` / ``cuda:1`` / ``cpu`` for the torch adapter).
@@ -76,7 +76,7 @@ DTYPE_TOLERANCES = {
 def resolve_dtype(dtype: Union[str, np.dtype, type, None] = None) -> np.dtype:
     """The contraction dtype: explicit argument > ``REPRO_DTYPE`` > complex128."""
     if dtype is None:
-        dtype = os.environ.get(DTYPE_ENV_VAR) or "complex128"
+        dtype = env_str(DTYPE_ENV_VAR, "complex128")
     if isinstance(dtype, str):
         try:
             dtype = _DTYPE_ALIASES[dtype.strip().lower()]
@@ -163,34 +163,34 @@ class NumpyModule(ArrayModule):
     device = "cpu"
     supports_einsum_path = True
 
-    def asarray(self, value, dtype=None):
+    def asarray(self, value: Any, dtype: Any = None) -> Any:
         return np.asarray(value, dtype=dtype)
 
-    def to_numpy(self, value):
+    def to_numpy(self, value: Any) -> np.ndarray:
         return np.asarray(value)
 
-    def einsum(self, equation, *operands, **kwargs):
+    def einsum(self, equation: str, *operands: Any, **kwargs: Any) -> Any:
         return np.einsum(equation, *operands, **kwargs)
 
-    def matmul(self, a, b):
+    def matmul(self, a: Any, b: Any) -> Any:
         return np.matmul(a, b)
 
-    def stack(self, arrays, axis=0):
+    def stack(self, arrays: Any, axis: int = 0) -> Any:
         return np.stack(arrays, axis=axis)
 
-    def conj(self, a):
+    def conj(self, a: Any) -> Any:
         return np.conj(a)
 
-    def abs(self, a):
+    def abs(self, a: Any) -> Any:
         return np.abs(a)
 
-    def real(self, a):
+    def real(self, a: Any) -> Any:
         return np.real(a)
 
-    def transpose(self, a, axes):
+    def transpose(self, a: Any, axes: Any) -> Any:
         return np.transpose(a, axes)
 
-    def astype(self, a, dtype):
+    def astype(self, a: Any, dtype: Any) -> Any:
         return np.asarray(a).astype(dtype, copy=False)
 
 
@@ -221,7 +221,7 @@ class MockDeviceModule(NumpyModule):
         self.bytes_to_device = 0
         self.bytes_to_host = 0
 
-    def asarray(self, value, dtype=None):
+    def asarray(self, value: Any, dtype: Any = None) -> Any:
         if isinstance(value, MockDeviceArray):
             if dtype is not None and value.dtype != np.dtype(dtype):
                 value = value.astype(dtype)
@@ -231,7 +231,7 @@ class MockDeviceModule(NumpyModule):
         self.bytes_to_device += array.nbytes
         return array.view(MockDeviceArray)
 
-    def to_numpy(self, value):
+    def to_numpy(self, value: Any) -> np.ndarray:
         if isinstance(value, MockDeviceArray):
             self.to_host_transfers += 1
             self.bytes_to_host += value.nbytes
@@ -262,14 +262,14 @@ class TorchModule(ArrayModule):
                 "the 'torch' array module requires torch to be installed"
             ) from error
         self.torch = torch
-        self.device = device or os.environ.get(DEVICE_ENV_VAR) or "cpu"
+        self.device = device or env_str(DEVICE_ENV_VAR, "cpu")
 
-    def _dtype(self, dtype):
+    def _dtype(self, dtype: Any) -> Any:
         if dtype is None:
             return None
         return getattr(self.torch, _TORCH_DTYPE_NAMES[np.dtype(dtype)])
 
-    def asarray(self, value, dtype=None):
+    def asarray(self, value: Any, dtype: Any = None) -> Any:
         if isinstance(value, self.torch.Tensor):
             return value.to(device=self.device, dtype=self._dtype(dtype))
         if not isinstance(value, np.ndarray):
@@ -277,35 +277,35 @@ class TorchModule(ArrayModule):
         tensor = self.torch.as_tensor(np.ascontiguousarray(value))
         return tensor.to(device=self.device, dtype=self._dtype(dtype))
 
-    def to_numpy(self, value):
+    def to_numpy(self, value: Any) -> np.ndarray:
         if isinstance(value, self.torch.Tensor):
             return value.detach().cpu().numpy()
         return np.asarray(value)
 
-    def einsum(self, equation, *operands, **kwargs):
+    def einsum(self, equation: str, *operands: Any, **kwargs: Any) -> Any:
         # torch.einsum takes no optimize argument; paths are internal.
         return self.torch.einsum(equation, *operands)
 
-    def matmul(self, a, b):
+    def matmul(self, a: Any, b: Any) -> Any:
         return self.torch.matmul(a, b)
 
-    def stack(self, arrays, axis=0):
+    def stack(self, arrays: Any, axis: int = 0) -> Any:
         return self.torch.stack(list(arrays), dim=axis)
 
-    def conj(self, a):
+    def conj(self, a: Any) -> Any:
         # resolve_conj so downstream .numpy() never sees a lazy conj view
         return self.torch.conj(a).resolve_conj()
 
-    def abs(self, a):
+    def abs(self, a: Any) -> Any:
         return self.torch.abs(a)
 
-    def real(self, a):
+    def real(self, a: Any) -> Any:
         return self.torch.real(a) if a.is_complex() else a
 
-    def transpose(self, a, axes):
+    def transpose(self, a: Any, axes: Any) -> Any:
         return a.permute(*axes)
 
-    def astype(self, a, dtype):
+    def astype(self, a: Any, dtype: Any) -> Any:
         return a.to(dtype=self._dtype(dtype))
 
 
@@ -323,39 +323,39 @@ class CupyModule(ArrayModule):
                 "the 'cupy' array module requires cupy to be installed"
             ) from error
         self.cupy = cupy
-        spec = device or os.environ.get(DEVICE_ENV_VAR) or "cuda"
+        spec = device or env_str(DEVICE_ENV_VAR, "cuda")
         self.device = spec
         self._device_id = int(spec.split(":", 1)[1]) if ":" in spec else 0
 
-    def asarray(self, value, dtype=None):
+    def asarray(self, value: Any, dtype: Any = None) -> Any:
         with self.cupy.cuda.Device(self._device_id):
             return self.cupy.asarray(value, dtype=dtype)
 
-    def to_numpy(self, value):
+    def to_numpy(self, value: Any) -> np.ndarray:
         return self.cupy.asnumpy(value)
 
-    def einsum(self, equation, *operands, **kwargs):
+    def einsum(self, equation: str, *operands: Any, **kwargs: Any) -> Any:
         return self.cupy.einsum(equation, *operands, **kwargs)
 
-    def matmul(self, a, b):
+    def matmul(self, a: Any, b: Any) -> Any:
         return self.cupy.matmul(a, b)
 
-    def stack(self, arrays, axis=0):
+    def stack(self, arrays: Any, axis: int = 0) -> Any:
         return self.cupy.stack(list(arrays), axis=axis)
 
-    def conj(self, a):
+    def conj(self, a: Any) -> Any:
         return self.cupy.conj(a)
 
-    def abs(self, a):
+    def abs(self, a: Any) -> Any:
         return self.cupy.abs(a)
 
-    def real(self, a):
+    def real(self, a: Any) -> Any:
         return self.cupy.real(a)
 
-    def transpose(self, a, axes):
+    def transpose(self, a: Any, axes: Any) -> Any:
         return self.cupy.transpose(a, axes)
 
-    def astype(self, a, dtype):
+    def astype(self, a: Any, dtype: Any) -> Any:
         return a.astype(dtype, copy=False)
 
 

@@ -22,7 +22,6 @@ array-module backends by ``REPRO_DTYPE`` / ``REPRO_DEVICE`` (see
 
 from __future__ import annotations
 
-import os
 from typing import Any, Callable, Hashable, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
@@ -30,6 +29,7 @@ import numpy as np
 from repro.engine.backends import SimulationBackend, get_backend
 from repro.engine.cache import OperatorCache, OperatorPack
 from repro.engine.jobs import ChainJob, Job, TreeJob, TreeProgram
+from repro.utils.env import env_str
 
 #: Environment variable selecting the default backend.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
@@ -168,9 +168,9 @@ _default_engine_env: Any = None
 
 def _engine_env() -> tuple:
     return (
-        os.environ.get(BACKEND_ENV_VAR),
-        os.environ.get("REPRO_DTYPE"),
-        os.environ.get("REPRO_DEVICE"),
+        env_str(BACKEND_ENV_VAR),
+        env_str("REPRO_DTYPE"),
+        env_str("REPRO_DEVICE"),
     )
 
 

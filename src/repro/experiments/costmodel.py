@@ -35,6 +35,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.utils.env import env_str
+
 #: Environment variable overriding the cost-book location.
 COST_BOOK_ENV_VAR = "REPRO_COST_BOOK"
 
@@ -52,7 +54,7 @@ def cost_book_path(path: Optional[str] = None) -> str:
     """Resolve the cost-book location: explicit path, env var, or default."""
     if path is not None:
         return str(path)
-    return os.environ.get(COST_BOOK_ENV_VAR) or DEFAULT_COST_BOOK
+    return env_str(COST_BOOK_ENV_VAR, DEFAULT_COST_BOOK)
 
 
 def point_signature(point: Any) -> str:
@@ -216,7 +218,7 @@ class CostModel:
         """Load the cost book (missing or corrupt files start a fresh model)."""
         resolved = cost_book_path(path)
         try:
-            with open(resolved, "r", encoding="utf-8") as handle:
+            with open(resolved, encoding="utf-8") as handle:
                 data = json.load(handle)
         except (OSError, ValueError):
             return cls()

@@ -60,6 +60,7 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.exceptions import ProtocolError
 from repro.experiments.streaming import effective_cpu_count, pool_worker_count
+from repro.utils.env import env_str, environ_copy
 
 #: Environment variable selecting the default launcher backend.
 LAUNCHER_ENV_VAR = "REPRO_LAUNCHER"
@@ -352,7 +353,10 @@ class SubprocessLauncher(Launcher):
 
     def submit_chunk(self, fn: Callable[..., Any], *args: Any) -> Future:
         token = f"g{self._generation}-s{next(self._serials)}"
-        return self._threads.submit(self._run_child, fn, args, token)
+        # Allowlisted bound method: this in-process thread pool only relays
+        # to Popen — nothing here crosses a pickle boundary (fn/args do, and
+        # they are pickled explicitly inside _run_child).
+        return self._threads.submit(self._run_child, fn, args, token)  # repro-lint: disable=picklable-entry-points
 
     def worker_count(self) -> int:
         return self._width
@@ -370,7 +374,7 @@ class SubprocessLauncher(Launcher):
         import repro
 
         package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
-        env = dict(os.environ)
+        env = environ_copy()
         existing = env.get("PYTHONPATH")
         env["PYTHONPATH"] = (
             package_root if not existing else package_root + os.pathsep + existing
@@ -412,8 +416,11 @@ def _subprocess_worker_main() -> int:
     payload = pickle.load(sys.stdin.buffer)
     init_sweep_worker(pack=payload.get("pack"))
     set_process_worker_token(payload["token"])
-    out = sys.stdout.buffer
-    sys.stdout = sys.stderr
+    # THE guarded redirect the stdout-purity rule protects: capture the real
+    # stdout for the pickle reply, then point sys.stdout at stderr so any
+    # print() inside scenario code cannot corrupt the stream.
+    out = sys.stdout.buffer  # repro-lint: disable=stdout-purity
+    sys.stdout = sys.stderr  # repro-lint: disable=stdout-purity
     try:
         reply: Dict[str, Any] = {"ok": True, "result": payload["fn"](*payload["args"])}
     except BaseException as exc:  # broad by design: the parent re-raises it
@@ -452,7 +459,7 @@ def available_launchers() -> List[str]:
 
 def resolve_launcher_name(name: Optional[str] = None) -> str:
     """The launcher to use: explicit argument > ``REPRO_LAUNCHER`` > default."""
-    resolved = name or os.environ.get(LAUNCHER_ENV_VAR) or DEFAULT_LAUNCHER
+    resolved = name or env_str(LAUNCHER_ENV_VAR, DEFAULT_LAUNCHER)
     if resolved not in _LAUNCHER_FACTORIES:
         raise ProtocolError(
             f"unknown launcher {resolved!r}; available: {available_launchers()}"

@@ -48,12 +48,12 @@ notebooks or CI artifacts.
 
 from __future__ import annotations
 
-import os
 import sys
 from typing import List, Optional, Tuple
 
 from repro.experiments.runner import ExperimentRunner, failed_scenarios
 from repro.experiments.streaming import PrintProgressListener, Progress
+from repro.utils.env import env_set
 
 #: Report sections, in order; each is a registered runner scenario.
 REPORT_SCENARIOS = [
@@ -221,7 +221,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"unknown backend {backend!r}; available: {available_backends()}\n"
             )
             return 2
-        os.environ["REPRO_BACKEND"] = backend
+        env_set("REPRO_BACKEND", backend)
     if "--dtype" in argv:
         index = argv.index("--dtype")
         argv.pop(index)
@@ -237,7 +237,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         except ProtocolError as error:
             sys.stderr.write(f"{error}\n")
             return 2
-        os.environ["REPRO_DTYPE"] = resolved.name
+        env_set("REPRO_DTYPE", resolved.name)
     # --launcher wins over REPRO_LAUNCHER the same way, and implies
     # --parallel: chunk dispatch only exists on the pooled path.
     launcher: Optional[str] = None
@@ -256,7 +256,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         except ProtocolError as error:
             sys.stderr.write(f"{error}\n")
             return 2
-        os.environ["REPRO_LAUNCHER"] = launcher
+        env_set("REPRO_LAUNCHER", launcher)
         parallel = True
     unknown = [arg for arg in argv if arg.startswith("-")]
     if unknown or len(argv) > 1:

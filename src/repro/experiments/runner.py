@@ -81,6 +81,7 @@ from repro.experiments.soundness_scaling import (
     soundness_scaling_sweep,
 )
 from repro.experiments.costmodel import CostModel
+from repro.lint.sanitize import maybe_probe
 from repro.experiments.sweep import (
     CHUNKS_PER_WORKER,
     MIN_POINTS_PER_CHUNK,
@@ -449,6 +450,10 @@ class ExperimentRunner:
                     )
                 )
             else:
+                maybe_probe(
+                    (run_scenario_task, name, overrides),
+                    context=f"scenario {name!r} task payload",
+                )
                 tasks.append(
                     ChunkTask(
                         future=pool.submit_chunk(run_scenario_task, name, overrides),

@@ -57,6 +57,7 @@ from repro.experiments.launchers import (
     worker_token,
 )
 from repro.experiments.records import ExperimentRow
+from repro.lint.sanitize import maybe_probe
 from repro.experiments.streaming import (
     ChunkCollector,
     ChunkFailure,
@@ -370,6 +371,13 @@ def submit_sweep_chunks(
     """
     launcher = pool if isinstance(pool, Launcher) else ExecutorLauncher(pool)
     total = total_chunks if total_chunks is not None else index_offset + len(chunks)
+    # Sanitizer pickle probe (no-op unless REPRO_SANITIZE armed it): fail at
+    # submission, naming the scenario, instead of deep inside a pool worker.
+    for index, chunk in enumerate(chunks):
+        maybe_probe(
+            (run_sweep_chunk, name, chunk, overrides, pack, export_pack),
+            context=f"scenario {name!r} chunk {index_offset + index}",
+        )
     return [
         ChunkTask(
             future=launcher.submit_chunk(

@@ -1,0 +1,39 @@
+"""``repro-lint``: AST rules + runtime sanitizer for the repo's invariants.
+
+Static side: :func:`lint_paths` / :func:`lint_source` run the registered
+:class:`~repro.lint.base.LintRule` set over sources, honouring per-line
+``# repro-lint: disable=<rule>`` suppressions; ``repro-lint`` (see
+:mod:`repro.lint.cli`) is the console entry point.  Dynamic side:
+:mod:`repro.lint.sanitize` arms runtime guards for the same invariants
+under ``REPRO_SANITIZE=1``.
+"""
+
+from repro.lint.base import (
+    Finding,
+    LintRule,
+    SourceModule,
+    available_rules,
+    get_rule,
+    instantiate_rules,
+    register_rule,
+)
+from repro.lint.reporters import render_json, render_text
+from repro.lint.runner import LintError, lint_paths, lint_source
+from repro.lint import rules, sanitize
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "LintRule",
+    "SourceModule",
+    "available_rules",
+    "get_rule",
+    "instantiate_rules",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rules",
+    "sanitize",
+]

@@ -1,0 +1,49 @@
+"""Text and JSON rendering of lint findings."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from repro.lint.base import Finding, available_rules, get_rule
+
+__all__ = ["render_json", "render_text"]
+
+#: Schema version of the JSON report (bumped on incompatible changes).
+REPORT_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: rule: message`` line per finding plus a summary."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        by_rule = Counter(finding.rule for finding in findings)
+        breakdown = ", ".join(f"{rule}: {count}" for rule, count in sorted(by_rule.items()))
+        lines.append(f"{len(findings)} finding(s) ({breakdown})")
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """A machine-readable report (the CI artifact format)."""
+    by_rule: Dict[str, int] = dict(Counter(finding.rule for finding in findings))
+    payload = {
+        "version": REPORT_VERSION,
+        "rules": {
+            name: get_rule(name).description for name in available_rules()
+        },
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+        "summary": {"total": len(findings), "by_rule": by_rule},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,79 @@
+"""Running rules over sources, files, and directory trees."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.lint.base import Finding, LintRule, SourceModule, instantiate_rules
+
+# Importing the rule module populates the registry.
+import repro.lint.rules  # noqa: F401
+
+__all__ = ["LintError", "iter_python_files", "lint_paths", "lint_source"]
+
+
+class LintError(Exception):
+    """A file could not be linted (unreadable or unparsable)."""
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one in-memory module (the entry point fixture tests use).
+
+    ``path`` drives the path-scoped rules: pass a repo-style suffix such as
+    ``repro/engine/kernels.py`` to pull a scoped rule into play.
+    """
+    try:
+        module = SourceModule(source, path=path)
+    except SyntaxError as error:
+        raise LintError(f"{path}: {error.msg} (line {error.lineno})") from error
+    return _run_rules(module, instantiate_rules(rules))
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files and directories into a sorted stream of ``.py`` files."""
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d not in ("__pycache__", ".git"))
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint files/directories; findings come back sorted by location."""
+    rule_instances = instantiate_rules(rules)
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        try:
+            with open(file_path, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            raise LintError(f"cannot read {file_path}: {error}") from error
+        try:
+            module = SourceModule(source, path=file_path)
+        except SyntaxError as error:
+            raise LintError(f"{file_path}: {error.msg} (line {error.lineno})") from error
+        findings.extend(_run_rules(module, rule_instances))
+    return sorted(findings, key=lambda finding: finding.sort_key)
+
+
+def _run_rules(module: SourceModule, rule_instances: Sequence[LintRule]) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rule_instances:
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(module):
+            if not module.is_suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    return sorted(findings, key=lambda finding: finding.sort_key)

@@ -310,26 +310,28 @@ class OneWayToTreeProtocol(DQMAProtocol):
         terminal_of_leaf = {leaf: term for term, leaf in tree.terminal_leaves.items()}
         terminal_index = {term: i for i, term in enumerate(self.network.terminals)}
 
+        def incoming_factors(
+            node: NodeId, assignment: Dict[NodeId, Tuple[int, ...]]
+        ) -> List[np.ndarray]:
+            """The register sent to ``node`` by its parent under ``assignment``."""
+            parent = tree.parent(node)
+            if parent == tree.root or parent is None:
+                return root_factors
+            perm = assignment[parent]
+            child_position = tree.children(parent).index(node)
+            slot = perm[child_position]
+            return self._register_factors(proof, tree_index, parent, slot)
+
         total = 0.0
         weight = 1.0 / total_patterns if total_patterns else 1.0
         for pattern in iter_product(*assignment_spaces) if assignment_spaces else [()]:
             assignment = dict(zip(internal_nodes, pattern))
             probability = 1.0
 
-            def incoming_factors(node: NodeId) -> List[np.ndarray]:
-                """The register sent to ``node`` by its parent under this pattern."""
-                parent = tree.parent(node)
-                if parent == tree.root or parent is None:
-                    return root_factors
-                perm = assignment[parent]
-                child_position = tree.children(parent).index(node)
-                slot = perm[child_position]
-                return self._register_factors(proof, tree_index, parent, slot)
-
             for node in tree.nodes:
                 if node == tree.root:
                     continue
-                received = incoming_factors(node)
+                received = incoming_factors(node, assignment)
                 if tree.is_leaf(node):
                     terminal = terminal_of_leaf.get(node)
                     if terminal is None:

@@ -146,7 +146,7 @@ class QMAOneWayToPathProtocol(DQMAProtocol):
                 )
             )
         right_operator = self.engine.cached_operator(
-            ("qma-bob", getattr(self.qma_protocol, "cache_token", self.qma_protocol), self.bob_input),
+            ("qma-bob", self.qma_protocol.cache_token, self.bob_input),
             lambda: self.qma_protocol.bob_accept_operator(self.bob_input),
         )
         # Alice's success probability scales the chain term (Algorithm 10

@@ -492,7 +492,9 @@ def apply_channels(
         raise DimensionMismatchError(
             f"got {len(channels)} channels for {rows} density rows"
         )
-    by_channel: Dict[int, Tuple[KrausChannel, list]] = {}
+    # Group by the channel's value-stable key, not object identity: equal
+    # channels built by different callers then share one apply_batch pass.
+    by_channel: Dict[Tuple, Tuple[KrausChannel, list]] = {}
     for row, channel in enumerate(channels):
         if channel is None or channel.is_identity:
             continue
@@ -501,7 +503,7 @@ def apply_channels(
                 f"channel {channel.name!r} acts on dimension {channel.dim}, "
                 f"registers have dimension {dim}"
             )
-        by_channel.setdefault(id(channel), (channel, []))[1].append(row)
+        by_channel.setdefault(channel.key, (channel, []))[1].append(row)
     if not by_channel:
         return densities
     output = densities.copy()
@@ -521,7 +523,7 @@ def apply_channel_grid(
     """Apply ``grid[b][r]`` to ``densities[b, r]`` across a whole job batch.
 
     ``densities`` has shape ``(batch, rows, d, d)``.  Entries are grouped by
-    channel identity, and every closed-form depolarizing entry — regardless
+    channel value (:attr:`KrausChannel.key`), and every closed-form depolarizing entry — regardless
     of its strength — joins one strength-stacked broadcast, so a 256-point
     depolarizing sweep applies all of its channels in a single vectorized
     expression.  As with :func:`apply_channels`, the input array itself is
@@ -538,7 +540,9 @@ def apply_channel_grid(
     if len(grid) != batch:
         raise DimensionMismatchError(f"got {len(grid)} channel rows for batch {batch}")
     flat = densities.reshape(batch * rows, dim, dim)
-    by_channel: Dict[int, Tuple[KrausChannel, list]] = {}
+    # Value-stable grouping (channel.key, not id()): equal channel objects
+    # from different grid builders collapse into one batched application.
+    by_channel: Dict[Tuple, Tuple[KrausChannel, list]] = {}
     for b, row_channels in enumerate(grid):
         if len(row_channels) != rows:
             raise DimensionMismatchError(
@@ -552,7 +556,7 @@ def apply_channel_grid(
                     f"channel {channel.name!r} acts on dimension {channel.dim}, "
                     f"registers have dimension {dim}"
                 )
-            by_channel.setdefault(id(channel), (channel, []))[1].append(b * rows + r)
+            by_channel.setdefault(channel.key, (channel, []))[1].append(b * rows + r)
     if not by_channel:
         return densities
     depolarizing_rows: list = []

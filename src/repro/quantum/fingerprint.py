@@ -222,7 +222,7 @@ class SimulatedFingerprint(FingerprintScheme):
         return min(0.9, 4.0 / np.sqrt(self.dim))
 
     def _build_state(self, x: str) -> np.ndarray:
-        payload = f"{self._seed}:{self.input_length}:{x}".encode("utf-8")
+        payload = f"{self._seed}:{self.input_length}:{x}".encode()
         digest = int.from_bytes(hashlib.sha256(payload).digest()[:4], "big")
         generator = np.random.default_rng(digest)
         real = generator.normal(size=self.dim)

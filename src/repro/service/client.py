@@ -56,7 +56,7 @@ class SweepClient:
             ) from None
         stream = sock.makefile("rwb")
         sock.close()  # the makefile dups the underlying socket
-        stream.write(json.dumps(request).encode("utf-8") + b"\n")
+        stream.write(json.dumps(request).encode() + b"\n")
         stream.flush()
         return stream
 

@@ -163,7 +163,7 @@ class JobJournal:
     def read(path: str) -> List[Dict[str, Any]]:
         """Parse a journal file back into its entries (junk lines skipped)."""
         entries = []
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:

@@ -288,7 +288,7 @@ class SweepService:
     # -- the wire ------------------------------------------------------------
 
     async def _send(self, writer: asyncio.StreamWriter, payload: Mapping[str, Any]) -> None:
-        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        writer.write(json.dumps(payload).encode() + b"\n")
         await writer.drain()
 
     async def _stream_job(self, job_id: str, writer: asyncio.StreamWriter) -> None:

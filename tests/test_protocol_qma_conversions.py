@@ -7,7 +7,7 @@ import pytest
 from repro.comm.lsd import random_lsd_instance
 from repro.comm.qma import FingerprintEqualityQMAOneWay
 from repro.comm.problems import EqualityProblem
-from repro.exceptions import ProtocolError
+from repro.exceptions import EncodingError, ProtocolError
 from repro.network.topology import path_network
 from repro.protocols.base import CostSummary
 from repro.protocols.equality import EqualityPathProtocol
@@ -79,7 +79,7 @@ class TestQMAOneWayToPath:
     def test_promise_problem_validation(self):
         problem = PromiseInstanceProblem(True)
         assert problem.evaluate(("0", "1"))
-        with pytest.raises(Exception):
+        with pytest.raises(EncodingError):
             problem.evaluate(("01", "0"))
 
 

@@ -26,7 +26,7 @@ from repro.engine import (
     TreeJobBuilder,
     TreeProgram,
 )
-from repro.exceptions import ProtocolError
+from repro.exceptions import DimensionMismatchError, ProtocolError
 from repro.network.topology import (
     binary_tree_network,
     random_tree_network,
@@ -258,7 +258,7 @@ class TestTreeJobValidation:
 
     def test_factor_count_mismatch(self):
         builder = TreeJobBuilder(num_factors=2)
-        with pytest.raises(Exception):
+        with pytest.raises(DimensionMismatchError):
             builder.add_node(-1, NODE_FIXED, registers=(np.array([1.0, 0.0]),))
 
     def test_program_mixes_chain_and_tree_jobs(self, fingerprints3):

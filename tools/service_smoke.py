@@ -161,7 +161,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         completed = subprocess.run(cli, timeout=max(1.0, deadline - time.monotonic()))
         if completed.returncode != 0:
             _fail(f"repro-submit exited with status {completed.returncode}")
-        with open(dump, "r", encoding="utf-8") as handle:
+        with open(dump, encoding="utf-8") as handle:
             dumped = json.load(handle)
         if rows_from_results(dumped["results"]) != direct:
             _fail("repro-submit --json rows differ from the direct run")
